@@ -1,0 +1,134 @@
+package cdrc_test
+
+import (
+	"sync"
+	"testing"
+
+	"cdrc"
+)
+
+// wide is deliberately multiple cache lines: tearing would be visible as
+// disagreeing fields.
+type wide struct {
+	A, B, C, D, E, F, G, H uint64
+}
+
+func mkWide(x uint64) wide { return wide{x, x, x, x, x, x, x, x} }
+
+func (w wide) consistent() bool {
+	return w.A == w.B && w.B == w.C && w.C == w.D &&
+		w.D == w.E && w.E == w.F && w.F == w.G && w.G == w.H
+}
+
+func TestAtomicValueBasic(t *testing.T) {
+	a := cdrc.NewAtomicValue(4, mkWide(1))
+	v := a.View()
+	defer v.Close()
+	if got := v.Load(); got != mkWide(1) {
+		t.Fatalf("Load = %+v", got)
+	}
+	v.Store(mkWide(2))
+	if got := v.Load(); got != mkWide(2) {
+		t.Fatalf("Load after Store = %+v", got)
+	}
+	if old := v.Swap(mkWide(3)); old != mkWide(2) {
+		t.Fatalf("Swap returned %+v", old)
+	}
+	if got := v.Load(); got != mkWide(3) {
+		t.Fatalf("Load after Swap = %+v", got)
+	}
+	got := v.Update(func(w wide) wide { return mkWide(w.A + 1) })
+	if got != mkWide(4) {
+		t.Fatalf("Update returned %+v", got)
+	}
+}
+
+// No torn reads: concurrent writers store self-consistent values;
+// concurrent readers must never observe a mixed one.
+func TestAtomicValueNoTearing(t *testing.T) {
+	const writers = 2
+	const readers = 4
+	const iters = 20000
+	a := cdrc.NewAtomicValue(writers+readers+1, mkWide(1))
+
+	var readersWG, writersWG sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			v := a.View()
+			defer v.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got := v.Load(); !got.consistent() {
+					t.Errorf("torn read: %+v", got)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(base uint64) {
+			defer writersWG.Done()
+			v := a.View()
+			defer v.Close()
+			for i := uint64(0); i < iters; i++ {
+				v.Store(mkWide(base + i))
+			}
+		}(uint64(w+1) * 1_000_000)
+	}
+	writersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+
+	v := a.View()
+	if !v.Load().consistent() {
+		t.Fatal("final value torn")
+	}
+	v.Close()
+}
+
+// Update must be atomic: concurrent increments all land.
+func TestAtomicValueUpdateAtomic(t *testing.T) {
+	const workers = 4
+	const per = 5000
+	a := cdrc.NewAtomicValue(workers+1, mkWide(0))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := a.View()
+			defer v.Close()
+			for i := 0; i < per; i++ {
+				v.Update(func(x wide) wide { return mkWide(x.A + 1) })
+			}
+		}()
+	}
+	wg.Wait()
+	v := a.View()
+	defer v.Close()
+	got := v.Load()
+	if !got.consistent() || got.A != workers*per {
+		t.Fatalf("final = %+v, want all fields %d", got, workers*per)
+	}
+}
+
+// Memory stays bounded: boxes of overwritten values reclaim themselves.
+func TestAtomicValueMemoryBounded(t *testing.T) {
+	a := cdrc.NewAtomicValue(2, mkWide(0))
+	v := a.View()
+	for i := uint64(0); i < 50000; i++ {
+		v.Store(mkWide(i))
+	}
+	v.Close()
+	if live := a.Live(); live > 500 {
+		t.Fatalf("Live boxes = %d after churn; deferral bound exceeded", live)
+	}
+}

@@ -1,0 +1,191 @@
+package cdrc
+
+// One testing.B benchmark per figure of the paper's evaluation, plus the
+// ablations from DESIGN.md. These run each figure's full scheme sweep at a
+// short fixed duration and report throughput (and memory where the paper
+// plots it) via b.ReportMetric, so `go test -bench` regenerates every
+// figure at smoke-test scale; use cmd/cdrc-bench for full sweeps.
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cdrc/internal/acqret"
+	"cdrc/internal/bench"
+	"cdrc/internal/core"
+)
+
+// benchOptions scales the figures to benchmark-friendly sizes; the CLI
+// runs paper-scale parameters.
+func benchOptions() bench.Options {
+	o := bench.DefaultOptions()
+	o.Threads = []int{4}
+	o.Duration = 50 * time.Millisecond
+	o.LoadStoreCellsLarge = 100_000
+	o.HashSize = 4096
+	o.BSTSize = 4096
+	o.BSTLargeSize = 65536
+	o.MemThreads = 4
+	return o
+}
+
+// runFigure executes one figure sweep per b.N batch and reports each
+// scheme's throughput as a named metric.
+func runFigure(b *testing.B, id string) {
+	f, ok := bench.FigureByID(id)
+	if !ok {
+		b.Fatalf("unknown figure %s", id)
+	}
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		f.Run(o, func(p bench.Point) {
+			if i == b.N-1 { // report the last round
+				tag := metricTag(p.Scheme)
+				b.ReportMetric(p.Mops, tag+"_Mops")
+				if id == "6d" || id == "6h" {
+					b.ReportMetric(p.AvgAlloc, tag+"_alloc")
+				}
+				if id[0] == '7' {
+					b.ReportMetric(float64(p.AvgUnrc), tag+"_extra")
+				}
+			}
+		})
+	}
+}
+
+// metricTag turns a scheme legend label into a testing.B metric unit
+// (no whitespace allowed).
+func metricTag(scheme string) string {
+	r := strings.NewReplacer(" ", "", "(", "", ")", "", "+", "", "::", "-")
+	return r.Replace(scheme)
+}
+
+func BenchmarkFig6a(b *testing.B) { runFigure(b, "6a") }
+func BenchmarkFig6b(b *testing.B) { runFigure(b, "6b") }
+func BenchmarkFig6c(b *testing.B) { runFigure(b, "6c") }
+func BenchmarkFig6d(b *testing.B) { runFigure(b, "6d") }
+func BenchmarkFig6e(b *testing.B) { runFigure(b, "6e") }
+func BenchmarkFig6f(b *testing.B) { runFigure(b, "6f") }
+func BenchmarkFig6g(b *testing.B) { runFigure(b, "6g") }
+func BenchmarkFig6h(b *testing.B) { runFigure(b, "6h") }
+func BenchmarkFig7a(b *testing.B) { runFigure(b, "7a") }
+func BenchmarkFig7b(b *testing.B) { runFigure(b, "7b") }
+func BenchmarkFig7c(b *testing.B) { runFigure(b, "7c") }
+func BenchmarkFig7d(b *testing.B) { runFigure(b, "7d") }
+func BenchmarkFig7e(b *testing.B) { runFigure(b, "7e") }
+func BenchmarkFig7f(b *testing.B) { runFigure(b, "7f") }
+
+// --- Ablation A1: lock-free vs wait-free acquire (§7 preliminary) ----------
+
+func benchmarkAcquire(b *testing.B, mode acqret.Mode) {
+	d := acqret.New(64, acqret.WithMode(mode))
+	var src atomic.Uint64
+	src.Store(42)
+	b.RunParallel(func(pb *testing.PB) {
+		p := d.Register()
+		defer d.Unregister(p)
+		for pb.Next() {
+			d.Acquire(p, 0, &src)
+			d.Release(p, 0)
+		}
+	})
+}
+
+func BenchmarkAblationAcquireLockFree(b *testing.B) {
+	benchmarkAcquire(b, acqret.LockFreeAcquire)
+}
+
+func BenchmarkAblationAcquireWaitFree(b *testing.B) {
+	benchmarkAcquire(b, acqret.WaitFreeAcquire)
+}
+
+func BenchmarkAblationAcquireCombined(b *testing.B) {
+	benchmarkAcquire(b, acqret.CombinedAcquire)
+}
+
+// --- Ablation A2: deferred increments (snapshots) vs eager loads -----------
+
+type a2node struct {
+	V int64
+}
+
+func benchmarkReads(b *testing.B, snapshots bool) {
+	// The eager variant uses the eager-destruct configuration, exactly as
+	// the paper's non-snapshot "DRC" does, so the comparison isolates the
+	// deferred-increment mechanism.
+	d := core.NewDomain[a2node](core.Config[a2node]{MaxProcs: 64, EagerDestruct: !snapshots})
+	setup := d.Attach()
+	var cell core.AtomicRcPtr
+	setup.StoreMove(&cell, setup.NewRc(func(n *a2node) { n.V = 7 }))
+	b.RunParallel(func(pb *testing.PB) {
+		t := d.Attach()
+		defer t.Detach()
+		for pb.Next() {
+			if snapshots {
+				s := t.GetSnapshot(&cell)
+				_ = t.DerefSnapshot(s).V
+				t.ReleaseSnapshot(&s)
+			} else {
+				p := t.Load(&cell)
+				_ = t.Deref(p).V
+				t.Release(p)
+			}
+		}
+	})
+	b.StopTimer()
+	setup.StoreMove(&cell, core.NilRcPtr)
+	setup.Flush()
+	setup.Detach()
+}
+
+func BenchmarkAblationSnapshotReads(b *testing.B) { benchmarkReads(b, true) }
+func BenchmarkAblationEagerReads(b *testing.B)    { benchmarkReads(b, false) }
+
+// --- Ablation A3: eject threshold / deferral bound --------------------------
+
+func BenchmarkAblationRetireEject(b *testing.B) {
+	d := acqret.New(8)
+	p := d.Register()
+	defer d.Unregister(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Retire(p, uint64(i)|1)
+		d.Eject(p)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(d.Deferred()), "deferred")
+	for {
+		if out := d.EjectAllLocal(p); len(out) == 0 {
+			break
+		}
+	}
+}
+
+// BenchmarkAblationEjectThreshold sweeps the scan-threshold multiplier:
+// larger thresholds amortize scans over more retires (cheaper pairs) at
+// the cost of proportionally more deferred memory - the tunable constant
+// inside Theorem 1's O(P²) bound.
+func BenchmarkAblationEjectThreshold(b *testing.B) {
+	for _, mult := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("mult=%d", mult), func(b *testing.B) {
+			d := acqret.New(8, acqret.WithScanThreshold(mult))
+			p := d.Register()
+			defer d.Unregister(p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Retire(p, uint64(i)|1)
+				d.Eject(p)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(d.Deferred()), "deferred")
+			for {
+				if out := d.EjectAllLocal(p); len(out) == 0 {
+					break
+				}
+			}
+		})
+	}
+}

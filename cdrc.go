@@ -1,0 +1,103 @@
+// Package cdrc is a Go implementation of concurrent deferred reference
+// counting with constant-time overhead (Anderson, Blelloch, Wei; PLDI
+// 2021): safe automatic memory reclamation for concurrent data structures,
+// combining reference counting with a generalization of hazard pointers
+// called acquire-retire.
+//
+// # Model
+//
+// Objects live in a simulated manual-memory arena and are addressed by
+// single-word references (see DESIGN.md for why Go needs the arena). A
+// Domain[T] manages all objects of one type; each worker goroutine
+// attaches to the domain to obtain a Thread[T], through which every
+// operation runs:
+//
+//	type node struct {
+//		Value int
+//		Next  cdrc.AtomicRcPtr
+//	}
+//
+//	dom := cdrc.NewDomain[node](cdrc.Config[node]{
+//		Finalizer: func(t *cdrc.Thread[node], n *node) {
+//			t.Release(n.Next.LoadRaw()) // release owned children
+//		},
+//	})
+//	t := dom.Attach()
+//	defer t.Detach()
+//
+//	var head cdrc.AtomicRcPtr
+//	p := t.NewRc(func(n *node) { n.Value = 42 })
+//	t.StoreMove(&head, p)
+//
+// Three reference flavours mirror the paper's C++ library:
+//
+//   - RcPtr - a counted reference (shared_ptr analogue). Clone/Release
+//     adjust the count; releases are deferred decrements, so a release
+//     racing with a load can never free a live object.
+//   - AtomicRcPtr - a shared mutable cell of counted references
+//     (atomic<shared_ptr> analogue) supporting Load, Store, StoreMove,
+//     CompareAndSwap, CompareExchange, and mark-bit operations for
+//     lock-free "marked pointer" idioms.
+//   - Snapshot - a protected, uncounted reference (snapshot_ptr
+//     analogue) for short-lived reads: GetSnapshot/ReleaseSnapshot touch
+//     no shared counter at all, which is what lets reference counting
+//     keep up with manual reclamation on read-heavy structures.
+//
+// All operations have constant-time overhead (expected, due to hashing in
+// the deamortized eject), at most O(P²) decrements are deferred across P
+// threads, and reclamation is automatic: there is no retire call anywhere
+// in the API.
+package cdrc
+
+import (
+	"cdrc/internal/acqret"
+	"cdrc/internal/core"
+)
+
+// Domain manages a universe of reference-counted objects of type T.
+type Domain[T any] = core.Domain[T]
+
+// Thread is a processor-bound operation context obtained from
+// Domain.Attach. It is not safe for concurrent use.
+type Thread[T any] = core.Thread[T]
+
+// Config parameterizes NewDomain.
+type Config[T any] = core.Config[T]
+
+// RcPtr is a counted single-word reference (the rc_ptr analogue).
+type RcPtr = core.RcPtr
+
+// Snapshot is a protected uncounted reference (the snapshot_ptr analogue).
+type Snapshot = core.Snapshot
+
+// AtomicRcPtr is a shared mutable cell of counted references (the
+// atomic_rc_ptr analogue).
+type AtomicRcPtr = core.AtomicRcPtr
+
+// NilRcPtr is the nil reference.
+var NilRcPtr = core.NilRcPtr
+
+// WeakPtr is a non-owning reference that can be upgraded to an RcPtr while
+// the object is alive - the cycle-breaking extension of the paper's §9.
+type WeakPtr = core.WeakPtr
+
+// NilWeakPtr is the nil weak reference.
+var NilWeakPtr = core.NilWeakPtr
+
+// AcquireMode selects the implementation of the acquire operation.
+type AcquireMode = acqret.Mode
+
+// Acquire modes: the lock-free announce/validate loop (default, used for
+// the paper's headline numbers), the wait-free single-writer-copy variant
+// (Theorem 1's constant-time bound), and the fast-path/slow-path
+// combination of the two that the paper's §7 reports evaluating.
+const (
+	LockFreeAcquire = acqret.LockFreeAcquire
+	WaitFreeAcquire = acqret.WaitFreeAcquire
+	CombinedAcquire = acqret.CombinedAcquire
+)
+
+// NewDomain creates a Domain.
+func NewDomain[T any](cfg Config[T]) *Domain[T] {
+	return core.NewDomain[T](cfg)
+}

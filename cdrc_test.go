@@ -1,0 +1,116 @@
+package cdrc_test
+
+import (
+	"sync"
+	"testing"
+
+	"cdrc"
+)
+
+// The facade must support the full Fig. 1a usage pattern end to end.
+
+type node struct {
+	val  int
+	next cdrc.AtomicRcPtr
+}
+
+func newDomain(procs int) *cdrc.Domain[node] {
+	return cdrc.NewDomain[node](cdrc.Config[node]{
+		MaxProcs: procs,
+		Finalizer: func(t *cdrc.Thread[node], n *node) {
+			t.Release(n.next.LoadRaw())
+			n.next.Init(cdrc.NilRcPtr)
+		},
+	})
+}
+
+func TestPublicAPIStack(t *testing.T) {
+	dom := newDomain(8)
+	var head cdrc.AtomicRcPtr
+
+	push := func(th *cdrc.Thread[node], v int) {
+		n := th.NewRc(func(nd *node) { nd.val = v })
+		nd := th.Deref(n)
+		for {
+			exp := th.Load(&head)
+			th.StoreMove(&nd.next, exp)
+			if th.CompareAndSwap(&head, exp, n) {
+				th.Release(n)
+				return
+			}
+		}
+	}
+	pop := func(th *cdrc.Thread[node]) (int, bool) {
+		for {
+			s := th.GetSnapshot(&head)
+			if s.IsNil() {
+				return 0, false
+			}
+			next := th.Load(&th.DerefSnapshot(s).next)
+			if th.CompareAndSwapMove(&head, s.Ptr(), next) {
+				v := th.DerefSnapshot(s).val
+				th.ReleaseSnapshot(&s)
+				return v, true
+			}
+			th.Release(next)
+			th.ReleaseSnapshot(&s)
+		}
+	}
+
+	const workers = 4
+	const per = 5000
+	var popped sync.Map
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := dom.Attach()
+			defer th.Detach()
+			for i := 0; i < per; i++ {
+				push(th, id*per+i)
+				if v, ok := pop(th); ok {
+					if _, dup := popped.LoadOrStore(v, true); dup {
+						t.Errorf("value %d popped twice", v)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	th := dom.Attach()
+	for {
+		if _, ok := pop(th); !ok {
+			break
+		}
+	}
+	th.StoreMove(&head, cdrc.NilRcPtr)
+	th.Flush()
+	th.Detach()
+	if live := dom.Live(); live != 0 {
+		t.Fatalf("Live = %d after teardown", live)
+	}
+}
+
+func TestPublicAPIWaitFreeMode(t *testing.T) {
+	dom := cdrc.NewDomain[node](cdrc.Config[node]{
+		MaxProcs:    4,
+		AcquireMode: cdrc.WaitFreeAcquire,
+	})
+	th := dom.Attach()
+	var cell cdrc.AtomicRcPtr
+	th.StoreMove(&cell, th.NewRc(func(n *node) { n.val = 9 }))
+	p := th.Load(&cell)
+	if th.Deref(p).val != 9 {
+		t.Fatal("wrong value through wait-free load")
+	}
+	th.Release(p)
+	th.StoreMove(&cell, cdrc.NilRcPtr)
+	th.Flush()
+	th.Detach()
+	if live := dom.Live(); live != 0 {
+		t.Fatalf("Live = %d", live)
+	}
+}

@@ -1,0 +1,119 @@
+// Command cdrc-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	cdrc-bench -fig 6a -threads 1,2,4,8 -duration 500ms
+//	cdrc-bench -all -out results
+//
+// Each figure prints CSV rows (figure, scheme, threads, Mops/s, average
+// allocated objects, unreclaimed nodes, figure-specific extra). See
+// EXPERIMENTS.md for how each figure maps onto the paper's plots and how
+// the shapes compare.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"cdrc/internal/bench"
+)
+
+func main() {
+	var (
+		figID    = flag.String("fig", "", "figure to run (6a..6h, 7a..7f); empty with -all runs everything")
+		all      = flag.Bool("all", false, "run every figure")
+		threads  = flag.String("threads", "1,2,4,8", "comma-separated worker counts")
+		duration = flag.Duration("duration", 300*time.Millisecond, "measured duration per data point")
+		outDir   = flag.String("out", "", "directory for per-figure CSV files (default: stdout)")
+		format   = flag.String("format", "csv", "output format: csv or table")
+		list     = flag.Bool("list", false, "list available figures and exit")
+
+		cellsLarge = flag.Int("cells-large", 1_000_000, "N for the uncontended load/store benchmark (paper: 10,000,000)")
+		listSize   = flag.Int("list-size", 1000, "list-set size (paper: 1000)")
+		hashSize   = flag.Int("hash-size", 10_000, "hash-set size (paper: 100,000)")
+		bstSize    = flag.Int("bst-size", 10_000, "tree-set size (paper: 100,000)")
+		bstLarge   = flag.Int("bst-large", 1_000_000, "large tree-set size (paper: 100,000,000)")
+		memThreads = flag.Int("mem-threads", 8, "fixed thread count for Fig. 6h (paper: 128)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range bench.Figures() {
+			fmt.Printf("%-4s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	o := bench.DefaultOptions()
+	o.Duration = *duration
+	o.LoadStoreCellsLarge = *cellsLarge
+	o.ListSize = *listSize
+	o.HashSize = *hashSize
+	o.BSTSize = *bstSize
+	o.BSTLargeSize = *bstLarge
+	o.MemThreads = *memThreads
+	o.Threads = nil
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "cdrc-bench: bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		o.Threads = append(o.Threads, n)
+	}
+
+	var figs []bench.Figure
+	switch {
+	case *all:
+		figs = bench.Figures()
+	case *figID != "":
+		f, ok := bench.FigureByID(*figID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cdrc-bench: unknown figure %q\n", *figID)
+			os.Exit(2)
+		}
+		figs = []bench.Figure{f}
+	default:
+		fmt.Fprintln(os.Stderr, "cdrc-bench: pass -fig <id> or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, f := range figs {
+		out := os.Stdout
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "cdrc-bench: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, "fig"+f.ID+".csv")
+			file, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cdrc-bench: %v\n", err)
+				os.Exit(1)
+			}
+			out = file
+			fmt.Fprintf(os.Stderr, "fig %s (%s) -> %s\n", f.ID, f.Title, path)
+		} else {
+			fmt.Fprintf(os.Stderr, "# fig %s: %s\n", f.ID, f.Title)
+		}
+		if *format == "table" {
+			var tbl bench.Table
+			f.Run(o, tbl.Add)
+			tbl.Write(out)
+		} else {
+			bench.WriteCSVHeader(out)
+			f.Run(o, func(p bench.Point) {
+				bench.WriteCSV(out, p)
+			})
+		}
+		if out != os.Stdout {
+			out.Close()
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package collections provides ready-made lock-free concurrent data
+// structures built on cdrc's deferred reference counting: a hash set, a
+// sorted set, a LIFO stack, and a FIFO queue.
+//
+// All four share the properties the underlying library provides
+// (paper §5, §7.2):
+//
+//   - automatic reclamation: removed nodes free themselves once the last
+//     reference (including in-flight readers) lets go - there is no
+//     retire call, no epoch to manage, no hazard slot to assign;
+//   - contention-free reads: lookups and traversals hold snapshot
+//     references, touching no shared counter;
+//   - bounded memory overhead: at most O(P²) removed-but-unreclaimed
+//     nodes across P threads, independent of structure size.
+//
+// Each structure hands out per-goroutine handles: call the structure's
+// Attach (handles are not safe for concurrent use), use the handle for
+// operations, and Close it when the goroutine is done.
+package collections
+
+import (
+	"cdrc/internal/ds"
+	"cdrc/internal/ds/rcds"
+)
+
+// SetHandle is a per-goroutine view of a concurrent set.
+type SetHandle struct {
+	th ds.SetThread
+}
+
+// Insert adds key, reporting false if it was already present.
+func (h *SetHandle) Insert(key uint64) bool { return h.th.Insert(key) }
+
+// Delete removes key, reporting false if it was absent.
+func (h *SetHandle) Delete(key uint64) bool { return h.th.Delete(key) }
+
+// Contains reports whether key is present.
+func (h *SetHandle) Contains(key uint64) bool { return h.th.Contains(key) }
+
+// Close detaches the handle.
+func (h *SetHandle) Close() { h.th.Detach() }
+
+// HashSet is a lock-free hash set of uint64 keys (Michael's hash table
+// over Harris-Michael bucket lists - the structure of the paper's
+// Fig. 7b, where deferred reference counting matches or beats manual
+// reclamation outright).
+type HashSet struct {
+	t *rcds.HashTable
+}
+
+// NewHashSet creates a hash set sized for roughly expectedKeys resident
+// keys (load factor 1), usable by up to maxProcs concurrent handles
+// (0 selects the default bound).
+func NewHashSet(expectedKeys, maxProcs int) *HashSet {
+	if expectedKeys < 16 {
+		expectedKeys = 16
+	}
+	return &HashSet{t: rcds.NewHashTable(expectedKeys, maxProcs, true)}
+}
+
+// Attach registers the calling goroutine.
+func (s *HashSet) Attach() *SetHandle { return &SetHandle{th: s.t.Attach()} }
+
+// Len is not provided: a linearizable size of a lock-free set is a
+// different (and expensive) problem. Use application-level counting.
+
+// LiveNodes reports currently allocated nodes (diagnostics).
+func (s *HashSet) LiveNodes() int64 { return s.t.LiveNodes() }
+
+// SortedSet is a lock-free ordered set of uint64 keys (the
+// Natarajan-Mittal binary search tree of the paper's Figs. 7c-7f).
+// Keys must be below MaxSortedSetKey.
+type SortedSet struct {
+	t *rcds.BST
+}
+
+// MaxSortedSetKey is the largest insertable key; larger values collide
+// with the tree's internal sentinels.
+const MaxSortedSetKey = ^uint64(0) - 3
+
+// NewSortedSet creates an empty sorted set for up to maxProcs concurrent
+// handles (0 selects the default bound).
+func NewSortedSet(maxProcs int) *SortedSet {
+	return &SortedSet{t: rcds.NewBST(maxProcs, true)}
+}
+
+// Attach registers the calling goroutine.
+func (s *SortedSet) Attach() *SetHandle { return &SetHandle{th: s.t.Attach()} }
+
+// LiveNodes reports currently allocated nodes (diagnostics).
+func (s *SortedSet) LiveNodes() int64 { return s.t.LiveNodes() }
+
+// Queue is a lock-free FIFO queue of uint64 values (Michael-Scott over
+// deferred reference counting).
+type Queue struct {
+	q *rcds.Queue
+}
+
+// NewQueue creates an empty queue for up to maxProcs concurrent handles
+// (0 selects the default bound).
+func NewQueue(maxProcs int) *Queue { return &Queue{q: rcds.NewQueue(maxProcs)} }
+
+// QueueHandle is a per-goroutine view of a Queue.
+type QueueHandle struct {
+	th *rcds.QueueThread
+}
+
+// Attach registers the calling goroutine.
+func (q *Queue) Attach() *QueueHandle { return &QueueHandle{th: q.q.Attach()} }
+
+// Enqueue appends v.
+func (h *QueueHandle) Enqueue(v uint64) { h.th.Enqueue(v) }
+
+// Dequeue removes and returns the oldest value, reporting false when the
+// queue is empty.
+func (h *QueueHandle) Dequeue() (uint64, bool) { return h.th.Dequeue() }
+
+// Close detaches the handle.
+func (h *QueueHandle) Close() { h.th.Detach() }
+
+// LiveNodes reports currently allocated nodes (diagnostics; an empty
+// quiescent queue holds exactly one dummy node).
+func (q *Queue) LiveNodes() int64 { return q.q.LiveNodes() }

@@ -1,0 +1,191 @@
+package collections
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHashSetBasics(t *testing.T) {
+	s := NewHashSet(64, 4)
+	h := s.Attach()
+	defer h.Close()
+	if h.Contains(5) || h.Delete(5) {
+		t.Fatal("empty set misbehaves")
+	}
+	if !h.Insert(5) || h.Insert(5) {
+		t.Fatal("insert semantics broken")
+	}
+	if !h.Contains(5) {
+		t.Fatal("Contains(5) = false")
+	}
+	if !h.Delete(5) || h.Delete(5) {
+		t.Fatal("delete semantics broken")
+	}
+}
+
+func TestSortedSetBasicsAndSentinelGuard(t *testing.T) {
+	s := NewSortedSet(4)
+	h := s.Attach()
+	defer h.Close()
+	for i := uint64(0); i < 100; i += 3 {
+		if !h.Insert(i) {
+			t.Fatalf("Insert(%d) failed", i)
+		}
+	}
+	for i := uint64(0); i < 100; i++ {
+		if got, want := h.Contains(i), i%3 == 0; got != want {
+			t.Fatalf("Contains(%d) = %v", i, got)
+		}
+	}
+	if !h.Insert(MaxSortedSetKey) {
+		t.Fatal("max key rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic above MaxSortedSetKey")
+		}
+	}()
+	h.Insert(MaxSortedSetKey + 1)
+}
+
+func TestStackLIFOAndPeek(t *testing.T) {
+	s := NewStack(4)
+	h := s.Attach()
+	defer h.Close()
+	if _, ok := h.Pop(); ok {
+		t.Fatal("pop from empty")
+	}
+	if _, ok := h.Peek(); ok {
+		t.Fatal("peek at empty")
+	}
+	h.Push(1)
+	h.Push(2)
+	if v, _ := h.Peek(); v != 2 {
+		t.Fatalf("Peek = %d", v)
+	}
+	if v, _ := h.Pop(); v != 2 {
+		t.Fatalf("Pop = %d", v)
+	}
+	if v, _ := h.Pop(); v != 1 {
+		t.Fatalf("Pop = %d", v)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(4)
+	h := q.Attach()
+	defer h.Close()
+	for i := uint64(1); i <= 10; i++ {
+		h.Enqueue(i)
+	}
+	for i := uint64(1); i <= 10; i++ {
+		if v, ok := h.Dequeue(); !ok || v != i {
+			t.Fatalf("Dequeue = (%d, %v)", v, ok)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("dequeue from drained queue")
+	}
+}
+
+// Cross-structure smoke: concurrent producers move values hash -> stack ->
+// queue; everything is conserved and all structures reclaim.
+func TestPipelineConservation(t *testing.T) {
+	const workers = 4
+	const perWorker = 2000
+
+	set := NewHashSet(1024, workers+1)
+	stack := NewStack(workers + 1)
+	queue := NewQueue(workers + 1)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sh := set.Attach()
+			st := stack.Attach()
+			qh := queue.Attach()
+			defer sh.Close()
+			defer st.Close()
+			defer qh.Close()
+			rng := rand.New(rand.NewSource(int64(id + 1)))
+			for i := 0; i < perWorker; i++ {
+				v := uint64(id*perWorker+i) + 1
+				if sh.Insert(v) {
+					st.Push(v)
+				}
+				if pv, ok := st.Pop(); ok {
+					qh.Enqueue(pv)
+				}
+				_ = rng
+			}
+			// Drain leftovers into the queue.
+			for {
+				pv, ok := st.Pop()
+				if !ok {
+					break
+				}
+				qh.Enqueue(pv)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	qh := queue.Attach()
+	seen := map[uint64]bool{}
+	for {
+		v, ok := qh.Dequeue()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("value %d duplicated through the pipeline", v)
+		}
+		seen[v] = true
+	}
+	qh.Close()
+	if len(seen) != workers*perWorker {
+		t.Fatalf("pipeline delivered %d values, want %d", len(seen), workers*perWorker)
+	}
+	if live := stack.LiveNodes(); live != 0 {
+		t.Fatalf("stack LiveNodes = %d", live)
+	}
+}
+
+// Parallel churn on each structure with liveness accounting.
+func TestConcurrentChurnAll(t *testing.T) {
+	var ops atomic.Int64
+	set := NewHashSet(256, 9)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := set.Attach()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				k := uint64(rng.Intn(256))
+				switch rng.Intn(3) {
+				case 0:
+					h.Insert(k)
+				case 1:
+					h.Delete(k)
+				default:
+					h.Contains(k)
+				}
+				ops.Add(1)
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	if ops.Load() != 8*5000 {
+		t.Fatal("lost operations")
+	}
+	if live := set.LiveNodes(); live > 256+64 {
+		t.Fatalf("LiveNodes = %d: leak", live)
+	}
+}

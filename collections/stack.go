@@ -1,0 +1,89 @@
+package collections
+
+import "cdrc"
+
+// Stack is a lock-free LIFO stack of uint64 values - the paper's Fig. 1a
+// example, packaged. Pops protect the short-lived head reference with a
+// snapshot, so the hot path performs no shared counter updates.
+type Stack struct {
+	dom  *cdrc.Domain[stackNode]
+	head cdrc.AtomicRcPtr
+}
+
+type stackNode struct {
+	v    uint64
+	next cdrc.AtomicRcPtr
+}
+
+// NewStack creates an empty stack for up to maxProcs concurrent handles
+// (0 selects the default bound).
+func NewStack(maxProcs int) *Stack {
+	return &Stack{dom: cdrc.NewDomain[stackNode](cdrc.Config[stackNode]{
+		MaxProcs: maxProcs,
+		Finalizer: func(t *cdrc.Thread[stackNode], n *stackNode) {
+			t.Release(n.next.LoadRaw())
+			n.next.Init(cdrc.NilRcPtr)
+		},
+	})}
+}
+
+// StackHandle is a per-goroutine view of a Stack.
+type StackHandle struct {
+	s *Stack
+	t *cdrc.Thread[stackNode]
+}
+
+// Attach registers the calling goroutine.
+func (s *Stack) Attach() *StackHandle { return &StackHandle{s: s, t: s.dom.Attach()} }
+
+// Close detaches the handle.
+func (h *StackHandle) Close() { h.t.Detach() }
+
+// Push adds v to the top.
+func (h *StackHandle) Push(v uint64) {
+	t := h.t
+	n := t.NewRc(func(nd *stackNode) { nd.v = v })
+	nd := t.Deref(n)
+	for {
+		expected := t.Load(&h.s.head)
+		t.StoreMove(&nd.next, expected)
+		if t.CompareAndSwap(&h.s.head, expected, n) {
+			t.Release(n)
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top value, reporting false when empty.
+func (h *StackHandle) Pop() (uint64, bool) {
+	t := h.t
+	for {
+		s := t.GetSnapshot(&h.s.head)
+		if s.IsNil() {
+			return 0, false
+		}
+		next := t.Load(&t.DerefSnapshot(s).next)
+		if t.CompareAndSwapMove(&h.s.head, s.Ptr(), next) {
+			v := t.DerefSnapshot(s).v
+			t.ReleaseSnapshot(&s)
+			return v, true
+		}
+		t.Release(next)
+		t.ReleaseSnapshot(&s)
+	}
+}
+
+// Peek returns the top value without removing it, reporting false when
+// empty. The read is snapshot-protected and contention-free.
+func (h *StackHandle) Peek() (uint64, bool) {
+	s := h.t.GetSnapshot(&h.s.head)
+	if s.IsNil() {
+		return 0, false
+	}
+	v := h.t.DerefSnapshot(s).v
+	h.t.ReleaseSnapshot(&s)
+	return v, true
+}
+
+// LiveNodes reports currently allocated nodes (diagnostics).
+func (s *Stack) LiveNodes() int64 { return s.dom.Live() }

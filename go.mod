@@ -1,0 +1,3 @@
+module cdrc
+
+go 1.24

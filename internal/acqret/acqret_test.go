@@ -1,0 +1,331 @@
+package acqret
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func modes(t *testing.T, f func(t *testing.T, mode Mode)) {
+	t.Run("lockfree", func(t *testing.T) { f(t, LockFreeAcquire) })
+	t.Run("waitfree", func(t *testing.T) { f(t, WaitFreeAcquire) })
+	t.Run("combined", func(t *testing.T) { f(t, CombinedAcquire) })
+}
+
+func TestAcquireReturnsStoredHandle(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		d := New(4, WithMode(mode))
+		p := d.Register()
+		defer d.Unregister(p)
+		var src atomic.Uint64
+		src.Store(0xBEEF0)
+		if got := d.Acquire(p, 0, &src); got != 0xBEEF0 {
+			t.Fatalf("Acquire = %#x, want 0xBEEF0", got)
+		}
+		if got := d.ReadSlot(p, 0); got != 0xBEEF0 {
+			t.Fatalf("announcement = %#x, want 0xBEEF0", got)
+		}
+		d.Release(p, 0)
+		if got := d.ReadSlot(p, 0); got != 0 {
+			t.Fatalf("announcement after release = %#x, want 0", got)
+		}
+	})
+}
+
+func TestProtectedHandleIsNotEjected(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		d := New(4, WithMode(mode))
+		p1 := d.Register()
+		p2 := d.Register()
+		defer d.Unregister(p2)
+
+		var src atomic.Uint64
+		src.Store(42)
+		h := d.Acquire(p1, 0, &src)
+
+		d.Retire(p2, h)
+		if out := d.EjectAllLocal(p2); len(out) != 0 {
+			t.Fatalf("ejected %v while handle acquired", out)
+		}
+		d.Release(p1, 0)
+		out := d.EjectAllLocal(p2)
+		if len(out) != 1 || out[0] != 42 {
+			t.Fatalf("after release, EjectAllLocal = %v, want [42]", out)
+		}
+		d.Unregister(p1)
+	})
+}
+
+func TestMultisetSemantics(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		d := New(4, WithMode(mode))
+		p1 := d.Register()
+		p2 := d.Register()
+		defer d.Unregister(p1)
+		defer d.Unregister(p2)
+
+		var src atomic.Uint64
+		src.Store(7)
+		d.Acquire(p1, 0, &src) // one announcement of 7
+
+		// Three concurrent retires of the same handle.
+		d.Retire(p2, 7)
+		d.Retire(p2, 7)
+		d.Retire(p2, 7)
+
+		out := d.EjectAllLocal(p2)
+		if len(out) != 2 {
+			t.Fatalf("with 3 retires and 1 announcement, ejected %d, want 2", len(out))
+		}
+		d.Release(p1, 0)
+		out = d.EjectAllLocal(p2)
+		if len(out) != 1 {
+			t.Fatalf("after release, ejected %d more, want 1", len(out))
+		}
+	})
+}
+
+func TestMultipleAnnouncementsCountSeparately(t *testing.T) {
+	d := New(4)
+	p1 := d.Register()
+	p2 := d.Register()
+	defer d.Unregister(p1)
+	defer d.Unregister(p2)
+
+	var src atomic.Uint64
+	src.Store(9)
+	d.Acquire(p1, 0, &src)
+	d.Acquire(p1, 1, &src)
+	d.Acquire(p2, 0, &src) // three announcements of 9
+
+	for i := 0; i < 5; i++ {
+		d.Retire(p2, 9)
+	}
+	if out := d.EjectAllLocal(p2); len(out) != 2 {
+		t.Fatalf("5 retires, 3 announcements: ejected %d, want 2", len(out))
+	}
+}
+
+func TestDeamortizedEjectMakesProgress(t *testing.T) {
+	d := New(2)
+	p := d.Register()
+	defer d.Unregister(p)
+
+	// Push far past the scan threshold; every retire is unprotected.
+	const n = 4096
+	got := 0
+	for i := 1; i <= n; i++ {
+		d.Retire(p, uint64(i))
+		if _, ok := d.Eject(p); ok {
+			got++
+		}
+	}
+	if got == 0 {
+		t.Fatal("deamortized Eject never returned a handle")
+	}
+	// Drain: every retire must eventually eject.
+	for {
+		out := d.EjectAllLocal(p)
+		got += len(out)
+		if len(out) == 0 {
+			break
+		}
+	}
+	if got != n {
+		t.Fatalf("ejected %d of %d retires", got, n)
+	}
+	if d.Deferred() != 0 {
+		t.Fatalf("Deferred = %d at quiescence", d.Deferred())
+	}
+}
+
+func TestDeferredBoundUnderEjectPressure(t *testing.T) {
+	d := New(2)
+	p := d.Register()
+	defer d.Unregister(p)
+	k := SlotsPerProc * 1 // one processor registered
+	// With retire always followed by eject, the deferred count should stay
+	// within a small multiple of the scan threshold.
+	bound := int64(4*(2*k+scanSlack) + 64)
+	for i := 1; i <= 100000; i++ {
+		d.Retire(p, uint64(i))
+		d.Eject(p)
+		if def := d.Deferred(); def > bound {
+			t.Fatalf("deferred %d exceeds bound %d at iteration %d", def, bound, i)
+		}
+	}
+}
+
+func TestOrphanAdoption(t *testing.T) {
+	d := New(4)
+	p1 := d.Register()
+	p2 := d.Register()
+	defer d.Unregister(p2)
+
+	d.Retire(p1, 11)
+	d.Retire(p1, 12)
+	d.Unregister(p1) // abandons two retires
+
+	out := d.EjectAllLocal(p2)
+	if len(out) != 2 {
+		t.Fatalf("adopted %d orphans, want 2", len(out))
+	}
+	if d.Deferred() != 0 {
+		t.Fatalf("Deferred = %d after orphan drain", d.Deferred())
+	}
+}
+
+func TestAnnounceDirect(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		d := New(2, WithMode(mode))
+		p1 := d.Register()
+		p2 := d.Register()
+		defer d.Unregister(p1)
+		defer d.Unregister(p2)
+		d.Announce(p1, 3, 77)
+		d.Retire(p2, 77)
+		if out := d.EjectAllLocal(p2); len(out) != 0 {
+			t.Fatalf("ejected %v while announced", out)
+		}
+		d.Release(p1, 3)
+		if out := d.EjectAllLocal(p2); len(out) != 1 {
+			t.Fatalf("after release got %d, want 1", len(out))
+		}
+	})
+}
+
+func TestAcquireFollowsChangingSource(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		d := New(2, WithMode(mode))
+		p := d.Register()
+		defer d.Unregister(p)
+		var src atomic.Uint64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := uint64(1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					src.Store(v)
+					v++
+				}
+			}
+		}()
+		for i := 0; i < 10000; i++ {
+			before := src.Load()
+			got := d.Acquire(p, 0, &src)
+			after := src.Load()
+			if got < before || got > after {
+				t.Fatalf("Acquire = %d outside window [%d, %d]", got, before, after)
+			}
+			if ann := d.ReadSlot(p, 0); ann != got {
+				t.Fatalf("announcement %d != acquired %d", ann, got)
+			}
+		}
+		close(stop)
+		wg.Wait()
+	})
+}
+
+// Concurrency stress: handles are "objects" with a liveness flag. A handle
+// is retired exactly once per writer round; a reader that acquired the
+// handle must find it live for as long as it holds the acquire. Ejecting
+// is the only thing allowed to kill a handle.
+func TestNoEjectWhileAcquired(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		const readers = 4
+		const rounds = 3000
+		d := New(readers+1, WithMode(mode))
+
+		alive := make([]atomic.Bool, rounds+2)
+		var src atomic.Uint64
+
+		writer := d.Register()
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p := d.Register()
+				defer d.Unregister(p)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					h := d.Acquire(p, 0, &src)
+					if h != 0 && !alive[h].Load() {
+						t.Errorf("acquired handle %d is not alive", h)
+						d.Release(p, 0)
+						return
+					}
+					// Hold briefly, re-check, release.
+					if h != 0 && !alive[h].Load() {
+						t.Errorf("handle %d died while acquired", h)
+						d.Release(p, 0)
+						return
+					}
+					d.Release(p, 0)
+				}
+			}()
+		}
+
+		for i := uint64(1); i <= rounds; i++ {
+			alive[i].Store(true)
+			old := src.Swap(i)
+			if old != 0 {
+				d.Retire(writer, old)
+			}
+			if h, ok := d.Eject(writer); ok {
+				alive[h].Store(false)
+			}
+		}
+		// Drain.
+		if old := src.Swap(0); old != 0 {
+			d.Retire(writer, old)
+		}
+		close(stop)
+		wg.Wait()
+		for {
+			out := d.EjectAllLocal(writer)
+			if len(out) == 0 {
+				break
+			}
+			for _, h := range out {
+				if !alive[h].Load() {
+					t.Fatalf("handle %d ejected twice", h)
+				}
+				alive[h].Store(false)
+			}
+		}
+		d.Unregister(writer)
+		if d.Deferred() != 0 {
+			t.Fatalf("Deferred = %d at quiescence", d.Deferred())
+		}
+	})
+}
+
+func TestStatsCounters(t *testing.T) {
+	d := New(2)
+	p := d.Register()
+	defer d.Unregister(p)
+	for i := 1; i <= 10; i++ {
+		d.Retire(p, uint64(i))
+	}
+	ret, ej := d.Stats()
+	if ret != 10 || ej != 0 {
+		t.Fatalf("Stats = (%d, %d), want (10, 0)", ret, ej)
+	}
+	d.EjectAllLocal(p)
+	ret, ej = d.Stats()
+	if ret != 10 || ej != 10 {
+		t.Fatalf("Stats after drain = (%d, %d), want (10, 10)", ret, ej)
+	}
+}

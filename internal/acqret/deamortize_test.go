@@ -1,0 +1,106 @@
+package acqret
+
+import "testing"
+
+// White-box tests of the deamortized ejectAll (§6, Theorem 2): each Eject
+// call performs a bounded number of scan steps, and a scan completes
+// within a predictable number of retire+eject pairs.
+
+func TestScanCompletesWithinBudget(t *testing.T) {
+	d := New(2)
+	p := d.Register()
+	defer d.Unregister(p)
+
+	k := d.announcedSlots()
+	threshold := d.thresholdK*k + scanSlack
+
+	// Fill to just below the threshold: no scan may start.
+	for i := 1; i < threshold; i++ {
+		d.Retire(p, uint64(i))
+		if _, ok := d.Eject(p); ok {
+			t.Fatalf("ejected below the scan threshold at %d", i)
+		}
+	}
+	if d.procs[p].scanActive {
+		t.Fatal("scan active below threshold")
+	}
+
+	// Cross the threshold; the scan must start and finish within
+	// (slots + threshold)/stepsPerCall + O(1) further pairs.
+	budgetPairs := (k+threshold)/ejectStepsPerCall + 4
+	got := 0
+	for i := 0; i < budgetPairs; i++ {
+		d.Retire(p, uint64(threshold+i))
+		if _, ok := d.Eject(p); ok {
+			got++
+		}
+	}
+	if got == 0 {
+		t.Fatalf("no ejects within %d pairs after crossing the threshold", budgetPairs)
+	}
+}
+
+// The deferral gauge equals retires minus ejects at every instant, and at
+// steady state it oscillates within one scan's worth of retires.
+func TestDeferralSteadyState(t *testing.T) {
+	d := New(2)
+	p := d.Register()
+	defer d.Unregister(p)
+
+	k := d.announcedSlots()
+	bound := int64(2*(d.thresholdK*k+scanSlack) + k + 8)
+	var minSeen, maxSeen int64 = 1 << 62, 0
+	for i := 1; i <= 50000; i++ {
+		d.Retire(p, uint64(i))
+		d.Eject(p)
+		def := d.Deferred()
+		if def > bound {
+			t.Fatalf("deferred %d exceeds steady-state bound %d at %d", def, bound, i)
+		}
+		if i > 10000 {
+			if def < minSeen {
+				minSeen = def
+			}
+			if def > maxSeen {
+				maxSeen = def
+			}
+		}
+		ret, ej := d.Stats()
+		if int64(ret)-int64(ej) != def {
+			t.Fatalf("gauge inconsistent: retired %d ejected %d deferred %d", ret, ej, def)
+		}
+	}
+	if maxSeen == minSeen {
+		t.Fatal("deferral gauge never oscillated; deamortization is not running")
+	}
+}
+
+// A larger registered population raises K and therefore the deferral
+// bound - the O(K*P) shape of Theorem 2.
+func TestDeferralScalesWithSlots(t *testing.T) {
+	measure := func(procs int) int64 {
+		d := New(procs)
+		pids := make([]int, procs)
+		for i := range pids {
+			pids[i] = d.Register()
+		}
+		p := pids[0]
+		var peak int64
+		for i := 1; i <= 30000; i++ {
+			d.Retire(p, uint64(i))
+			d.Eject(p)
+			if def := d.Deferred(); def > peak {
+				peak = def
+			}
+		}
+		for _, id := range pids {
+			d.Unregister(id)
+		}
+		return peak
+	}
+	small := measure(2)
+	large := measure(32)
+	if large <= small {
+		t.Fatalf("peak deferral did not grow with slot count: %d (P=2) vs %d (P=32)", small, large)
+	}
+}

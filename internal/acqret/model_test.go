@@ -1,0 +1,121 @@
+package acqret
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Model-based property test of Definition 4.1's multiset semantics, in a
+// sequential setting where the model is unambiguous. Retired lists are
+// per-process and each process's scan independently withholds up to A(h)
+// occurrences of h (the global announcement multiplicity), so a full
+// drain ejects exactly max(0, R_p(h)-A(h)) occurrences from each process
+// p - conservative across processes, as the paper's O(K*P) deferral bound
+// reflects - and dropping the announcements must surface the remainder.
+func TestMultisetSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const handles = 8
+		const procs = 4
+
+		d := New(procs)
+		pids := make([]int, procs)
+		for i := range pids {
+			pids[i] = d.Register()
+		}
+
+		announced := map[uint64]int{} // handle -> active announcements
+		retired := map[uint64]int{}   // handle -> total outstanding retires
+		retiredBy := map[int]map[uint64]int{}
+		for _, pid := range pids {
+			retiredBy[pid] = map[uint64]int{}
+		}
+		type slotKey struct{ pid, slot int }
+		slotContents := map[slotKey]uint64{}
+
+		for op := 0; op < 300; op++ {
+			h := uint64(rng.Intn(handles) + 1)
+			pid := pids[rng.Intn(procs)]
+			slot := rng.Intn(SlotsPerProc)
+			switch rng.Intn(3) {
+			case 0: // announce
+				key := slotKey{pid, slot}
+				if old := slotContents[key]; old != 0 {
+					announced[old]--
+				}
+				d.Announce(pid, slot, h)
+				slotContents[key] = h
+				announced[h]++
+			case 1: // release
+				key := slotKey{pid, slot}
+				if old := slotContents[key]; old != 0 {
+					announced[old]--
+					slotContents[key] = 0
+				}
+				d.Release(pid, slot)
+			case 2: // retire
+				d.Retire(pid, h)
+				retired[h]++
+				retiredBy[pid][h]++
+			}
+		}
+
+		// Drain every processor and count ejections per handle.
+		ejected := map[uint64]int{}
+		drain := func() {
+			for {
+				progress := false
+				for _, pid := range pids {
+					for _, e := range d.EjectAllLocal(pid) {
+						ejected[e]++
+						progress = true
+					}
+				}
+				if !progress {
+					return
+				}
+			}
+		}
+		drain()
+		for h := uint64(1); h <= handles; h++ {
+			want := 0
+			for _, pid := range pids {
+				if extra := retiredBy[pid][h] - announced[h]; extra > 0 {
+					want += extra
+				}
+			}
+			if ejected[h] != want {
+				t.Logf("seed %d: handle %d: ejected %d, want %d (retired %d, announced %d)",
+					seed, h, ejected[h], want, retired[h], announced[h])
+				return false
+			}
+		}
+
+		// Drop all announcements: the protected remainder must surface.
+		for _, pid := range pids {
+			for s := 0; s < SlotsPerProc; s++ {
+				d.Release(pid, s)
+			}
+		}
+		drain()
+		for h := uint64(1); h <= handles; h++ {
+			if ejected[h] != retired[h] {
+				t.Logf("seed %d: handle %d: total ejected %d, want %d",
+					seed, h, ejected[h], retired[h])
+				return false
+			}
+		}
+		if d.Deferred() != 0 {
+			t.Logf("seed %d: Deferred = %d at quiescence", seed, d.Deferred())
+			return false
+		}
+		for _, pid := range pids {
+			d.Unregister(pid)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package arena
+
+import "testing"
+
+// FuzzPoolOps drives a pool with a decoded op stream against a model,
+// checking value persistence, zeroing, handle uniqueness, and accounting.
+func FuzzPoolOps(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := NewPool[uint64](2)
+		p.DebugChecks = true
+		model := map[Handle]uint64{}
+		var live []Handle
+		for i := 0; i+1 < len(data); i += 2 {
+			pidSel := int(data[i+1] % 2)
+			switch data[i] % 3 {
+			case 0:
+				h := p.Alloc(pidSel)
+				if _, dup := model[h]; dup {
+					t.Fatalf("duplicate live handle %#x", h)
+				}
+				if *p.Get(h) != 0 {
+					t.Fatal("fresh slot not zeroed")
+				}
+				v := uint64(data[i+1]) + 1
+				*p.Get(h) = v
+				model[h] = v
+				live = append(live, h)
+			case 1:
+				if len(live) == 0 {
+					continue
+				}
+				j := int(data[i+1]) % len(live)
+				h := live[j]
+				if *p.Get(h) != model[h] {
+					t.Fatalf("value mismatch at %#x", h)
+				}
+				p.Free(pidSel, h)
+				delete(model, h)
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			case 2:
+				if len(live) == 0 {
+					continue
+				}
+				h := live[int(data[i+1])%len(live)]
+				if *p.Get(h) != model[h] {
+					t.Fatalf("read mismatch at %#x", h)
+				}
+			}
+		}
+		if p.Live() != int64(len(model)) {
+			t.Fatalf("Live = %d, want %d", p.Live(), len(model))
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package arena
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHandleNil(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Fatal("Nil.IsNil() = false")
+	}
+	if !Nil.SetMark(0).IsNil() {
+		t.Fatal("marked nil should still be nil")
+	}
+	if FromIndex(1).IsNil() {
+		t.Fatal("non-zero index reported nil")
+	}
+}
+
+func TestHandleMarkRoundTrip(t *testing.T) {
+	h := FromIndex(12345)
+	for i := uint(0); i < 3; i++ {
+		m := h.SetMark(i)
+		if !m.HasMark(i) {
+			t.Fatalf("mark %d not set", i)
+		}
+		if m.Index() != 12345 {
+			t.Fatalf("mark %d corrupted index: %d", i, m.Index())
+		}
+		if m.Unmarked() != h {
+			t.Fatalf("Unmarked did not clear mark %d", i)
+		}
+	}
+}
+
+func TestHandleWithMarks(t *testing.T) {
+	h := FromIndex(7)
+	if got := h.WithMarks(5).Marks(); got != 5 {
+		t.Fatalf("Marks = %d, want 5", got)
+	}
+	if got := h.WithMarks(5).WithMarks(0); got != h {
+		t.Fatalf("WithMarks(0) = %#x, want %#x", uint64(got), uint64(h))
+	}
+	// Marks beyond 3 bits are truncated.
+	if got := h.WithMarks(0xFF).Marks(); got != 7 {
+		t.Fatalf("Marks = %d, want 7", got)
+	}
+}
+
+// Property: pack/unpack round-trips for all indices that fit.
+func TestHandlePackUnpackProperty(t *testing.T) {
+	f := func(idx uint64, marks uint8) bool {
+		idx &= 1<<61 - 1 // indices must fit in 61 bits
+		h := FromIndex(idx).WithMarks(uint64(marks))
+		return h.Index() == idx && h.Marks() == uint64(marks&7)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: marks never affect handle equality after Unmarked.
+func TestHandleUnmarkedEqualityProperty(t *testing.T) {
+	f := func(idx uint64, m1, m2 uint8) bool {
+		idx &= 1<<61 - 1
+		a := FromIndex(idx).WithMarks(uint64(m1))
+		b := FromIndex(idx).WithMarks(uint64(m2))
+		return a.Unmarked() == b.Unmarked()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package arena
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a random sequence of alloc/free/read/write operations agrees
+// with a map-based model - values persist while live, handles are unique
+// while live, stats match.
+func TestPoolAgainstModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPool[uint64](2)
+		p.DebugChecks = true
+		model := map[Handle]uint64{}
+		allocs, frees := 0, 0
+		var handles []Handle
+		for op := 0; op < 1000; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // alloc
+				h := p.Alloc(rng.Intn(2))
+				if _, dup := model[h]; dup {
+					t.Logf("seed %d: duplicate live handle %#x", seed, h)
+					return false
+				}
+				if got := *p.Get(h); got != 0 {
+					t.Logf("seed %d: fresh slot not zeroed", seed)
+					return false
+				}
+				v := rng.Uint64()
+				*p.Get(h) = v
+				model[h] = v
+				handles = append(handles, h)
+				allocs++
+			case 2: // free
+				if len(handles) == 0 {
+					continue
+				}
+				i := rng.Intn(len(handles))
+				h := handles[i]
+				p.Free(rng.Intn(2), h)
+				delete(model, h)
+				handles[i] = handles[len(handles)-1]
+				handles = handles[:len(handles)-1]
+				frees++
+			case 3: // read
+				if len(handles) == 0 {
+					continue
+				}
+				h := handles[rng.Intn(len(handles))]
+				if got := *p.Get(h); got != model[h] {
+					t.Logf("seed %d: value mismatch at %#x", seed, h)
+					return false
+				}
+			}
+		}
+		st := p.Stats()
+		if int(st.Allocs) != allocs || int(st.Frees) != frees || st.Live != int64(len(model)) {
+			t.Logf("seed %d: stats %+v vs model allocs=%d frees=%d live=%d",
+				seed, st, allocs, frees, len(model))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

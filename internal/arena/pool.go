@@ -1,0 +1,289 @@
+package arena
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cdrc/internal/pid"
+)
+
+const (
+	// chunkShift sizes the slabs: each chunk holds 1<<chunkShift slots.
+	chunkShift = 14
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+
+	// refill/flush batch size for the per-processor free lists.
+	freeBatch = 64
+
+	// Header state magics. Anything else in the state word means the
+	// header itself has been corrupted.
+	stateLive = 0xA11FE001
+	stateFree = 0xF3EED002
+)
+
+// Header is the per-object bookkeeping block that precedes every slot's
+// value. It plays the role of the C++ library's control block: the
+// reference-counting schemes keep their counter here, and the era-based SMR
+// schemes (IBR, HE) stamp birth and retire eras here. The allocator itself
+// uses only state and nextFree.
+type Header struct {
+	state atomic.Uint32
+	_     uint32
+
+	// RefCount is the object's reference count. The arena zeroes it on
+	// Alloc; its semantics belong entirely to the scheme using the pool.
+	RefCount atomic.Int64
+
+	// WeakCount is a second counter for schemes that support weak
+	// references (the core library's cycle-breaking extension). Zeroed on
+	// Alloc; ignored by schemes that do not use it.
+	WeakCount atomic.Int64
+
+	// BirthEra and RetireEra are stamped by era-based reclamation schemes.
+	// The arena zeroes them on Alloc.
+	BirthEra  atomic.Uint64
+	RetireEra atomic.Uint64
+
+	// nextFree chains free slots. Valid only while state == stateFree.
+	nextFree uint64
+}
+
+// Live reports whether the header belongs to a currently allocated slot.
+// It is a racy snapshot: a concurrent Free can change the answer. It exists
+// for debugging and for the optimistic schemes that are allowed to read
+// freed memory (e.g. classic split counts) to assert their own invariants.
+func (h *Header) Live() bool { return h.state.Load() == stateLive }
+
+type slot[T any] struct {
+	hdr Header
+	val T
+}
+
+type chunk[T any] struct {
+	slots [chunkSize]slot[T]
+}
+
+// freeList is a per-processor stack of free slot indices, chained through
+// the slots' nextFree fields. Each list is touched only by its owning
+// processor, so no atomics are needed; the pad defeats false sharing.
+type freeList struct {
+	head  uint64
+	count int
+	_     [128 - 16]byte
+}
+
+// Stats is a snapshot of a pool's allocation counters.
+type Stats struct {
+	Allocs uint64 // total successful Alloc calls
+	Frees  uint64 // total Free calls
+	Live   int64  // Allocs - Frees
+	Slots  uint64 // slots ever carved out of chunks (capacity high-water)
+}
+
+// Pool is a slab allocator for values of type T, addressed by Handle.
+// Alloc and Free are safe for concurrent use by distinct processors;
+// Get and Hdr are safe for concurrent use by anyone holding a protected
+// handle. The zero Pool is not usable; create one with NewPool.
+type Pool[T any] struct {
+	chunks atomic.Pointer[[]*chunk[T]]
+
+	growMu      sync.Mutex
+	nextFresh   uint64 // next never-allocated index; index 0 is reserved
+	globalFree  uint64
+	globalFreeN int
+
+	free []freeList
+
+	allocs atomic.Uint64
+	frees  atomic.Uint64
+
+	// DebugChecks enables poisoned-header verification on every Get and
+	// Hdr. Tests turn this on; benchmarks leave it off. It must be set
+	// before the pool is shared.
+	DebugChecks bool
+}
+
+// NewPool creates a pool serving processors with ids in [0, maxProcs).
+// If maxProcs <= 0, pid.DefaultMaxProcs is used.
+func NewPool[T any](maxProcs int) *Pool[T] {
+	if maxProcs <= 0 {
+		maxProcs = pid.DefaultMaxProcs
+	}
+	p := &Pool[T]{
+		nextFresh: 1, // index 0 reserved so Handle(0) is unambiguously nil
+		free:      make([]freeList, maxProcs),
+	}
+	chunks := make([]*chunk[T], 0, 8)
+	p.chunks.Store(&chunks)
+	return p
+}
+
+// slotFor resolves an index to its slot. The caller must know the index is
+// within the carved-out range (any index obtained from Alloc is).
+func (p *Pool[T]) slotFor(idx uint64) *slot[T] {
+	chunks := *p.chunks.Load()
+	return &chunks[idx>>chunkShift].slots[idx&chunkMask]
+}
+
+// Get returns a pointer to the value addressed by h, clearing marks. It
+// panics on nil handles and, when DebugChecks is set, on handles whose slot
+// is not currently allocated (a use-after-free).
+func (p *Pool[T]) Get(h Handle) *T {
+	idx := h.Index()
+	if idx == 0 {
+		panic("arena: Get on nil handle")
+	}
+	s := p.slotFor(idx)
+	if p.DebugChecks {
+		if st := s.hdr.state.Load(); st != stateLive {
+			panic(fmt.Sprintf("arena: use-after-free: Get on handle %#x (state %#x)", uint64(h), st))
+		}
+	}
+	return &s.val
+}
+
+// Hdr returns the header of the slot addressed by h, clearing marks. Unlike
+// Get it never checks liveness: several schemes legitimately touch headers
+// of freed slots (e.g. to observe a stale reference count) and must be able
+// to do so without tripping the debugging machinery.
+func (p *Pool[T]) Hdr(h Handle) *Header {
+	idx := h.Index()
+	if idx == 0 {
+		panic("arena: Hdr on nil handle")
+	}
+	return &p.slotFor(idx).hdr
+}
+
+// Alloc carves a fresh slot out of the arena (or recycles a freed one) and
+// returns its unmarked handle. The slot's value and header counters are
+// zeroed. pid identifies the calling processor's free list.
+func (p *Pool[T]) Alloc(procID int) Handle {
+	fl := &p.free[procID]
+	if fl.count == 0 {
+		p.refill(fl)
+	}
+	idx := fl.head
+	s := p.slotFor(idx)
+	fl.head = s.hdr.nextFree
+	fl.count--
+
+	if st := s.hdr.state.Load(); st == stateLive {
+		panic(fmt.Sprintf("arena: free list corruption: slot %d already live", idx))
+	}
+	var zero T
+	s.val = zero
+	s.hdr.RefCount.Store(0)
+	s.hdr.WeakCount.Store(0)
+	s.hdr.BirthEra.Store(0)
+	s.hdr.RetireEra.Store(0)
+	s.hdr.nextFree = 0
+	s.hdr.state.Store(stateLive)
+
+	p.allocs.Add(1)
+	return FromIndex(idx)
+}
+
+// Free returns the slot addressed by h to the arena. It panics on nil
+// handles and on double frees. The slot's header is poisoned so that a
+// subsequent checked Get fails, and the value is left in place: readers
+// racing with Free are exactly the read-reclaim races the algorithms under
+// test must prevent, and leaving the stale value visible makes such bugs
+// reproducible rather than silently masked.
+func (p *Pool[T]) Free(procID int, h Handle) {
+	idx := h.Index()
+	if idx == 0 {
+		panic("arena: Free on nil handle")
+	}
+	s := p.slotFor(idx)
+	if !s.hdr.state.CompareAndSwap(stateLive, stateFree) {
+		panic(fmt.Sprintf("arena: double free of handle %#x (state %#x)", uint64(h), s.hdr.state.Load()))
+	}
+	p.frees.Add(1)
+
+	fl := &p.free[procID]
+	s.hdr.nextFree = fl.head
+	fl.head = idx
+	fl.count++
+	if fl.count >= 2*freeBatch {
+		p.flush(fl)
+	}
+}
+
+// refill moves a batch of free slots from the global pool (or fresh
+// capacity) onto fl. Called with fl.count == 0.
+func (p *Pool[T]) refill(fl *freeList) {
+	p.growMu.Lock()
+	// First drain recycled slots from the global free chain.
+	for p.globalFreeN > 0 && fl.count < freeBatch {
+		idx := p.globalFree
+		s := p.slotFor(idx)
+		p.globalFree = s.hdr.nextFree
+		p.globalFreeN--
+		s.hdr.nextFree = fl.head
+		fl.head = idx
+		fl.count++
+	}
+	// Then carve fresh indices, growing the chunk directory as needed.
+	for fl.count < freeBatch {
+		idx := p.nextFresh
+		p.nextFresh++
+		p.ensureCapacityLocked(idx)
+		s := p.slotFor(idx)
+		s.hdr.state.Store(stateFree)
+		s.hdr.nextFree = fl.head
+		fl.head = idx
+		fl.count++
+	}
+	p.growMu.Unlock()
+}
+
+// flush returns half of fl's slots to the global free chain.
+func (p *Pool[T]) flush(fl *freeList) {
+	p.growMu.Lock()
+	for fl.count > freeBatch {
+		idx := fl.head
+		s := p.slotFor(idx)
+		fl.head = s.hdr.nextFree
+		fl.count--
+		s.hdr.nextFree = p.globalFree
+		p.globalFree = idx
+		p.globalFreeN++
+	}
+	p.growMu.Unlock()
+}
+
+// ensureCapacityLocked grows the chunk directory so that idx is
+// addressable. Caller holds growMu. The directory is replaced wholesale so
+// concurrent readers can keep indexing the old copy without locks.
+func (p *Pool[T]) ensureCapacityLocked(idx uint64) {
+	need := int(idx>>chunkShift) + 1
+	cur := *p.chunks.Load()
+	if len(cur) >= need {
+		return
+	}
+	grown := make([]*chunk[T], need, max(need, 2*len(cur)))
+	copy(grown, cur)
+	for i := len(cur); i < need; i++ {
+		grown[i] = new(chunk[T])
+	}
+	p.chunks.Store(&grown)
+}
+
+// Stats returns a snapshot of the pool's counters. Live can transiently
+// disagree with a concurrent workload's own accounting but is exact at
+// quiescence.
+func (p *Pool[T]) Stats() Stats {
+	a := p.allocs.Load()
+	f := p.frees.Load()
+	p.growMu.Lock()
+	slots := p.nextFresh - 1
+	p.growMu.Unlock()
+	return Stats{Allocs: a, Frees: f, Live: int64(a) - int64(f), Slots: slots}
+}
+
+// Live returns the number of currently allocated objects.
+func (p *Pool[T]) Live() int64 {
+	return int64(p.allocs.Load()) - int64(p.frees.Load())
+}

@@ -1,0 +1,152 @@
+// Package bench is the harness that regenerates every figure of the
+// paper's evaluation (§7): the reference-counting microbenchmarks and
+// stack benchmark of Figs. 6a-6h, and the manual-SMR data-structure
+// comparison of Figs. 7a-7f, plus the ablations DESIGN.md defines.
+//
+// The harness measures throughput by running a fixed wall-clock duration
+// with per-worker operation counters, and samples memory (allocated
+// objects / unreclaimed nodes) on a background ticker, reporting the mean
+// over the run - matching the paper's "average allocated objects"
+// methodology for Figs. 6d and 6h.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Worker performs one thread's workload steps.
+type Worker interface {
+	// Step performs one operation; r is a per-call random word.
+	Step(r uint64)
+
+	// Close detaches the worker from its scheme.
+	Close()
+}
+
+// Workload produces workers over some shared structure.
+type Workload interface {
+	// NewWorker attaches one worker. Called once per benchmark thread.
+	NewWorker() Worker
+
+	// Memory returns the current (allocatedObjects, unreclaimed) gauges.
+	Memory() (int64, int64)
+
+	// Teardown reclaims the structure after the run.
+	Teardown()
+}
+
+// Point is one measured data point of a figure's series.
+type Point struct {
+	Figure   string
+	Scheme   string
+	Threads  int
+	Mops     float64 // throughput in millions of operations per second
+	AvgAlloc float64 // mean allocated objects during the run
+	AvgUnrc  int64   // mean unreclaimed nodes during the run
+	Extra    float64 // figure-specific (e.g. live nodes for Fig. 6h)
+}
+
+// rngStep advances a SplitMix64-style state.
+func rngStep(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Run executes the workload on the given number of worker goroutines for
+// the given duration and returns throughput and memory statistics.
+func Run(w Workload, threads int, dur time.Duration) (mops float64, avgAlloc float64, avgUnrc int64) {
+	var (
+		stop    atomic.Bool
+		started sync.WaitGroup
+		done    sync.WaitGroup
+		release = make(chan struct{})
+		ops     = make([]int64, threads)
+	)
+	for i := 0; i < threads; i++ {
+		started.Add(1)
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			worker := w.NewWorker()
+			defer worker.Close()
+			started.Done()
+			<-release
+			rng := uint64(id)*0x9E3779B97F4A7C15 + 1
+			n := int64(0)
+			for !stop.Load() {
+				// Batch steps between stop checks to keep the check off
+				// the critical path.
+				for k := 0; k < 32; k++ {
+					worker.Step(rngStep(&rng))
+				}
+				n += 32
+			}
+			ops[id] = n
+		}(i)
+	}
+	started.Wait()
+
+	// Memory sampler: averages both gauges over the run, the paper's
+	// methodology for the "average allocated objects" and "extra nodes"
+	// series.
+	var samples int64
+	var allocSum, unrcSum int64
+	samplerStop := make(chan struct{})
+	var samplerDone sync.WaitGroup
+	samplerDone.Add(1)
+	go func() {
+		defer samplerDone.Done()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case <-tick.C:
+				a, u := w.Memory()
+				allocSum += a
+				unrcSum += u
+				samples++
+			}
+		}
+	}()
+
+	start := time.Now()
+	close(release)
+	time.Sleep(dur)
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(start)
+	close(samplerStop)
+	samplerDone.Wait()
+
+	var total int64
+	for _, n := range ops {
+		total += n
+	}
+	if samples == 0 {
+		a, u := w.Memory()
+		allocSum, unrcSum, samples = a, u, 1
+	}
+	return float64(total) / elapsed.Seconds() / 1e6,
+		float64(allocSum) / float64(samples),
+		unrcSum / samples
+}
+
+// WriteCSVHeader emits the result header.
+func WriteCSVHeader(w io.Writer) {
+	fmt.Fprintln(w, "figure,scheme,threads,mops,avg_alloc,unreclaimed,extra")
+}
+
+// WriteCSV emits one point.
+func WriteCSV(w io.Writer, p Point) {
+	fmt.Fprintf(w, "%s,%s,%d,%.3f,%.1f,%d,%.1f\n",
+		p.Figure, p.Scheme, p.Threads, p.Mops, p.AvgAlloc, p.AvgUnrc, p.Extra)
+}

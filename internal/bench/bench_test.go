@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"cdrc/internal/ds/rcds"
+	"cdrc/internal/rcscheme/drcadapt"
+)
+
+func smallOptions() Options {
+	o := DefaultOptions()
+	o.Threads = []int{2}
+	o.Duration = 20 * time.Millisecond
+	o.LoadStoreCellsLarge = 1000
+	o.HashSize = 256
+	o.BSTSize = 256
+	o.BSTLargeSize = 512
+	o.MemThreads = 2
+	return o
+}
+
+func TestRunProducesThroughput(t *testing.T) {
+	w := NewLoadStore(drcadapt.New(8), 8, 20)
+	mops, _, _ := Run(w, 2, 20*time.Millisecond)
+	w.Teardown()
+	if mops <= 0 {
+		t.Fatalf("Mops = %f, want > 0", mops)
+	}
+}
+
+func TestStackWorkloadConservesAndRuns(t *testing.T) {
+	s := drcadapt.NewSnapshots(8)
+	w := NewStack(s, 4, 5, 50)
+	mops, _, _ := Run(w, 2, 20*time.Millisecond)
+	if mops <= 0 {
+		t.Fatalf("Mops = %f, want > 0", mops)
+	}
+	w.Teardown()
+	if live := s.Live(); live != 0 {
+		t.Fatalf("Live = %d after teardown", live)
+	}
+}
+
+func TestSetWorkloadRuns(t *testing.T) {
+	set := rcds.NewHashTable(64, 8, true)
+	w := NewSet(set, 64, 10)
+	mops, _, _ := Run(w, 2, 20*time.Millisecond)
+	if mops <= 0 {
+		t.Fatalf("Mops = %f, want > 0", mops)
+	}
+}
+
+// Every figure must be runnable end to end and emit points for every
+// scheme/thread combination.
+func TestAllFiguresEmitPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep is slow")
+	}
+	o := smallOptions()
+	o.Duration = 5 * time.Millisecond
+	for _, f := range Figures() {
+		f := f
+		t.Run(f.ID, func(t *testing.T) {
+			var got []Point
+			f.Run(o, func(p Point) { got = append(got, p) })
+			if len(got) == 0 {
+				t.Fatalf("figure %s emitted no points", f.ID)
+			}
+			for _, p := range got {
+				if p.Mops < 0 {
+					t.Fatalf("figure %s: negative throughput %v", f.ID, p)
+				}
+				if p.Scheme == "" || p.Threads < 1 {
+					t.Fatalf("figure %s: malformed point %+v", f.ID, p)
+				}
+			}
+		})
+	}
+}
+
+func TestFigureByID(t *testing.T) {
+	for _, id := range []string{"6a", "6b", "6c", "6d", "6e", "6f", "6g", "6h", "7a", "7b", "7c", "7d", "7e", "7f"} {
+		if _, ok := FigureByID(id); !ok {
+			t.Fatalf("figure %s missing", id)
+		}
+	}
+	if _, ok := FigureByID("9z"); ok {
+		t.Fatal("found nonexistent figure")
+	}
+}

@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cdrc/internal/ds"
+	"cdrc/internal/ds/rcds"
+	"cdrc/internal/ds/smrds"
+	"cdrc/internal/rcscheme"
+	"cdrc/internal/rcscheme/drcadapt"
+	"cdrc/internal/rcscheme/herlihyrc"
+	"cdrc/internal/rcscheme/lockrc"
+	"cdrc/internal/rcscheme/orcgc"
+	"cdrc/internal/rcscheme/splitrc"
+	"cdrc/internal/smr"
+)
+
+// Options parameterizes a figure run. Paper-scale parameters are the
+// defaults where feasible; the sizes the paper ran at datacenter scale
+// (10M cells, 100M keys) default to laptop-scale equivalents and can be
+// raised by flag (see DESIGN.md's substitution table).
+type Options struct {
+	// Threads is the sweep of worker counts (paper: 1..200).
+	Threads []int
+
+	// Duration is the measured wall-clock time per data point.
+	Duration time.Duration
+
+	// LoadStoreCellsSmall is N for the contended microbenchmark (paper: 10).
+	LoadStoreCellsSmall int
+
+	// LoadStoreCellsLarge is N for the uncontended one (paper: 10^7).
+	LoadStoreCellsLarge int
+
+	// Stacks and StackSize configure the stack benchmark (paper: 10 / 20).
+	Stacks    int
+	StackSize int
+
+	// ListSize is the list-set size (paper: 1000).
+	ListSize int
+
+	// HashSize is the hash-set size and bucket count (paper: 100K).
+	HashSize int
+
+	// BSTSize and BSTLargeSize are the tree sizes (paper: 100K / 100M).
+	BSTSize      int
+	BSTLargeSize int
+
+	// MemThreads is the fixed thread count of Fig. 6h (paper: 128).
+	MemThreads int
+}
+
+// DefaultOptions returns laptop-scale defaults.
+func DefaultOptions() Options {
+	return Options{
+		Threads:             []int{1, 2, 4, 8},
+		Duration:            300 * time.Millisecond,
+		LoadStoreCellsSmall: 10,
+		LoadStoreCellsLarge: 1_000_000,
+		Stacks:              10,
+		StackSize:           20,
+		ListSize:            1000,
+		HashSize:            10_000,
+		BSTSize:             10_000,
+		BSTLargeSize:        1_000_000,
+		MemThreads:          8,
+	}
+}
+
+func (o Options) maxProcs() int {
+	m := o.MemThreads
+	for _, t := range o.Threads {
+		if t > m {
+			m = t
+		}
+	}
+	return m + 4 // setup/teardown/drain threads
+}
+
+// Figure is one reproducible plot from the paper.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func(o Options, emit func(Point))
+}
+
+// rcSchemeFactory builds a fresh, isolated scheme instance.
+type rcSchemeFactory func(maxProcs int) rcscheme.StackScheme
+
+// loadStoreSchemes are the Fig. 6a-6d comparators, in the paper's legend
+// order.
+func loadStoreSchemes() []rcSchemeFactory {
+	return []rcSchemeFactory{
+		func(p int) rcscheme.StackScheme { return lockrc.New(p) },
+		func(p int) rcscheme.StackScheme { return splitrc.NewJustThread(p) },
+		func(p int) rcscheme.StackScheme { return splitrc.NewFolly(p) },
+		func(p int) rcscheme.StackScheme { return herlihyrc.NewClassic(p) },
+		func(p int) rcscheme.StackScheme { return herlihyrc.NewOptimized(p) },
+		func(p int) rcscheme.StackScheme { return orcgc.New(p) },
+		func(p int) rcscheme.StackScheme { return drcadapt.New(p) },
+	}
+}
+
+// stackSchemes are the Fig. 6e-6h comparators (classic Herlihy dropped,
+// snapshots added, as in the paper's legend).
+func stackSchemes() []rcSchemeFactory {
+	return []rcSchemeFactory{
+		func(p int) rcscheme.StackScheme { return lockrc.New(p) },
+		func(p int) rcscheme.StackScheme { return splitrc.NewJustThread(p) },
+		func(p int) rcscheme.StackScheme { return splitrc.NewFolly(p) },
+		func(p int) rcscheme.StackScheme { return herlihyrc.NewOptimized(p) },
+		func(p int) rcscheme.StackScheme { return orcgc.New(p) },
+		func(p int) rcscheme.StackScheme { return drcadapt.New(p) },
+		func(p int) rcscheme.StackScheme { return drcadapt.NewSnapshots(p) },
+	}
+}
+
+// runLoadStoreFigure sweeps the load/store microbenchmark.
+func runLoadStoreFigure(id, title string, cells func(Options) int, storePct int) Figure {
+	return Figure{
+		ID:    id,
+		Title: title,
+		Run: func(o Options, emit func(Point)) {
+			for _, factory := range loadStoreSchemes() {
+				// One structure per scheme, reused across the thread
+				// sweep (prefill is expensive at the uncontended size).
+				s := factory(o.maxProcs())
+				w := NewLoadStore(s, cells(o), storePct)
+				for _, threads := range o.Threads {
+					mops, avgAlloc, _ := Run(w, threads, o.Duration)
+					emit(Point{Figure: id, Scheme: s.Name(), Threads: threads,
+						Mops: mops, AvgAlloc: avgAlloc})
+				}
+				w.Teardown()
+			}
+		},
+	}
+}
+
+// runStackFigure sweeps the stack benchmark.
+func runStackFigure(id string, pushPopPct int) Figure {
+	findPct := 100 - pushPopPct
+	return Figure{
+		ID:    id,
+		Title: fmt.Sprintf("stacks, %d%% pushes/pops", pushPopPct),
+		Run: func(o Options, emit func(Point)) {
+			for _, factory := range stackSchemes() {
+				s := factory(o.maxProcs())
+				w := NewStack(s, o.Stacks, o.StackSize, findPct)
+				for _, threads := range o.Threads {
+					mops, avgAlloc, _ := Run(w, threads, o.Duration)
+					emit(Point{Figure: id, Scheme: s.Name(), Threads: threads,
+						Mops: mops, AvgAlloc: avgAlloc})
+				}
+				w.Teardown()
+			}
+		},
+	}
+}
+
+// figure6h: allocated nodes versus live nodes at a fixed thread count.
+func figure6h() Figure {
+	return Figure{
+		ID:    "6h",
+		Title: "stack: allocated vs live nodes",
+		Run: func(o Options, emit func(Point)) {
+			for _, factory := range stackSchemes() {
+				for _, perStack := range []int{10, 100, 1000, 10000} {
+					s := factory(o.maxProcs())
+					w := NewStack(s, o.Stacks, perStack, 10)
+					mops, avgAlloc, _ := Run(w, o.MemThreads, o.Duration)
+					w.Teardown()
+					emit(Point{Figure: "6h", Scheme: s.Name(), Threads: o.MemThreads,
+						Mops: mops, AvgAlloc: avgAlloc,
+						Extra: float64(o.Stacks * perStack)})
+				}
+			}
+		},
+	}
+}
+
+// setFactory builds a fresh set instance for a figure.
+type setFactory struct {
+	name string
+	make func(o Options, maxProcs int) ds.Set
+}
+
+// setSchemes enumerates the Fig. 7 comparators for one structure.
+func setSchemes(structure string, size func(Options) int) []setFactory {
+	mk := func(kind smr.Kind) setFactory {
+		return setFactory{name: string(kind), make: func(o Options, p int) ds.Set {
+			switch structure {
+			case "list":
+				return smrds.NewList(kind, p)
+			case "hash":
+				return smrds.NewHashTable(kind, size(o), p)
+			default:
+				return smrds.NewBST(kind, p)
+			}
+		}}
+	}
+	out := []setFactory{}
+	for _, k := range smr.Kinds() {
+		out = append(out, mk(k))
+	}
+	for _, snaps := range []bool{false, true} {
+		snaps := snaps
+		name := "DRC"
+		if snaps {
+			name = "DRC (+ snapshots)"
+		}
+		out = append(out, setFactory{name: name, make: func(o Options, p int) ds.Set {
+			switch structure {
+			case "list":
+				return rcds.NewList(p, snaps)
+			case "hash":
+				return rcds.NewHashTable(size(o), p, snaps)
+			default:
+				return rcds.NewBST(p, snaps)
+			}
+		}})
+	}
+	return out
+}
+
+// runSetFigure sweeps a Fig. 7 data-structure benchmark.
+func runSetFigure(id, structure string, size func(Options) int, updatePct int) Figure {
+	return Figure{
+		ID:    id,
+		Title: fmt.Sprintf("%s, %d%% updates", structure, updatePct),
+		Run: func(o Options, emit func(Point)) {
+			for _, f := range setSchemes(structure, size) {
+				set := f.make(o, o.maxProcs())
+				w := NewSet(set, size(o), updatePct)
+				for _, threads := range o.Threads {
+					mops, _, unrc := Run(w, threads, o.Duration)
+					emit(Point{Figure: id, Scheme: f.name, Threads: threads,
+						Mops: mops, AvgUnrc: unrc})
+				}
+			}
+		},
+	}
+}
+
+// Figures returns every reproducible figure, keyed as in the paper.
+func Figures() []Figure {
+	return []Figure{
+		runLoadStoreFigure("6a", "load/store, N=10, 10% stores (contended)",
+			func(o Options) int { return o.LoadStoreCellsSmall }, 10),
+		runLoadStoreFigure("6b", "load/store, N=10, 50% stores (contended)",
+			func(o Options) int { return o.LoadStoreCellsSmall }, 50),
+		runLoadStoreFigure("6c", "load/store, large N, 10% stores (uncontended)",
+			func(o Options) int { return o.LoadStoreCellsLarge }, 10),
+		runLoadStoreFigure("6d", "average allocated objects vs threads",
+			func(o Options) int { return o.LoadStoreCellsSmall }, 50),
+		runStackFigure("6e", 1),
+		runStackFigure("6f", 10),
+		runStackFigure("6g", 50),
+		figure6h(),
+		runSetFigure("7a", "list", func(o Options) int { return o.ListSize }, 10),
+		runSetFigure("7b", "hash", func(o Options) int { return o.HashSize }, 10),
+		runSetFigure("7c", "bst", func(o Options) int { return o.BSTSize }, 10),
+		runSetFigure("7d", "bst", func(o Options) int { return o.BSTLargeSize }, 10),
+		runSetFigure("7e", "bst", func(o Options) int { return o.BSTSize }, 1),
+		runSetFigure("7f", "bst", func(o Options) int { return o.BSTSize }, 50),
+	}
+}
+
+// FigureByID finds a figure by its paper key ("6a" ... "7f").
+func FigureByID(id string) (Figure, bool) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table renders a figure's points as an aligned text table: one row per
+// scheme, one throughput column per thread count, plus memory columns
+// when the figure recorded them. It mirrors how the paper's plots read.
+type Table struct {
+	points []Point
+}
+
+// Add records a point.
+func (t *Table) Add(p Point) { t.points = append(t.points, p) }
+
+// Len returns the number of recorded points.
+func (t *Table) Len() int { return len(t.points) }
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) {
+	if len(t.points) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	// Column set: thread counts in ascending order; preserve scheme
+	// insertion order.
+	threadSet := map[int]bool{}
+	var schemes []string
+	seen := map[string]bool{}
+	type key struct {
+		scheme  string
+		threads int
+	}
+	cells := map[key]Point{}
+	hasMem := false
+	for _, p := range t.points {
+		threadSet[p.Threads] = true
+		if !seen[p.Scheme] {
+			seen[p.Scheme] = true
+			schemes = append(schemes, p.Scheme)
+		}
+		cells[key{p.Scheme, p.Threads}] = p
+		if p.AvgAlloc > 0 || p.AvgUnrc > 0 {
+			hasMem = true
+		}
+	}
+	var threads []int
+	for n := range threadSet {
+		threads = append(threads, n)
+	}
+	sort.Ints(threads)
+
+	header := []string{"scheme"}
+	for _, n := range threads {
+		header = append(header, fmt.Sprintf("P=%d Mops", n))
+	}
+	if hasMem {
+		header = append(header, fmt.Sprintf("mem@P=%d", threads[len(threads)-1]))
+	}
+
+	rows := [][]string{header}
+	for _, s := range schemes {
+		row := []string{s}
+		for _, n := range threads {
+			p, ok := cells[key{s, n}]
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f", p.Mops))
+		}
+		if hasMem {
+			p := cells[key{s, threads[len(threads)-1]}]
+			mem := p.AvgAlloc
+			if mem == 0 {
+				mem = float64(p.AvgUnrc)
+			}
+			row = append(row, fmt.Sprintf("%.0f", mem))
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		for i, c := range row {
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w, b.String())
+		if ri == 0 {
+			fmt.Fprintln(w, strings.Repeat("-", len(b.String())))
+		}
+	}
+}

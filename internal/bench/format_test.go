@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	var tbl Table
+	tbl.Add(Point{Figure: "6a", Scheme: "DRC", Threads: 1, Mops: 1.5})
+	tbl.Add(Point{Figure: "6a", Scheme: "DRC", Threads: 4, Mops: 3.25})
+	tbl.Add(Point{Figure: "6a", Scheme: "EBR", Threads: 1, Mops: 2.0})
+	tbl.Add(Point{Figure: "6a", Scheme: "EBR", Threads: 4, Mops: 5.0, AvgUnrc: 123})
+
+	var b strings.Builder
+	tbl.Write(&b)
+	out := b.String()
+
+	for _, want := range []string{"scheme", "P=1 Mops", "P=4 Mops", "DRC", "EBR", "1.500", "3.250", "5.000", "mem@P=4", "123"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Insertion order of schemes preserved.
+	if strings.Index(out, "DRC") > strings.Index(out, "EBR") {
+		t.Fatalf("scheme order not preserved:\n%s", out)
+	}
+}
+
+func TestTableMissingCell(t *testing.T) {
+	var tbl Table
+	tbl.Add(Point{Scheme: "A", Threads: 1, Mops: 1})
+	tbl.Add(Point{Scheme: "B", Threads: 2, Mops: 2})
+	var b strings.Builder
+	tbl.Write(&b)
+	if !strings.Contains(b.String(), "-") {
+		t.Fatalf("missing cell not rendered as '-':\n%s", b.String())
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	var tbl Table
+	var b strings.Builder
+	tbl.Write(&b)
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty table not handled")
+	}
+	if tbl.Len() != 0 {
+		t.Fatal("Len != 0")
+	}
+}

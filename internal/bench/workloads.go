@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"cdrc/internal/ds"
+	"cdrc/internal/rcscheme"
+	"math/rand"
+)
+
+// --- Load/store microbenchmark (Figs. 6a-6d) -------------------------------
+
+// LoadStoreWorkload is the §7.1 microbenchmark #1: N shared cells holding
+// counted references to 32-byte objects; each step stores with probability
+// storePct/100 and loads otherwise.
+type LoadStoreWorkload struct {
+	S        rcscheme.Scheme
+	NCells   int
+	StorePct int
+}
+
+// NewLoadStore prepares the workload: creates the cells and prefills each
+// with an object, as the paper's setup does.
+func NewLoadStore(s rcscheme.Scheme, ncells, storePct int) *LoadStoreWorkload {
+	s.Setup(ncells)
+	th := s.Attach()
+	for i := 0; i < ncells; i++ {
+		th.Store(i, uint64(i)|1)
+	}
+	th.Detach()
+	return &LoadStoreWorkload{S: s, NCells: ncells, StorePct: storePct}
+}
+
+// NewWorker implements Workload.
+func (w *LoadStoreWorkload) NewWorker() Worker {
+	return &loadStoreWorker{w: w, th: w.S.Attach()}
+}
+
+// Memory implements Workload.
+func (w *LoadStoreWorkload) Memory() (int64, int64) { return w.S.Live(), 0 }
+
+// Teardown implements Workload.
+func (w *LoadStoreWorkload) Teardown() { w.S.Teardown() }
+
+type loadStoreWorker struct {
+	w  *LoadStoreWorkload
+	th rcscheme.Thread
+}
+
+func (lw *loadStoreWorker) Step(r uint64) {
+	i := int(r % uint64(lw.w.NCells))
+	if int((r>>32)%100) < lw.w.StorePct {
+		lw.th.Store(i, r|1)
+	} else {
+		lw.th.Load(i)
+	}
+}
+
+func (lw *loadStoreWorker) Close() { lw.th.Detach() }
+
+// --- Stack benchmark (Figs. 6e-6h) -----------------------------------------
+
+// StackWorkload is the §7.1 microbenchmark #2: an array of stacks; each
+// step runs find with probability findPct/100 and otherwise pops from a
+// random stack and pushes the value onto another.
+type StackWorkload struct {
+	S       rcscheme.StackScheme
+	NStacks int
+	FindPct int
+	// KeySpace is the value range finds draw from.
+	KeySpace uint64
+}
+
+// NewStack prepares nstacks stacks with perStack initial elements each.
+func NewStack(s rcscheme.StackScheme, nstacks, perStack, findPct int) *StackWorkload {
+	init := make([][]rcscheme.StackValue, nstacks)
+	v := rcscheme.StackValue(1)
+	for j := range init {
+		for k := 0; k < perStack; k++ {
+			init[j] = append(init[j], v)
+			v++
+		}
+	}
+	s.SetupStacks(nstacks, init)
+	return &StackWorkload{S: s, NStacks: nstacks, FindPct: findPct, KeySpace: v}
+}
+
+// NewWorker implements Workload.
+func (w *StackWorkload) NewWorker() Worker {
+	return &stackWorker{w: w, th: w.S.AttachStack()}
+}
+
+// Memory implements Workload.
+func (w *StackWorkload) Memory() (int64, int64) { return w.S.Live(), 0 }
+
+// Teardown implements Workload.
+func (w *StackWorkload) Teardown() { w.S.Teardown() }
+
+type stackWorker struct {
+	w  *StackWorkload
+	th rcscheme.StackThread
+}
+
+func (sw *stackWorker) Step(r uint64) {
+	j := int(r % uint64(sw.w.NStacks))
+	if int((r>>32)%100) < sw.w.FindPct {
+		sw.th.Find(j, r>>8%sw.w.KeySpace+1)
+		return
+	}
+	if v, ok := sw.th.Pop(j); ok {
+		to := int(r >> 16 % uint64(sw.w.NStacks))
+		sw.th.Push(to, v)
+	}
+}
+
+func (sw *stackWorker) Close() { sw.th.Detach() }
+
+// --- Set benchmark (Figs. 7a-7f) --------------------------------------------
+
+// SetWorkload is the §7.2 benchmark: a concurrent set prefilled with
+// size keys drawn from [0, 2*size); each step is an update with
+// probability updatePct/100 (half inserts, half deletes) and a lookup
+// otherwise, on a uniformly random key.
+type SetWorkload struct {
+	Set       ds.Set
+	KeyRange  uint64
+	UpdatePct int
+}
+
+// NewSet prefills the set with every even key in [0, 2*size), giving
+// exactly size resident keys with uniform coverage of the key range. Keys
+// are inserted in pseudo-random order: the Natarajan-Mittal tree is
+// unbalanced, so sorted insertion would degenerate it into a linear chain.
+func NewSet(s ds.Set, size int, updatePct int) *SetWorkload {
+	th := s.Attach()
+	order := make([]uint64, size)
+	for i := range order {
+		order[i] = uint64(2 * i)
+	}
+	rng := rand.New(rand.NewSource(12345))
+	rng.Shuffle(size, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for _, k := range order {
+		th.Insert(k)
+	}
+	th.Detach()
+	return &SetWorkload{Set: s, KeyRange: uint64(2 * size), UpdatePct: updatePct}
+}
+
+// NewWorker implements Workload.
+func (w *SetWorkload) NewWorker() Worker {
+	return &setWorker{w: w, th: w.Set.Attach()}
+}
+
+// Memory implements Workload: allocated nodes and unreclaimed nodes.
+func (w *SetWorkload) Memory() (int64, int64) {
+	return w.Set.LiveNodes(), w.Set.Unreclaimed()
+}
+
+// Teardown implements Workload: sets are dropped wholesale (pools are
+// per-structure, so the memory is reclaimed by the runtime with the
+// structure).
+func (w *SetWorkload) Teardown() {}
+
+type setWorker struct {
+	w  *SetWorkload
+	th ds.SetThread
+}
+
+func (sw *setWorker) Step(r uint64) {
+	k := r % sw.w.KeyRange
+	p := int((r >> 32) % 100)
+	switch {
+	case p < sw.w.UpdatePct/2:
+		sw.th.Insert(k)
+	case p < sw.w.UpdatePct:
+		sw.th.Delete(k)
+	default:
+		sw.th.Contains(k)
+	}
+}
+
+func (sw *setWorker) Close() { sw.th.Detach() }

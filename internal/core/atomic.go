@@ -1,0 +1,46 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"cdrc/internal/arena"
+)
+
+// AtomicRcPtr is a shared mutable cell holding a counted reference,
+// modelled on the library's atomic_rc_ptr (itself modelled on C++'s
+// atomic<shared_ptr>). The cell owns one unit of the referenced object's
+// count. It is a single word, so objects of type T may embed AtomicRcPtr
+// fields freely (e.g. child links in a tree), and the word's low bits may
+// carry user marks.
+//
+// All operations that touch counts are methods on Thread (Load, Store,
+// CompareAndSwap, GetSnapshot, ...) because they need a processor's
+// announcement slots. The methods here are the count-neutral ones.
+type AtomicRcPtr struct {
+	w atomic.Uint64
+}
+
+// Init sets the cell's initial reference before the cell is shared,
+// consuming the caller's ownership of v (move semantics). It must not be
+// used on a cell that other threads can already see.
+func (a *AtomicRcPtr) Init(v RcPtr) {
+	a.w.Store(uint64(v.h))
+}
+
+// LoadRaw returns the cell's current word as an unprotected reference. The
+// result is safe to compare (e.g. to build CAS expected values or inspect
+// marks) but must not be dereferenced or Cloned: nothing prevents the
+// object from being reclaimed.
+func (a *AtomicRcPtr) LoadRaw() RcPtr {
+	return RcPtr{arena.Handle(a.w.Load())}
+}
+
+// IsNil reports whether the cell currently holds a nil reference.
+func (a *AtomicRcPtr) IsNil() bool {
+	return arena.Handle(a.w.Load()).IsNil()
+}
+
+// Marks returns the mark bits of the cell's current word.
+func (a *AtomicRcPtr) Marks() uint64 {
+	return arena.Handle(a.w.Load()).Marks()
+}

@@ -1,0 +1,533 @@
+// Package core implements the paper's primary contribution: concurrent
+// deferred reference counting with constant-time overhead (§5).
+//
+// A Domain manages reference-counted objects of one type, allocated from a
+// simulated manual arena and reclaimed automatically when their count
+// reaches zero. The classic race - a decrement reaching zero while a
+// concurrent load is incrementing - is resolved by protecting the
+// *reference count* with acquire-retire: discarding a reference retires the
+// handle (a deferred decrement, Fig. 3), and the decrement is applied only
+// once it is ejected, i.e. once no in-flight increment can still be
+// protected by an announcement. Short-lived references additionally use
+// snapshots (deferred increments, Fig. 4): a traversal can hold up to seven
+// protected references per processor without touching any counter at all.
+//
+// All per-processor operations go through a Thread, obtained from
+// Domain.Attach. Threads are not safe for concurrent use; each worker
+// goroutine attaches its own.
+package core
+
+import (
+	"fmt"
+
+	"cdrc/internal/acqret"
+	"cdrc/internal/arena"
+	"cdrc/internal/pid"
+)
+
+// acquireSlot is the announcement slot used by in-flight load/store/CAS
+// operations; slots 1..acqret.MaxSnapshots hold snapshots.
+const acquireSlot = 0
+
+// RcPtr is a counted reference to a domain-managed object, the analogue of
+// the library's rc_ptr (itself modelled on shared_ptr). It is a plain
+// single word - exactly the arena handle, possibly carrying low-order mark
+// bits - so it can be compared with ==, embedded in objects, and passed to
+// CAS. Ownership discipline mirrors C++: holding an RcPtr accounts for
+// exactly one unit of the object's reference count, Clone adds a unit, and
+// Release gives one up. The zero RcPtr is nil.
+type RcPtr struct {
+	h arena.Handle
+}
+
+// NilRcPtr is the nil reference.
+var NilRcPtr = RcPtr{}
+
+// IsNil reports whether p is nil (marks ignored: a marked nil is nil).
+func (p RcPtr) IsNil() bool { return p.h.IsNil() }
+
+// Handle exposes the underlying arena handle (diagnostics and adapters).
+func (p RcPtr) Handle() arena.Handle { return p.h }
+
+// HasMark reports whether mark bit i (0..2) is set on the reference word.
+func (p RcPtr) HasMark(i uint) bool { return p.h.HasMark(i) }
+
+// WithMark returns p with mark bit i set. Marks are properties of the
+// stored word, not of the object: marking does not affect the count.
+func (p RcPtr) WithMark(i uint) RcPtr { return RcPtr{p.h.SetMark(i)} }
+
+// WithMarks returns p with its mark bits replaced.
+func (p RcPtr) WithMarks(m uint64) RcPtr { return RcPtr{p.h.WithMarks(m)} }
+
+// Marks returns the mark bits of the reference word.
+func (p RcPtr) Marks() uint64 { return p.h.Marks() }
+
+// Unmarked returns p with all marks cleared.
+func (p RcPtr) Unmarked() RcPtr { return RcPtr{p.h.Unmarked()} }
+
+// Snapshot is a protected, uncounted reference - the analogue of
+// snapshot_ptr. It pins the object by announcement rather than by
+// incrementing its counter, so acquiring and releasing one is
+// contention-free. A Snapshot is local to the Thread that created it and
+// must be released by that thread (or converted with RcFromSnapshot). The
+// zero Snapshot is nil.
+type Snapshot struct {
+	h    arena.Handle // raw word as acquired (marks preserved)
+	slot int          // announcement slot index (1..MaxSnapshots), 0 if nil or upgraded
+}
+
+// IsNil reports whether s refers to no object.
+func (s Snapshot) IsNil() bool { return s.h.IsNil() }
+
+// Handle exposes the underlying arena handle.
+func (s Snapshot) Handle() arena.Handle { return s.h }
+
+// HasMark reports whether mark bit i is set on the snapshot's word.
+func (s Snapshot) HasMark(i uint) bool { return s.h.HasMark(i) }
+
+// Marks returns the mark bits of the snapshot's word.
+func (s Snapshot) Marks() uint64 { return s.h.Marks() }
+
+// Ptr reinterprets the snapshot's word as an RcPtr for use as a CAS
+// expected value or for equality comparisons. The result carries no
+// ownership: it must not be Released, Cloned, or stored. To mint an owned
+// reference from a snapshot use Thread.RcFromSnapshot.
+func (s Snapshot) Ptr() RcPtr { return RcPtr{s.h} }
+
+// Config parameterizes a Domain. The zero value is a working default:
+// snapshot-compatible deferred destructs, lock-free acquire, and
+// pid.DefaultMaxProcs processors.
+type Config[T any] struct {
+	// MaxProcs bounds the number of simultaneously attached Threads.
+	MaxProcs int
+
+	// Finalizer, if non-nil, runs exactly once when an object's count
+	// reaches zero and it is about to be freed. It must release any child
+	// RcPtrs the object owns (the analogue of a C++ destructor releasing
+	// members). It runs on the thread that applied the final decrement.
+	Finalizer func(*Thread[T], *T)
+
+	// EagerDestruct applies Release decrements immediately (Fig. 3
+	// destruct) instead of deferring them through retire (Fig. 4). Eager
+	// destructs are only safe if the domain never hands out snapshots;
+	// GetSnapshot panics when this is set. Used by the non-snapshot "DRC"
+	// configuration in the paper's benchmarks.
+	EagerDestruct bool
+
+	// AcquireMode selects the lock-free announce/validate loop (default)
+	// or the wait-free swcopy-based acquire.
+	AcquireMode acqret.Mode
+
+	// DebugChecks enables arena use-after-free checking on every Deref.
+	DebugChecks bool
+}
+
+// Domain manages a universe of reference-counted objects of type T.
+type Domain[T any] struct {
+	pool  *arena.Pool[T]
+	ar    *acqret.Domain
+	cfg   Config[T]
+	procs int
+}
+
+// NewDomain creates a Domain with the given configuration.
+func NewDomain[T any](cfg Config[T]) *Domain[T] {
+	procs := cfg.MaxProcs
+	if procs <= 0 {
+		procs = pid.DefaultMaxProcs
+	}
+	d := &Domain[T]{
+		pool: arena.NewPool[T](procs),
+		ar: acqret.New(procs,
+			acqret.WithMode(cfg.AcquireMode),
+			acqret.WithNormalizer(func(w uint64) uint64 {
+				return uint64(arena.Handle(w).Unmarked())
+			})),
+		cfg:   cfg,
+		procs: procs,
+	}
+	d.pool.DebugChecks = cfg.DebugChecks
+	return d
+}
+
+// Attach registers the calling worker and returns its Thread.
+func (d *Domain[T]) Attach() *Thread[T] {
+	return &Thread[T]{d: d, pid: d.ar.Register()}
+}
+
+// Live returns the number of currently allocated objects (the "allocated
+// objects" series of Figs. 6d and 6h).
+func (d *Domain[T]) Live() int64 { return d.pool.Live() }
+
+// Deferred returns the number of deferred decrements not yet applied (the
+// O(P²) bound of Theorem 1).
+func (d *Domain[T]) Deferred() int64 { return d.ar.Deferred() }
+
+// PoolStats exposes the arena counters.
+func (d *Domain[T]) PoolStats() arena.Stats { return d.pool.Stats() }
+
+// EnableDebugChecks turns on arena use-after-free checking for every
+// dereference. Set before the domain is shared; intended for tests.
+func (d *Domain[T]) EnableDebugChecks() { d.pool.DebugChecks = true }
+
+// Thread is a processor-bound operation context. Obtain with Attach; call
+// Detach when the worker is done. Not safe for concurrent use.
+type Thread[T any] struct {
+	d        *Domain[T]
+	pid      int
+	snapNext int // round-robin victim for snapshot-slot takeover
+}
+
+// Domain returns the thread's domain.
+func (t *Thread[T]) Domain() *Domain[T] { return t.d }
+
+// ProcID returns the thread's processor id (diagnostics).
+func (t *Thread[T]) ProcID() int { return t.pid }
+
+// Detach flushes what can be flushed and releases the processor id. Any
+// still-deferred decrements are adopted by other threads' scans (or by
+// Domain drains). Snapshots must be released before detaching.
+func (t *Thread[T]) Detach() {
+	for s := 1; s <= acqret.MaxSnapshots; s++ {
+		if t.d.ar.ReadSlot(t.pid, s) != 0 {
+			panic("core: Detach with live snapshots")
+		}
+	}
+	t.drainLocal()
+	t.d.ar.Unregister(t.pid)
+}
+
+// drainLocal synchronously ejects and applies everything currently safe.
+func (t *Thread[T]) drainLocal() {
+	for {
+		out := t.d.ar.EjectAllLocal(t.pid)
+		if len(out) == 0 {
+			return
+		}
+		for _, w := range out {
+			t.decrement(arena.Handle(w))
+		}
+	}
+}
+
+// Flush applies all currently-safe deferred decrements on this thread,
+// including orphans. Useful in tests and at teardown barriers.
+func (t *Thread[T]) Flush() { t.drainLocal() }
+
+// --- internal count plumbing -------------------------------------------
+
+func (t *Thread[T]) increment(h arena.Handle) {
+	t.d.pool.Hdr(h).RefCount.Add(1)
+}
+
+func (t *Thread[T]) decrement(h arena.Handle) {
+	h = h.Unmarked()
+	if c := t.d.pool.Hdr(h).RefCount.Add(-1); c == 0 {
+		t.deleteObj(h)
+	} else if c < 0 {
+		panic(fmt.Sprintf("core: reference count of %#x went negative (%d)", uint64(h), c))
+	}
+}
+
+// deleteObj destroys the object: runs the finalizer (which releases child
+// references, possibly recursively), clears the payload, and releases the
+// strong side's implicit weak unit - freeing the slot unless outstanding
+// WeakPtrs still pin it (see weak.go).
+func (t *Thread[T]) deleteObj(h arena.Handle) {
+	ptr := t.d.pool.Get(h)
+	if fin := t.d.cfg.Finalizer; fin != nil {
+		fin(t, ptr)
+	}
+	var zero T
+	*ptr = zero
+	hdr := t.d.pool.Hdr(h)
+	if c := hdr.WeakCount.Add(-1); c == 0 {
+		t.d.pool.Free(t.pid, h)
+	} else if c < 0 {
+		panic("core: weak count went negative at destruction")
+	}
+}
+
+// retireAndEject defers one decrement of h and performs the paired eject
+// step (Fig. 3's retire_and_eject), applying at most one now-safe deferred
+// decrement.
+func (t *Thread[T]) retireAndEject(h arena.Handle) {
+	t.d.ar.Retire(t.pid, uint64(h.Unmarked()))
+	if e, ok := t.d.ar.Eject(t.pid); ok {
+		t.decrement(arena.Handle(e))
+	}
+}
+
+// --- allocation ----------------------------------------------------------
+
+// AllocRc allocates a fresh object with reference count 1 and returns the
+// owning reference together with a pointer for initialization. The object
+// must be fully initialized before its reference is shared. The weak
+// count starts at 1: the unit all strong references collectively hold.
+func (t *Thread[T]) AllocRc() (RcPtr, *T) {
+	h := t.d.pool.Alloc(t.pid)
+	hdr := t.d.pool.Hdr(h)
+	hdr.RefCount.Store(1)
+	hdr.WeakCount.Store(1)
+	return RcPtr{h}, t.d.pool.Get(h)
+}
+
+// NewRc allocates a fresh object initialized by init (may be nil) and
+// returns the owning reference.
+func (t *Thread[T]) NewRc(init func(*T)) RcPtr {
+	p, v := t.AllocRc()
+	if init != nil {
+		init(v)
+	}
+	return p
+}
+
+// --- reference manipulation ----------------------------------------------
+
+// Deref returns a pointer to the object p refers to. The caller must hold
+// p (counted) or a protecting snapshot for the duration of use.
+func (t *Thread[T]) Deref(p RcPtr) *T {
+	return t.d.pool.Get(p.h)
+}
+
+// DerefSnapshot returns a pointer to the object s refers to, valid until
+// the snapshot is released.
+func (t *Thread[T]) DerefSnapshot(s Snapshot) *T {
+	return t.d.pool.Get(s.h)
+}
+
+// RefCount returns the current reference count of p's object (diagnostics;
+// inherently racy).
+func (t *Thread[T]) RefCount(p RcPtr) int64 {
+	return t.d.pool.Hdr(p.h).RefCount.Load()
+}
+
+// Clone returns a new counted reference to p's object. Safe because the
+// caller's own reference keeps the count at least one.
+func (t *Thread[T]) Clone(p RcPtr) RcPtr {
+	if p.IsNil() {
+		return NilRcPtr
+	}
+	t.increment(p.h.Unmarked())
+	return p
+}
+
+// Release gives up the reference p (the destruct operation). In the
+// default configuration the decrement is deferred via retire so that live
+// snapshots of the object stay valid (Fig. 4); with EagerDestruct it is
+// applied immediately (Fig. 3).
+func (t *Thread[T]) Release(p RcPtr) {
+	if p.IsNil() {
+		return
+	}
+	if t.d.cfg.EagerDestruct {
+		t.decrement(p.h)
+		return
+	}
+	t.retireAndEject(p.h)
+}
+
+// --- atomic cells ---------------------------------------------------------
+
+// Load atomically reads the reference in a and returns a counted copy
+// (Fig. 3 load): the handle is acquired, protecting its count, the count
+// is incremented, and the protection released. O(1) steps.
+func (t *Thread[T]) Load(a *AtomicRcPtr) RcPtr {
+	w := t.d.ar.Acquire(t.pid, acquireSlot, &a.w)
+	h := arena.Handle(w)
+	if !h.IsNil() {
+		t.increment(h.Unmarked())
+	}
+	t.d.ar.Release(t.pid, acquireSlot)
+	return RcPtr{h}
+}
+
+// Store atomically replaces the reference in a with a counted copy of v
+// (Fig. 3 store, copy semantics). The overwritten reference's decrement is
+// deferred via retire_and_eject. O(1) expected steps.
+func (t *Thread[T]) Store(a *AtomicRcPtr, v RcPtr) {
+	if !v.IsNil() {
+		// The caller's reference keeps the count positive, so this
+		// increment needs no protection (§5.1).
+		t.increment(v.h.Unmarked())
+	}
+	old := arena.Handle(a.w.Swap(uint64(v.h)))
+	if !old.IsNil() {
+		t.retireAndEject(old)
+	}
+}
+
+// StoreMove atomically replaces the reference in a with v, consuming the
+// caller's ownership of v (move semantics, §5.1): no increment is needed
+// because the caller's count unit transfers to the cell.
+func (t *Thread[T]) StoreMove(a *AtomicRcPtr, v RcPtr) {
+	old := arena.Handle(a.w.Swap(uint64(v.h)))
+	if !old.IsNil() {
+		t.retireAndEject(old)
+	}
+}
+
+// StoreSnapshot atomically replaces the reference in a with a counted copy
+// of the object s protects. The snapshot remains held by the caller.
+func (t *Thread[T]) StoreSnapshot(a *AtomicRcPtr, s Snapshot) {
+	if !s.IsNil() {
+		// Safe: the snapshot's announcement blocks the deferred
+		// decrements that could otherwise race this count to zero.
+		t.increment(s.h.Unmarked())
+	}
+	old := arena.Handle(a.w.Swap(uint64(s.h)))
+	if !old.IsNil() {
+		t.retireAndEject(old)
+	}
+}
+
+// CompareAndSwap atomically replaces the reference in a with a counted
+// copy of desired if it currently equals expected (including marks). On
+// success the overwritten expected reference is retired. The caller's own
+// references to expected and desired are untouched (copy semantics).
+// Fig. 3 cas: desired is announced before the CAS so that a competing
+// store cannot race desired's count to zero between our CAS succeeding
+// and our increment landing.
+func (t *Thread[T]) CompareAndSwap(a *AtomicRcPtr, expected, desired RcPtr) bool {
+	t.d.ar.Announce(t.pid, acquireSlot, uint64(desired.h))
+	if a.w.CompareAndSwap(uint64(expected.h), uint64(desired.h)) {
+		if !desired.IsNil() {
+			t.increment(desired.h.Unmarked())
+		}
+		t.d.ar.Release(t.pid, acquireSlot)
+		if !expected.IsNil() {
+			t.retireAndEject(expected.h)
+		}
+		return true
+	}
+	t.d.ar.Release(t.pid, acquireSlot)
+	return false
+}
+
+// CompareAndSwapMove is CompareAndSwap with move semantics on desired: on
+// success the caller's ownership unit transfers to the cell (no
+// increment). On failure the caller still owns desired.
+func (t *Thread[T]) CompareAndSwapMove(a *AtomicRcPtr, expected, desired RcPtr) bool {
+	// Announcing desired is unnecessary here: on success the cell's
+	// reference is the caller's transferred unit, which already exists.
+	if a.w.CompareAndSwap(uint64(expected.h), uint64(desired.h)) {
+		if !expected.IsNil() {
+			t.retireAndEject(expected.h)
+		}
+		return true
+	}
+	return false
+}
+
+// CompareExchange is the compare_exchange_weak analogue: on failure it
+// releases *expected and replaces it with a counted copy of the current
+// reference, returning false. On success it behaves like CompareAndSwap.
+func (t *Thread[T]) CompareExchange(a *AtomicRcPtr, expected *RcPtr, desired RcPtr) bool {
+	if t.CompareAndSwap(a, *expected, desired) {
+		return true
+	}
+	old := *expected
+	*expected = t.Load(a)
+	t.Release(old)
+	return false
+}
+
+// CompareAndSetMark atomically sets mark bit i on the reference word in a
+// if it currently equals expected. No counts change: the cell refers to
+// the same object before and after.
+func (t *Thread[T]) CompareAndSetMark(a *AtomicRcPtr, expected RcPtr, i uint) bool {
+	return a.w.CompareAndSwap(uint64(expected.h), uint64(expected.h.SetMark(i)))
+}
+
+// --- snapshots (deferred increments, Fig. 4) ------------------------------
+
+// GetSnapshot atomically reads the reference in a and returns a protected,
+// uncounted snapshot of it. Cheap (one announcement write, no shared
+// counter traffic); ideal for traversals. Panics if the domain was
+// configured with EagerDestruct, which is incompatible with snapshots.
+func (t *Thread[T]) GetSnapshot(a *AtomicRcPtr) Snapshot {
+	if t.d.cfg.EagerDestruct {
+		panic("core: GetSnapshot on an EagerDestruct domain")
+	}
+	slot := t.getSlot()
+	w := t.d.ar.Acquire(t.pid, slot, &a.w)
+	h := arena.Handle(w)
+	if h.IsNil() {
+		// Nothing to protect; hand the slot back immediately. The word is
+		// preserved so a marked nil keeps its marks.
+		t.d.ar.Release(t.pid, slot)
+		return Snapshot{h: h}
+	}
+	return Snapshot{h: h, slot: slot}
+}
+
+// getSlot returns a free snapshot slot, taking one over round-robin when
+// all are occupied: the victim snapshot's deferred increment is applied
+// (its object's count is bumped) so that it remains valid after losing its
+// announcement (Fig. 4 get_slot).
+func (t *Thread[T]) getSlot() int {
+	ar := t.d.ar
+	for s := 1; s <= acqret.MaxSnapshots; s++ {
+		if ar.ReadSlot(t.pid, s) == 0 {
+			return s
+		}
+	}
+	slot := 1 + t.snapNext
+	t.snapNext = (t.snapNext + 1) % acqret.MaxSnapshots
+	w := arena.Handle(ar.ReadSlot(t.pid, slot))
+	if !w.IsNil() {
+		t.increment(w.Unmarked())
+	}
+	// The slot will be overwritten by the caller's Acquire; clearing is
+	// unnecessary but keeps the window where it protects two things short.
+	return slot
+}
+
+// ReleaseSnapshot ends a snapshot. If the snapshot still owns its
+// announcement slot the release is free; if the slot was taken over, the
+// deferred increment was applied at takeover, so a decrement is due
+// (Fig. 4 release_snapshot). The snapshot is reset to nil.
+func (t *Thread[T]) ReleaseSnapshot(s *Snapshot) {
+	if s.h.IsNil() {
+		return
+	}
+	if s.slot != 0 && arena.Handle(t.d.ar.ReadSlot(t.pid, s.slot)) == s.h {
+		t.d.ar.Release(t.pid, s.slot)
+	} else {
+		t.decrement(s.h)
+	}
+	*s = Snapshot{}
+}
+
+// RcFromSnapshot mints a counted reference from a snapshot (the
+// "copying a snapshot_ptr" operation the paper credits Correia et al. for
+// flagging as non-trivial). Safe while the snapshot is held: its
+// announcement blocks the decrements that could race the count to zero.
+// The snapshot remains held.
+func (t *Thread[T]) RcFromSnapshot(s Snapshot) RcPtr {
+	if s.IsNil() {
+		return NilRcPtr
+	}
+	t.increment(s.h.Unmarked())
+	return RcPtr{s.h}
+}
+
+// CompareAndSwapFromSnapshots performs CompareAndSwap where expected
+// and/or desired are snapshot-protected words (the atomic_rc_ptr interface
+// allows mixing rc_ptr and snapshot_ptr arguments). Copy semantics: on
+// success the cell gains its own counted reference to desired's object.
+func (t *Thread[T]) CompareAndSwapFromSnapshots(a *AtomicRcPtr, expected, desired Snapshot) bool {
+	t.d.ar.Announce(t.pid, acquireSlot, uint64(desired.h))
+	if a.w.CompareAndSwap(uint64(expected.h), uint64(desired.h)) {
+		if !desired.IsNil() {
+			t.increment(desired.h.Unmarked())
+		}
+		t.d.ar.Release(t.pid, acquireSlot)
+		if !expected.IsNil() {
+			t.retireAndEject(expected.h)
+		}
+		return true
+	}
+	t.d.ar.Release(t.pid, acquireSlot)
+	return false
+}

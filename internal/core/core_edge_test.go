@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+
+	"cdrc/internal/acqret"
+	"cdrc/internal/arena"
+)
+
+func TestStoreSnapshotCopies(t *testing.T) {
+	d := newNodeDomain(2)
+	th := d.Attach()
+	defer th.Detach()
+	var src, dst AtomicRcPtr
+	a := th.NewRc(func(n *node) { n.Val = 8 })
+	th.StoreMove(&src, a) // count 1 (cell)
+
+	s := th.GetSnapshot(&src)
+	th.StoreSnapshot(&dst, s) // dst gains its own count
+	th.ReleaseSnapshot(&s)
+
+	l := th.Load(&dst)
+	if th.Deref(l).Val != 8 {
+		t.Fatal("dst does not refer to the object")
+	}
+	th.Release(l)
+	// Dropping src must not kill the object: dst still owns a unit.
+	th.StoreMove(&src, NilRcPtr)
+	drain(th)
+	if live := d.Live(); live != 1 {
+		t.Fatalf("Live = %d, want 1", live)
+	}
+	th.StoreMove(&dst, NilRcPtr)
+	drain(th)
+	if live := d.Live(); live != 0 {
+		t.Fatalf("Live = %d at end", live)
+	}
+}
+
+func TestCompareAndSwapFromSnapshots(t *testing.T) {
+	d := newNodeDomain(2)
+	th := d.Attach()
+	defer th.Detach()
+	var cellA, cellB AtomicRcPtr
+	th.StoreMove(&cellA, th.NewRc(func(n *node) { n.Val = 1 }))
+	th.StoreMove(&cellB, th.NewRc(func(n *node) { n.Val = 2 }))
+
+	sa := th.GetSnapshot(&cellA)
+	sb := th.GetSnapshot(&cellB)
+	// Swing cellA from its current value to cellB's object.
+	if !th.CompareAndSwapFromSnapshots(&cellA, sa, sb) {
+		t.Fatal("snapshot CAS failed")
+	}
+	th.ReleaseSnapshot(&sa)
+	th.ReleaseSnapshot(&sb)
+	l := th.Load(&cellA)
+	if th.Deref(l).Val != 2 {
+		t.Fatalf("cellA now holds Val=%d, want 2", th.Deref(l).Val)
+	}
+	th.Release(l)
+	th.StoreMove(&cellA, NilRcPtr)
+	th.StoreMove(&cellB, NilRcPtr)
+	drain(th)
+	if live := d.Live(); live != 0 {
+		t.Fatalf("Live = %d at end", live)
+	}
+}
+
+func TestCompareExchangeSuccess(t *testing.T) {
+	d := newNodeDomain(2)
+	th := d.Attach()
+	defer th.Detach()
+	var cell AtomicRcPtr
+	a := th.NewRc(func(n *node) { n.Val = 1 })
+	th.Store(&cell, a)
+	exp := th.Clone(a)
+	des := th.NewRc(func(n *node) { n.Val = 2 })
+	if !th.CompareExchange(&cell, &exp, des) {
+		t.Fatal("CompareExchange failed with correct expected")
+	}
+	// exp unchanged on success; caller still owns it.
+	if th.Deref(exp).Val != 1 {
+		t.Fatal("expected mutated on success")
+	}
+	th.Release(exp)
+	th.Release(a)
+	th.Release(des)
+	th.StoreMove(&cell, NilRcPtr)
+	drain(th)
+	if live := d.Live(); live != 0 {
+		t.Fatalf("Live = %d", live)
+	}
+}
+
+func TestMarkedNilSnapshotPreservesMarks(t *testing.T) {
+	d := newNodeDomain(2)
+	th := d.Attach()
+	defer th.Detach()
+	var cell AtomicRcPtr
+	// Mark the nil reference (the "marked empty link" idiom).
+	if !th.CompareAndSetMark(&cell, NilRcPtr, 1) {
+		t.Fatal("marking nil failed")
+	}
+	s := th.GetSnapshot(&cell)
+	if !s.IsNil() {
+		t.Fatal("marked nil snapshot not nil")
+	}
+	if !s.HasMark(1) {
+		t.Fatal("marked nil snapshot lost its mark")
+	}
+	th.ReleaseSnapshot(&s)
+	l := th.Load(&cell)
+	if !l.IsNil() || !l.HasMark(1) {
+		t.Fatal("marked nil load mishandled")
+	}
+	th.Release(l) // no-op on nil
+}
+
+func TestSnapshotSlotReuse(t *testing.T) {
+	d := newNodeDomain(2)
+	th := d.Attach()
+	defer th.Detach()
+	var cell AtomicRcPtr
+	a := th.NewRc(nil)
+	th.Store(&cell, a)
+	// Acquire and release repeatedly: far more times than there are
+	// snapshot slots, so slots must be recycled without takeovers (count
+	// must never move).
+	for i := 0; i < 100; i++ {
+		s := th.GetSnapshot(&cell)
+		if got := th.RefCount(a); got != 2 {
+			t.Fatalf("iteration %d: count = %d, want 2", i, got)
+		}
+		th.ReleaseSnapshot(&s)
+	}
+	th.Release(a)
+	th.StoreMove(&cell, NilRcPtr)
+	drain(th)
+	if live := d.Live(); live != 0 {
+		t.Fatalf("Live = %d", live)
+	}
+}
+
+func TestManySnapshotsOfSameObject(t *testing.T) {
+	d := newNodeDomain(2)
+	th := d.Attach()
+	defer th.Detach()
+	var cell AtomicRcPtr
+	a := th.NewRc(nil)
+	th.Store(&cell, a)
+	// Hold all 7 slots on the same object, plus takeovers.
+	snaps := make([]Snapshot, acqret.MaxSnapshots+3)
+	for i := range snaps {
+		snaps[i] = th.GetSnapshot(&cell)
+	}
+	// All must deref correctly.
+	for i := range snaps {
+		if th.DerefSnapshot(snaps[i]) != th.Deref(a) {
+			t.Fatalf("snapshot %d points elsewhere", i)
+		}
+	}
+	for i := range snaps {
+		th.ReleaseSnapshot(&snaps[i])
+	}
+	if got := th.RefCount(a); got != 2 {
+		t.Fatalf("count = %d after all releases, want 2", got)
+	}
+	th.Release(a)
+	th.StoreMove(&cell, NilRcPtr)
+	drain(th)
+	if live := d.Live(); live != 0 {
+		t.Fatalf("Live = %d", live)
+	}
+}
+
+func TestInitAndLoadRaw(t *testing.T) {
+	d := newNodeDomain(2)
+	th := d.Attach()
+	defer th.Detach()
+	var cell AtomicRcPtr
+	if !cell.IsNil() {
+		t.Fatal("zero cell not nil")
+	}
+	a := th.NewRc(func(n *node) { n.Val = 3 })
+	cell.Init(a) // move: cell owns a's unit
+	if cell.IsNil() {
+		t.Fatal("cell nil after Init")
+	}
+	raw := cell.LoadRaw()
+	if raw.Handle() != a.Handle() {
+		t.Fatal("LoadRaw differs from stored reference")
+	}
+	if cell.Marks() != 0 {
+		t.Fatal("unexpected marks")
+	}
+	th.StoreMove(&cell, NilRcPtr)
+	drain(th)
+	if live := d.Live(); live != 0 {
+		t.Fatalf("Live = %d", live)
+	}
+}
+
+func TestCloneKeepsMarks(t *testing.T) {
+	d := newNodeDomain(2)
+	th := d.Attach()
+	defer th.Detach()
+	a := th.NewRc(nil)
+	m := a.WithMark(2)
+	c := th.Clone(m)
+	if !c.HasMark(2) {
+		t.Fatal("clone lost mark")
+	}
+	if got := th.RefCount(a); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	th.Release(c) // release normalizes marks
+	th.Release(a)
+	drain(th)
+	if live := d.Live(); live != 0 {
+		t.Fatalf("Live = %d", live)
+	}
+}
+
+func TestRcPtrMarkHelpers(t *testing.T) {
+	p := RcPtr{h: arena.FromIndex(9)}
+	if p.Marks() != 0 || p.HasMark(0) {
+		t.Fatal("fresh ptr has marks")
+	}
+	q := p.WithMark(0).WithMark(2)
+	if q.Marks() != 0b101 {
+		t.Fatalf("Marks = %b", q.Marks())
+	}
+	if q.Unmarked() != p {
+		t.Fatal("Unmarked broken")
+	}
+	r := p.WithMarks(0b11)
+	if !r.HasMark(0) || !r.HasMark(1) || r.HasMark(2) {
+		t.Fatal("WithMarks broken")
+	}
+}

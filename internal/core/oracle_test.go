@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Oracle test: a random single-threaded sequence of domain operations is
+// mirrored against a trivially correct model of reference counting. After
+// every step the domain's observable state (cell contents, object values,
+// reference counts, liveness) must match the model exactly; at the end,
+// releasing everything must reclaim everything.
+
+type oracleObj struct {
+	id    int64
+	count int64
+}
+
+type oracle struct {
+	cells   map[int]*oracleObj // cell index -> object
+	owned   []*oracleObj       // refs held by the "program" (parallel to rcs)
+	nextID  int64
+	objects map[int64]*oracleObj
+}
+
+func newOracle(ncells int) *oracle {
+	return &oracle{
+		cells:   make(map[int]*oracleObj),
+		objects: make(map[int64]*oracleObj),
+	}
+}
+
+func (o *oracle) alloc() *oracleObj {
+	o.nextID++
+	obj := &oracleObj{id: o.nextID, count: 1}
+	o.objects[obj.id] = obj
+	return obj
+}
+
+func (o *oracle) release(obj *oracleObj) {
+	if obj == nil {
+		return
+	}
+	obj.count--
+	if obj.count == 0 {
+		delete(o.objects, obj.id)
+	}
+	if obj.count < 0 {
+		panic("oracle: negative count")
+	}
+}
+
+func TestOracleRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const ncells = 4
+
+		d := NewDomain[int64](Config[int64]{MaxProcs: 2, DebugChecks: true})
+		th := d.Attach()
+		cells := make([]AtomicRcPtr, ncells)
+
+		o := newOracle(ncells)
+		var rcs []RcPtr // parallel to o.owned
+
+		checkObj := func(p RcPtr, obj *oracleObj) bool {
+			// Apply all safe deferred decrements so counts are exact
+			// (single-threaded and no snapshots are held here).
+			th.Flush()
+			if p.IsNil() != (obj == nil) {
+				t.Logf("seed %d: nil mismatch", seed)
+				return false
+			}
+			if obj == nil {
+				return true
+			}
+			if got := *th.Deref(p); got != obj.id {
+				t.Logf("seed %d: value %d, want %d", seed, got, obj.id)
+				return false
+			}
+			if got := th.RefCount(p); got != obj.count {
+				t.Logf("seed %d: refcount of %d = %d, want %d", seed, obj.id, got, obj.count)
+				return false
+			}
+			return true
+		}
+
+		for step := 0; step < 400; step++ {
+			c := rng.Intn(ncells)
+			switch rng.Intn(6) {
+			case 0: // store fresh object (move)
+				obj := o.alloc()
+				p := th.NewRc(func(v *int64) { *v = obj.id })
+				if old := o.cells[c]; old != nil {
+					o.release(old)
+				}
+				o.cells[c] = obj
+				th.StoreMove(&cells[c], p)
+			case 1: // load (acquires a reference)
+				p := th.Load(&cells[c])
+				obj := o.cells[c]
+				if obj != nil {
+					obj.count++
+				}
+				if !checkObj(p, obj) {
+					return false
+				}
+				if !p.IsNil() {
+					rcs = append(rcs, p)
+					o.owned = append(o.owned, obj)
+				}
+			case 2: // release an owned reference
+				if len(rcs) == 0 {
+					continue
+				}
+				i := rng.Intn(len(rcs))
+				th.Release(rcs[i])
+				o.release(o.owned[i])
+				rcs[i] = rcs[len(rcs)-1]
+				rcs = rcs[:len(rcs)-1]
+				o.owned[i] = o.owned[len(o.owned)-1]
+				o.owned = o.owned[:len(o.owned)-1]
+			case 3: // clone an owned reference
+				if len(rcs) == 0 {
+					continue
+				}
+				i := rng.Intn(len(rcs))
+				p := th.Clone(rcs[i])
+				o.owned[i].count++
+				rcs = append(rcs, p)
+				o.owned = append(o.owned, o.owned[i])
+			case 4: // CAS with an owned reference as desired (copy)
+				if len(rcs) == 0 {
+					continue
+				}
+				i := rng.Intn(len(rcs))
+				expected := cells[c].LoadRaw()
+				ok := th.CompareAndSwap(&cells[c], expected, rcs[i])
+				if !ok {
+					t.Logf("seed %d: single-threaded CAS failed", seed)
+					return false
+				}
+				if old := o.cells[c]; old != nil {
+					o.release(old)
+				}
+				o.cells[c] = o.owned[i]
+				o.owned[i].count++
+			case 5: // snapshot read and upgrade
+				s := th.GetSnapshot(&cells[c])
+				obj := o.cells[c]
+				if s.IsNil() != (obj == nil) {
+					t.Logf("seed %d: snapshot nil mismatch", seed)
+					return false
+				}
+				if obj != nil {
+					if got := *th.DerefSnapshot(s); got != obj.id {
+						t.Logf("seed %d: snapshot value mismatch", seed)
+						return false
+					}
+					p := th.RcFromSnapshot(s)
+					obj.count++
+					rcs = append(rcs, p)
+					o.owned = append(o.owned, obj)
+				}
+				th.ReleaseSnapshot(&s)
+			}
+			// Deferred decrements may lag, but never below the model:
+			// live objects in the domain >= live objects in the model.
+			if int64(len(o.objects)) > d.Live() {
+				t.Logf("seed %d: model has %d objects but domain only %d live",
+					seed, len(o.objects), d.Live())
+				return false
+			}
+		}
+
+		// Teardown: release everything and verify total reclamation.
+		for i, p := range rcs {
+			th.Release(p)
+			o.release(o.owned[i])
+		}
+		for c := range cells {
+			th.StoreMove(&cells[c], NilRcPtr)
+			if obj := o.cells[c]; obj != nil {
+				o.release(obj)
+			}
+		}
+		if len(o.objects) != 0 {
+			t.Logf("seed %d: oracle still has %d objects (model bug)", seed, len(o.objects))
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			th.Flush()
+		}
+		th.Detach()
+		if d.Live() != 0 {
+			t.Logf("seed %d: %d objects leaked", seed, d.Live())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cdrc/internal/acqret"
+)
+
+// Readers hold many snapshots at once - forcing slot takeovers and
+// deferred-increment applications - while writers continuously replace
+// the cells. Values are tagged so any cross-object corruption or
+// use-after-free (DebugChecks) fails the test; teardown must reclaim
+// everything.
+func TestSnapshotTakeoverUnderConcurrency(t *testing.T) {
+	_, live, def := runTakeoverOnce(t, 1)
+	if live != 0 {
+		t.Fatalf("Live = %d at quiescence (deferred %d)", live, def)
+	}
+}
+
+func runTakeoverOnce(t *testing.T, seed0 int64) (*Domain[node], int64, int64) {
+	const readers = 3
+	const writers = 2
+	const cellsN = 4
+	const iters = 4000
+
+	d := NewDomain[node](Config[node]{
+		MaxProcs:    readers + writers + 1,
+		DebugChecks: true,
+	})
+	var cells [cellsN]AtomicRcPtr
+
+	setup := d.Attach()
+	for i := range cells {
+		setup.StoreMove(&cells[i], setup.NewRc(func(n *node) { n.Val = int64(i) + 1000 }))
+	}
+
+	var stop atomic.Bool
+	var wg, writersWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			th := d.Attach()
+			defer th.Detach()
+			rng := seed
+			// Hold a sliding window of snapshots larger than the slot
+			// count, so takeovers happen constantly.
+			var held []Snapshot
+			for !stop.Load() {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				s := th.GetSnapshot(&cells[rng>>33%cellsN])
+				if !s.IsNil() {
+					if v := th.DerefSnapshot(s).Val; v < 1000 {
+						t.Errorf("snapshot read corrupt value %d", v)
+						th.ReleaseSnapshot(&s)
+						break
+					}
+					held = append(held, s)
+				}
+				if len(held) > acqret.MaxSnapshots+3 {
+					th.ReleaseSnapshot(&held[0])
+					held = held[1:]
+				}
+			}
+			for i := range held {
+				th.ReleaseSnapshot(&held[i])
+			}
+		}(uint64(seed0*100) + uint64(r+1))
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		writersWG.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			defer writersWG.Done()
+			th := d.Attach()
+			defer th.Detach()
+			rng := seed * 977
+			for i := 0; i < iters; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				n := th.NewRc(func(nd *node) { nd.Val = int64(rng%1000) + 1000 })
+				th.StoreMove(&cells[rng>>33%cellsN], n)
+			}
+		}(uint64(w + 1))
+	}
+	writersWG.Wait()
+	stop.Store(true)
+	wg.Wait()
+	for i := range cells {
+		setup.StoreMove(&cells[i], NilRcPtr)
+	}
+	drain(setup)
+	setup.Detach()
+	th := d.Attach()
+	drain(th)
+	th.Detach()
+	return d, d.Live(), d.Deferred()
+}

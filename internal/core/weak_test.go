@@ -1,0 +1,227 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWeakBasicLifecycle(t *testing.T) {
+	d := newNodeDomain(2)
+	th := d.Attach()
+	defer th.Detach()
+
+	p := th.NewRc(func(n *node) { n.Val = 5 })
+	w := th.Downgrade(p)
+	if th.Expired(w) {
+		t.Fatal("fresh weak reports expired")
+	}
+	up := th.Upgrade(w)
+	if up.IsNil() || th.Deref(up).Val != 5 {
+		t.Fatal("upgrade of live object failed")
+	}
+	th.Release(up)
+	th.Release(p)
+	drain(th)
+	// Destroyed, but the slot is pinned by the weak reference.
+	if !th.Expired(w) {
+		t.Fatal("weak not expired after last strong release")
+	}
+	if got := th.Upgrade(w); !got.IsNil() {
+		t.Fatal("upgrade of expired object succeeded")
+	}
+	if live := d.Live(); live != 1 {
+		t.Fatalf("Live = %d, want 1 (slot pinned by weak)", live)
+	}
+	th.ReleaseWeak(w)
+	if live := d.Live(); live != 0 {
+		t.Fatalf("Live = %d after weak release", live)
+	}
+}
+
+func TestWeakReleasedBeforeStrong(t *testing.T) {
+	d := newNodeDomain(2)
+	th := d.Attach()
+	defer th.Detach()
+	p := th.NewRc(nil)
+	w := th.Downgrade(p)
+	th.ReleaseWeak(w) // weak goes first: slot must survive via strong side
+	if th.Deref(p) == nil {
+		t.Fatal("object vanished")
+	}
+	th.Release(p)
+	drain(th)
+	if live := d.Live(); live != 0 {
+		t.Fatalf("Live = %d at end", live)
+	}
+}
+
+func TestCloneWeakCounts(t *testing.T) {
+	d := newNodeDomain(2)
+	th := d.Attach()
+	defer th.Detach()
+	p := th.NewRc(nil)
+	w1 := th.Downgrade(p)
+	w2 := th.CloneWeak(w1)
+	th.Release(p)
+	drain(th)
+	if live := d.Live(); live != 1 {
+		t.Fatalf("Live = %d with two weaks", live)
+	}
+	th.ReleaseWeak(w1)
+	if live := d.Live(); live != 1 {
+		t.Fatalf("Live = %d with one weak", live)
+	}
+	th.ReleaseWeak(w2)
+	if live := d.Live(); live != 0 {
+		t.Fatalf("Live = %d after all weaks", live)
+	}
+}
+
+func TestNilWeakOperations(t *testing.T) {
+	d := newNodeDomain(2)
+	th := d.Attach()
+	defer th.Detach()
+	w := th.Downgrade(NilRcPtr)
+	if !w.IsNil() || !th.Expired(w) {
+		t.Fatal("nil downgrade misbehaves")
+	}
+	if !th.Upgrade(w).IsNil() {
+		t.Fatal("nil upgrade not nil")
+	}
+	th.ReleaseWeak(w)        // no-op
+	th.CloneWeak(NilWeakPtr) // no-op
+}
+
+func TestDowngradeSnapshot(t *testing.T) {
+	d := newNodeDomain(2)
+	th := d.Attach()
+	defer th.Detach()
+	var cell AtomicRcPtr
+	th.StoreMove(&cell, th.NewRc(func(n *node) { n.Val = 9 }))
+	s := th.GetSnapshot(&cell)
+	w := th.DowngradeSnapshot(s)
+	th.ReleaseSnapshot(&s)
+	up := th.Upgrade(w)
+	if up.IsNil() || th.Deref(up).Val != 9 {
+		t.Fatal("snapshot downgrade broken")
+	}
+	th.Release(up)
+	th.ReleaseWeak(w)
+	th.StoreMove(&cell, NilRcPtr)
+	drain(th)
+	if live := d.Live(); live != 0 {
+		t.Fatalf("Live = %d at end", live)
+	}
+}
+
+// The motivating case (§9): a two-node cycle. With a strong back-edge the
+// pair leaks (the documented reference-counting limitation); with a weak
+// back-edge it reclaims.
+func TestCycleBreakingWithWeak(t *testing.T) {
+	type cnode struct {
+		Fwd  AtomicRcPtr // strong forward edge
+		Back WeakPtr     // weak back edge
+	}
+	d := NewDomain[cnode](Config[cnode]{
+		MaxProcs:    2,
+		DebugChecks: true,
+		Finalizer: func(t *Thread[cnode], n *cnode) {
+			t.Release(n.Fwd.LoadRaw())
+			n.Fwd.Init(NilRcPtr)
+			t.ReleaseWeak(n.Back)
+			n.Back = NilWeakPtr
+		},
+	})
+	th := d.Attach()
+	defer th.Detach()
+
+	a := th.NewRc(nil)
+	b := th.NewRc(nil)
+	// a.Fwd -> b (strong), b.Back -> a (weak).
+	th.Deref(a).Fwd.Init(th.Clone(b))
+	th.Deref(b).Back = th.Downgrade(a)
+
+	// The back edge works while both are alive.
+	if up := th.Upgrade(th.Deref(b).Back); up.IsNil() {
+		t.Fatal("back edge dead while cycle alive")
+	} else {
+		th.Release(up)
+	}
+
+	th.Release(a)
+	th.Release(b)
+	drain(th)
+	if live := d.Live(); live != 0 {
+		t.Fatalf("Live = %d: weak cycle did not reclaim", live)
+	}
+}
+
+// Contrast: a fully strong cycle leaks, as reference counting must (§9).
+func TestStrongCycleLeaksAsDocumented(t *testing.T) {
+	type cnode struct {
+		Next AtomicRcPtr
+	}
+	d := NewDomain[cnode](Config[cnode]{
+		MaxProcs: 2,
+		Finalizer: func(t *Thread[cnode], n *cnode) {
+			t.Release(n.Next.LoadRaw())
+			n.Next.Init(NilRcPtr)
+		},
+	})
+	th := d.Attach()
+	defer th.Detach()
+	a := th.NewRc(nil)
+	b := th.NewRc(nil)
+	th.Deref(a).Next.Init(th.Clone(b))
+	th.Deref(b).Next.Init(th.Clone(a))
+	th.Release(a)
+	th.Release(b)
+	drain(th)
+	if live := d.Live(); live != 2 {
+		t.Fatalf("Live = %d, want 2 (the documented strong-cycle leak)", live)
+	}
+}
+
+// Concurrent upgrades racing the final strong release: every successful
+// upgrade must yield a usable object; no slot is freed while a weak ref
+// or successful upgrade holds it.
+func TestConcurrentUpgradeVsRelease(t *testing.T) {
+	const rounds = 500
+	const upgraders = 3
+	d := newNodeDomain(upgraders + 1)
+
+	for r := 0; r < rounds; r++ {
+		setup := d.Attach()
+		p := setup.NewRc(func(n *node) { n.Val = int64(r) + 1 })
+		weaks := make([]WeakPtr, upgraders)
+		for i := range weaks {
+			weaks[i] = setup.Downgrade(p)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < upgraders; i++ {
+			wg.Add(1)
+			go func(w WeakPtr, want int64) {
+				defer wg.Done()
+				th := d.Attach()
+				defer th.Detach()
+				if up := th.Upgrade(w); !up.IsNil() {
+					if got := th.Deref(up).Val; got != want {
+						t.Errorf("upgraded object has Val=%d, want %d", got, want)
+					}
+					th.Release(up)
+				}
+				th.ReleaseWeak(w)
+			}(weaks[i], int64(r)+1)
+		}
+		setup.Release(p)
+		setup.Flush()
+		setup.Detach()
+		wg.Wait()
+	}
+	th := d.Attach()
+	drain(th)
+	th.Detach()
+	if live := d.Live(); live != 0 {
+		t.Fatalf("Live = %d at quiescence", live)
+	}
+}

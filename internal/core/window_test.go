@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"cdrc/internal/arena"
+)
+
+// The §5.1 safety argument for cas: "desired must be protected by an
+// acquire before the CAS. If it were not, the CAS could succeed right
+// before another thread stored to A, which could cause the reference
+// count of desired to be decremented [to zero], and the object would be
+// unsafely destroyed before the cas had a chance to increment".
+//
+// This test constructs exactly that window by hand: the CAS has succeeded
+// (the cell holds desired) but the increment has not landed. A competing
+// store then overwrites the cell and the deferred decrement machinery
+// runs at full force. With the announcement in place the object must
+// survive; once the window closes (increment + release), accounting must
+// balance.
+func TestCASDesiredProtectionWindow(t *testing.T) {
+	d := newNodeDomain(4)
+	t1 := d.Attach()
+	t2 := d.Attach()
+	defer t1.Detach()
+	defer t2.Detach()
+
+	var cell AtomicRcPtr
+	a := t1.NewRc(func(n *node) { n.Val = 77 }) // t1's only reference, count 1
+
+	// Open the window: announce desired, perform the raw CAS, but do NOT
+	// increment yet (the first half of Thread.CompareAndSwap).
+	d.ar.Announce(t1.pid, acquireSlot, uint64(a.Handle()))
+	if !cell.w.CompareAndSwap(0, uint64(a.Handle())) {
+		t.Fatal("raw CAS failed")
+	}
+
+	// Competitor: overwrite the cell, retiring the (uncounted!) reference
+	// to a, then drain hard. Without t1's announcement this would apply
+	// the decrement, taking a's count from 1 to 0 and freeing it.
+	t2.StoreMove(&cell, t2.NewRc(func(n *node) { n.Val = 88 }))
+	for i := 0; i < 8; i++ {
+		t2.Flush()
+	}
+	if got := t1.RefCount(a); got != 1 {
+		t.Fatalf("count = %d during window, want 1 (deferred)", got)
+	}
+	if t1.Deref(a).Val != 77 {
+		t.Fatal("object corrupted during window")
+	}
+	if d.Deferred() == 0 {
+		t.Fatal("the overwrite's decrement was not deferred")
+	}
+
+	// Close the window: apply the increment and release the announcement
+	// (the second half of CompareAndSwap).
+	t1.increment(a.Handle())
+	d.ar.Release(t1.pid, acquireSlot)
+
+	// Now the deferred decrement may land; net count must be 1 (t1's own
+	// reference: +1 cell-increment -1 overwrite-decrement).
+	for i := 0; i < 8; i++ {
+		t2.Flush()
+	}
+	if got := t1.RefCount(a); got != 1 {
+		t.Fatalf("count = %d after window, want 1", got)
+	}
+
+	t1.Release(a)
+	t2.StoreMove(&cell, NilRcPtr)
+	drain(t1)
+	drain(t2)
+	if live := d.Live(); live != 0 {
+		t.Fatalf("Live = %d at end", live)
+	}
+}
+
+// Same window for load (Fig. 3): acquire protects the count between
+// reading the handle and incrementing it.
+func TestLoadProtectionWindow(t *testing.T) {
+	d := newNodeDomain(4)
+	t1 := d.Attach()
+	t2 := d.Attach()
+	defer t1.Detach()
+	defer t2.Detach()
+
+	var cell AtomicRcPtr
+	t1.StoreMove(&cell, t1.NewRc(func(n *node) { n.Val = 5 })) // count 1 (cell's)
+
+	// First half of load: acquire (announce+read), no increment yet.
+	w := d.ar.Acquire(t2.pid, acquireSlot, &cell.w)
+	h := arena.Handle(w)
+	if h.IsNil() {
+		t.Fatal("acquired nil")
+	}
+
+	// The cell's only reference goes away; the decrement must stay
+	// deferred while t2's acquire is active.
+	t1.StoreMove(&cell, NilRcPtr)
+	for i := 0; i < 8; i++ {
+		t1.Flush()
+	}
+	if d.Live() == 0 {
+		t.Fatal("object freed under an active acquire")
+	}
+	if got := t1.d.pool.Hdr(h).RefCount.Load(); got != 1 {
+		t.Fatalf("count = %d during window, want 1", got)
+	}
+
+	// Second half: increment, release. t2 now owns the object outright.
+	t2.increment(h)
+	d.ar.Release(t2.pid, acquireSlot)
+	for i := 0; i < 8; i++ {
+		t1.Flush()
+	}
+	if got := t1.d.pool.Hdr(h).RefCount.Load(); got != 1 {
+		t.Fatalf("count = %d after window, want 1 (t2's)", got)
+	}
+	t2.Release(RcPtr{h})
+	drain(t2)
+	drain(t1)
+	if live := d.Live(); live != 0 {
+		t.Fatalf("Live = %d at end", live)
+	}
+}

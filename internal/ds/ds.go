@@ -1,0 +1,36 @@
+// Package ds defines the common concurrent-set interface that both the
+// manual-SMR data structures (internal/ds/smrds) and the deferred
+// reference counting ones (internal/ds/rcds) implement, so the §7.2
+// benchmarks can sweep schemes and structures orthogonally.
+package ds
+
+// Set is a concurrent set of uint64 keys under benchmark.
+type Set interface {
+	// Name labels the structure+scheme combination ("list/EBR", ...).
+	Name() string
+
+	// Attach registers a worker.
+	Attach() SetThread
+
+	// LiveNodes returns currently allocated nodes (diagnostics).
+	LiveNodes() int64
+
+	// Unreclaimed returns removed-but-not-freed nodes (the "extra nodes"
+	// series of Fig. 7).
+	Unreclaimed() int64
+}
+
+// SetThread is a per-worker context. Not safe for concurrent use.
+type SetThread interface {
+	// Insert adds key, reporting false if it was already present.
+	Insert(key uint64) bool
+
+	// Delete removes key, reporting false if it was absent.
+	Delete(key uint64) bool
+
+	// Contains reports whether key is present.
+	Contains(key uint64) bool
+
+	// Detach unregisters the worker.
+	Detach()
+}

@@ -1,0 +1,67 @@
+package rcds
+
+import (
+	"cdrc/internal/core"
+	"cdrc/internal/ds"
+)
+
+// HashTable is Michael's hash table over deferred reference counting:
+// an array of Harris-Michael bucket lists (Fig. 7b). On average a lookup
+// acquires a single snapshot pointer, which the paper observes makes this
+// workload the one where DRC matches or beats manual SMR outright.
+type HashTable struct {
+	base      *listBase
+	snapshots bool
+	buckets   []core.AtomicRcPtr
+	mask      uint64
+}
+
+// NewHashTable creates a hash set with the given power-of-two-rounded
+// bucket count.
+func NewHashTable(buckets int, maxProcs int, snapshots bool) *HashTable {
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	return &HashTable{
+		base:      newListBase("hash", maxProcs, snapshots),
+		snapshots: snapshots,
+		buckets:   make([]core.AtomicRcPtr, n),
+		mask:      uint64(n - 1),
+	}
+}
+
+// Name implements ds.Set.
+func (h *HashTable) Name() string { return h.base.name }
+
+// LiveNodes implements ds.Set.
+func (h *HashTable) LiveNodes() int64 { return h.base.dom.Live() }
+
+// Unreclaimed implements ds.Set.
+func (h *HashTable) Unreclaimed() int64 { return h.base.dom.Deferred() }
+
+// Attach implements ds.Set.
+func (h *HashTable) Attach() ds.SetThread {
+	return &hashThread{
+		listThread: &listThread{b: h.base, th: h.base.dom.Attach(), snapshots: h.snapshots},
+		t:          h,
+	}
+}
+
+type hashThread struct {
+	*listThread
+	t *HashTable
+}
+
+func (h *HashTable) bucket(key uint64) *core.AtomicRcPtr {
+	return &h.buckets[(key*0x9E3779B97F4A7C15)>>32&h.mask]
+}
+
+// Insert implements ds.SetThread.
+func (t *hashThread) Insert(key uint64) bool { return t.insert(t.t.bucket(key), key) }
+
+// Delete implements ds.SetThread.
+func (t *hashThread) Delete(key uint64) bool { return t.delete(t.t.bucket(key), key) }
+
+// Contains implements ds.SetThread.
+func (t *hashThread) Contains(key uint64) bool { return t.contains(t.t.bucket(key), key) }

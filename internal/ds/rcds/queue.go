@@ -1,0 +1,130 @@
+package rcds
+
+import (
+	"cdrc/internal/core"
+	"cdrc/internal/pid"
+)
+
+// Queue is a Michael-Scott lock-free FIFO queue over deferred reference
+// counting. It is not part of the paper's benchmark suite; it exists
+// because MSQueue is the canonical "manual SMR is fiddly here" structure
+// (the dummy-node handoff means the node a value lives in is freed by a
+// *later* dequeue than the one that returned the value), and with cdrc
+// the entire reclamation story is, again, nothing: the head-swing CAS
+// retires the old dummy implicitly.
+type Queue struct {
+	dom  *core.Domain[queueNode]
+	head core.AtomicRcPtr // owns the current dummy node
+	tail core.AtomicRcPtr
+}
+
+type queueNode struct {
+	v    uint64
+	next core.AtomicRcPtr
+}
+
+// NewQueue creates an empty queue (snapshot-protected hot paths).
+func NewQueue(maxProcs int) *Queue {
+	if maxProcs <= 0 {
+		maxProcs = pid.DefaultMaxProcs
+	}
+	q := &Queue{}
+	q.dom = core.NewDomain[queueNode](core.Config[queueNode]{
+		MaxProcs: maxProcs,
+		Finalizer: func(t *core.Thread[queueNode], n *queueNode) {
+			t.Release(n.next.LoadRaw())
+			n.next.Init(core.NilRcPtr)
+		},
+	})
+	t := q.dom.Attach()
+	dummy := t.NewRc(nil)
+	q.head.Init(t.Clone(dummy))
+	q.tail.Init(dummy)
+	t.Detach()
+	return q
+}
+
+// LiveNodes returns currently allocated nodes (diagnostics).
+func (q *Queue) LiveNodes() int64 { return q.dom.Live() }
+
+// Deferred returns pending deferred decrements (diagnostics).
+func (q *Queue) Deferred() int64 { return q.dom.Deferred() }
+
+// QueueThread is a per-worker handle.
+type QueueThread struct {
+	q  *Queue
+	th *core.Thread[queueNode]
+}
+
+// Attach registers a worker.
+func (q *Queue) Attach() *QueueThread { return &QueueThread{q: q, th: q.dom.Attach()} }
+
+// Detach unregisters the worker.
+func (t *QueueThread) Detach() {
+	t.th.Flush()
+	t.th.Detach()
+}
+
+// Enqueue appends v.
+func (t *QueueThread) Enqueue(v uint64) {
+	th := t.th
+	n := th.NewRc(func(nd *queueNode) { nd.v = v })
+	for {
+		tail := th.GetSnapshot(&t.q.tail)
+		tailN := th.DerefSnapshot(tail)
+		next := th.GetSnapshot(&tailN.next)
+		if t.q.tail.LoadRaw() != tail.Ptr() {
+			// Tail moved since we read it; cheap staleness filter.
+			th.ReleaseSnapshot(&next)
+			th.ReleaseSnapshot(&tail)
+			continue
+		}
+		if next.IsNil() {
+			// Link our node after the last one (the cell gains a counted
+			// copy of n).
+			if th.CompareAndSwap(&tailN.next, core.NilRcPtr, n) {
+				// Swing the tail (best effort, per Michael-Scott).
+				th.CompareAndSwap(&t.q.tail, tail.Ptr(), n)
+				th.ReleaseSnapshot(&next)
+				th.ReleaseSnapshot(&tail)
+				th.Release(n)
+				return
+			}
+		} else {
+			// Help the lagging tail forward.
+			th.CompareAndSwapFromSnapshots(&t.q.tail, tail, next)
+		}
+		th.ReleaseSnapshot(&next)
+		th.ReleaseSnapshot(&tail)
+	}
+}
+
+// Dequeue removes and returns the oldest value, reporting false if the
+// queue is empty.
+func (t *QueueThread) Dequeue() (uint64, bool) {
+	th := t.th
+	for {
+		head := th.GetSnapshot(&t.q.head)
+		next := th.GetSnapshot(&th.DerefSnapshot(head).next)
+		if next.IsNil() {
+			th.ReleaseSnapshot(&next)
+			th.ReleaseSnapshot(&head)
+			return 0, false
+		}
+		// The value lives in the *successor* of the dummy; read it under
+		// the snapshot, before the node can possibly be reclaimed.
+		v := th.DerefSnapshot(next).v
+		nextRc := th.RcFromSnapshot(next)
+		if th.CompareAndSwapMove(&t.q.head, head.Ptr(), nextRc.Unmarked()) {
+			// The old dummy's reference was retired by the CAS; it
+			// reclaims once our snapshot releases. No manual retire, and
+			// no "free the node two dequeues later" dance.
+			th.ReleaseSnapshot(&next)
+			th.ReleaseSnapshot(&head)
+			return v, true
+		}
+		th.Release(nextRc)
+		th.ReleaseSnapshot(&next)
+		th.ReleaseSnapshot(&head)
+	}
+}

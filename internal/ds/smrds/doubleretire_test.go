@@ -1,0 +1,51 @@
+package smrds
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"cdrc/internal/smr"
+)
+
+// Regression test for two bug classes this suite has caught:
+//
+//   - a data structure retiring the same node twice (e.g. an ambiguous
+//     chain walk in the Natarajan-Mittal cleanup), detected by the
+//     pending-retire map (debugRetires);
+//   - the reclaimer freeing under a different processor-id space than the
+//     structure allocates under, corrupting arena free lists - detected
+//     as a free of a handle with no pending retire.
+//
+// The injection/tag hooks force the preemption windows that create
+// multi-node removal chains, so the chain walk is exercised hard.
+func TestBSTNoDoubleRetireUnderChainStress(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	for round := 0; round < 8; round++ {
+		tree := NewBST(smr.KindEBR, 16)
+		tree.afterInjection = runtime.Gosched
+		tree.afterTag = runtime.Gosched
+		tree.debugRetires = &sync.Map{}
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				th := tree.Attach()
+				defer th.Detach()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 6000; i++ {
+					k := uint64(rng.Int63n(32))
+					if rng.Intn(2) == 0 {
+						th.Insert(k)
+					} else {
+						th.Delete(k)
+					}
+				}
+			}(int64(round*8 + w + 1))
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,49 @@
+package lincheck
+
+import "testing"
+
+// FuzzSequentialHistories decodes the fuzz input as a sequential op
+// stream, replays it against an in-test stack to produce ground-truth
+// results, and asserts the checker accepts the (by construction
+// linearizable) history - and rejects it after corrupting one result.
+func FuzzSequentialHistories(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 1, 1})
+	f.Add([]byte{1, 0, 0, 3, 1, 1, 0, 4, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var stack []uint64
+		var ops []Op
+		clock := int64(0)
+		for i := 0; i+1 < len(data) && len(ops) < 16; i += 2 {
+			clock++
+			op := Op{Start: clock}
+			if data[i]%2 == 0 {
+				op.Kind = OpPush
+				op.Arg = uint64(data[i+1]%100) + 1
+				stack = append(stack, op.Arg)
+			} else {
+				op.Kind = OpPop
+				if len(stack) > 0 {
+					op.Ret = stack[len(stack)-1]
+					op.RetOK = true
+					stack = stack[:len(stack)-1]
+				}
+			}
+			clock++
+			op.End = clock
+			ops = append(ops, op)
+		}
+		if !Check[string](StackModel{}, ops) {
+			t.Fatalf("ground-truth sequential history rejected: %+v", ops)
+		}
+		// Corrupt one successful pop's value: must now be rejected.
+		for i := range ops {
+			if ops[i].Kind == OpPop && ops[i].RetOK {
+				ops[i].Ret += 1000
+				if Check[string](StackModel{}, ops) {
+					t.Fatalf("corrupted history accepted: %+v", ops)
+				}
+				break
+			}
+		}
+	})
+}

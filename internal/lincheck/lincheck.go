@@ -1,0 +1,230 @@
+// Package lincheck is a small linearizability checker in the style of
+// Wing & Gong: given a concurrent history of operations (invocation and
+// response timestamps from a shared logical clock) and a sequential
+// specification, it searches for a linearization - a total order of the
+// operations that respects real-time precedence and under which every
+// observed result is legal.
+//
+// The checker is exhaustive with memoization on (remaining-operation set,
+// specification state), so it is intended for the short histories the
+// integration tests generate (up to ~20 operations), not for full
+// benchmark runs. Its role in this repository is to validate that the
+// data structures built over the cdrc library (and their manual-SMR
+// twins) are linearizable on real interleavings - the correctness
+// property §1 assumes of every structure the paper benchmarks.
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is one completed operation of a history.
+type Op struct {
+	// Kind is a model-specific opcode.
+	Kind int
+
+	// Arg and Ret are the operation's input and observed output; RetOK is
+	// the observed boolean result for operations that have one.
+	Arg   uint64
+	Ret   uint64
+	RetOK bool
+
+	// Start and End are logical timestamps drawn from a shared atomic
+	// counter: Start strictly before the operation's first side effect,
+	// End strictly after its last. If one op's End precedes another's
+	// Start, the linearization must order them that way.
+	Start, End int64
+}
+
+// Model is a sequential specification. States must be immutable values:
+// Apply returns a new state rather than mutating.
+type Model[S any] interface {
+	// Init returns the initial state.
+	Init() S
+
+	// Apply checks whether op, applied in state s, legally produces the
+	// observed result; if so it returns the successor state.
+	Apply(s S, op Op) (S, bool)
+
+	// Key returns a canonical encoding of s for memoization.
+	Key(s S) string
+}
+
+// maxOps bounds history length (the memo mask is a uint64).
+const maxOps = 62
+
+// Check reports whether history is linearizable with respect to the
+// model. It panics if the history exceeds the checker's size bound,
+// because silently truncating a history would make a "pass" meaningless.
+func Check[S any](m Model[S], history []Op) bool {
+	if len(history) > maxOps {
+		panic(fmt.Sprintf("lincheck: history of %d ops exceeds bound %d", len(history), maxOps))
+	}
+	ops := make([]Op, len(history))
+	copy(ops, history)
+	// Sorting by start time keeps the minimal-op scan cheap and makes
+	// memo keys stable.
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+
+	c := &checker[S]{
+		m:    m,
+		ops:  ops,
+		memo: make(map[string]bool),
+	}
+	full := uint64(1)<<len(ops) - 1
+	return c.search(full, m.Init())
+}
+
+type checker[S any] struct {
+	m    Model[S]
+	ops  []Op
+	memo map[string]bool
+}
+
+// search tries to linearize the operations in mask starting from state s.
+func (c *checker[S]) search(mask uint64, s S) bool {
+	if mask == 0 {
+		return true
+	}
+	key := fmt.Sprintf("%x|%s", mask, c.m.Key(s))
+	if done, ok := c.memo[key]; ok {
+		return done
+	}
+	// An operation may linearize first iff no other remaining operation
+	// completed before it began.
+	minEnd := int64(1<<62 - 1)
+	for i := 0; i < len(c.ops); i++ {
+		if mask&(1<<i) != 0 && c.ops[i].End < minEnd {
+			minEnd = c.ops[i].End
+		}
+	}
+	ok := false
+	for i := 0; i < len(c.ops) && !ok; i++ {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		op := c.ops[i]
+		if op.Start > minEnd {
+			// Some remaining operation finished before this one started;
+			// it cannot go first (and neither can any later-starting op,
+			// but the ops are only sorted by Start, so keep scanning
+			// until that holds).
+			break
+		}
+		next, legal := c.m.Apply(s, op)
+		if !legal {
+			continue
+		}
+		ok = c.search(mask&^(1<<i), next)
+	}
+	c.memo[key] = ok
+	return ok
+}
+
+// --- Ready-made models -----------------------------------------------------
+
+// Opcodes shared by the bundled models.
+const (
+	OpPush = iota // stack push / queue enqueue: Arg = value
+	OpPop         // stack pop / queue dequeue: Ret, RetOK observed
+	OpInsert
+	OpDelete
+	OpContains
+)
+
+// StackModel is the sequential LIFO stack specification.
+type StackModel struct{}
+
+// Init implements Model.
+func (StackModel) Init() string { return "" }
+
+// Key implements Model.
+func (StackModel) Key(s string) string { return s }
+
+// Apply implements Model. The state encodes the stack as a byte-string of
+// values (top last); values must fit a byte for encoding simplicity.
+func (StackModel) Apply(s string, op Op) (string, bool) {
+	switch op.Kind {
+	case OpPush:
+		return s + string(rune(op.Arg)), true
+	case OpPop:
+		if len(s) == 0 {
+			return s, !op.RetOK
+		}
+		if !op.RetOK {
+			return s, false
+		}
+		top := uint64(s[len(s)-1])
+		if op.Ret != top {
+			return s, false
+		}
+		return s[:len(s)-1], true
+	}
+	return s, false
+}
+
+// QueueModel is the sequential FIFO queue specification.
+type QueueModel struct{}
+
+// Init implements Model.
+func (QueueModel) Init() string { return "" }
+
+// Key implements Model.
+func (QueueModel) Key(s string) string { return s }
+
+// Apply implements Model (OpPush = enqueue at back, OpPop = dequeue from
+// front).
+func (QueueModel) Apply(s string, op Op) (string, bool) {
+	switch op.Kind {
+	case OpPush:
+		return s + string(rune(op.Arg)), true
+	case OpPop:
+		if len(s) == 0 {
+			return s, !op.RetOK
+		}
+		if !op.RetOK {
+			return s, false
+		}
+		if op.Ret != uint64(s[0]) {
+			return s, false
+		}
+		return s[1:], true
+	}
+	return s, false
+}
+
+// SetModel is the sequential set specification.
+type SetModel struct{}
+
+// Init implements Model.
+func (SetModel) Init() uint64 { return 0 }
+
+// Key implements Model.
+func (SetModel) Key(s uint64) string { return fmt.Sprintf("%x", s) }
+
+// Apply implements Model. The state is a bitmask over keys < 64.
+func (SetModel) Apply(s uint64, op Op) (uint64, bool) {
+	bit := uint64(1) << op.Arg
+	switch op.Kind {
+	case OpInsert:
+		if s&bit != 0 {
+			return s, !op.RetOK
+		}
+		if !op.RetOK {
+			return s, false
+		}
+		return s | bit, true
+	case OpDelete:
+		if s&bit == 0 {
+			return s, !op.RetOK
+		}
+		if !op.RetOK {
+			return s, false
+		}
+		return s &^ bit, true
+	case OpContains:
+		return s, op.RetOK == (s&bit != 0)
+	}
+	return s, false
+}

@@ -1,0 +1,144 @@
+package lincheck
+
+import "testing"
+
+// seq builds a strictly sequential history from (kind, arg, ret, ok)
+// tuples.
+type htuple struct {
+	kind int
+	arg  uint64
+	ret  uint64
+	ok   bool
+}
+
+func seq(ts ...htuple) []Op {
+	var ops []Op
+	clock := int64(0)
+	for _, t := range ts {
+		clock++
+		start := clock
+		clock++
+		ops = append(ops, Op{Kind: t.kind, Arg: t.arg, Ret: t.ret, RetOK: t.ok, Start: start, End: clock})
+	}
+	return ops
+}
+
+func TestStackSequentialLegal(t *testing.T) {
+	h := seq(
+		htuple{OpPush, 1, 0, true},
+		htuple{OpPush, 2, 0, true},
+		htuple{OpPop, 0, 2, true},
+		htuple{OpPop, 0, 1, true},
+		htuple{OpPop, 0, 0, false},
+	)
+	if !Check[string](StackModel{}, h) {
+		t.Fatal("legal LIFO history rejected")
+	}
+}
+
+func TestStackSequentialIllegal(t *testing.T) {
+	// FIFO order out of a stack: not linearizable.
+	h := seq(
+		htuple{OpPush, 1, 0, true},
+		htuple{OpPush, 2, 0, true},
+		htuple{OpPop, 0, 1, true},
+	)
+	if Check[string](StackModel{}, h) {
+		t.Fatal("non-LIFO history accepted")
+	}
+}
+
+func TestQueueSequential(t *testing.T) {
+	ok := seq(
+		htuple{OpPush, 1, 0, true},
+		htuple{OpPush, 2, 0, true},
+		htuple{OpPop, 0, 1, true},
+		htuple{OpPop, 0, 2, true},
+	)
+	if !Check[string](QueueModel{}, ok) {
+		t.Fatal("legal FIFO history rejected")
+	}
+	bad := seq(
+		htuple{OpPush, 1, 0, true},
+		htuple{OpPush, 2, 0, true},
+		htuple{OpPop, 0, 2, true},
+	)
+	if Check[string](QueueModel{}, bad) {
+		t.Fatal("LIFO order out of a queue accepted")
+	}
+}
+
+func TestSetSequential(t *testing.T) {
+	ok := seq(
+		htuple{OpInsert, 3, 0, true},
+		htuple{OpInsert, 3, 0, false},
+		htuple{OpContains, 3, 0, true},
+		htuple{OpDelete, 3, 0, true},
+		htuple{OpContains, 3, 0, false},
+		htuple{OpDelete, 3, 0, false},
+	)
+	if !Check[uint64](SetModel{}, ok) {
+		t.Fatal("legal set history rejected")
+	}
+	bad := seq(
+		htuple{OpInsert, 3, 0, true},
+		htuple{OpContains, 3, 0, false},
+		htuple{OpDelete, 3, 0, true},
+	)
+	if Check[uint64](SetModel{}, bad) {
+		t.Fatal("contradictory set history accepted")
+	}
+}
+
+// Overlapping operations permit reordering: a pop overlapping two pushes
+// may return either value.
+func TestConcurrentReorderingAllowed(t *testing.T) {
+	h := []Op{
+		{Kind: OpPush, Arg: 1, Start: 1, End: 10},
+		{Kind: OpPush, Arg: 2, Start: 2, End: 11},
+		{Kind: OpPop, Ret: 1, RetOK: true, Start: 3, End: 12},
+	}
+	if !Check[string](StackModel{}, h) {
+		t.Fatal("valid overlap linearization rejected (pop 1: push1 pop push2)")
+	}
+	h[2].Ret = 2
+	if !Check[string](StackModel{}, h) {
+		t.Fatal("valid overlap linearization rejected (pop 2: push1 push2 pop)")
+	}
+}
+
+// Real-time precedence is enforced: a pop that strictly follows both
+// pushes must return the top.
+func TestRealTimeOrderEnforced(t *testing.T) {
+	h := []Op{
+		{Kind: OpPush, Arg: 1, Start: 1, End: 2},
+		{Kind: OpPush, Arg: 2, Start: 3, End: 4},
+		{Kind: OpPop, Ret: 1, RetOK: true, Start: 5, End: 6},
+	}
+	if Check[string](StackModel{}, h) {
+		t.Fatal("pop of non-top accepted despite strict ordering")
+	}
+	// Popping empty while an unfinished push overlaps is fine.
+	h2 := []Op{
+		{Kind: OpPush, Arg: 1, Start: 1, End: 10},
+		{Kind: OpPop, RetOK: false, Start: 2, End: 3},
+	}
+	if !Check[string](StackModel{}, h2) {
+		t.Fatal("empty pop overlapping a push rejected")
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if !Check[string](StackModel{}, nil) {
+		t.Fatal("empty history rejected")
+	}
+}
+
+func TestOversizeHistoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Check[string](StackModel{}, make([]Op, maxOps+1))
+}

@@ -1,0 +1,41 @@
+package multiset
+
+import "testing"
+
+// FuzzAgainstModel drives the multiset with an op stream decoded from the
+// fuzz input and cross-checks every observation against a map model.
+func FuzzAgainstModel(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0, 0, 0, 255, 255, 255, 128, 7, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Set
+		model := map[uint64]int{}
+		for i := 0; i+1 < len(data); i += 2 {
+			k := uint64(data[i+1]%31) + 1
+			switch data[i] % 4 {
+			case 0, 1:
+				s.Add(k)
+				model[k]++
+			case 2:
+				ok := s.Remove(k)
+				if (model[k] > 0) != ok {
+					t.Fatalf("Remove(%d) = %v with model count %d", k, ok, model[k])
+				}
+				if model[k] > 0 {
+					model[k]--
+				}
+			case 3:
+				if got := s.Count(k); got != model[k] {
+					t.Fatalf("Count(%d) = %d, want %d", k, got, model[k])
+				}
+			}
+		}
+		total := 0
+		for _, c := range model {
+			total += c
+		}
+		if s.Len() != total {
+			t.Fatalf("Len = %d, want %d", s.Len(), total)
+		}
+	})
+}

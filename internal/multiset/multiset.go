@@ -1,0 +1,154 @@
+// Package multiset implements a reusable open-addressing hash multiset over
+// 64-bit words.
+//
+// The acquire-retire algorithm's ejectAll (Fig. 5 of the paper) computes a
+// multiset difference between a retired list and the announced handles in
+// O(|rl| + K) expected time "using a local hash table". This is that table:
+// each processor owns one, resets it between scans without reallocating,
+// and uses it to count announcement multiplicities so that a handle retired
+// s times and announced t times is ejected exactly s-t times.
+package multiset
+
+import "math/bits"
+
+const (
+	minCapacity = 16
+	// maxLoadNum/maxLoadDen is the load factor at which the table grows.
+	maxLoadNum = 3
+	maxLoadDen = 4
+)
+
+// Set is a multiset of non-zero uint64 keys. The zero value is ready to
+// use. Set is not safe for concurrent use; each processor owns its own.
+type Set struct {
+	keys   []uint64
+	counts []int32
+	n      int // occupied slots (distinct keys)
+	items  int // total multiplicity
+}
+
+// hash mixes k with the 64-bit Fibonacci constant. Table sizes are powers
+// of two, so the high bits must be brought down.
+func hash(k uint64, mask uint64) uint64 {
+	return (k * 0x9E3779B97F4A7C15) >> (64 - uint(bits.TrailingZeros64(mask+1))) & mask
+}
+
+// Reset empties the set, retaining capacity.
+func (s *Set) Reset() {
+	for i := range s.keys {
+		s.keys[i] = 0
+		s.counts[i] = 0
+	}
+	s.n = 0
+	s.items = 0
+}
+
+// Len returns the total multiplicity of the set.
+func (s *Set) Len() int { return s.items }
+
+// Distinct returns the number of distinct keys in the set.
+func (s *Set) Distinct() int { return s.n }
+
+// Add inserts one occurrence of k. Adding key 0 panics: the zero word is
+// the table's empty sentinel (and the nil handle, which is never tracked).
+func (s *Set) Add(k uint64) {
+	if k == 0 {
+		panic("multiset: Add(0)")
+	}
+	if len(s.keys) == 0 || (s.n+1)*maxLoadDen > len(s.keys)*maxLoadNum {
+		s.grow()
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := hash(k, mask)
+	for {
+		switch s.keys[i] {
+		case k:
+			s.counts[i]++
+			s.items++
+			return
+		case 0:
+			s.keys[i] = k
+			s.counts[i] = 1
+			s.n++
+			s.items++
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Count returns the multiplicity of k.
+func (s *Set) Count(k uint64) int {
+	if k == 0 || len(s.keys) == 0 {
+		return 0
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := hash(k, mask)
+	for {
+		switch s.keys[i] {
+		case k:
+			return int(s.counts[i])
+		case 0:
+			return 0
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Remove deletes one occurrence of k, reporting whether an occurrence was
+// present. Slots are never vacated (counts drop to zero but keys remain as
+// tombstones); Reset clears them. This keeps probe sequences valid without
+// backward-shift deletion, which is fine for the scan-then-reset usage
+// pattern.
+func (s *Set) Remove(k uint64) bool {
+	if k == 0 || len(s.keys) == 0 {
+		return false
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := hash(k, mask)
+	for {
+		switch s.keys[i] {
+		case k:
+			if s.counts[i] == 0 {
+				return false
+			}
+			s.counts[i]--
+			s.items--
+			return true
+		case 0:
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *Set) grow() {
+	newCap := minCapacity
+	if len(s.keys) > 0 {
+		newCap = len(s.keys) * 2
+	}
+	oldKeys, oldCounts := s.keys, s.counts
+	s.keys = make([]uint64, newCap)
+	s.counts = make([]int32, newCap)
+	mask := uint64(newCap - 1)
+	for i, k := range oldKeys {
+		if k == 0 || oldCounts[i] == 0 {
+			continue
+		}
+		j := hash(k, mask)
+		for s.keys[j] != 0 {
+			j = (j + 1) & mask
+		}
+		s.keys[j] = k
+		s.counts[j] = oldCounts[i]
+	}
+	// n and items are unchanged by rehashing; tombstones are dropped, so
+	// recompute n.
+	n := 0
+	for _, k := range s.keys {
+		if k != 0 {
+			n++
+		}
+	}
+	s.n = n
+}

@@ -1,0 +1,131 @@
+package multiset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicAddCountRemove(t *testing.T) {
+	var s Set
+	s.Add(7)
+	s.Add(7)
+	s.Add(9)
+	if got := s.Count(7); got != 2 {
+		t.Fatalf("Count(7) = %d, want 2", got)
+	}
+	if got := s.Count(9); got != 1 {
+		t.Fatalf("Count(9) = %d, want 1", got)
+	}
+	if got := s.Count(8); got != 0 {
+		t.Fatalf("Count(8) = %d, want 0", got)
+	}
+	if !s.Remove(7) {
+		t.Fatal("Remove(7) = false")
+	}
+	if got := s.Count(7); got != 1 {
+		t.Fatalf("Count(7) after remove = %d, want 1", got)
+	}
+	if s.Remove(8) {
+		t.Fatal("Remove(8) = true on absent key")
+	}
+	if s.Len() != 2 || s.Distinct() != 2 {
+		t.Fatalf("Len=%d Distinct=%d", s.Len(), s.Distinct())
+	}
+}
+
+func TestRemoveExhausted(t *testing.T) {
+	var s Set
+	s.Add(5)
+	if !s.Remove(5) {
+		t.Fatal("first Remove failed")
+	}
+	if s.Remove(5) {
+		t.Fatal("Remove succeeded past zero multiplicity")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Set
+	for i := uint64(1); i <= 100; i++ {
+		s.Add(i)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", s.Len())
+	}
+	for i := uint64(1); i <= 100; i++ {
+		if s.Count(i) != 0 {
+			t.Fatalf("Count(%d) != 0 after Reset", i)
+		}
+	}
+	// Reusable after reset.
+	s.Add(3)
+	if s.Count(3) != 1 {
+		t.Fatal("set unusable after Reset")
+	}
+}
+
+func TestAddZeroPanics(t *testing.T) {
+	var s Set
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Add(0)")
+		}
+	}()
+	s.Add(0)
+}
+
+func TestGrowthPreservesCounts(t *testing.T) {
+	var s Set
+	const n = 10000
+	for i := uint64(1); i <= n; i++ {
+		for j := uint64(0); j < i%3+1; j++ {
+			s.Add(i)
+		}
+	}
+	for i := uint64(1); i <= n; i++ {
+		if got, want := s.Count(i), int(i%3+1); got != want {
+			t.Fatalf("Count(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// Property: the set agrees with a map-based model under random operations.
+func TestAgainstModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Set
+		model := map[uint64]int{}
+		for op := 0; op < 2000; op++ {
+			k := uint64(rng.Intn(50) + 1)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(k)
+				model[k]++
+			case 1:
+				ok := s.Remove(k)
+				if model[k] > 0 {
+					if !ok {
+						return false
+					}
+					model[k]--
+				} else if ok {
+					return false
+				}
+			case 2:
+				if s.Count(k) != model[k] {
+					return false
+				}
+			}
+		}
+		total := 0
+		for _, c := range model {
+			total += c
+		}
+		return s.Len() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package pid
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegisterSequential(t *testing.T) {
+	r := NewRegistry(4)
+	ids := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		id := r.Register()
+		if id < 0 || id >= 4 {
+			t.Fatalf("id %d out of range", id)
+		}
+		if ids[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		ids[id] = true
+	}
+	if got := r.InUse(); got != 4 {
+		t.Fatalf("InUse = %d, want 4", got)
+	}
+}
+
+func TestRegisterFullPanics(t *testing.T) {
+	r := NewRegistry(1)
+	r.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on full registry")
+		}
+	}()
+	r.Register()
+}
+
+func TestTryRegisterFull(t *testing.T) {
+	r := NewRegistry(2)
+	if _, ok := r.TryRegister(); !ok {
+		t.Fatal("first TryRegister failed")
+	}
+	if _, ok := r.TryRegister(); !ok {
+		t.Fatal("second TryRegister failed")
+	}
+	if _, ok := r.TryRegister(); ok {
+		t.Fatal("TryRegister succeeded on full registry")
+	}
+}
+
+func TestReuseAfterRelease(t *testing.T) {
+	r := NewRegistry(2)
+	a := r.Register()
+	b := r.Register()
+	r.Release(a)
+	c := r.Register()
+	if c != a {
+		t.Fatalf("expected released id %d to be reused, got %d", a, c)
+	}
+	r.Release(b)
+	r.Release(c)
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d after releasing all", r.InUse())
+	}
+}
+
+func TestReleaseOutOfRangePanics(t *testing.T) {
+	r := NewRegistry(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range release")
+		}
+	}()
+	r.Release(7)
+}
+
+func TestHighWater(t *testing.T) {
+	r := NewRegistry(8)
+	a := r.Register()
+	b := r.Register()
+	r.Release(a)
+	r.Release(b)
+	r.Register() // reuses
+	if hw := r.HighWater(); hw != 2 {
+		t.Fatalf("HighWater = %d, want 2", hw)
+	}
+}
+
+func TestDefaultCap(t *testing.T) {
+	r := NewRegistry(0)
+	if r.Cap() != DefaultMaxProcs {
+		t.Fatalf("Cap = %d, want %d", r.Cap(), DefaultMaxProcs)
+	}
+}
+
+func TestConcurrentRegisterRelease(t *testing.T) {
+	const workers = 32
+	const iters = 200
+	r := NewRegistry(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := r.Register()
+				if id < 0 || id >= workers {
+					t.Errorf("id %d out of range", id)
+					return
+				}
+				r.Release(id)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d at quiescence", r.InUse())
+	}
+}

@@ -1,0 +1,276 @@
+package rcscheme_test
+
+import (
+	"sync"
+	"testing"
+
+	"cdrc/internal/rcscheme"
+	"cdrc/internal/rcscheme/drcadapt"
+	"cdrc/internal/rcscheme/herlihyrc"
+	"cdrc/internal/rcscheme/lockrc"
+	"cdrc/internal/rcscheme/orcgc"
+	"cdrc/internal/rcscheme/splitrc"
+)
+
+type debuggable interface {
+	EnableDebugChecks()
+}
+
+func allSchemes(maxProcs int) []rcscheme.StackScheme {
+	schemes := []rcscheme.StackScheme{
+		lockrc.New(maxProcs),
+		splitrc.NewFolly(maxProcs),
+		splitrc.NewJustThread(maxProcs),
+		herlihyrc.NewClassic(maxProcs),
+		herlihyrc.NewOptimized(maxProcs),
+		orcgc.New(maxProcs),
+		drcadapt.New(maxProcs),
+		drcadapt.NewSnapshots(maxProcs),
+	}
+	for _, s := range schemes {
+		if d, ok := s.(debuggable); ok {
+			d.EnableDebugChecks()
+		}
+	}
+	return schemes
+}
+
+func forEachScheme(t *testing.T, maxProcs int, f func(t *testing.T, s rcscheme.StackScheme)) {
+	for _, s := range allSchemes(maxProcs) {
+		t.Run(s.Name(), func(t *testing.T) { f(t, s) })
+	}
+}
+
+func TestLoadStoreSequential(t *testing.T) {
+	forEachScheme(t, 4, func(t *testing.T, s rcscheme.StackScheme) {
+		s.Setup(3)
+		th := s.Attach()
+		if got := th.Load(0); got != 0 {
+			t.Fatalf("load of empty cell = %d", got)
+		}
+		th.Store(0, 41)
+		th.Store(1, 42)
+		if got := th.Load(0); got != 41 {
+			t.Fatalf("Load(0) = %d, want 41", got)
+		}
+		if got := th.Load(1); got != 42 {
+			t.Fatalf("Load(1) = %d, want 42", got)
+		}
+		th.Store(0, 43) // overwrite must reclaim the old object eventually
+		if got := th.Load(0); got != 43 {
+			t.Fatalf("Load(0) after overwrite = %d, want 43", got)
+		}
+		th.Detach()
+		s.Teardown()
+		if live := s.Live(); live != 0 {
+			t.Fatalf("Live = %d after Teardown", live)
+		}
+	})
+}
+
+func TestLoadStoreRepeatedOverwriteReclaims(t *testing.T) {
+	forEachScheme(t, 4, func(t *testing.T, s rcscheme.StackScheme) {
+		s.Setup(1)
+		th := s.Attach()
+		for i := 0; i < 10000; i++ {
+			th.Store(0, uint64(i+1))
+		}
+		th.Detach()
+		// Live may include deferred garbage, but must be far below the
+		// 10000 allocations: a deferral bound, not a leak.
+		if live := s.Live(); live > 2000 {
+			t.Fatalf("Live = %d after 10000 overwrites: reclamation is not happening", live)
+		}
+		s.Teardown()
+		if live := s.Live(); live != 0 {
+			t.Fatalf("Live = %d after Teardown", live)
+		}
+	})
+}
+
+func TestLoadStoreConcurrent(t *testing.T) {
+	forEachScheme(t, 8, func(t *testing.T, s rcscheme.StackScheme) {
+		const workers = 8
+		const iters = 8000
+		s.Setup(4)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				th := s.Attach()
+				defer th.Detach()
+				rng := seed
+				for i := 0; i < iters; i++ {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					c := int(rng >> 33 % 4)
+					if rng>>62 == 0 { // 25% stores
+						th.Store(c, rng|1)
+					} else {
+						v := th.Load(c)
+						if v == 0 {
+							continue // nil cell
+						}
+						if v&1 != 1 {
+							t.Errorf("loaded torn/garbage value %#x", v)
+							return
+						}
+					}
+				}
+			}(uint64(w + 1))
+		}
+		wg.Wait()
+		s.Teardown()
+		if live := s.Live(); live != 0 {
+			t.Fatalf("Live = %d after Teardown", live)
+		}
+	})
+}
+
+func TestStackSequentialLIFO(t *testing.T) {
+	forEachScheme(t, 4, func(t *testing.T, s rcscheme.StackScheme) {
+		s.SetupStacks(2, nil)
+		th := s.AttachStack()
+		if _, ok := th.Pop(0); ok {
+			t.Fatal("pop from empty stack succeeded")
+		}
+		for i := uint64(1); i <= 50; i++ {
+			th.Push(0, i)
+		}
+		if !th.Find(0, 25) {
+			t.Fatal("Find(25) = false")
+		}
+		if th.Find(0, 999) {
+			t.Fatal("Find(999) = true")
+		}
+		if th.Find(1, 25) {
+			t.Fatal("Find on other stack = true")
+		}
+		for i := uint64(50); i >= 1; i-- {
+			v, ok := th.Pop(0)
+			if !ok || v != i {
+				t.Fatalf("Pop = (%d, %v), want (%d, true)", v, ok, i)
+			}
+		}
+		if _, ok := th.Pop(0); ok {
+			t.Fatal("pop from emptied stack succeeded")
+		}
+		th.Detach()
+		s.Teardown()
+		if live := s.Live(); live != 0 {
+			t.Fatalf("Live = %d after Teardown", live)
+		}
+	})
+}
+
+func TestStackInitialContents(t *testing.T) {
+	forEachScheme(t, 4, func(t *testing.T, s rcscheme.StackScheme) {
+		s.SetupStacks(2, [][]uint64{{1, 2, 3}, {4}})
+		th := s.AttachStack()
+		if v, ok := th.Pop(0); !ok || v != 3 {
+			t.Fatalf("Pop(0) = (%d, %v), want (3, true)", v, ok)
+		}
+		if !th.Find(1, 4) {
+			t.Fatal("Find(1, 4) = false")
+		}
+		th.Detach()
+		s.Teardown()
+		if live := s.Live(); live != 0 {
+			t.Fatalf("Live = %d after Teardown", live)
+		}
+	})
+}
+
+// Value conservation under the paper's transfer workload: values only move
+// between stacks, so the multiset of values must be preserved exactly.
+func TestStackConcurrentTransferConservation(t *testing.T) {
+	forEachScheme(t, 8, func(t *testing.T, s rcscheme.StackScheme) {
+		const nstacks = 4
+		const perStack = 16
+		const workers = 8
+		const iters = 4000
+
+		init := make([][]uint64, nstacks)
+		want := map[uint64]int{}
+		next := uint64(1)
+		for j := range init {
+			for k := 0; k < perStack; k++ {
+				init[j] = append(init[j], next)
+				want[next]++
+				next++
+			}
+		}
+		s.SetupStacks(nstacks, init)
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				th := s.AttachStack()
+				defer th.Detach()
+				rng := seed
+				for i := 0; i < iters; i++ {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					from := int(rng >> 33 % nstacks)
+					to := int(rng >> 40 % nstacks)
+					switch rng >> 62 {
+					case 0, 1: // transfer
+						if v, ok := th.Pop(from); ok {
+							th.Push(to, v)
+						}
+					default: // find
+						th.Find(from, rng>>20%uint64(nstacks*perStack)+1)
+					}
+				}
+			}(uint64(w + 1))
+		}
+		wg.Wait()
+
+		th := s.AttachStack()
+		got := map[uint64]int{}
+		for j := 0; j < nstacks; j++ {
+			for {
+				v, ok := th.Pop(j)
+				if !ok {
+					break
+				}
+				got[v]++
+			}
+		}
+		th.Detach()
+		if len(got) != len(want) {
+			t.Fatalf("value set size %d, want %d", len(got), len(want))
+		}
+		for v, c := range want {
+			if got[v] != c {
+				t.Fatalf("value %d count %d, want %d", v, got[v], c)
+			}
+		}
+		s.Teardown()
+		if live := s.Live(); live != 0 {
+			t.Fatalf("Live = %d after Teardown", live)
+		}
+	})
+}
+
+func TestStackMemoryBounded(t *testing.T) {
+	forEachScheme(t, 4, func(t *testing.T, s rcscheme.StackScheme) {
+		s.SetupStacks(1, nil)
+		th := s.AttachStack()
+		// Churn: push/pop pairs. Live nodes should stay near zero plus a
+		// bounded deferral overhead.
+		for i := 0; i < 20000; i++ {
+			th.Push(0, uint64(i+1))
+			th.Pop(0)
+		}
+		th.Detach()
+		if live := s.Live(); live > 2000 {
+			t.Fatalf("Live = %d after churn: nodes are leaking", live)
+		}
+		s.Teardown()
+		if live := s.Live(); live != 0 {
+			t.Fatalf("Live = %d after Teardown", live)
+		}
+	})
+}

@@ -1,0 +1,294 @@
+// Package drcadapt exposes the paper's deferred reference counting library
+// (internal/core) through the rcscheme benchmark interfaces, in the two
+// configurations the evaluation plots:
+//
+//   - "DRC": deferred decrements only (Fig. 3) - loads eagerly increment,
+//     destructs apply immediately. This is the configuration of
+//     Figs. 6a-6d and the "DRC" series of Figs. 6e-6h and 7.
+//   - "DRC (+ snapshots)": deferred decrements and deferred increments
+//     (Fig. 4) - short-lived reads hold snapshots and touch no counter.
+package drcadapt
+
+import (
+	"cdrc/internal/acqret"
+	"cdrc/internal/core"
+	"cdrc/internal/pid"
+	"cdrc/internal/rcscheme"
+)
+
+type stackNode struct {
+	v    rcscheme.StackValue
+	next core.AtomicRcPtr
+}
+
+// Scheme implements rcscheme.StackScheme over the core library.
+type Scheme struct {
+	name      string
+	snapshots bool
+	maxProcs  int
+
+	objs  *core.Domain[rcscheme.Object]
+	nodes *core.Domain[stackNode]
+
+	cells  []core.AtomicRcPtr
+	stacks []paddedCell
+}
+
+type paddedCell struct {
+	c core.AtomicRcPtr
+	_ [56]byte
+}
+
+// New creates the non-snapshot configuration ("DRC").
+func New(maxProcs int) *Scheme { return newScheme("DRC", false, maxProcs) }
+
+// NewSnapshots creates the full configuration ("DRC (+ snapshots)").
+func NewSnapshots(maxProcs int) *Scheme { return newScheme("DRC (+ snapshots)", true, maxProcs) }
+
+func newScheme(name string, snapshots bool, maxProcs int) *Scheme {
+	if maxProcs <= 0 {
+		maxProcs = pid.DefaultMaxProcs
+	}
+	s := &Scheme{name: name, snapshots: snapshots, maxProcs: maxProcs}
+	s.objs = core.NewDomain[rcscheme.Object](core.Config[rcscheme.Object]{
+		MaxProcs:      maxProcs,
+		EagerDestruct: !snapshots,
+		AcquireMode:   acqret.LockFreeAcquire,
+	})
+	s.nodes = core.NewDomain[stackNode](core.Config[stackNode]{
+		MaxProcs:      maxProcs,
+		EagerDestruct: !snapshots,
+		Finalizer: func(t *core.Thread[stackNode], n *stackNode) {
+			t.Release(n.Next())
+			n.next.Init(core.NilRcPtr)
+		},
+	})
+	return s
+}
+
+// Next returns the node's successor reference word (for the finalizer).
+func (n *stackNode) Next() core.RcPtr { return n.next.LoadRaw() }
+
+// Name implements rcscheme.Scheme.
+func (s *Scheme) Name() string { return s.name }
+
+// Setup implements rcscheme.Scheme.
+func (s *Scheme) Setup(ncells int) {
+	s.teardownCells()
+	s.cells = make([]core.AtomicRcPtr, ncells)
+}
+
+// Live implements rcscheme.Scheme.
+func (s *Scheme) Live() int64 { return s.objs.Live() + s.nodes.Live() }
+
+// Deferred returns the number of deferred decrements across both pools.
+func (s *Scheme) Deferred() int64 { return s.objs.Deferred() + s.nodes.Deferred() }
+
+// Teardown implements rcscheme.Scheme.
+func (s *Scheme) Teardown() {
+	s.teardownCells()
+	s.teardownStacks()
+}
+
+func (s *Scheme) teardownCells() {
+	if s.cells == nil {
+		return
+	}
+	t := s.objs.Attach()
+	for i := range s.cells {
+		t.StoreMove(&s.cells[i], core.NilRcPtr)
+	}
+	for i := 0; i < 4; i++ {
+		t.Flush()
+	}
+	t.Detach()
+	s.cells = nil
+}
+
+func (s *Scheme) teardownStacks() {
+	if s.stacks == nil {
+		return
+	}
+	t := s.nodes.Attach()
+	for i := range s.stacks {
+		t.StoreMove(&s.stacks[i].c, core.NilRcPtr)
+	}
+	for i := 0; i < 4; i++ {
+		t.Flush()
+	}
+	t.Detach()
+	s.stacks = nil
+}
+
+// Attach implements rcscheme.Scheme.
+func (s *Scheme) Attach() rcscheme.Thread {
+	return &thread{s: s, objs: s.objs.Attach()}
+}
+
+// AttachStack implements rcscheme.StackScheme.
+func (s *Scheme) AttachStack() rcscheme.StackThread {
+	return &thread{s: s, nodes: s.nodes.Attach()}
+}
+
+type thread struct {
+	s     *Scheme
+	objs  *core.Thread[rcscheme.Object]
+	nodes *core.Thread[stackNode]
+}
+
+// Detach implements rcscheme.Thread.
+func (t *thread) Detach() {
+	if t.objs != nil {
+		t.objs.Detach()
+	}
+	if t.nodes != nil {
+		t.nodes.Detach()
+	}
+}
+
+// Load implements rcscheme.Thread. The non-snapshot variant is the Fig. 3
+// load (acquire, increment, release); Figs. 6a-6d benchmark exactly this.
+func (t *thread) Load(i int) uint64 {
+	th := t.objs
+	c := &t.s.cells[i]
+	if t.s.snapshots {
+		snap := th.GetSnapshot(c)
+		if snap.IsNil() {
+			return 0
+		}
+		v := th.DerefSnapshot(snap).V[0]
+		th.ReleaseSnapshot(&snap)
+		return v
+	}
+	p := th.Load(c)
+	if p.IsNil() {
+		return 0
+	}
+	v := th.Deref(p).V[0]
+	th.Release(p)
+	return v
+}
+
+// Store implements rcscheme.Thread.
+func (t *thread) Store(i int, val uint64) {
+	th := t.objs
+	p := th.NewRc(func(o *rcscheme.Object) {
+		for w := range o.V {
+			o.V[w] = val
+		}
+	})
+	th.StoreMove(&t.s.cells[i], p)
+}
+
+// --- stack benchmark (Fig. 1a) --------------------------------------------
+
+// SetupStacks implements rcscheme.StackScheme.
+func (s *Scheme) SetupStacks(nstacks int, init [][]rcscheme.StackValue) {
+	s.teardownStacks()
+	s.stacks = make([]paddedCell, nstacks)
+	t := s.nodes.Attach()
+	for j := range init {
+		for _, v := range init[j] {
+			head := t.Load(&s.stacks[j].c)
+			n := t.NewRc(func(nd *stackNode) {
+				nd.v = v
+				nd.next.Init(head)
+			})
+			t.StoreMove(&s.stacks[j].c, n)
+		}
+	}
+	t.Flush()
+	t.Detach()
+}
+
+// Push implements rcscheme.StackThread (Fig. 1a push_front).
+func (t *thread) Push(j int, v rcscheme.StackValue) {
+	th := t.nodes
+	head := &t.s.stacks[j].c
+	n := th.NewRc(func(nd *stackNode) { nd.v = v })
+	nd := th.Deref(n)
+	for {
+		exp := th.Load(head)
+		th.StoreMove(&nd.next, exp) // node owns the expected head
+		if th.CompareAndSwap(head, exp, n) {
+			th.Release(n)
+			return
+		}
+	}
+}
+
+// Pop implements rcscheme.StackThread (Fig. 1a pop_front, using a snapshot
+// for the short-lived head reference when snapshots are enabled).
+func (t *thread) Pop(j int) (rcscheme.StackValue, bool) {
+	th := t.nodes
+	head := &t.s.stacks[j].c
+	if t.s.snapshots {
+		for {
+			s := th.GetSnapshot(head)
+			if s.IsNil() {
+				return 0, false
+			}
+			next := th.Load(&th.DerefSnapshot(s).next)
+			if th.CompareAndSwapMove(head, s.Ptr(), next) {
+				v := th.DerefSnapshot(s).v
+				th.ReleaseSnapshot(&s)
+				return v, true
+			}
+			th.Release(next)
+			th.ReleaseSnapshot(&s)
+		}
+	}
+	for {
+		p := th.Load(head)
+		if p.IsNil() {
+			return 0, false
+		}
+		next := th.Load(&th.Deref(p).next)
+		if th.CompareAndSwapMove(head, p, next) {
+			v := th.Deref(p).v
+			th.Release(p)
+			return v, true
+		}
+		th.Release(next)
+		th.Release(p)
+	}
+}
+
+// Find implements rcscheme.StackThread: snapshot hand-over-hand when
+// enabled (no counter traffic), counted hand-over-hand otherwise.
+func (t *thread) Find(j int, v rcscheme.StackValue) bool {
+	th := t.nodes
+	head := &t.s.stacks[j].c
+	if t.s.snapshots {
+		cur := th.GetSnapshot(head)
+		for !cur.IsNil() {
+			nd := th.DerefSnapshot(cur)
+			if nd.v == v {
+				th.ReleaseSnapshot(&cur)
+				return true
+			}
+			next := th.GetSnapshot(&nd.next)
+			th.ReleaseSnapshot(&cur)
+			cur = next
+		}
+		return false
+	}
+	cur := th.Load(head)
+	for !cur.IsNil() {
+		nd := th.Deref(cur)
+		if nd.v == v {
+			th.Release(cur)
+			return true
+		}
+		next := th.Load(&nd.next)
+		th.Release(cur)
+		cur = next
+	}
+	return false
+}
+
+// EnableDebugChecks turns on arena use-after-free checking (tests only).
+func (s *Scheme) EnableDebugChecks() {
+	s.objs.EnableDebugChecks()
+	s.nodes.EnableDebugChecks()
+}

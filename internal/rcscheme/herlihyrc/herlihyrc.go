@@ -1,0 +1,480 @@
+// Package herlihyrc reproduces the lock-free reference counting of Herlihy,
+// Luchangco, Martin and Moir (TOCS 2005), which removed the DCAS
+// requirement of Detlefs et al. by protecting counter accesses with guards
+// (the pass-the-buck mechanism) and deferring the reclamation of an object
+// whose count reached zero until no guard covers it.
+//
+// Key properties preserved from the original:
+//
+//   - The counter is sticky: once it reaches zero it can never be
+//     incremented again, so a reader's increment is a CAS loop that retries
+//     the whole load when it observes zero (this stickiness is exactly why
+//     the original "requires a CAS loop instead of a fetch-and-add", §2).
+//   - Reclamation is deferred after the count hits zero (guards protect the
+//     object), in contrast to the paper's scheme, which defers the
+//     decrement itself.
+//
+// Two variants are provided, as in the paper's evaluation: Classic follows
+// the original (CAS loops for the pointer swap and for decrements), and
+// Optimized applies the paper's improvements (fetch-and-store for the
+// swap, fetch-and-add where stickiness is not load-bearing).
+package herlihyrc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cdrc/internal/arena"
+	"cdrc/internal/multiset"
+	"cdrc/internal/pid"
+	"cdrc/internal/rcscheme"
+)
+
+// guardsPerThread is the number of guard slots each thread owns: the load
+// path uses one and hand-over-hand traversal needs two.
+const guardsPerThread = 2
+
+// scanSlack pads the liberation threshold.
+const scanSlack = 64
+
+type stackNode struct {
+	v    rcscheme.StackValue
+	next arena.Handle // counted reference, immutable after publish
+}
+
+type paddedAtomic struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// pending distinguishes which pool an unreclaimed handle belongs to.
+type pending struct {
+	h    arena.Handle
+	node bool
+}
+
+// Scheme implements rcscheme.StackScheme.
+type Scheme struct {
+	name      string
+	optimized bool
+
+	objs  *arena.Pool[rcscheme.Object]
+	nodes *arena.Pool[stackNode]
+	reg   *pid.Registry
+
+	guards []paddedAtomic // guardsPerThread per registered thread
+
+	cells  []paddedAtomic
+	stacks []paddedAtomic
+
+	orphanMu sync.Mutex
+	orphans  []pending
+
+	unreclaimed atomic.Int64
+}
+
+// NewClassic creates the faithful variant.
+func NewClassic(maxProcs int) *Scheme { return newScheme("Herlihy", false, maxProcs) }
+
+// NewOptimized creates the paper's improved variant.
+func NewOptimized(maxProcs int) *Scheme { return newScheme("Herlihy (optimized)", true, maxProcs) }
+
+func newScheme(name string, optimized bool, maxProcs int) *Scheme {
+	if maxProcs <= 0 {
+		maxProcs = pid.DefaultMaxProcs
+	}
+	return &Scheme{
+		name:      name,
+		optimized: optimized,
+		objs:      arena.NewPool[rcscheme.Object](maxProcs),
+		nodes:     arena.NewPool[stackNode](maxProcs),
+		reg:       pid.NewRegistry(maxProcs),
+		guards:    make([]paddedAtomic, maxProcs*guardsPerThread),
+	}
+}
+
+// Name implements rcscheme.Scheme.
+func (s *Scheme) Name() string { return s.name }
+
+// Setup implements rcscheme.Scheme.
+func (s *Scheme) Setup(ncells int) {
+	s.teardown(&s.cells)
+	s.cells = make([]paddedAtomic, ncells)
+}
+
+// Live implements rcscheme.Scheme.
+func (s *Scheme) Live() int64 { return s.objs.Live() + s.nodes.Live() }
+
+// Teardown implements rcscheme.Scheme.
+func (s *Scheme) Teardown() {
+	s.teardown(&s.cells)
+	s.teardown(&s.stacks)
+}
+
+func (s *Scheme) teardown(cells *[]paddedAtomic) {
+	if *cells == nil {
+		return
+	}
+	t := &thread{s: s, pid: s.reg.Register()}
+	for i := range *cells {
+		old := arena.Handle((*cells)[i].v.Swap(0))
+		if !old.IsNil() {
+			if cells == &s.stacks {
+				t.decNode(old)
+			} else {
+				t.decObj(old)
+			}
+		}
+	}
+	*cells = nil
+	t.Detach()
+	// With everything quiescent (no guards posted), repeated scans drain
+	// the pending lists completely, including chains liberated by earlier
+	// reclaims.
+	t2 := &thread{s: s, pid: s.reg.Register()}
+	for {
+		t2.adoptOrphans()
+		if len(t2.pending) == 0 {
+			break
+		}
+		t2.scan()
+	}
+	t2.Detach()
+}
+
+// Attach implements rcscheme.Scheme.
+func (s *Scheme) Attach() rcscheme.Thread { return &thread{s: s, pid: s.reg.Register()} }
+
+// AttachStack implements rcscheme.StackScheme.
+func (s *Scheme) AttachStack() rcscheme.StackThread { return &thread{s: s, pid: s.reg.Register()} }
+
+type thread struct {
+	s        *Scheme
+	pid      int
+	pending  []pending
+	plist    multiset.Set
+	scanning bool
+}
+
+// Detach implements rcscheme.Thread.
+func (t *thread) Detach() {
+	t.scan()
+	if len(t.pending) > 0 {
+		t.s.orphanMu.Lock()
+		t.s.orphans = append(t.s.orphans, t.pending...)
+		t.s.orphanMu.Unlock()
+		t.pending = nil
+	}
+	t.s.reg.Release(t.pid)
+}
+
+func (t *thread) guard(i int) *atomic.Uint64 {
+	return &t.s.guards[t.pid*guardsPerThread+i].v
+}
+
+// protect posts a guard on the handle in src, validating that the source
+// still holds it (pass-the-buck's PostGuard + value recheck).
+func (t *thread) protect(gi int, src *atomic.Uint64) arena.Handle {
+	g := t.guard(gi)
+	for {
+		h := arena.Handle(src.Load())
+		if h.IsNil() {
+			g.Store(0)
+			return arena.Nil
+		}
+		g.Store(uint64(h))
+		if arena.Handle(src.Load()) == h {
+			return h
+		}
+	}
+}
+
+func (t *thread) unguard(gi int) { t.guard(gi).Store(0) }
+
+// stickyInc increments hdr's count, failing if it has reached zero (a dead
+// object must never be revived). This is the CAS loop the original cannot
+// avoid.
+func stickyInc(hdr *arena.Header) bool {
+	for {
+		c := hdr.RefCount.Load()
+		if c == 0 {
+			return false
+		}
+		if hdr.RefCount.CompareAndSwap(c, c+1) {
+			return true
+		}
+	}
+}
+
+// inc increments a count known to be positive (the caller holds a unit).
+// The optimized variant uses fetch-and-add; the classic one stays faithful
+// with a CAS loop.
+func (t *thread) inc(hdr *arena.Header) {
+	if t.s.optimized {
+		hdr.RefCount.Add(1)
+		return
+	}
+	for {
+		c := hdr.RefCount.Load()
+		if hdr.RefCount.CompareAndSwap(c, c+1) {
+			return
+		}
+	}
+}
+
+// dec decrements a count, reporting whether it reached zero.
+func (t *thread) dec(hdr *arena.Header) bool {
+	if t.s.optimized {
+		return hdr.RefCount.Add(-1) == 0
+	}
+	for {
+		c := hdr.RefCount.Load()
+		if hdr.RefCount.CompareAndSwap(c, c-1) {
+			return c == 1
+		}
+	}
+}
+
+// decObj releases one unit of an object's count, liberating it at zero.
+func (t *thread) decObj(h arena.Handle) {
+	if t.dec(t.s.objs.Hdr(h)) {
+		t.liberate(pending{h: h})
+	}
+}
+
+// decNode releases one unit of a node's count, liberating it at zero. The
+// node's own reference to its successor is released when the node is
+// actually reclaimed (see reclaim), not here, so that guarded readers of a
+// zero-count node can still traverse through it.
+func (t *thread) decNode(h arena.Handle) {
+	if t.dec(t.s.nodes.Hdr(h)) {
+		t.liberate(pending{h: h, node: true})
+	}
+}
+
+// liberate defers reclamation of a dead (count zero) handle until no guard
+// covers it.
+func (t *thread) liberate(p pending) {
+	t.pending = append(t.pending, p)
+	t.s.unreclaimed.Add(1)
+	if !t.scanning && len(t.pending) >= 2*t.s.reg.HighWater()*guardsPerThread+scanSlack {
+		t.adoptOrphans()
+		t.scan()
+	}
+}
+
+func (t *thread) adoptOrphans() {
+	t.s.orphanMu.Lock()
+	if len(t.s.orphans) > 0 {
+		t.pending = append(t.pending, t.s.orphans...)
+		t.s.orphans = t.s.orphans[:0]
+	}
+	t.s.orphanMu.Unlock()
+}
+
+// scan reclaims every pending handle not covered by a guard. Reclaiming a
+// node can liberate its successor, which appends to t.pending mid-scan;
+// the work list is detached first so such entries survive for the next
+// scan, and nested scans are suppressed.
+func (t *thread) scan() {
+	t.scanning = true
+	defer func() { t.scanning = false }()
+	t.plist.Reset()
+	n := t.s.reg.HighWater() * guardsPerThread
+	for i := 0; i < n; i++ {
+		if g := t.s.guards[i].v.Load(); g != 0 {
+			t.plist.Add(g)
+		}
+	}
+	work := t.pending
+	t.pending = nil
+	for _, p := range work {
+		if t.plist.Count(uint64(p.h)) > 0 {
+			t.pending = append(t.pending, p)
+			continue
+		}
+		t.reclaim(p)
+	}
+	t.plist.Reset()
+}
+
+// reclaim frees a liberated handle, releasing the successor reference a
+// dead node still owns.
+func (t *thread) reclaim(p pending) {
+	t.s.unreclaimed.Add(-1)
+	if !p.node {
+		t.s.objs.Free(t.pid, p.h)
+		return
+	}
+	next := t.s.nodes.Get(p.h).next
+	t.s.nodes.Free(t.pid, p.h)
+	if !next.IsNil() {
+		t.decNode(next)
+	}
+}
+
+// Load implements rcscheme.Thread: guard, validate, sticky-increment,
+// unguard, dereference, release.
+func (t *thread) Load(i int) uint64 {
+	c := &t.s.cells[i].v
+	var h arena.Handle
+	for {
+		h = t.protect(0, c)
+		if h.IsNil() {
+			return 0
+		}
+		if stickyInc(t.s.objs.Hdr(h)) {
+			break
+		}
+		// The object died under us; the cell must have changed.
+		t.unguard(0)
+	}
+	t.unguard(0)
+	v := t.s.objs.Get(h).V[0]
+	t.decObj(h)
+	return v
+}
+
+// Store implements rcscheme.Thread.
+func (t *thread) Store(i int, val uint64) {
+	s := t.s
+	h := s.objs.Alloc(t.pid)
+	s.objs.Hdr(h).RefCount.Store(1) // the cell's unit
+	obj := s.objs.Get(h)
+	for w := range obj.V {
+		obj.V[w] = val
+	}
+	c := &s.cells[i].v
+	var old arena.Handle
+	if s.optimized {
+		old = arena.Handle(c.Swap(uint64(h)))
+	} else {
+		for {
+			o := c.Load()
+			if c.CompareAndSwap(o, uint64(h)) {
+				old = arena.Handle(o)
+				break
+			}
+		}
+	}
+	if !old.IsNil() {
+		t.decObj(old)
+	}
+}
+
+// --- stack benchmark ------------------------------------------------------
+
+// SetupStacks implements rcscheme.StackScheme.
+func (s *Scheme) SetupStacks(nstacks int, init [][]rcscheme.StackValue) {
+	s.teardown(&s.stacks)
+	s.stacks = make([]paddedAtomic, nstacks)
+	p := s.reg.Register()
+	for j := range init {
+		for _, v := range init[j] {
+			n := s.nodes.Alloc(p)
+			s.nodes.Hdr(n).RefCount.Store(1)
+			nd := s.nodes.Get(n)
+			nd.v = v
+			nd.next = arena.Handle(s.stacks[j].v.Load())
+			s.stacks[j].v.Store(uint64(n))
+		}
+	}
+	s.reg.Release(p)
+}
+
+// Push implements rcscheme.StackThread. The head's count unit transfers to
+// n.next on success, so no counter traffic is needed for the old head.
+func (t *thread) Push(j int, v rcscheme.StackValue) {
+	s := t.s
+	c := &s.stacks[j].v
+	n := s.nodes.Alloc(t.pid)
+	s.nodes.Hdr(n).RefCount.Store(1)
+	nd := s.nodes.Get(n)
+	nd.v = v
+	for {
+		h := arena.Handle(c.Load())
+		nd.next = h
+		if c.CompareAndSwap(uint64(h), uint64(n)) {
+			return
+		}
+	}
+}
+
+// Pop implements rcscheme.StackThread.
+func (t *thread) Pop(j int) (rcscheme.StackValue, bool) {
+	s := t.s
+	c := &s.stacks[j].v
+	for {
+		h := t.protect(0, c)
+		if h.IsNil() {
+			return 0, false
+		}
+		// h is guarded: it cannot be reclaimed, so reading next is safe
+		// even if h's count has already hit zero.
+		next := s.nodes.Get(h).next
+		if !next.IsNil() {
+			// The cell's new unit for next. next's count is at least one
+			// (h still owns its successor reference until reclaimed).
+			if !stickyInc(s.nodes.Hdr(next)) {
+				// Successor already dead: h must have been popped and
+				// reclaim is pending; retry from the head.
+				t.unguard(0)
+				continue
+			}
+		}
+		if c.CompareAndSwap(uint64(h), uint64(next)) {
+			v := s.nodes.Get(h).v
+			t.unguard(0)
+			t.decNode(h) // the cell's unit of h
+			return v, true
+		}
+		if !next.IsNil() {
+			t.decNode(next)
+		}
+		t.unguard(0)
+	}
+}
+
+// Find implements rcscheme.StackThread: guarded, counted hand-over-hand.
+func (t *thread) Find(j int, v rcscheme.StackValue) bool {
+	s := t.s
+	c := &s.stacks[j].v
+	var cur arena.Handle
+	for {
+		cur = t.protect(0, c)
+		if cur.IsNil() {
+			return false
+		}
+		if stickyInc(s.nodes.Hdr(cur)) {
+			break
+		}
+		t.unguard(0)
+	}
+	t.unguard(0)
+	for {
+		nd := s.nodes.Get(cur)
+		if nd.v == v {
+			t.decNode(cur)
+			return true
+		}
+		next := nd.next
+		if next.IsNil() {
+			t.decNode(cur)
+			return false
+		}
+		// cur is alive (we hold a unit), so its successor reference keeps
+		// next's count positive; a plain increment suffices.
+		t.inc(s.nodes.Hdr(next))
+		t.decNode(cur)
+		cur = next
+	}
+}
+
+// EnableDebugChecks turns on arena use-after-free checking (tests only).
+func (s *Scheme) EnableDebugChecks() {
+	s.objs.DebugChecks = true
+	s.nodes.DebugChecks = true
+}
+
+// Unreclaimed returns the number of liberated-but-unreclaimed handles.
+func (s *Scheme) Unreclaimed() int64 { return s.unreclaimed.Load() }

@@ -1,0 +1,63 @@
+package rcscheme_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cdrc/internal/lincheck"
+	"cdrc/internal/rcscheme"
+)
+
+// Every reference-counting scheme's stack must be linearizable on real
+// concurrent histories, checked against the sequential LIFO spec.
+func TestStackLinearizableAllSchemes(t *testing.T) {
+	const rounds = 60
+	const workers = 3
+	const opsPerWorker = 5
+
+	forEachScheme(t, workers+2, func(t *testing.T, s rcscheme.StackScheme) {
+		for r := 0; r < rounds; r++ {
+			s.SetupStacks(1, nil)
+			var clock atomic.Int64
+			hist := make([][]lincheck.Op, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int, seed int64) {
+					defer wg.Done()
+					th := s.AttachStack()
+					defer th.Detach()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < opsPerWorker; i++ {
+						op := lincheck.Op{Start: clock.Add(1)}
+						if rng.Intn(2) == 0 {
+							op.Kind = lincheck.OpPush
+							op.Arg = uint64(rng.Intn(100) + 1)
+							th.Push(0, op.Arg)
+						} else {
+							op.Kind = lincheck.OpPop
+							op.Ret, op.RetOK = th.Pop(0)
+						}
+						op.End = clock.Add(1)
+						hist[id] = append(hist[id], op)
+					}
+				}(w, int64(r*workers+w+1))
+			}
+			wg.Wait()
+			var all []lincheck.Op
+			for _, h := range hist {
+				all = append(all, h...)
+			}
+			if !lincheck.Check[string](lincheck.StackModel{}, all) {
+				t.Fatalf("round %d: %s stack history not linearizable: %+v",
+					r, s.Name(), all)
+			}
+		}
+		s.Teardown()
+		if live := s.Live(); live != 0 {
+			t.Fatalf("Live = %d after lincheck rounds", live)
+		}
+	})
+}

@@ -1,0 +1,281 @@
+// Package lockrc reproduces the GNU libstdc++ implementation of the
+// atomic_* free functions for shared_ptr: atomicity of the pointer+count
+// update is provided by a small global table of locks indexed by the hash
+// of the cell's address (libstdc++ uses 16 mutexes), while the reference
+// counts themselves are plain atomics. The paper's Fig. 6 shows this
+// scheme achieving "little if any observable speed up after 16 threads";
+// the lock table is the bottleneck this package preserves.
+package lockrc
+
+import (
+	"sync"
+
+	"cdrc/internal/arena"
+	"cdrc/internal/pid"
+	"cdrc/internal/rcscheme"
+)
+
+// nLocks matches libstdc++'s global lock-table size.
+const nLocks = 16
+
+type stackNode struct {
+	v    rcscheme.StackValue
+	next arena.Handle // counted reference, immutable after push
+}
+
+type paddedCell struct {
+	h arena.Handle
+	_ [56]byte
+}
+
+type paddedHead struct {
+	h arena.Handle
+	_ [56]byte
+}
+
+// Scheme implements rcscheme.StackScheme with lock-table atomics.
+type Scheme struct {
+	objs  *arena.Pool[rcscheme.Object]
+	nodes *arena.Pool[stackNode]
+	reg   *pid.Registry
+	locks [nLocks]sync.Mutex
+
+	cells  []paddedCell
+	stacks []paddedHead
+}
+
+// New creates an isolated lockrc scheme instance.
+func New(maxProcs int) *Scheme {
+	if maxProcs <= 0 {
+		maxProcs = pid.DefaultMaxProcs
+	}
+	return &Scheme{
+		objs:  arena.NewPool[rcscheme.Object](maxProcs),
+		nodes: arena.NewPool[stackNode](maxProcs),
+		reg:   pid.NewRegistry(maxProcs),
+	}
+}
+
+// Name implements rcscheme.Scheme.
+func (s *Scheme) Name() string { return "GNU C++" }
+
+// lockFor hashes a cell index onto the global lock table.
+func (s *Scheme) lockFor(i int) *sync.Mutex {
+	return &s.locks[uint(i*0x9E37)%nLocks]
+}
+
+// Setup implements rcscheme.Scheme.
+func (s *Scheme) Setup(ncells int) {
+	s.teardownCells()
+	s.cells = make([]paddedCell, ncells)
+}
+
+// Live implements rcscheme.Scheme.
+func (s *Scheme) Live() int64 { return s.objs.Live() + s.nodes.Live() }
+
+// Teardown implements rcscheme.Scheme.
+func (s *Scheme) Teardown() {
+	s.teardownCells()
+	s.teardownStacks()
+}
+
+func (s *Scheme) teardownCells() {
+	if s.cells == nil {
+		return
+	}
+	p := s.reg.Register()
+	for i := range s.cells {
+		if h := s.cells[i].h; !h.IsNil() {
+			s.cells[i].h = arena.Nil
+			s.decObj(p, h)
+		}
+	}
+	s.cells = nil
+	s.reg.Release(p)
+}
+
+func (s *Scheme) teardownStacks() {
+	if s.stacks == nil {
+		return
+	}
+	p := s.reg.Register()
+	for i := range s.stacks {
+		h := s.stacks[i].h
+		s.stacks[i].h = arena.Nil
+		if !h.IsNil() {
+			s.decNode(p, h)
+		}
+	}
+	s.stacks = nil
+	s.reg.Release(p)
+}
+
+func (s *Scheme) decObj(procID int, h arena.Handle) {
+	if c := s.objs.Hdr(h).RefCount.Add(-1); c == 0 {
+		s.objs.Free(procID, h)
+	}
+}
+
+// decNode releases one count of a stack node, recursively releasing the
+// chain it owns when it dies.
+func (s *Scheme) decNode(procID int, h arena.Handle) {
+	for !h.IsNil() {
+		if s.nodes.Hdr(h).RefCount.Add(-1) != 0 {
+			return
+		}
+		next := s.nodes.Get(h).next
+		s.nodes.Free(procID, h)
+		h = next
+	}
+}
+
+// Attach implements rcscheme.Scheme.
+func (s *Scheme) Attach() rcscheme.Thread { return &thread{s: s, pid: s.reg.Register()} }
+
+// AttachStack implements rcscheme.StackScheme.
+func (s *Scheme) AttachStack() rcscheme.StackThread { return &thread{s: s, pid: s.reg.Register()} }
+
+type thread struct {
+	s   *Scheme
+	pid int
+}
+
+// Detach implements rcscheme.Thread.
+func (t *thread) Detach() { t.s.reg.Release(t.pid) }
+
+// Load implements rcscheme.Thread: lock the cell's lock, copy the
+// reference and bump its count, unlock, dereference, then drop.
+func (t *thread) Load(i int) uint64 {
+	mu := t.s.lockFor(i)
+	mu.Lock()
+	h := t.s.cells[i].h
+	if h.IsNil() {
+		mu.Unlock()
+		return 0
+	}
+	t.s.objs.Hdr(h).RefCount.Add(1)
+	mu.Unlock()
+	v := t.s.objs.Get(h).V[0]
+	t.s.decObj(t.pid, h)
+	return v
+}
+
+// Store implements rcscheme.Thread.
+func (t *thread) Store(i int, val uint64) {
+	h := t.s.objs.Alloc(t.pid)
+	hdr := t.s.objs.Hdr(h)
+	hdr.RefCount.Store(1)
+	obj := t.s.objs.Get(h)
+	for w := range obj.V {
+		obj.V[w] = val
+	}
+	mu := t.s.lockFor(i)
+	mu.Lock()
+	old := t.s.cells[i].h
+	t.s.cells[i].h = h
+	mu.Unlock()
+	if !old.IsNil() {
+		t.s.decObj(t.pid, old)
+	}
+}
+
+// --- stack benchmark ------------------------------------------------------
+
+// SetupStacks implements rcscheme.StackScheme.
+func (s *Scheme) SetupStacks(nstacks int, init [][]rcscheme.StackValue) {
+	s.teardownStacks()
+	s.stacks = make([]paddedHead, nstacks)
+	p := s.reg.Register()
+	for j := range init {
+		for _, v := range init[j] {
+			n := s.nodes.Alloc(p)
+			s.nodes.Hdr(n).RefCount.Store(1)
+			nd := s.nodes.Get(n)
+			nd.v = v
+			nd.next = s.stacks[j].h
+			s.stacks[j].h = n
+		}
+	}
+	s.reg.Release(p)
+}
+
+func (s *Scheme) stackLock(j int) *sync.Mutex {
+	return &s.locks[uint(j*0x9E37+7)%nLocks]
+}
+
+// Push implements rcscheme.StackThread.
+func (t *thread) Push(j int, v rcscheme.StackValue) {
+	s := t.s
+	n := s.nodes.Alloc(t.pid)
+	s.nodes.Hdr(n).RefCount.Store(1)
+	nd := s.nodes.Get(n)
+	nd.v = v
+	mu := s.stackLock(j)
+	mu.Lock()
+	nd.next = s.stacks[j].h // head's count transfers to n.next
+	s.stacks[j].h = n
+	mu.Unlock()
+}
+
+// Pop implements rcscheme.StackThread.
+func (t *thread) Pop(j int) (rcscheme.StackValue, bool) {
+	s := t.s
+	mu := s.stackLock(j)
+	mu.Lock()
+	h := s.stacks[j].h
+	if h.IsNil() {
+		mu.Unlock()
+		return 0, false
+	}
+	nd := s.nodes.Get(h)
+	next := nd.next
+	if !next.IsNil() {
+		// The head slot takes over n.next's count unit.
+		s.nodes.Hdr(next).RefCount.Add(1)
+	}
+	s.stacks[j].h = next
+	v := nd.v
+	mu.Unlock()
+	// Release the head slot's count of h. If h dies, decNode releases the
+	// unit h.next held, leaving next with exactly the head slot's new one.
+	s.decNode(t.pid, h)
+	return v, true
+}
+
+// Find implements rcscheme.StackThread: hand-over-hand counted traversal.
+// The head copy needs the lock (it is the atomically updated cell); node
+// next links are immutable, so copying them only needs the count bump,
+// which is safe while the predecessor is held.
+func (t *thread) Find(j int, v rcscheme.StackValue) bool {
+	s := t.s
+	mu := s.stackLock(j)
+	mu.Lock()
+	cur := s.stacks[j].h
+	if cur.IsNil() {
+		mu.Unlock()
+		return false
+	}
+	s.nodes.Hdr(cur).RefCount.Add(1)
+	mu.Unlock()
+	for {
+		nd := s.nodes.Get(cur)
+		if nd.v == v {
+			s.decNode(t.pid, cur)
+			return true
+		}
+		next := nd.next
+		if next.IsNil() {
+			s.decNode(t.pid, cur)
+			return false
+		}
+		s.nodes.Hdr(next).RefCount.Add(1)
+		s.decNode(t.pid, cur)
+		cur = next
+	}
+}
+
+// EnableDebugChecks turns on arena use-after-free checking (tests only).
+func (s *Scheme) EnableDebugChecks() {
+	s.objs.DebugChecks = true
+	s.nodes.DebugChecks = true
+}

@@ -1,0 +1,96 @@
+// Package rcscheme defines the common harness interfaces that every
+// reference-counting implementation in this repository satisfies, so the
+// benchmarks of §7.1 can run unchanged over all of them.
+//
+// Two workloads need scheme support:
+//
+//   - LoadStore (Figs. 6a-6d): an array of shared cells, each holding a
+//     counted reference to a 32-byte object; threads load (dereference,
+//     then drop) or store (allocate, replace) random cells.
+//   - Stack (Figs. 6e-6h): an array of Treiber stacks supporting
+//     push/pop/find, where find traverses using whatever cheap-read
+//     machinery the scheme offers (snapshots for the paper's library).
+//
+// Each scheme package implements the stack itself - mirroring the paper,
+// where the same stack was written once per library - because the
+// protection protocol is inseparable from the traversal code.
+package rcscheme
+
+// ObjectWords is the payload size of the load/store microbenchmark's
+// managed objects: 32 bytes, as in the paper (§7.1).
+const ObjectWords = 4
+
+// Object is the microbenchmark payload.
+type Object struct {
+	V [ObjectWords]uint64
+}
+
+// Scheme is a reference-counting implementation under benchmark. A Scheme
+// instance owns its object pools and all scheme-global state; independent
+// instances are fully isolated.
+type Scheme interface {
+	// Name is the label used in figures ("DRC", "Folly", ...).
+	Name() string
+
+	// Setup prepares ncells shared cells, all nil, replacing any prior
+	// cells. Called once before the workload, never concurrently with it.
+	Setup(ncells int)
+
+	// Attach registers a worker and returns its thread context.
+	Attach() Thread
+
+	// Live returns the number of currently allocated objects (the series
+	// plotted in Figs. 6d and 6h).
+	Live() int64
+
+	// Teardown clears all cells and reclaims everything reclaimable. The
+	// workload must be quiescent. Used between benchmark rounds and by
+	// the leak tests.
+	Teardown()
+}
+
+// Thread is a per-worker context for Scheme operations. Not safe for
+// concurrent use; each worker attaches its own and must Detach when done.
+type Thread interface {
+	// Load reads cell i's object and returns the first payload word (0 if
+	// the cell is nil), dropping the temporary reference before returning.
+	Load(i int) uint64
+
+	// Store replaces cell i's object with a freshly allocated object
+	// whose payload words are all val.
+	Store(i int, val uint64)
+
+	// Detach unregisters the worker.
+	Detach()
+}
+
+// StackValue is the element type of the stack benchmark.
+type StackValue = uint64
+
+// StackScheme is a scheme that can also run the stack benchmark.
+type StackScheme interface {
+	Scheme
+
+	// SetupStacks prepares nstacks empty stacks, replacing any prior
+	// stacks, then pushes init[j] onto stack j for each j.
+	SetupStacks(nstacks int, init [][]StackValue)
+
+	// AttachStack registers a worker for stack operations.
+	AttachStack() StackThread
+}
+
+// StackThread is a per-worker context for the stack benchmark.
+type StackThread interface {
+	// Push pushes v onto stack s.
+	Push(s int, v StackValue)
+
+	// Pop pops from stack s, reporting false if it was empty.
+	Pop(s int) (StackValue, bool)
+
+	// Find reports whether v occurs in stack s, traversing with the
+	// scheme's cheapest safe read primitive.
+	Find(s int, v StackValue) bool
+
+	// Detach unregisters the worker.
+	Detach()
+}

@@ -1,0 +1,69 @@
+package splitrc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cdrc/internal/arena"
+)
+
+// Property: word packing round-trips for every representable pair.
+func TestPackUnpackProperty(t *testing.T) {
+	f := func(ext uint32, idx uint64) bool {
+		e := uint64(ext) & (1<<20 - 1)
+		h := arena.FromIndex(idx & (1<<40 - 1)) // leave room for mark bits
+		w := pack(e, h)
+		return extOf(w) == e && handleOf(w) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on oversized handle")
+		}
+	}()
+	pack(0, arena.Handle(1<<45))
+}
+
+// Property: adding external units never changes the handle.
+func TestExtUnitArithmeticProperty(t *testing.T) {
+	f := func(idx uint64, bumps uint8) bool {
+		h := arena.FromIndex(idx & (1<<40 - 1))
+		w := pack(0, h)
+		for i := uint8(0); i < bumps; i++ {
+			w += extUnit
+		}
+		return handleOf(w) == h && extOf(w) == uint64(bumps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Protocol invariant at quiescence: after any single-threaded sequence of
+// loads and stores, every object's internal count equals the number of
+// cells holding it, and dropping all cells frees everything.
+func TestSequentialAccounting(t *testing.T) {
+	s := NewFolly(2)
+	s.EnableDebugChecks()
+	s.Setup(4)
+	th := s.Attach()
+	for i := 0; i < 1000; i++ {
+		th.Store(i%4, uint64(i)|1)
+		if v := th.Load(i % 4); v != uint64(i)|1 {
+			t.Fatalf("Load = %d, want %d", v, uint64(i)|1)
+		}
+	}
+	if live := s.Live(); live != 4 {
+		t.Fatalf("Live = %d, want 4 (one per cell)", live)
+	}
+	th.Detach()
+	s.Teardown()
+	if live := s.Live(); live != 0 {
+		t.Fatalf("Live = %d after teardown", live)
+	}
+}

@@ -1,0 +1,143 @@
+package smr
+
+import (
+	"sync/atomic"
+
+	"cdrc/internal/arena"
+	"cdrc/internal/pid"
+)
+
+// ebrFreq is the number of retirements between epoch-advance attempts.
+const ebrFreq = 64
+
+// ebr implements epoch-based reclamation (Fraser 2004). A thread announces
+// the global epoch when it begins an operation; a handle retired in epoch
+// e is safe once every active thread has announced an epoch greater than
+// e. A single stalled reader therefore pins every later retirement - the
+// unbounded-memory behaviour the paper's Fig. 7 shows as EBR's spikes
+// under oversubscription.
+type ebr struct {
+	cfg   Config
+	epoch atomic.Uint64
+	ann   []paddedSlot // per-thread announced epoch; 0 = inactive
+	reg   *pid.Registry
+
+	orphans     orphanage[ebrRetired]
+	unreclaimed atomic.Int64
+}
+
+type ebrRetired struct {
+	h     arena.Handle
+	epoch uint64
+}
+
+func newEBR(cfg Config) *ebr {
+	e := &ebr{
+		cfg: cfg,
+		ann: make([]paddedSlot, cfg.MaxProcs),
+		reg: pid.NewRegistry(cfg.MaxProcs),
+	}
+	e.epoch.Store(1) // epoch 0 means "inactive" in announcement slots
+	return e
+}
+
+func (e *ebr) Name() string       { return string(KindEBR) }
+func (e *ebr) Unreclaimed() int64 { return e.unreclaimed.Load() }
+
+func (e *ebr) Attach() Thread { return &ebrThread{r: e, id: e.reg.Register()} }
+
+// minActive returns the smallest announced epoch, or ^0 if none.
+func (e *ebr) minActive() uint64 {
+	min := ^uint64(0)
+	n := e.reg.HighWater()
+	for i := 0; i < n; i++ {
+		if a := e.ann[i].v.Load(); a != 0 && a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// tryAdvance bumps the global epoch if every active thread has caught up.
+func (e *ebr) tryAdvance() {
+	cur := e.epoch.Load()
+	n := e.reg.HighWater()
+	for i := 0; i < n; i++ {
+		if a := e.ann[i].v.Load(); a != 0 && a < cur {
+			return
+		}
+	}
+	e.epoch.CompareAndSwap(cur, cur+1)
+}
+
+type ebrThread struct {
+	r       *ebr
+	id      int
+	limbo   []ebrRetired
+	counter int
+}
+
+func (t *ebrThread) ID() int { return t.id }
+
+func (t *ebrThread) Begin() {
+	// Announce the current epoch; a fence-free load-then-store suffices
+	// under Go's sequentially consistent atomics.
+	t.r.ann[t.id].v.Store(t.r.epoch.Load())
+}
+
+func (t *ebrThread) End() {
+	t.r.ann[t.id].v.Store(0)
+}
+
+// Protect in EBR is a plain load: the epoch announcement protects the
+// whole operation, which is what makes EBR the easiest scheme to apply.
+func (t *ebrThread) Protect(slot int, src *atomic.Uint64) arena.Handle {
+	return arena.Handle(src.Load())
+}
+
+// Announce is a no-op: the epoch announcement already covers the whole
+// operation.
+func (t *ebrThread) Announce(int, arena.Handle) {}
+
+func (t *ebrThread) OnAlloc(arena.Handle) {}
+
+func (t *ebrThread) Retire(h arena.Handle) {
+	t.limbo = append(t.limbo, ebrRetired{h: h, epoch: t.r.epoch.Load()})
+	t.r.unreclaimed.Add(1)
+	t.counter++
+	if t.counter >= ebrFreq {
+		t.counter = 0
+		t.r.tryAdvance()
+		t.sweep()
+	}
+}
+
+// sweep frees every limbo entry retired in an epoch every active thread
+// has moved past.
+func (t *ebrThread) sweep() {
+	min := t.r.minActive()
+	keep := t.limbo[:0]
+	for _, r := range t.limbo {
+		if r.epoch < min {
+			t.r.cfg.Free(t.id, r.h)
+			t.r.unreclaimed.Add(-1)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	t.limbo = keep
+}
+
+func (t *ebrThread) Flush() {
+	t.limbo = t.r.orphans.adopt(t.limbo)
+	t.r.tryAdvance()
+	t.r.tryAdvance()
+	t.sweep()
+}
+
+func (t *ebrThread) Detach() {
+	t.r.orphans.deposit(t.limbo)
+	t.limbo = nil
+	t.r.ann[t.id].v.Store(0)
+	t.r.reg.Release(t.id)
+}

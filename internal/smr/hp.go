@@ -1,0 +1,139 @@
+package smr
+
+import (
+	"sync/atomic"
+
+	"cdrc/internal/arena"
+	"cdrc/internal/multiset"
+	"cdrc/internal/pid"
+)
+
+// hp implements Michael's hazard pointers. Protect announces the handle
+// and validates it against the source; Retire buffers handles and frees
+// the unprotected ones once the buffer crosses a threshold proportional to
+// the total number of hazard slots.
+//
+// scanMult scales that threshold: 1 gives the classic scheme, larger
+// values give the paper's "HPopt", which scans the announcement array less
+// often at the cost of slightly more buffered memory (§7.2).
+type hp struct {
+	cfg      Config
+	scanMult int
+	name     string
+	slots    []paddedSlot
+	reg      *pid.Registry
+
+	orphans     orphanage[arena.Handle]
+	unreclaimed atomic.Int64
+}
+
+func newHP(cfg Config, scanMult int) *hp {
+	name := string(KindHP)
+	if scanMult > 1 {
+		name = string(KindHPOpt)
+	}
+	return &hp{
+		cfg:      cfg,
+		scanMult: scanMult,
+		name:     name,
+		slots:    make([]paddedSlot, cfg.MaxProcs*SlotsPerThread),
+		reg:      pid.NewRegistry(cfg.MaxProcs),
+	}
+}
+
+func (h *hp) Name() string       { return h.name }
+func (h *hp) Unreclaimed() int64 { return h.unreclaimed.Load() }
+
+func (h *hp) Attach() Thread { return &hpThread{r: h, id: h.reg.Register()} }
+
+type hpThread struct {
+	r     *hp
+	id    int
+	rlist []arena.Handle
+	plist multiset.Set
+}
+
+func (t *hpThread) slot(i int) *atomic.Uint64 {
+	return &t.r.slots[t.id*SlotsPerThread+i].v
+}
+
+func (t *hpThread) ID() int { return t.id }
+
+func (t *hpThread) Begin() {}
+
+func (t *hpThread) End() {
+	for i := 0; i < SlotsPerThread; i++ {
+		t.slot(i).Store(0)
+	}
+}
+
+// Protect is the classic announce/validate loop. It retries until the
+// source is observed unchanged across the announcement, at which point the
+// handle cannot have been passed to a scan that missed the announcement.
+func (t *hpThread) Protect(slot int, src *atomic.Uint64) arena.Handle {
+	s := t.slot(slot)
+	for {
+		w := arena.Handle(src.Load())
+		if w.IsNil() {
+			s.Store(0)
+			return w
+		}
+		s.Store(uint64(w))
+		if arena.Handle(src.Load()) == w {
+			return w
+		}
+	}
+}
+
+// Announce pins an already-protected handle in a new slot (no source to
+// validate against).
+func (t *hpThread) Announce(slot int, h arena.Handle) {
+	t.slot(slot).Store(uint64(h))
+}
+
+func (t *hpThread) OnAlloc(arena.Handle) {}
+
+func (t *hpThread) Retire(h arena.Handle) {
+	t.rlist = append(t.rlist, h)
+	t.r.unreclaimed.Add(1)
+	total := t.r.reg.HighWater() * SlotsPerThread
+	if len(t.rlist) >= t.r.scanMult*(2*total+scanSlack) {
+		t.scan()
+	}
+}
+
+// scan reads every announcement (unmarked) and frees the retired handles
+// not present.
+func (t *hpThread) scan() {
+	t.plist.Reset()
+	n := t.r.reg.HighWater() * SlotsPerThread
+	for i := 0; i < n; i++ {
+		if a := arena.Handle(t.r.slots[i].v.Load()).Unmarked(); !a.IsNil() {
+			t.plist.Add(uint64(a))
+		}
+	}
+	keep := t.rlist[:0]
+	for _, h := range t.rlist {
+		if t.plist.Count(uint64(h)) > 0 {
+			keep = append(keep, h)
+			continue
+		}
+		t.r.cfg.Free(t.id, h)
+		t.r.unreclaimed.Add(-1)
+	}
+	t.rlist = keep
+	t.plist.Reset()
+}
+
+func (t *hpThread) Flush() {
+	t.rlist = t.r.orphans.adopt(t.rlist)
+	t.scan()
+}
+
+func (t *hpThread) Detach() {
+	t.End()
+	t.scan()
+	t.r.orphans.deposit(t.rlist)
+	t.rlist = nil
+	t.r.reg.Release(t.id)
+}

@@ -1,0 +1,47 @@
+package smr
+
+import (
+	"sync/atomic"
+
+	"cdrc/internal/arena"
+	"cdrc/internal/pid"
+)
+
+// noMM is the leaky baseline: retired handles are never freed. The paper
+// uses it as the upper throughput bound ("No MM") in Fig. 7.
+type noMM struct {
+	cfg         Config
+	reg         *pid.Registry
+	unreclaimed atomic.Int64
+}
+
+func newNoMM(cfg Config) *noMM {
+	return &noMM{cfg: cfg, reg: pid.NewRegistry(cfg.MaxProcs)}
+}
+
+func (n *noMM) Name() string       { return string(KindNoMM) }
+func (n *noMM) Attach() Thread     { return &noMMThread{r: n, id: n.reg.Register()} }
+func (n *noMM) Unreclaimed() int64 { return n.unreclaimed.Load() }
+
+type noMMThread struct {
+	r  *noMM
+	id int
+}
+
+func (t *noMMThread) ID() int { return t.id }
+
+func (t *noMMThread) Begin() {}
+func (t *noMMThread) End()   {}
+
+func (t *noMMThread) Protect(slot int, src *atomic.Uint64) arena.Handle {
+	return arena.Handle(src.Load())
+}
+
+func (t *noMMThread) Announce(int, arena.Handle) {}
+
+func (t *noMMThread) OnAlloc(arena.Handle) {}
+
+func (t *noMMThread) Retire(arena.Handle) { t.r.unreclaimed.Add(1) }
+
+func (t *noMMThread) Flush()  {}
+func (t *noMMThread) Detach() { t.r.reg.Release(t.id) }

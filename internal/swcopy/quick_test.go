@@ -1,0 +1,39 @@
+package swcopy
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// Property: any single-threaded interleaving of writes and copies behaves
+// like a plain variable.
+func TestSequentialSemanticsProperty(t *testing.T) {
+	f := func(ops []uint64) bool {
+		var src atomic.Uint64
+		d := New(0)
+		shadow := uint64(0)
+		for i, v := range ops {
+			switch i % 3 {
+			case 0:
+				d.Write(v)
+				shadow = v
+			case 1:
+				src.Store(v)
+				got := d.SWCopy(&src)
+				if got != v {
+					return false
+				}
+				shadow = v
+			case 2:
+				if d.Read() != shadow {
+					return false
+				}
+			}
+		}
+		return d.Read() == shadow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package swcopy implements a single-writer atomic copy primitive.
+//
+// Blelloch and Wei (DISC 2020) define a Destination object supporting
+// Read, Write, and SWCopy, where SWCopy(src) atomically copies the value
+// stored at src into the destination. Only one process may Write to or
+// SWCopy into a given Destination at a time; any process may Read. The
+// paper under reproduction uses this primitive to make the acquire
+// operation of acquire-retire constant-time and wait-free (§6): announcing
+// a hazard and reading the announced value become a single atomic step, so
+// the announce/validate retry loop of classic hazard pointers disappears.
+//
+// This implementation keeps the interface and the wait-freedom (every
+// operation finishes in a constant number of steps; readers help at most
+// one in-flight copy) but uses a per-copy descriptor object resolved with a
+// single CAS instead of the original's bounded buffer rotation. The
+// descriptors are internal machinery safely managed by Go's collector; the
+// simulated manual arena is reserved for the objects whose reclamation is
+// under test. DESIGN.md records this substitution.
+package swcopy
+
+import "sync/atomic"
+
+// state is an immutable snapshot of a Destination. Either src is nil and
+// val holds the value, or src is non-nil and the value is the one resolved
+// into done (by the copier or by a helping reader).
+type state struct {
+	val  uint64
+	src  *atomic.Uint64
+	done atomic.Pointer[uint64]
+}
+
+// Destination is a memory cell supporting atomic copy-from-pointer. Create
+// one with New; the zero value is not usable.
+type Destination struct {
+	st atomic.Pointer[state]
+}
+
+// New returns a Destination holding initial.
+func New(initial uint64) *Destination {
+	d := &Destination{}
+	d.st.Store(&state{val: initial})
+	return d
+}
+
+// resolve fixes the value of an in-flight copy described by st and returns
+// it. The first process to CAS its candidate into done wins; everyone
+// agrees on the winner's value. The candidate is always a value read from
+// st.src after the descriptor was published, so the resolved value was
+// present in the source at some instant within the copy's interval, which
+// is what makes SWCopy linearizable.
+func resolve(st *state) uint64 {
+	if p := st.done.Load(); p != nil {
+		return *p
+	}
+	v := st.src.Load()
+	st.done.CompareAndSwap(nil, &v)
+	return *st.done.Load()
+}
+
+// Read returns the current value. Any process may call Read; if a copy is
+// in flight, Read helps complete it (one load and at most one CAS).
+func (d *Destination) Read() uint64 {
+	st := d.st.Load()
+	if st.src == nil {
+		return st.val
+	}
+	return resolve(st)
+}
+
+// Write stores v. Only the destination's single writer may call Write, and
+// never concurrently with its own SWCopy.
+func (d *Destination) Write(v uint64) {
+	d.st.Store(&state{val: v})
+}
+
+// SWCopy atomically copies the value at src into the destination. Only the
+// destination's single writer may call SWCopy. On return the copy is
+// complete (the descriptor is resolved and collapsed), so a subsequent
+// Read by any process costs one pointer load.
+func (d *Destination) SWCopy(src *atomic.Uint64) uint64 {
+	st := &state{src: src}
+	d.st.Store(st)
+	v := resolve(st)
+	d.st.Store(&state{val: v})
+	return v
+}

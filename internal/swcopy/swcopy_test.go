@@ -1,0 +1,159 @@
+package swcopy
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestReadWrite(t *testing.T) {
+	d := New(5)
+	if got := d.Read(); got != 5 {
+		t.Fatalf("Read = %d, want 5", got)
+	}
+	d.Write(9)
+	if got := d.Read(); got != 9 {
+		t.Fatalf("Read = %d, want 9", got)
+	}
+}
+
+func TestSWCopyBasic(t *testing.T) {
+	var src atomic.Uint64
+	src.Store(1234)
+	d := New(0)
+	if got := d.SWCopy(&src); got != 1234 {
+		t.Fatalf("SWCopy returned %d, want 1234", got)
+	}
+	if got := d.Read(); got != 1234 {
+		t.Fatalf("Read after SWCopy = %d, want 1234", got)
+	}
+}
+
+// The copied value must be one that was present in the source during the
+// copy. With a monotonically increasing source, the destination must never
+// go backwards relative to values the copier has observed.
+func TestSWCopyMonotoneSource(t *testing.T) {
+	var src atomic.Uint64
+	d := New(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Incrementer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				src.Add(1)
+			}
+		}
+	}()
+
+	// Concurrent readers validating monotonicity of resolved copies.
+	var lastSeen atomic.Uint64
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					v := d.Read()
+					for {
+						prev := lastSeen.Load()
+						if v <= prev || lastSeen.CompareAndSwap(prev, v) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	// Single writer copying repeatedly. Each copy must return a value at
+	// least as large as the source value observed before the copy began.
+	for i := 0; i < 20000; i++ {
+		before := src.Load()
+		got := d.SWCopy(&src)
+		if got < before {
+			t.Errorf("SWCopy returned %d, but source was already %d", got, before)
+			break
+		}
+		after := src.Load()
+		if got > after {
+			t.Errorf("SWCopy returned %d, but source is only %d", got, after)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// All readers racing with one copy agree with the final resolved value once
+// the copy completes, and every value read during the copy is either the
+// old destination value resolved from the source - never garbage.
+func TestReadersHelpCopy(t *testing.T) {
+	for iter := 0; iter < 500; iter++ {
+		var src atomic.Uint64
+		src.Store(77)
+		d := New(0)
+
+		// Publish an unresolved descriptor by hand to force helping.
+		st := &state{src: &src}
+		d.st.Store(st)
+
+		var wg sync.WaitGroup
+		results := make([]uint64, 8)
+		for r := range results {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = d.Read()
+			}(r)
+		}
+		wg.Wait()
+		for i, v := range results {
+			if v != 77 {
+				t.Fatalf("iter %d: reader %d got %d, want 77", iter, i, v)
+			}
+		}
+	}
+}
+
+// Once any process has resolved a copy, later source changes must not
+// change the resolved value.
+func TestResolutionIsSticky(t *testing.T) {
+	var src atomic.Uint64
+	src.Store(10)
+	st := &state{src: &src}
+	if got := resolve(st); got != 10 {
+		t.Fatalf("resolve = %d, want 10", got)
+	}
+	src.Store(99)
+	if got := resolve(st); got != 10 {
+		t.Fatalf("second resolve = %d, want sticky 10", got)
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	d := New(42)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = d.Read()
+		}
+	})
+}
+
+func BenchmarkSWCopy(b *testing.B) {
+	var src atomic.Uint64
+	src.Store(42)
+	d := New(0)
+	for i := 0; i < b.N; i++ {
+		d.SWCopy(&src)
+	}
+}
