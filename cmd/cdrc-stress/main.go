@@ -4,19 +4,28 @@
 // freedom at every quiescent point. Any use-after-free, double free,
 // negative reference count, or leak panics with a diagnostic.
 //
+// With -chaos it additionally installs the internal/chaos fault injector:
+// deterministic stalls at the paper's race windows, forced allocation
+// failures, free-list shuffles, and - for configurations that support
+// abandonment - simulated thread crashes, where a worker dies mid-workload
+// without detaching and survivors must adopt its processor state.
+//
 // Usage:
 //
 //	cdrc-stress -duration 30s -workers 8
+//	cdrc-stress -duration 10s -chaos -chaos-seed 1 -crash-workers 2
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"os"
 	"sync"
 	"time"
 
+	"cdrc/internal/chaos"
 	"cdrc/internal/ds"
 	"cdrc/internal/ds/rcds"
 	"cdrc/internal/rcscheme"
@@ -29,32 +38,156 @@ import (
 
 type debuggable interface{ EnableDebugChecks() }
 
-func stressScheme(name string, s rcscheme.StackScheme, workers int, dur time.Duration) error {
+// chaosOpBoundary is the harness-level crash point: it sits between
+// workload operations, where a worker holds no references at all, so a
+// crash there is recoverable for any scheme that implements
+// rcscheme.Crasher.
+var chaosOpBoundary = chaos.New("stress.op-boundary")
+
+// chaosSpec carries the -chaos configuration through the harness.
+type chaosSpec struct {
+	enabled bool
+	seed    uint64
+	budget  int // simulated crashes per configuration
+}
+
+// seedFor derives a per-configuration seed so every configuration gets an
+// independent but reproducible schedule from one -chaos-seed.
+func (cs chaosSpec) seedFor(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return cs.seed ^ h.Sum64()
+}
+
+// faults is the injection schedule. Stall faults run everywhere; forced
+// allocation failures exercise the TryAlloc backpressure path; crashes are
+// confined to the two crash-safe points. The mid-operation crash point
+// (core.snapshot.acquired) is enabled only for configurations whose
+// operations hold no counted references across GetSnapshot (see the
+// "Fault model" section of DESIGN.md); elsewhere it stalls.
+func (cs chaosSpec) faults(midOpCrash bool) map[string]chaos.Fault {
+	f := map[string]chaos.Fault{
+		"stress.op-boundary": {Prob: 0.0002, Crash: true},
+		"arena.alloc":        {Prob: 0.002, Fail: true},
+		"arena.free":         {Prob: 0.001, Yields: 1},
+		"arena.refill":       {Every: 5},
+		"acqret.acquire.between-read-and-announce":     {Prob: 0.001, Yields: 2},
+		"acqret.acquire.between-announce-and-validate": {Prob: 0.001, Yields: 2},
+		"acqret.retire":                           {Prob: 0.001, Yields: 1},
+		"core.load.between-acquire-and-increment": {Prob: 0.001, Yields: 2},
+		"core.decrement-before-destruct":          {Prob: 0.001, Yields: 2},
+	}
+	if midOpCrash {
+		f["core.snapshot.acquired"] = chaos.Fault{Prob: 0.0005, Crash: true}
+	} else {
+		f["core.snapshot.acquired"] = chaos.Fault{Prob: 0.001, Yields: 1}
+	}
+	return f
+}
+
+func (cs chaosSpec) enable(name string, midOpCrash bool) {
+	if !cs.enabled {
+		return
+	}
+	chaos.Enable(chaos.Config{
+		Seed:        cs.seedFor(name),
+		CrashBudget: cs.budget,
+		Faults:      cs.faults(midOpCrash),
+	})
+}
+
+// firstError keeps the first worker failure, in occurrence order. The old
+// harness drained a channel after the fact and reported an arbitrary
+// worker's panic; ordering matters when one failure cascades into others.
+type firstError struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (f *firstError) set(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstError) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+type strayReleaser interface{ ReleaseStraySnapshots() }
+
+// releaseStrays clears any announcement slots a panicking worker left
+// behind, so the subsequent Detach does not trip the live-snapshot check.
+func releaseStrays(th any) {
+	if sr, ok := th.(strayReleaser); ok {
+		sr.ReleaseStraySnapshots()
+	}
+}
+
+// safeDetach detaches under its own recover so that a cleanup failure is
+// reported rather than masking (or re-panicking over) the original error.
+func safeDetach(name string, th interface{ Detach() }, fe *firstError) {
+	defer func() {
+		if r := recover(); r != nil {
+			fe.set(fmt.Errorf("%s: detach after failure: %v", name, r))
+		}
+	}()
+	th.Detach()
+}
+
+func stressScheme(name string, s rcscheme.StackScheme, workers int, dur time.Duration, cs chaosSpec, midOpCrash bool) (int64, error) {
 	if d, ok := s.(debuggable); ok {
 		d.EnableDebugChecks()
 	}
 	s.Setup(8)
 	s.SetupStacks(4, [][]uint64{{1, 2}, {3}, {4, 5, 6}, nil})
+	cs.enable(name, midOpCrash)
 
 	deadline := time.Now().Add(dur)
-	var wg sync.WaitGroup
-	errs := make(chan error, workers)
+	var (
+		wg sync.WaitGroup
+		fe firstError
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					errs <- fmt.Errorf("%s: %v", name, r)
-				}
-			}()
 			lt := s.Attach()
 			st := s.AttachStack()
-			defer lt.Detach()
-			defer st.Detach()
+			lc, okL := lt.(rcscheme.Crasher)
+			sc, okS := st.(rcscheme.Crasher)
+			crashable := okL && okS
+			defer func() {
+				r := recover()
+				if r == nil {
+					safeDetach(name, lt, &fe)
+					safeDetach(name, st, &fe)
+					return
+				}
+				if _, isCrash := r.(chaos.CrashSignal); isCrash && crashable {
+					// Simulated crash: no Detach, no cleanup. The dead
+					// worker's announcement slots, retired lists, and
+					// arena shards stay behind for survivors to adopt.
+					lc.Abandon()
+					sc.Abandon()
+					return
+				}
+				fe.set(fmt.Errorf("%s: worker panic: %v", name, r))
+				releaseStrays(lt)
+				releaseStrays(st)
+				safeDetach(name, lt, &fe)
+				safeDetach(name, st, &fe)
+			}()
 			rng := rand.New(rand.NewSource(seed))
 			for time.Now().Before(deadline) {
 				for i := 0; i < 256; i++ {
+					if crashable {
+						chaosOpBoundary.Fire()
+					}
 					switch rng.Intn(6) {
 					case 0:
 						lt.Store(rng.Intn(8), rng.Uint64()|1)
@@ -72,35 +205,51 @@ func stressScheme(name string, s rcscheme.StackScheme, workers int, dur time.Dur
 		}(int64(w + 1))
 	}
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		return err
+	crashes := chaos.Crashes()
+	chaos.Disable() // quiesce injection before teardown
+	if err := fe.get(); err != nil {
+		return crashes, err
 	}
-	s.Teardown()
+	s.Teardown() // the teardown thread's flushes adopt any crashed workers
 	if live := s.Live(); live != 0 {
-		return fmt.Errorf("%s: %d objects leaked", name, live)
+		return crashes, fmt.Errorf("%s: %d objects leaked", name, live)
 	}
-	return nil
+	return crashes, nil
 }
 
-func stressSet(name string, set ds.Set, workers int, dur time.Duration) error {
+func stressSet(name string, set ds.Set, workers int, dur time.Duration, cs chaosSpec, midOpCrash bool) (int64, error) {
+	cs.enable(name, midOpCrash)
 	deadline := time.Now().Add(dur)
-	var wg sync.WaitGroup
-	errs := make(chan error, workers)
+	var (
+		wg sync.WaitGroup
+		fe firstError
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					errs <- fmt.Errorf("%s: %v", name, r)
-				}
-			}()
 			th := set.Attach()
-			defer th.Detach()
+			cr, crashable := th.(rcscheme.Crasher)
+			defer func() {
+				r := recover()
+				if r == nil {
+					safeDetach(name, th, &fe)
+					return
+				}
+				if _, isCrash := r.(chaos.CrashSignal); isCrash && crashable {
+					cr.Abandon()
+					return
+				}
+				fe.set(fmt.Errorf("%s: worker panic: %v", name, r))
+				releaseStrays(th)
+				safeDetach(name, th, &fe)
+			}()
 			rng := rand.New(rand.NewSource(seed))
 			for time.Now().Before(deadline) {
 				for i := 0; i < 256; i++ {
+					if crashable {
+						chaosOpBoundary.Fire()
+					}
 					k := rng.Uint64() % 512
 					switch rng.Intn(4) {
 					case 0:
@@ -115,27 +264,32 @@ func stressSet(name string, set ds.Set, workers int, dur time.Duration) error {
 		}(int64(w + 1))
 	}
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		return err
+	crashes := chaos.Crashes()
+	chaos.Disable()
+	if err := fe.get(); err != nil {
+		return crashes, err
 	}
-	// Quiescent drain.
+	// Quiescent drain; the attach/detach rounds adopt crashed workers.
 	th := set.Attach()
 	th.Detach()
 	th = set.Attach()
 	th.Detach()
 	if un := set.Unreclaimed(); un != 0 {
-		return fmt.Errorf("%s: %d nodes unreclaimed at quiescence", name, un)
+		return crashes, fmt.Errorf("%s: %d nodes unreclaimed at quiescence", name, un)
 	}
-	return nil
+	return crashes, nil
 }
 
 func main() {
 	var (
 		duration = flag.Duration("duration", 10*time.Second, "total soak time")
 		workers  = flag.Int("workers", 8, "concurrent workers per configuration")
+		chaosOn  = flag.Bool("chaos", false, "enable deterministic fault injection")
+		seed     = flag.Uint64("chaos-seed", 1, "fault injection seed (same seed, same schedule)")
+		crashers = flag.Int("crash-workers", 2, "simulated thread crashes per configuration (with -chaos)")
 	)
 	flag.Parse()
+	cs := chaosSpec{enabled: *chaosOn, seed: *seed, budget: *crashers}
 
 	// Each worker holds two attachments (cells + stacks) in single-registry
 	// schemes.
@@ -143,49 +297,62 @@ func main() {
 	schemes := []struct {
 		name string
 		make func() rcscheme.StackScheme
+		// midOpCrash marks configurations whose operations hold no counted
+		// references at the snapshot-acquired point, making mid-operation
+		// crashes recoverable there.
+		midOpCrash bool
 	}{
-		{"lockrc", func() rcscheme.StackScheme { return lockrc.New(procs) }},
-		{"splitrc/folly", func() rcscheme.StackScheme { return splitrc.NewFolly(procs) }},
-		{"splitrc/just::thread", func() rcscheme.StackScheme { return splitrc.NewJustThread(procs) }},
-		{"herlihy/classic", func() rcscheme.StackScheme { return herlihyrc.NewClassic(procs) }},
-		{"herlihy/optimized", func() rcscheme.StackScheme { return herlihyrc.NewOptimized(procs) }},
-		{"orcgc", func() rcscheme.StackScheme { return orcgc.New(procs) }},
-		{"drc", func() rcscheme.StackScheme { return drcadapt.New(procs) }},
-		{"drc/snapshots", func() rcscheme.StackScheme { return drcadapt.NewSnapshots(procs) }},
+		{"lockrc", func() rcscheme.StackScheme { return lockrc.New(procs) }, false},
+		{"splitrc/folly", func() rcscheme.StackScheme { return splitrc.NewFolly(procs) }, false},
+		{"splitrc/just::thread", func() rcscheme.StackScheme { return splitrc.NewJustThread(procs) }, false},
+		{"herlihy/classic", func() rcscheme.StackScheme { return herlihyrc.NewClassic(procs) }, false},
+		{"herlihy/optimized", func() rcscheme.StackScheme { return herlihyrc.NewOptimized(procs) }, false},
+		{"orcgc", func() rcscheme.StackScheme { return orcgc.New(procs) }, false},
+		{"drc", func() rcscheme.StackScheme { return drcadapt.New(procs) }, false},
+		{"drc/snapshots", func() rcscheme.StackScheme { return drcadapt.NewSnapshots(procs) }, true},
 	}
 	sets := []struct {
-		name string
-		make func() ds.Set
+		name       string
+		make       func() ds.Set
+		midOpCrash bool
 	}{
-		{"rcds/list", func() ds.Set { return rcds.NewList(procs, true) }},
-		{"rcds/hash", func() ds.Set { return rcds.NewHashTable(256, procs, true) }},
-		{"rcds/bst", func() ds.Set { return rcds.NewBST(procs, true) }},
+		{"rcds/list", func() ds.Set { return rcds.NewList(procs, true) }, true},
+		{"rcds/hash", func() ds.Set { return rcds.NewHashTable(256, procs, true) }, true},
+		// BST operations hold counted references in locals, so it only
+		// takes crashes at operation boundaries.
+		{"rcds/bst", func() ds.Set { return rcds.NewBST(procs, true) }, false},
 	}
 
 	total := len(schemes) + len(sets)
 	per := *duration / time.Duration(total)
-	fmt.Printf("soaking %d configurations, %v each, %d workers\n", total, per.Round(time.Millisecond), *workers)
+	mode := ""
+	if cs.enabled {
+		mode = fmt.Sprintf(", chaos seed=%d crash-workers=%d", cs.seed, cs.budget)
+	}
+	fmt.Printf("soaking %d configurations, %v each, %d workers%s\n", total, per.Round(time.Millisecond), *workers, mode)
+
+	report := func(name string, start time.Time, crashes int64, err error) bool {
+		status := "ok"
+		if cs.enabled {
+			status = fmt.Sprintf("ok (crashes=%d)", crashes)
+		}
+		if err != nil {
+			status = err.Error()
+		}
+		fmt.Printf("  %-22s %8s  %s\n", name, time.Since(start).Round(time.Millisecond), status)
+		return err != nil
+	}
 
 	failed := false
 	for _, c := range schemes {
 		start := time.Now()
-		err := stressScheme(c.name, c.make(), *workers, per)
-		status := "ok"
-		if err != nil {
-			status = err.Error()
-			failed = true
-		}
-		fmt.Printf("  %-22s %8s  %s\n", c.name, time.Since(start).Round(time.Millisecond), status)
+		crashes, err := stressScheme(c.name, c.make(), *workers, per, cs, c.midOpCrash)
+		failed = report(c.name, start, crashes, err) || failed
 	}
 	for _, c := range sets {
 		start := time.Now()
-		err := stressSet(c.name, c.make(), *workers, per)
-		status := "ok"
-		if err != nil {
-			status = err.Error()
-			failed = true
-		}
-		fmt.Printf("  %-22s %8s  %s\n", c.name, time.Since(start).Round(time.Millisecond), status)
+		crashes, err := stressSet(c.name, c.make(), *workers, per, cs, c.midOpCrash)
+		failed = report(c.name, start, crashes, err) || failed
 	}
 	if failed {
 		os.Exit(1)

@@ -34,9 +34,23 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cdrc/internal/chaos"
 	"cdrc/internal/multiset"
 	"cdrc/internal/pid"
 	"cdrc/internal/swcopy"
+)
+
+// Fault-injection points (single atomic loads unless an injector is
+// installed). The two acquire points bracket the classic read-reclaim race
+// window of §3.1: a stall between reading a handle and announcing it lets
+// a concurrent retire+eject free the object under the reader (the validate
+// catches it); a stall between announcing and validating widens the window
+// where a stale announcement protects a dead handle. acqret.retire stalls
+// the deferred-decrement path (§4's backlog).
+var (
+	chaosAcquireRead     = chaos.New("acqret.acquire.between-read-and-announce")
+	chaosAcquireValidate = chaos.New("acqret.acquire.between-announce-and-validate")
+	chaosRetire          = chaos.New("acqret.retire")
 )
 
 // SlotsPerProc is the number of announcement slots each processor owns:
@@ -86,6 +100,7 @@ type config struct {
 	mode       Mode
 	normalize  func(uint64) uint64
 	thresholdK int
+	adoptHook  func(procID int)
 }
 
 // WithMode selects the acquire implementation (default LockFreeAcquire).
@@ -100,6 +115,18 @@ func WithMode(m Mode) Option { return func(c *config) { c.mode = m } }
 // nothing).
 func WithNormalizer(f func(uint64) uint64) Option {
 	return func(c *config) { c.normalize = f }
+}
+
+// WithAdoptHook installs a callback invoked while an abandoned processor
+// id is being adopted, after its announcement slots are cleared and its
+// retired lists taken, and before the id is reinstated for reuse. Layers
+// stacked on the domain use it to evacuate their own per-processor state
+// bound to the same id space - the core library drains the dead
+// processor's arena free lists here, so an id is never reissued while its
+// free lists are non-empty. The hook runs on the adopting goroutine with
+// the domain's adoption lock held; it must not call back into the domain.
+func WithAdoptHook(f func(procID int)) Option {
+	return func(c *config) { c.adoptHook = f }
 }
 
 // WithScanThreshold sets the multiple of K (total announcement slots) a
@@ -156,6 +183,16 @@ type Domain struct {
 	orphanMu sync.Mutex
 	orphans  []uint64
 
+	// Crash abandonment: abandoned[i] marks processor i as owned by a dead
+	// goroutine; reapMu serializes adoption of such processors. adoptHook
+	// (optional) lets stacked layers evacuate their own per-id state
+	// before the id is reinstated.
+	abandoned  []atomic.Bool
+	abandonedN atomic.Int32
+	reapMu     sync.Mutex
+	adoptHook  func(procID int)
+	adopted    atomic.Uint64
+
 	deferred atomic.Int64 // retired and not yet ejected (including orphans)
 	ejected  atomic.Uint64
 	retired  atomic.Uint64
@@ -185,6 +222,8 @@ func New(maxProcs int, opts ...Option) *Domain {
 		thresholdK: c.thresholdK,
 		procs:      make([]procState, maxProcs),
 		reg:        pid.NewRegistry(maxProcs),
+		abandoned:  make([]atomic.Bool, maxProcs),
+		adoptHook:  c.adoptHook,
 	}
 	switch c.mode {
 	case WaitFreeAcquire:
@@ -232,6 +271,76 @@ func (d *Domain) Unregister(procID int) {
 		d.orphanMu.Unlock()
 	}
 	d.reg.Release(procID)
+}
+
+// Abandon marks procID as owned by a goroutine that died without
+// Unregister - the hazard-pointer family's classic failure mode. Unlike
+// every other per-processor operation it may be called from any goroutine,
+// provided the caller has synchronized with the owner's death (recovered
+// its panic, or observed its exit). The dead processor's announcement
+// slots keep protecting whatever they announce until a survivor's scan
+// adopts the processor: adoption clears the slots, moves the retired and
+// free lists to the orphan pool, runs the adopt hook, and only then
+// reinstates the id for reuse. Abandoning the same id twice before
+// adoption is a no-op; abandoning it again after adoption is a caller bug
+// (the id may already belong to a new thread).
+func (d *Domain) Abandon(procID int) {
+	d.reg.Abandon(procID)
+	if d.abandoned[procID].CompareAndSwap(false, true) {
+		d.abandonedN.Add(1)
+	}
+}
+
+// AbandonedCount returns the number of abandoned processors not yet
+// adopted (diagnostics).
+func (d *Domain) AbandonedCount() int { return int(d.abandonedN.Load()) }
+
+// Adopted returns the cumulative number of abandoned processors adopted by
+// survivors (diagnostics).
+func (d *Domain) Adopted() uint64 { return d.adopted.Load() }
+
+// reapAbandoned adopts every abandoned processor: its partial scan is
+// discarded, its retired and free lists move to the orphan pool (a
+// subsequent adoptOrphans folds them into the caller's scan), its
+// announcement slots are cleared - ending their protection - and its id is
+// reinstated after the adopt hook has evacuated any stacked per-id state.
+// The fast path is one atomic load when nothing is abandoned.
+func (d *Domain) reapAbandoned() {
+	if d.abandonedN.Load() == 0 {
+		return
+	}
+	d.reapMu.Lock()
+	defer d.reapMu.Unlock()
+	hw := d.reg.HighWater()
+	for id := 0; id < hw; id++ {
+		if !d.abandoned[id].Load() {
+			continue
+		}
+		dead := &d.procs[id]
+		d.abandonScan(dead)
+		pending := append(dead.rlist, dead.flist...)
+		// flist entries were already counted as ejected; re-defer them.
+		if n := len(dead.flist); n > 0 {
+			d.deferred.Add(int64(n))
+			d.ejected.Add(^uint64(n - 1))
+		}
+		dead.rlist, dead.flist = nil, nil
+		for s := 0; s < SlotsPerProc; s++ {
+			d.clearSlot(id, s)
+		}
+		if len(pending) > 0 {
+			d.orphanMu.Lock()
+			d.orphans = append(d.orphans, pending...)
+			d.orphanMu.Unlock()
+		}
+		if d.adoptHook != nil {
+			d.adoptHook(id)
+		}
+		d.abandoned[id].Store(false)
+		d.abandonedN.Add(-1)
+		d.adopted.Add(1)
+		d.reg.Reinstate(id)
+	}
 }
 
 func (d *Domain) slotIndex(procID, slot int) int { return procID*SlotsPerProc + slot }
@@ -302,7 +411,9 @@ func (d *Domain) Acquire(procID, slot int, src *atomic.Uint64) uint64 {
 		w := &d.annWords[i].v
 		for a := 0; a < fastAttempts; a++ {
 			v := src.Load()
+			chaosAcquireRead.Fire()
 			w.Store(v)
+			chaosAcquireValidate.Fire()
 			if src.Load() == v {
 				return v
 			}
@@ -314,7 +425,9 @@ func (d *Domain) Acquire(procID, slot int, src *atomic.Uint64) uint64 {
 		w := &d.annWords[i].v
 		for {
 			v := src.Load()
+			chaosAcquireRead.Fire()
 			w.Store(v)
+			chaosAcquireValidate.Fire()
 			if src.Load() == v {
 				return v
 			}
@@ -349,6 +462,7 @@ func (d *Domain) Release(procID, slot int) { d.clearSlot(procID, slot) }
 // occurrence is active. Each Retire should be followed by at least one
 // Eject (the time and space bounds assume it).
 func (d *Domain) Retire(procID int, h uint64) {
+	chaosRetire.Fire()
 	p := &d.procs[procID]
 	p.rlist = append(p.rlist, h)
 	d.retired.Add(1)
@@ -384,6 +498,7 @@ func (d *Domain) scanSteps(procID int, p *procState, budget int) {
 			if len(p.rlist) < d.thresholdK*k+scanSlack {
 				return
 			}
+			d.reapAbandoned()
 			d.adoptOrphans(p)
 			p.scanActive = true
 			p.scanAnnIdx = 0
@@ -465,6 +580,7 @@ func (d *Domain) adoptOrphans(p *procState) {
 func (d *Domain) EjectAllLocal(procID int) []uint64 {
 	p := &d.procs[procID]
 	d.abandonScan(p)
+	d.reapAbandoned()
 	d.adoptOrphans(p)
 	p.plist.Reset()
 	n := d.announcedSlots()

@@ -1,11 +1,31 @@
 package arena
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"cdrc/internal/chaos"
 	"cdrc/internal/pid"
+)
+
+// ErrExhausted is returned by TryAlloc when no slot can be produced: the
+// pool has reached its capacity cap with nothing recyclable on the calling
+// processor's free lists, or a chaos fault forced the allocation to fail.
+// Callers are expected to back off (drop the operation, flush deferred
+// work, or retry later); Alloc treats the same condition as fatal.
+var ErrExhausted = errors.New("arena: pool exhausted")
+
+// Fault-injection points (inert single atomic loads unless an injector is
+// installed; see internal/chaos). arena.alloc stalls allocations and - for
+// TryAlloc only - forces typed failures; arena.free stalls the poisoning
+// window; arena.refill deterministically shuffles just-refilled free lists
+// to maximize handle-reuse/ABA pressure.
+var (
+	chaosAlloc  = chaos.New("arena.alloc")
+	chaosFree   = chaos.New("arena.free")
+	chaosRefill = chaos.New("arena.refill")
 )
 
 const (
@@ -66,11 +86,13 @@ type chunk[T any] struct {
 }
 
 // freeList is a per-processor stack of free slot indices, chained through
-// the slots' nextFree fields. Each list is touched only by its owning
-// processor, so no atomics are needed; the pad defeats false sharing.
+// the slots' nextFree fields. The chain is touched only by its owning
+// processor (or, for an abandoned processor, by the single adopter draining
+// it); count is atomic only so Stats can observe occupancy from other
+// goroutines. The pad defeats false sharing.
 type freeList struct {
 	head  uint64
-	count int
+	count atomic.Int64
 	_     [128 - 16]byte
 }
 
@@ -80,6 +102,22 @@ type Stats struct {
 	Frees  uint64 // total Free calls
 	Live   int64  // Allocs - Frees
 	Slots  uint64 // slots ever carved out of chunks (capacity high-water)
+
+	// LiveHighWater is the largest Live value observed by any allocation.
+	// It is maintained with unsynchronized load/store pairs, so under
+	// concurrency it is a close lower bound on the true peak; it is exact
+	// at quiescence.
+	LiveHighWater int64
+
+	// Capacity is the configured slot cap (0 = unbounded).
+	Capacity uint64
+
+	// FreeLocal is the per-processor free-list occupancy, indexed by
+	// processor id. Entries of abandoned-and-drained processors are zero.
+	FreeLocal []int
+
+	// FreeGlobal is the occupancy of the shared overflow free chain.
+	FreeGlobal int
 }
 
 // Pool is a slab allocator for values of type T, addressed by Handle.
@@ -93,11 +131,13 @@ type Pool[T any] struct {
 	nextFresh   uint64 // next never-allocated index; index 0 is reserved
 	globalFree  uint64
 	globalFreeN int
+	capSlots    uint64 // max slots ever carved; 0 = unbounded. Guarded by growMu.
 
 	free []freeList
 
 	allocs atomic.Uint64
 	frees  atomic.Uint64
+	liveHW atomic.Int64 // racy-monotone peak of allocs-frees
 
 	// DebugChecks enables poisoned-header verification on every Get and
 	// Hdr. Tests turn this on; benchmarks leave it off. It must be set
@@ -156,18 +196,62 @@ func (p *Pool[T]) Hdr(h Handle) *Header {
 	return &p.slotFor(idx).hdr
 }
 
+// SetCapacity caps the total number of slots the pool may ever carve out
+// of fresh chunks (0 = unbounded, the default). Once the cap is reached,
+// allocation succeeds only by recycling freed slots: TryAlloc reports
+// ErrExhausted when none are reachable from the calling processor, and
+// Alloc panics. The cap may be set or raised at any time; lowering it
+// below the already-carved count stops further growth but reclaims
+// nothing.
+func (p *Pool[T]) SetCapacity(slots uint64) {
+	p.growMu.Lock()
+	p.capSlots = slots
+	p.growMu.Unlock()
+}
+
 // Alloc carves a fresh slot out of the arena (or recycles a freed one) and
 // returns its unmarked handle. The slot's value and header counters are
-// zeroed. pid identifies the calling processor's free list.
+// zeroed. pid identifies the calling processor's free list. Alloc cannot
+// fail: exhaustion of a capacity-capped pool panics (use TryAlloc where
+// allocation failure is a condition the caller handles).
 func (p *Pool[T]) Alloc(procID int) Handle {
-	fl := &p.free[procID]
-	if fl.count == 0 {
+	chaosAlloc.Fire()
+	idx, ok := p.takeSlot(&p.free[procID])
+	if !ok {
+		panic(fmt.Sprintf("arena: pool exhausted (capacity %d slots)", p.Stats().Capacity))
+	}
+	return FromIndex(idx)
+}
+
+// TryAlloc is Alloc with graceful failure: it returns ErrExhausted when
+// the pool's capacity cap leaves no slot reachable from procID's free
+// lists, or when a chaos fault at "arena.alloc" forces the failure. On
+// failure the pool is unchanged and the caller is expected to back off.
+func (p *Pool[T]) TryAlloc(procID int) (Handle, error) {
+	if chaosAlloc.Fire() {
+		return Nil, fmt.Errorf("injected fault: %w", ErrExhausted)
+	}
+	idx, ok := p.takeSlot(&p.free[procID])
+	if !ok {
+		return Nil, ErrExhausted
+	}
+	return FromIndex(idx), nil
+}
+
+// takeSlot pops a slot from fl (refilling it first if empty), initializes
+// its header, and records the allocation. It reports false when the refill
+// could not produce a slot (capacity-capped pool with nothing recyclable).
+func (p *Pool[T]) takeSlot(fl *freeList) (uint64, bool) {
+	if fl.count.Load() == 0 {
 		p.refill(fl)
+		if fl.count.Load() == 0 {
+			return 0, false
+		}
 	}
 	idx := fl.head
 	s := p.slotFor(idx)
 	fl.head = s.hdr.nextFree
-	fl.count--
+	fl.count.Add(-1)
 
 	if st := s.hdr.state.Load(); st == stateLive {
 		panic(fmt.Sprintf("arena: free list corruption: slot %d already live", idx))
@@ -181,8 +265,11 @@ func (p *Pool[T]) Alloc(procID int) Handle {
 	s.hdr.nextFree = 0
 	s.hdr.state.Store(stateLive)
 
-	p.allocs.Add(1)
-	return FromIndex(idx)
+	live := int64(p.allocs.Add(1)) - int64(p.frees.Load())
+	if live > p.liveHW.Load() {
+		p.liveHW.Store(live)
+	}
+	return idx, true
 }
 
 // Free returns the slot addressed by h to the arena. It panics on nil
@@ -196,6 +283,7 @@ func (p *Pool[T]) Free(procID int, h Handle) {
 	if idx == 0 {
 		panic("arena: Free on nil handle")
 	}
+	chaosFree.Fire()
 	s := p.slotFor(idx)
 	if !s.hdr.state.CompareAndSwap(stateLive, stateFree) {
 		panic(fmt.Sprintf("arena: double free of handle %#x (state %#x)", uint64(h), s.hdr.state.Load()))
@@ -205,28 +293,29 @@ func (p *Pool[T]) Free(procID int, h Handle) {
 	fl := &p.free[procID]
 	s.hdr.nextFree = fl.head
 	fl.head = idx
-	fl.count++
-	if fl.count >= 2*freeBatch {
+	if fl.count.Add(1) >= 2*freeBatch {
 		p.flush(fl)
 	}
 }
 
 // refill moves a batch of free slots from the global pool (or fresh
-// capacity) onto fl. Called with fl.count == 0.
+// capacity, up to any configured cap) onto fl. Called with fl.count == 0;
+// may return with fewer than freeBatch slots - or none - when the pool is
+// capacity-capped.
 func (p *Pool[T]) refill(fl *freeList) {
 	p.growMu.Lock()
 	// First drain recycled slots from the global free chain.
-	for p.globalFreeN > 0 && fl.count < freeBatch {
+	for p.globalFreeN > 0 && fl.count.Load() < freeBatch {
 		idx := p.globalFree
 		s := p.slotFor(idx)
 		p.globalFree = s.hdr.nextFree
 		p.globalFreeN--
 		s.hdr.nextFree = fl.head
 		fl.head = idx
-		fl.count++
+		fl.count.Add(1)
 	}
 	// Then carve fresh indices, growing the chunk directory as needed.
-	for fl.count < freeBatch {
+	for fl.count.Load() < freeBatch && (p.capSlots == 0 || p.nextFresh-1 < p.capSlots) {
 		idx := p.nextFresh
 		p.nextFresh++
 		p.ensureCapacityLocked(idx)
@@ -234,24 +323,90 @@ func (p *Pool[T]) refill(fl *freeList) {
 		s.hdr.state.Store(stateFree)
 		s.hdr.nextFree = fl.head
 		fl.head = idx
-		fl.count++
+		fl.count.Add(1)
+	}
+	if seed, ok := chaosRefill.FireSeed(); ok {
+		p.shuffleLocked(fl, seed)
 	}
 	p.growMu.Unlock()
+}
+
+// shuffleLocked permutes fl's chain with a splitmix64 Fisher-Yates,
+// deterministic in seed. Called with growMu held, on a list owned by the
+// caller. Recycling order is normally LIFO; shuffling it maximizes the
+// variety of handle-reuse interleavings (the ABA pressure chaos runs seek).
+func (p *Pool[T]) shuffleLocked(fl *freeList, seed uint64) {
+	n := int(fl.count.Load())
+	if n < 2 {
+		return
+	}
+	idxs := make([]uint64, 0, n)
+	for idx := fl.head; len(idxs) < n; idx = p.slotFor(idx).hdr.nextFree {
+		idxs = append(idxs, idx)
+	}
+	rng := seed
+	next := func() uint64 {
+		rng += 0x9E3779B97F4A7C15
+		x := rng
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		return x ^ x>>31
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		idxs[i], idxs[j] = idxs[j], idxs[i]
+	}
+	head := uint64(0)
+	for i := n - 1; i >= 0; i-- {
+		p.slotFor(idxs[i]).hdr.nextFree = head
+		head = idxs[i]
+	}
+	fl.head = head
 }
 
 // flush returns half of fl's slots to the global free chain.
 func (p *Pool[T]) flush(fl *freeList) {
 	p.growMu.Lock()
-	for fl.count > freeBatch {
+	for fl.count.Load() > freeBatch {
 		idx := fl.head
 		s := p.slotFor(idx)
 		fl.head = s.hdr.nextFree
-		fl.count--
+		fl.count.Add(-1)
 		s.hdr.nextFree = p.globalFree
 		p.globalFree = idx
 		p.globalFreeN++
 	}
 	p.growMu.Unlock()
+}
+
+// DrainLocal moves every slot on procID's private free list to the global
+// free chain. It exists for processor-id recycling after a thread crash:
+// an abandoned id's free list is unreachable (no live thread owns the id),
+// so its slots would be stranded - and a future thread reissued the same
+// id would inherit a list it never built. The adopter of an abandoned id
+// must drain here before the id is reissued. Safe only when no live thread
+// owns procID.
+func (p *Pool[T]) DrainLocal(procID int) {
+	fl := &p.free[procID]
+	p.growMu.Lock()
+	for fl.count.Load() > 0 {
+		idx := fl.head
+		s := p.slotFor(idx)
+		fl.head = s.hdr.nextFree
+		fl.count.Add(-1)
+		s.hdr.nextFree = p.globalFree
+		p.globalFree = idx
+		p.globalFreeN++
+	}
+	p.growMu.Unlock()
+}
+
+// FreeListLen returns the occupancy of procID's private free list
+// (diagnostics; racy unless the owner is quiescent).
+func (p *Pool[T]) FreeListLen(procID int) int {
+	return int(p.free[procID].count.Load())
 }
 
 // ensureCapacityLocked grows the chunk directory so that idx is
@@ -277,10 +432,25 @@ func (p *Pool[T]) ensureCapacityLocked(idx uint64) {
 func (p *Pool[T]) Stats() Stats {
 	a := p.allocs.Load()
 	f := p.frees.Load()
+	local := make([]int, len(p.free))
+	for i := range p.free {
+		local[i] = int(p.free[i].count.Load())
+	}
 	p.growMu.Lock()
 	slots := p.nextFresh - 1
+	capSlots := p.capSlots
+	global := p.globalFreeN
 	p.growMu.Unlock()
-	return Stats{Allocs: a, Frees: f, Live: int64(a) - int64(f), Slots: slots}
+	return Stats{
+		Allocs:        a,
+		Frees:         f,
+		Live:          int64(a) - int64(f),
+		Slots:         slots,
+		LiveHighWater: p.liveHW.Load(),
+		Capacity:      capSlots,
+		FreeLocal:     local,
+		FreeGlobal:    global,
+	}
 }
 
 // Live returns the number of currently allocated objects.

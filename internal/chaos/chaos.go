@@ -1,0 +1,335 @@
+// Package chaos is a deterministic fault-injection framework for the
+// library's concurrency hot paths.
+//
+// The safety properties this repository reproduces - no use-after-free, no
+// leak, bounded deferred-decrement backlog - only break under adversarial
+// schedules: a reader stalled between load and announce, a thread that dies
+// without detaching, an arena recycling handles fast enough to provoke ABA.
+// Random soaking stumbles into such schedules rarely; this package
+// manufactures them on demand.
+//
+// Instrumented packages declare named injection points as package-level
+// variables (chaos.New("arena.alloc")) and call Point.Fire on the hot path.
+// When no injector is installed, Fire is a single atomic pointer load and a
+// predicted-not-taken branch - cheap enough to leave compiled into
+// production builds and benchmark binaries. When an injector is installed
+// with Enable, each hit consults the fault configured for its point and may
+//
+//   - stall: spin through runtime.Gosched a configured number of times
+//     and/or sleep, widening the race window the point sits in;
+//   - fail: report a true verdict, which failure-capable call sites
+//     (arena.Pool.TryAlloc) turn into a typed allocation failure;
+//   - crash: panic with a CrashSignal, simulating a thread that dies
+//     mid-operation without detaching (the classic hazard-pointer failure
+//     mode). Crashes draw from a global budget so a run kills at most a
+//     configured number of workers;
+//   - reseed: hand the call site a deterministic 64-bit seed (FireSeed),
+//     used by the arena to shuffle refilled free lists and maximize
+//     handle-reuse/ABA pressure.
+//
+// Determinism: whether hit number n at point p fires is a pure function of
+// (seed, p's name, n) - a splitmix64 hash - so the same seed yields the
+// same injection schedule, hit for hit. Goroutine interleaving remains up
+// to the Go scheduler; what is reproducible is which operations get faults,
+// not the global order in which goroutines reach them.
+//
+// The package is stdlib-only and safe for concurrent use. Enable/Disable
+// are process-global and must not race with each other (callers typically
+// enable once per test or per stress configuration).
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CrashSignal is the panic value thrown by a crash fault. Harnesses recover
+// it at the worker's top level and simulate a thread death: they must NOT
+// call Detach, but instead mark the worker's per-processor state abandoned
+// (core.Thread.Abandon) so survivors adopt it.
+type CrashSignal struct {
+	// Point is the name of the injection point that fired the crash.
+	Point string
+}
+
+func (c CrashSignal) String() string {
+	return fmt.Sprintf("chaos: simulated thread crash at %q", c.Point)
+}
+
+// Fault configures the behaviour of one injection point under an installed
+// injector. The zero Fault never fires.
+type Fault struct {
+	// Prob is the probability that a hit fires, decided deterministically
+	// per hit index from the injector seed.
+	Prob float64
+
+	// Every, if non-zero, additionally fires every Every-th hit (hit
+	// indices 0, Every, 2*Every, ...), independent of Prob.
+	Every uint64
+
+	// Yields is the number of runtime.Gosched calls performed when the
+	// fault fires, surrendering the processor at the injection point.
+	Yields int
+
+	// Sleep is an additional blocking sleep applied when the fault fires.
+	Sleep time.Duration
+
+	// Fail makes Fire return a true verdict when the fault fires.
+	// Failure-capable call sites (TryAlloc) turn the verdict into an
+	// injected error; stall-only call sites ignore it.
+	Fail bool
+
+	// Crash makes a firing hit panic with a CrashSignal, subject to the
+	// injector's global crash budget. Only configure crashes at points
+	// documented crash-safe (see DESIGN.md "Fault model"): a crash at an
+	// arbitrary point can lose resources no survivor can recover (e.g. a
+	// counted reference held in the dying goroutine's locals).
+	Crash bool
+}
+
+// fires reports whether hit number n of a point fires under f, using the
+// injector seed and the point's name hash.
+func (f *Fault) fires(seed, nameHash, n uint64) bool {
+	if f.Every != 0 && n%f.Every == 0 {
+		return true
+	}
+	if f.Prob <= 0 {
+		return false
+	}
+	// splitmix64 over (seed, name, hit index): uniform, stateless, and
+	// independent across points.
+	x := mix64(seed ^ nameHash ^ (n * 0x9E3779B97F4A7C15))
+	return float64(x>>11)/(1<<53) < f.Prob
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// fnv1a hashes a point name once at registration.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Point is a named injection point. Instrumented packages create their
+// points once at package init with New; each Fire call is one "hit".
+type Point struct {
+	name     string
+	nameHash uint64
+	hits     atomic.Uint64
+	fires    atomic.Uint64
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Hits returns the number of hits observed while an injector was installed
+// (disabled hits are not counted - the hot path stays untouched).
+func (p *Point) Hits() uint64 { return p.hits.Load() }
+
+// Fires returns the number of hits that fired a fault.
+func (p *Point) Fires() uint64 { return p.fires.Load() }
+
+// Injector is an installed fault configuration. Create with Enable.
+type Injector struct {
+	seed        uint64
+	faults      map[*Point]*Fault
+	crashBudget atomic.Int64
+	crashes     atomic.Int64
+}
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]*Point)
+
+	// active is the package-level hook: nil when disabled, so the hot path
+	// is one atomic load and a branch.
+	active atomic.Pointer[Injector]
+)
+
+// New registers (or looks up) the injection point with the given name.
+// Call it from package-level var initializers; names are process-global.
+func New(name string) *Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if p, ok := registry[name]; ok {
+		return p
+	}
+	p := &Point{name: name, nameHash: fnv1a(name)}
+	registry[name] = p
+	return p
+}
+
+// Names returns the sorted names of all registered points.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Config parameterizes Enable.
+type Config struct {
+	// Seed drives every fire/no-fire decision.
+	Seed uint64
+
+	// Faults maps point names to their fault configuration. Unknown names
+	// are registered eagerly so configs can be written before the
+	// instrumented package's init runs.
+	Faults map[string]Fault
+
+	// CrashBudget bounds the total number of crash faults the injector
+	// will throw across all points (0 = crashes disabled even if a Fault
+	// sets Crash).
+	CrashBudget int
+}
+
+// Enable installs a process-wide injector. It resets per-point hit/fire
+// counters so Report reflects one enable window. Must not be called while
+// another injector is being enabled or disabled concurrently.
+func Enable(cfg Config) {
+	inj := &Injector{seed: cfg.Seed, faults: make(map[*Point]*Fault, len(cfg.Faults))}
+	inj.crashBudget.Store(int64(cfg.CrashBudget))
+	for name, f := range cfg.Faults {
+		f := f
+		inj.faults[New(name)] = &f
+	}
+	regMu.Lock()
+	for _, p := range registry {
+		p.hits.Store(0)
+		p.fires.Store(0)
+	}
+	regMu.Unlock()
+	active.Store(inj)
+}
+
+// Disable removes the installed injector. Point counters keep their final
+// values until the next Enable.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether an injector is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Crashes returns the number of crash faults thrown by the current (or
+// last) injector.
+func Crashes() int64 {
+	inj := active.Load()
+	if inj == nil {
+		return 0
+	}
+	return inj.crashes.Load()
+}
+
+// Fire records a hit at p and applies any configured fault: it stalls,
+// then possibly panics with a CrashSignal, then returns the failure
+// verdict. With no injector installed it costs one atomic load.
+func (p *Point) Fire() bool {
+	inj := active.Load()
+	if inj == nil {
+		return false
+	}
+	return inj.fire(p)
+}
+
+// FireSeed is Fire for call sites that need deterministic randomness when
+// the fault fires (e.g. the arena's free-list shuffle): it returns a 64-bit
+// seed derived from (injector seed, point, hit index) and whether the fault
+// fired. Stalls and crashes apply as in Fire; the Fail verdict is folded
+// into the bool.
+func (p *Point) FireSeed() (uint64, bool) {
+	inj := active.Load()
+	if inj == nil {
+		return 0, false
+	}
+	n, fired := inj.decide(p)
+	if !fired {
+		return 0, false
+	}
+	inj.act(p)
+	return mix64(inj.seed ^ p.nameHash ^ mix64(n+1)), true
+}
+
+// fire decides, stalls, maybe crashes, and returns the Fail verdict.
+func (inj *Injector) fire(p *Point) bool {
+	_, fired := inj.decide(p)
+	if !fired {
+		return false
+	}
+	inj.act(p)
+	return inj.faults[p].Fail
+}
+
+// decide records the hit and evaluates the deterministic fire decision.
+func (inj *Injector) decide(p *Point) (uint64, bool) {
+	f, ok := inj.faults[p]
+	if !ok {
+		return 0, false
+	}
+	n := p.hits.Add(1) - 1
+	return n, f.fires(inj.seed, p.nameHash, n)
+}
+
+// act applies the stall and crash effects of a firing hit.
+func (inj *Injector) act(p *Point) {
+	p.fires.Add(1)
+	f := inj.faults[p]
+	for i := 0; i < f.Yields; i++ {
+		runtime.Gosched()
+	}
+	if f.Sleep > 0 {
+		time.Sleep(f.Sleep)
+	}
+	if f.Crash {
+		for {
+			b := inj.crashBudget.Load()
+			if b <= 0 {
+				return
+			}
+			if inj.crashBudget.CompareAndSwap(b, b-1) {
+				inj.crashes.Add(1)
+				panic(CrashSignal{Point: p.name})
+			}
+		}
+	}
+}
+
+// PointReport is one row of Report.
+type PointReport struct {
+	Name  string
+	Hits  uint64
+	Fires uint64
+}
+
+// Report returns per-point hit/fire counts for the current enable window,
+// sorted by name. Points never hit are omitted.
+func Report() []PointReport {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]PointReport, 0, len(registry))
+	for _, p := range registry {
+		if h := p.hits.Load(); h > 0 {
+			out = append(out, PointReport{Name: p.name, Hits: h, Fires: p.fires.Load()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+)
+
+// drive hits a point n times and returns the indices that fired.
+func drive(p *Point, n int) []int {
+	var fired []int
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(CrashSignal); !ok {
+						panic(r)
+					}
+					fired = append(fired, i)
+				}
+			}()
+			if p.Fire() {
+				fired = append(fired, i)
+			}
+		}()
+	}
+	return fired
+}
+
+func TestDisabledFireIsInert(t *testing.T) {
+	Disable()
+	p := New("test.inert")
+	for i := 0; i < 1000; i++ {
+		if p.Fire() {
+			t.Fatal("Fire returned true with no injector installed")
+		}
+	}
+	if p.Hits() != 0 {
+		t.Fatalf("disabled hits were counted: %d", p.Hits())
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	p := New("test.determinism")
+	cfg := Config{Seed: 42, Faults: map[string]Fault{"test.determinism": {Prob: 0.3, Fail: true}}}
+
+	Enable(cfg)
+	first := drive(p, 2000)
+	Disable()
+
+	Enable(cfg)
+	second := drive(p, 2000)
+	Disable()
+
+	if len(first) == 0 {
+		t.Fatal("Prob 0.3 never fired in 2000 hits")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("schedules diverge at %d: hit %d vs %d", i, first[i], second[i])
+		}
+	}
+}
+
+func TestDifferentPointsIndependentSchedules(t *testing.T) {
+	a, b := New("test.indep.a"), New("test.indep.b")
+	Enable(Config{Seed: 7, Faults: map[string]Fault{
+		"test.indep.a": {Prob: 0.5, Fail: true},
+		"test.indep.b": {Prob: 0.5, Fail: true},
+	}})
+	defer Disable()
+	fa, fb := drive(a, 500), drive(b, 500)
+	if len(fa) == 0 || len(fb) == 0 {
+		t.Fatal("points did not fire")
+	}
+	same := len(fa) == len(fb)
+	if same {
+		for i := range fa {
+			if fa[i] != fb[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("two points with the same config produced identical schedules; name hash not mixed in")
+	}
+}
+
+func TestEveryFiresPeriodically(t *testing.T) {
+	p := New("test.every")
+	Enable(Config{Seed: 1, Faults: map[string]Fault{"test.every": {Every: 10, Fail: true}}})
+	defer Disable()
+	fired := drive(p, 100)
+	if len(fired) != 10 {
+		t.Fatalf("Every=10 over 100 hits fired %d times, want 10", len(fired))
+	}
+	for i, idx := range fired {
+		if idx != i*10 {
+			t.Fatalf("fire %d at hit %d, want %d", i, idx, i*10)
+		}
+	}
+}
+
+func TestCrashBudgetBoundsCrashes(t *testing.T) {
+	p := New("test.crash")
+	Enable(Config{Seed: 3, CrashBudget: 2, Faults: map[string]Fault{
+		"test.crash": {Every: 1, Crash: true},
+	}})
+	defer Disable()
+	crashes := 0
+	for i := 0; i < 50; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(CrashSignal); !ok {
+						panic(r)
+					}
+					crashes++
+				}
+			}()
+			p.Fire()
+		}()
+	}
+	if crashes != 2 {
+		t.Fatalf("crash budget 2 produced %d crashes", crashes)
+	}
+	if Crashes() != 2 {
+		t.Fatalf("Crashes() = %d, want 2", Crashes())
+	}
+}
+
+func TestFireSeedDeterministic(t *testing.T) {
+	p := New("test.seed")
+	cfg := Config{Seed: 9, Faults: map[string]Fault{"test.seed": {Every: 3}}}
+	collect := func() []uint64 {
+		Enable(cfg)
+		defer Disable()
+		var seeds []uint64
+		for i := 0; i < 30; i++ {
+			if s, ok := p.FireSeed(); ok {
+				seeds = append(seeds, s)
+			}
+		}
+		return seeds
+	}
+	a, b := collect(), collect()
+	if len(a) != 10 {
+		t.Fatalf("Every=3 over 30 hits fired %d times, want 10", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("FireSeed not reproducible at fire %d: %#x vs %#x", i, a[i], b[i])
+		}
+		if a[i] == 0 {
+			t.Fatal("FireSeed returned zero seed")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] == a[i-1] {
+			t.Fatal("consecutive FireSeed values identical; hit index not mixed in")
+		}
+	}
+}
+
+func TestConcurrentFireIsRaceFree(t *testing.T) {
+	p := New("test.concurrent")
+	Enable(Config{Seed: 5, Faults: map[string]Fault{"test.concurrent": {Prob: 0.2, Yields: 1, Fail: true}}})
+	defer Disable()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Fire()
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Hits() != 8000 {
+		t.Fatalf("hits = %d, want 8000", p.Hits())
+	}
+	rep := Report()
+	found := false
+	for _, r := range rep {
+		if r.Name == "test.concurrent" {
+			found = true
+			if r.Fires == 0 || r.Fires >= r.Hits {
+				t.Fatalf("implausible fire count: %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("Report omitted a hit point")
+	}
+}

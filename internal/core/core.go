@@ -22,12 +22,30 @@ import (
 
 	"cdrc/internal/acqret"
 	"cdrc/internal/arena"
+	"cdrc/internal/chaos"
 	"cdrc/internal/pid"
 )
 
 // acquireSlot is the announcement slot used by in-flight load/store/CAS
 // operations; slots 1..acqret.MaxSnapshots hold snapshots.
 const acquireSlot = 0
+
+// Fault-injection points (inert unless chaos.Enable has been called; see
+// the "Fault model" section of DESIGN.md for which are crash-safe).
+var (
+	// Between a load's protecting announcement and its increment: the
+	// widest version of the §3.1 read-reclaim race window. Stall-only — a
+	// crash here would leak the counted reference the load is minting.
+	chaosLoadWindow = chaos.New("core.load.between-acquire-and-increment")
+	// A count has just reached zero and the object is about to be
+	// destructed. Stall-only: stretches the window in which snapshots and
+	// announcements must keep protecting the doomed object.
+	chaosDecrementZero = chaos.New("core.decrement-before-destruct")
+	// A snapshot has been acquired (announcement published, no count
+	// taken). Crash-safe: a snapshot is uncounted, so a thread dying here
+	// loses nothing that adoption cannot recover.
+	chaosSnapshotAcquired = chaos.New("core.snapshot.acquired")
+)
 
 // RcPtr is a counted reference to a domain-managed object, the analogue of
 // the library's rc_ptr (itself modelled on shared_ptr). It is a plain
@@ -137,15 +155,22 @@ func NewDomain[T any](cfg Config[T]) *Domain[T] {
 		procs = pid.DefaultMaxProcs
 	}
 	d := &Domain[T]{
-		pool: arena.NewPool[T](procs),
-		ar: acqret.New(procs,
-			acqret.WithMode(cfg.AcquireMode),
-			acqret.WithNormalizer(func(w uint64) uint64 {
-				return uint64(arena.Handle(w).Unmarked())
-			})),
 		cfg:   cfg,
 		procs: procs,
 	}
+	d.pool = arena.NewPool[T](procs)
+	d.ar = acqret.New(procs,
+		acqret.WithMode(cfg.AcquireMode),
+		acqret.WithNormalizer(func(w uint64) uint64 {
+			return uint64(arena.Handle(w).Unmarked())
+		}),
+		// When a survivor adopts an abandoned processor, move the dead
+		// processor's private arena free list to the global chain before
+		// the id can be reissued (the one-id-space invariant: a reissued
+		// id must start with an empty shard).
+		acqret.WithAdoptHook(func(procID int) {
+			d.pool.DrainLocal(procID)
+		}))
 	d.pool.DebugChecks = cfg.DebugChecks
 	return d
 }
@@ -197,6 +222,49 @@ func (t *Thread[T]) Detach() {
 	t.d.ar.Unregister(t.pid)
 }
 
+// Abandon reports that this thread's worker died (or simulated dying)
+// mid-operation and will never call Detach. The processor id, its
+// announcement slots, its retired lists, and its arena free list all stay
+// exactly as the crash left them until a surviving thread's scan adopts
+// them; only then is the id reissued. Unlike Detach, Abandon tolerates
+// live snapshots (their announcements are cleared at adoption) and is safe
+// to call from a deferred recover. The Thread must not be used afterwards.
+//
+// What adoption cannot recover is ownership that existed only in the dead
+// goroutine's locals: a counted RcPtr held across the crash point is a
+// permanent leak. Crash-style fault injection is therefore restricted to
+// points where the dying thread holds no counted references.
+func (t *Thread[T]) Abandon() {
+	t.d.ar.Abandon(t.pid)
+}
+
+// AbandonedCount returns the number of processors currently abandoned and
+// not yet adopted (diagnostics).
+func (d *Domain[T]) AbandonedCount() int {
+	return int(d.ar.AbandonedCount())
+}
+
+// Adopted returns the number of abandoned processors that survivors have
+// adopted so far (diagnostics).
+func (d *Domain[T]) Adopted() uint64 { return d.ar.Adopted() }
+
+// ReleaseStraySnapshots clears every announcement slot this thread still
+// holds, including the acquire slot. It is the recover-path counterpart of
+// releasing each Snapshot individually: after a panic unwinds an operation
+// the Snapshot values are lost, but the announcements they published are
+// still in the slots and would otherwise make Detach panic. Snapshots
+// whose slot had been taken over (their deferred increment already
+// applied) cannot be found this way; the increment they carry is lost.
+// That case is rare (it needs 8+ simultaneous snapshots) and the leak is
+// bounded by one count per takeover, so recover paths accept it.
+func (t *Thread[T]) ReleaseStraySnapshots() {
+	for s := 0; s <= acqret.MaxSnapshots; s++ {
+		if t.d.ar.ReadSlot(t.pid, s) != 0 {
+			t.d.ar.Release(t.pid, s)
+		}
+	}
+}
+
 // drainLocal synchronously ejects and applies everything currently safe.
 func (t *Thread[T]) drainLocal() {
 	for {
@@ -223,6 +291,7 @@ func (t *Thread[T]) increment(h arena.Handle) {
 func (t *Thread[T]) decrement(h arena.Handle) {
 	h = h.Unmarked()
 	if c := t.d.pool.Hdr(h).RefCount.Add(-1); c == 0 {
+		chaosDecrementZero.Fire()
 		t.deleteObj(h)
 	} else if c < 0 {
 		panic(fmt.Sprintf("core: reference count of %#x went negative (%d)", uint64(h), c))
@@ -282,6 +351,34 @@ func (t *Thread[T]) NewRc(init func(*T)) RcPtr {
 	return p
 }
 
+// TryAllocRc is AllocRc with backpressure: when the arena is at its
+// configured capacity (or chaos forces an allocation failure) it returns
+// an error wrapping arena.ErrExhausted instead of panicking, and the
+// caller backs off — typically by flushing deferred decrements to recycle
+// slots and retrying, or by failing its own operation upward.
+func (t *Thread[T]) TryAllocRc() (RcPtr, *T, error) {
+	h, err := t.d.pool.TryAlloc(t.pid)
+	if err != nil {
+		return NilRcPtr, nil, err
+	}
+	hdr := t.d.pool.Hdr(h)
+	hdr.RefCount.Store(1)
+	hdr.WeakCount.Store(1)
+	return RcPtr{h}, t.d.pool.Get(h), nil
+}
+
+// TryNewRc is NewRc with backpressure (see TryAllocRc).
+func (t *Thread[T]) TryNewRc(init func(*T)) (RcPtr, error) {
+	p, v, err := t.TryAllocRc()
+	if err != nil {
+		return NilRcPtr, err
+	}
+	if init != nil {
+		init(v)
+	}
+	return p, nil
+}
+
 // --- reference manipulation ----------------------------------------------
 
 // Deref returns a pointer to the object p refers to. The caller must hold
@@ -336,6 +433,7 @@ func (t *Thread[T]) Load(a *AtomicRcPtr) RcPtr {
 	w := t.d.ar.Acquire(t.pid, acquireSlot, &a.w)
 	h := arena.Handle(w)
 	if !h.IsNil() {
+		chaosLoadWindow.Fire()
 		t.increment(h.Unmarked())
 	}
 	t.d.ar.Release(t.pid, acquireSlot)
@@ -458,6 +556,7 @@ func (t *Thread[T]) GetSnapshot(a *AtomicRcPtr) Snapshot {
 		t.d.ar.Release(t.pid, slot)
 		return Snapshot{h: h}
 	}
+	chaosSnapshotAcquired.Fire()
 	return Snapshot{h: h, slot: slot}
 }
 

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cdrc/internal/acqret"
+	"cdrc/internal/arena"
+	"cdrc/internal/chaos"
+)
+
+// acquireModes is the table shared by the crash tests: abandonment must
+// clear announcement state correctly under every acquire implementation.
+var acquireModes = []struct {
+	name string
+	mode acqret.Mode
+}{
+	{"lockfree", acqret.LockFreeAcquire},
+	{"waitfree", acqret.WaitFreeAcquire},
+	{"combined", acqret.CombinedAcquire},
+}
+
+func crashDomain(procs int, mode acqret.Mode) *Domain[node] {
+	return NewDomain[node](Config[node]{
+		MaxProcs:    procs,
+		AcquireMode: mode,
+		DebugChecks: true,
+		Finalizer: func(t *Thread[node], n *node) {
+			t.Release(n.Next.LoadRaw())
+			n.Next.Init(NilRcPtr)
+		},
+	})
+}
+
+// TestCrashedReaderSnapshotProtectsUntilAdoption: a reader dies holding a
+// snapshot. Its announcement must keep the object alive - no matter how
+// hard survivors flush - until the dead processor is adopted, and the
+// object must be reclaimed promptly afterwards.
+func TestCrashedReaderSnapshotProtectsUntilAdoption(t *testing.T) {
+	for _, tc := range acquireModes {
+		t.Run(tc.name, func(t *testing.T) {
+			d := crashDomain(4, tc.mode)
+			var cell AtomicRcPtr
+
+			reader := d.Attach()
+			writer := d.Attach()
+
+			p := writer.NewRc(func(n *node) { n.Val = 42 })
+			writer.Store(&cell, p)
+			writer.Release(p)
+			drain(writer)
+
+			snap := reader.GetSnapshot(&cell)
+			if snap.IsNil() {
+				t.Fatal("snapshot of a populated cell is nil")
+			}
+			// The reader "dies" here: snap is never released, Detach never
+			// runs. The only counted reference is the cell's.
+
+			writer.Store(&cell, NilRcPtr) // retire the object's last count
+			for i := 0; i < 8; i++ {
+				writer.Flush()
+				if d.Live() != 1 {
+					t.Fatalf("object freed while a dead-but-unadopted reader's announcement protected it (Live=%d)", d.Live())
+				}
+			}
+			// With DebugChecks on, this would panic if the slot had been
+			// poisoned behind the announcement's back.
+			if got := reader.DerefSnapshot(snap).Val; got != 42 {
+				t.Fatalf("snapshot payload = %d, want 42", got)
+			}
+
+			reader.Abandon()
+			drain(writer) // adopts, clears the slot, applies the decrement
+			if d.Live() != 0 {
+				t.Fatalf("Live = %d after adoption, want 0", d.Live())
+			}
+			if d.Adopted() != 1 || d.AbandonedCount() != 0 {
+				t.Fatalf("Adopted=%d AbandonedCount=%d after adoption", d.Adopted(), d.AbandonedCount())
+			}
+			writer.Detach()
+		})
+	}
+}
+
+// TestCrashedWriterRetiredListAdopted: a writer dies with deferred
+// decrements sitting on its private retired list. Survivors must adopt
+// and apply them; nothing leaks.
+func TestCrashedWriterRetiredListAdopted(t *testing.T) {
+	for _, tc := range acquireModes {
+		t.Run(tc.name, func(t *testing.T) {
+			d := crashDomain(4, tc.mode)
+			const n = 32
+
+			writer := d.Attach()
+			for i := 0; i < n; i++ {
+				p := writer.NewRc(func(nd *node) { nd.Val = int64(i) })
+				writer.Release(p) // deferred: lands on writer's rlist
+			}
+			if d.Live() != n {
+				t.Fatalf("Live = %d before crash, want %d", d.Live(), n)
+			}
+			// The writer dies without Detach.
+			writer.Abandon()
+
+			survivor := d.Attach()
+			drain(survivor)
+			if d.Live() != 0 {
+				t.Fatalf("Live = %d after survivor adopted the dead writer's retires, want 0", d.Live())
+			}
+			if d.Deferred() != 0 {
+				t.Fatalf("Deferred = %d at quiescence", d.Deferred())
+			}
+			survivor.Detach()
+		})
+	}
+}
+
+// TestAbandonedPidNotReusedUntilArenaDrain is the arena half of the
+// abandonment invariant (sibling of TestBSTNoDoubleRetireUnderChainStress):
+// an abandoned processor id whose arena free list is non-empty must not be
+// reissued until adoption has drained that list to the global chain -
+// otherwise the new owner and the adopter would push to the same shard.
+func TestAbandonedPidNotReusedUntilArenaDrain(t *testing.T) {
+	d := crashDomain(3, acqret.LockFreeAcquire)
+
+	crashed := d.Attach()
+	survivor := d.Attach()
+	crashedID := crashed.ProcID()
+
+	// Populate the crashed thread's arena shard: allocate, release, and
+	// flush so the frees land on its private free list.
+	for i := 0; i < 20; i++ {
+		p := crashed.NewRc(nil)
+		crashed.Release(p)
+	}
+	drain(crashed)
+	if n := d.PoolStats().FreeLocal[crashedID]; n == 0 {
+		t.Fatal("setup: crashed thread's arena shard is empty")
+	}
+	// One more retire so the dead processor also carries deferred work.
+	p := crashed.NewRc(nil)
+	crashed.Release(p)
+	crashed.Abandon()
+
+	// Until adoption, the id must not be reissued even though the registry
+	// has spare capacity.
+	third := d.Attach()
+	if third.ProcID() == crashedID {
+		t.Fatalf("abandoned id %d reissued while its arena shard held slots", crashedID)
+	}
+	third.Detach() // third's flush adopts the dead processor
+
+	if st := d.PoolStats(); st.FreeLocal[crashedID] != 0 {
+		t.Fatalf("adoption left %d slots on the dead processor's shard", st.FreeLocal[crashedID])
+	}
+	drain(survivor)
+	if d.Live() != 0 {
+		t.Fatalf("Live = %d at quiescence", d.Live())
+	}
+
+	// Now the id is reissuable; a fresh attach may receive it.
+	a, b := d.Attach(), d.Attach()
+	if a.ProcID() != crashedID && b.ProcID() != crashedID {
+		t.Fatalf("id %d still out of circulation after adoption (got %d, %d)",
+			crashedID, a.ProcID(), b.ProcID())
+	}
+	a.Detach()
+	b.Detach()
+	survivor.Detach()
+}
+
+// TestTryAllocFailureLeavesLiveConsistent is the backpressure table: for
+// each fault configuration, workers run a mixed workload where every
+// allocation may fail, and quiescence must still reach Live() == 0 with
+// the arena's slot conservation intact.
+func TestTryAllocFailureLeavesLiveConsistent(t *testing.T) {
+	cases := []struct {
+		name   string
+		faults map[string]chaos.Fault
+	}{
+		{"alloc-fail-sparse", map[string]chaos.Fault{
+			"arena.alloc": {Prob: 0.02, Fail: true},
+		}},
+		{"alloc-fail-heavy", map[string]chaos.Fault{
+			"arena.alloc": {Prob: 0.5, Fail: true},
+		}},
+		{"alloc-fail-periodic-with-stalls", map[string]chaos.Fault{
+			"arena.alloc": {Every: 7, Fail: true},
+			"core.load.between-acquire-and-increment": {Prob: 0.05, Yields: 2},
+			"core.decrement-before-destruct":          {Prob: 0.05, Yields: 2},
+			"core.snapshot.acquired":                  {Prob: 0.05, Yields: 1},
+		}},
+		{"alloc-fail-at-capacity", map[string]chaos.Fault{
+			"arena.alloc": {Prob: 0.1, Fail: true},
+			"arena.free":  {Prob: 0.1, Yields: 1},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			chaos.Enable(chaos.Config{Seed: 7, Faults: tc.faults})
+			defer chaos.Disable()
+
+			const workers = 4
+			d := crashDomain(workers+1, acqret.LockFreeAcquire)
+			if tc.name == "alloc-fail-at-capacity" {
+				// Tight cap: real exhaustion interleaves with injected
+				// failures and both must be survivable.
+				dPool(d).SetCapacity(64)
+			}
+			var cells [4]AtomicRcPtr
+
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					th := d.Attach()
+					defer th.Detach()
+					for i := 0; i < 4000; i++ {
+						c := &cells[(w+i)%len(cells)]
+						switch i % 3 {
+						case 0:
+							p, err := th.TryNewRc(func(n *node) { n.Val = int64(i) })
+							if err != nil {
+								if !errors.Is(err, arena.ErrExhausted) {
+									panic(fmt.Sprintf("TryNewRc: %v", err))
+								}
+								th.Flush() // back off: recycle deferred slots
+								continue
+							}
+							th.Store(c, p)
+							th.Release(p)
+						case 1:
+							p := th.Load(c)
+							th.Release(p)
+						case 2:
+							s := th.GetSnapshot(c)
+							th.ReleaseSnapshot(&s)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			chaos.Disable()
+
+			th := d.Attach()
+			for i := range cells {
+				th.Store(&cells[i], NilRcPtr)
+			}
+			drain(th)
+			th.Detach()
+			if d.Live() != 0 {
+				t.Fatalf("Live = %d at quiescence under %s", d.Live(), tc.name)
+			}
+			st := d.PoolStats()
+			sum := int64(st.FreeGlobal)
+			for _, n := range st.FreeLocal {
+				sum += int64(n)
+			}
+			if sum != int64(st.Slots) {
+				t.Fatalf("slot conservation violated: %d free != %d carved", sum, st.Slots)
+			}
+		})
+	}
+}
+
+// dPool exposes the arena pool for test-only capacity configuration.
+func dPool[T any](d *Domain[T]) *arena.Pool[T] { return d.pool }
+
+// TestChaosCrashAtSnapshotAcquired runs workers under a crash fault at the
+// snapshot-acquired point (the one mid-operation point where a thread
+// holds no counted references). Crashed workers Abandon from their recover
+// path; survivors adopt; quiescence must be leak-free.
+func TestChaosCrashAtSnapshotAcquired(t *testing.T) {
+	const (
+		workers = 6
+		crashes = 3
+	)
+	chaos.Enable(chaos.Config{
+		Seed:        13,
+		CrashBudget: crashes,
+		Faults: map[string]chaos.Fault{
+			"core.snapshot.acquired": {Every: 50, Crash: true},
+		},
+	})
+	defer chaos.Disable()
+
+	d := crashDomain(workers+2, acqret.LockFreeAcquire)
+	var cells [4]AtomicRcPtr
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := d.Attach()
+			crashed := false
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(chaos.CrashSignal); !ok {
+						panic(r)
+					}
+					crashed = true
+					th.Abandon()
+				}
+				if !crashed {
+					th.ReleaseStraySnapshots()
+					th.Detach()
+				}
+			}()
+			for i := 0; i < 3000; i++ {
+				c := &cells[(w+i)%len(cells)]
+				switch i % 3 {
+				case 0:
+					p := th.NewRc(func(n *node) { n.Val = int64(i) })
+					th.Store(c, p)
+					th.Release(p)
+				case 1:
+					p := th.Load(c)
+					th.Release(p)
+				default:
+					s := th.GetSnapshot(c)
+					th.ReleaseSnapshot(&s)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := chaos.Crashes(); got != crashes {
+		t.Fatalf("crash budget: %d crashes fired, want %d", got, crashes)
+	}
+	chaos.Disable()
+
+	th := d.Attach()
+	for i := range cells {
+		th.Store(&cells[i], NilRcPtr)
+	}
+	drain(th)
+	th.Detach()
+	if d.Live() != 0 {
+		t.Fatalf("Live = %d at quiescence after %d crashes", d.Live(), crashes)
+	}
+	if d.AbandonedCount() != 0 {
+		t.Fatalf("%d processors still unadopted at quiescence", d.AbandonedCount())
+	}
+	if d.Adopted() != crashes {
+		t.Fatalf("Adopted = %d, want %d", d.Adopted(), crashes)
+	}
+}

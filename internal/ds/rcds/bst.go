@@ -407,3 +407,8 @@ func (t *bstThread) Detach() {
 	t.th.Flush()
 	t.th.Detach()
 }
+
+// Abandon implements rcscheme.Crasher (see listThread.Abandon). Note that
+// BST operations hold counted references in locals across most of their
+// windows, so crash injection must land between operations, not inside.
+func (t *bstThread) Abandon() { t.th.Abandon() }

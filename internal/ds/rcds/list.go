@@ -276,3 +276,8 @@ func (t *listThread) Detach() {
 	t.th.Flush()
 	t.th.Detach()
 }
+
+// Abandon implements rcscheme.Crasher: the worker died mid-operation and
+// survivors adopt its processor state. No flush - the dead thread's
+// retired lists travel with the adoption.
+func (t *listThread) Abandon() { t.th.Abandon() }

@@ -65,6 +65,11 @@ func (t *QueueThread) Detach() {
 	t.th.Detach()
 }
 
+// Abandon implements rcscheme.Crasher (see listThread.Abandon). Enqueue
+// holds a counted node across its snapshot read, so crash injection must
+// land between operations, not inside.
+func (t *QueueThread) Abandon() { t.th.Abandon() }
+
 // Enqueue appends v.
 func (t *QueueThread) Enqueue(v uint64) {
 	th := t.th

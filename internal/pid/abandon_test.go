@@ -1,0 +1,81 @@
+package pid
+
+import "testing"
+
+func TestAbandonedIdNotReissued(t *testing.T) {
+	r := NewRegistry(3)
+	a := r.Register()
+	r.Abandon(a)
+
+	// The remaining capacity is issuable, but never a.
+	var got []int
+	for {
+		id, ok := r.TryRegister()
+		if !ok {
+			break
+		}
+		if id == a {
+			t.Fatalf("abandoned id %d reissued before Reinstate", a)
+		}
+		got = append(got, id)
+	}
+	if len(got) != 2 {
+		t.Fatalf("registered %d ids alongside one abandoned, want 2", len(got))
+	}
+	for _, id := range got {
+		r.Release(id)
+	}
+
+	if ab := r.Abandoned(); len(ab) != 1 || ab[0] != a {
+		t.Fatalf("Abandoned() = %v, want [%d]", ab, a)
+	}
+
+	r.Reinstate(a)
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d after reinstate, want 0", r.InUse())
+	}
+	// Now a is reissuable again.
+	seen := false
+	for i := 0; i < 3; i++ {
+		if r.Register() == a {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("id %d still unavailable after Reinstate", a)
+	}
+}
+
+func TestReleaseOfAbandonedIdPanics(t *testing.T) {
+	r := NewRegistry(2)
+	id := r.Register()
+	r.Abandon(id)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release of abandoned id did not panic")
+		}
+	}()
+	r.Release(id)
+}
+
+func TestReinstateOfNonAbandonedIdPanics(t *testing.T) {
+	r := NewRegistry(2)
+	id := r.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reinstate of non-abandoned id did not panic")
+		}
+	}()
+	r.Reinstate(id)
+}
+
+func TestAbandonIsIdempotent(t *testing.T) {
+	r := NewRegistry(2)
+	id := r.Register()
+	r.Abandon(id)
+	r.Abandon(id)
+	if got := len(r.Abandoned()); got != 1 {
+		t.Fatalf("double Abandon tracked %d ids, want 1", got)
+	}
+	r.Reinstate(id)
+}

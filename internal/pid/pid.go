@@ -22,11 +22,12 @@ const DefaultMaxProcs = 256
 // Registry hands out processor ids in [0, Cap()). The zero value is not
 // usable; create one with NewRegistry.
 type Registry struct {
-	mu    sync.Mutex
-	free  []int // stack of released ids
-	next  int   // next never-used id
-	cap   int
-	inUse int
+	mu        sync.Mutex
+	free      []int // stack of released ids
+	next      int   // next never-used id
+	cap       int
+	inUse     int
+	abandoned map[int]bool // ids whose owner died without Release
 }
 
 // NewRegistry returns a registry that can have at most maxProcs ids
@@ -91,15 +92,65 @@ func (r *Registry) TryRegister() (int, bool) {
 
 // Release returns an id to the registry. Releasing an id that is not
 // currently registered corrupts the registry, so callers must pair each
-// Register with exactly one Release.
+// Register with exactly one Release. Releasing an abandoned id panics:
+// abandoned ids carry state (announcement slots, retired lists, arena free
+// lists) that must be adopted and drained first, after which the adopter
+// calls Reinstate.
 func (r *Registry) Release(id int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if id < 0 || id >= r.cap {
 		panic(fmt.Sprintf("pid: release of out-of-range id %d (maxProcs=%d)", id, r.cap))
 	}
+	if r.abandoned[id] {
+		panic(fmt.Sprintf("pid: release of abandoned id %d (adopt and Reinstate instead)", id))
+	}
 	r.free = append(r.free, id)
 	r.inUse--
+}
+
+// Abandon marks a registered id as abandoned: its owner died (or was
+// simulated to die) without Release. The id stays out of circulation -
+// Register will never reissue it - until an adopter has taken over the
+// owner's per-processor state and calls Reinstate. Abandoning an id twice
+// is a no-op; abandoning an unregistered id is a caller bug but is not
+// detectable here (the registry does not track which ids are out).
+func (r *Registry) Abandon(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id < 0 || id >= r.cap {
+		panic(fmt.Sprintf("pid: abandon of out-of-range id %d (maxProcs=%d)", id, r.cap))
+	}
+	if r.abandoned == nil {
+		r.abandoned = make(map[int]bool)
+	}
+	r.abandoned[id] = true
+}
+
+// Reinstate returns an abandoned id to circulation. Only the adopter that
+// has finished evacuating the id's state (announcements cleared, retired
+// lists adopted, arena free lists drained) may call it; reinstating an id
+// that was never abandoned panics.
+func (r *Registry) Reinstate(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.abandoned[id] {
+		panic(fmt.Sprintf("pid: reinstate of non-abandoned id %d", id))
+	}
+	delete(r.abandoned, id)
+	r.free = append(r.free, id)
+	r.inUse--
+}
+
+// Abandoned returns the currently abandoned ids (diagnostics).
+func (r *Registry) Abandoned() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, 0, len(r.abandoned))
+	for id := range r.abandoned {
+		out = append(out, id)
+	}
+	return out
 }
 
 // HighWater returns the number of distinct ids ever handed out. Scans over

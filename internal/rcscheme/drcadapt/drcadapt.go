@@ -146,6 +146,17 @@ func (t *thread) Detach() {
 	}
 }
 
+// Abandon implements rcscheme.Crasher: the worker died mid-operation, so
+// its processor state is left for surviving threads to adopt.
+func (t *thread) Abandon() {
+	if t.objs != nil {
+		t.objs.Abandon()
+	}
+	if t.nodes != nil {
+		t.nodes.Abandon()
+	}
+}
+
 // Load implements rcscheme.Thread. The non-snapshot variant is the Fig. 3
 // load (acquire, increment, release); Figs. 6a-6d benchmark exactly this.
 func (t *thread) Load(i int) uint64 {
@@ -169,14 +180,23 @@ func (t *thread) Load(i int) uint64 {
 	return v
 }
 
-// Store implements rcscheme.Thread.
+// Store implements rcscheme.Thread. Allocation goes through TryNewRc so
+// arena backpressure (capacity caps, injected failures) degrades to a
+// dropped store after one flush-and-retry rather than a panic.
 func (t *thread) Store(i int, val uint64) {
 	th := t.objs
-	p := th.NewRc(func(o *rcscheme.Object) {
+	init := func(o *rcscheme.Object) {
 		for w := range o.V {
 			o.V[w] = val
 		}
-	})
+	}
+	p, err := th.TryNewRc(init)
+	if err != nil {
+		th.Flush() // recycle deferred slots, then retry once
+		if p, err = th.TryNewRc(init); err != nil {
+			return
+		}
+	}
 	th.StoreMove(&t.s.cells[i], p)
 }
 
@@ -201,11 +221,18 @@ func (s *Scheme) SetupStacks(nstacks int, init [][]rcscheme.StackValue) {
 	t.Detach()
 }
 
-// Push implements rcscheme.StackThread (Fig. 1a push_front).
+// Push implements rcscheme.StackThread (Fig. 1a push_front). Under arena
+// backpressure the push is dropped after one flush-and-retry.
 func (t *thread) Push(j int, v rcscheme.StackValue) {
 	th := t.nodes
 	head := &t.s.stacks[j].c
-	n := th.NewRc(func(nd *stackNode) { nd.v = v })
+	n, err := th.TryNewRc(func(nd *stackNode) { nd.v = v })
+	if err != nil {
+		th.Flush()
+		if n, err = th.TryNewRc(func(nd *stackNode) { nd.v = v }); err != nil {
+			return
+		}
+	}
 	nd := th.Deref(n)
 	for {
 		exp := th.Load(head)

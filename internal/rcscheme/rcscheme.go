@@ -64,6 +64,15 @@ type Thread interface {
 	Detach()
 }
 
+// Crasher is implemented by thread contexts that can survive their worker
+// dying mid-operation: Abandon marks the thread's per-processor state
+// (announcement slots, retired lists, arena free lists) for adoption by
+// surviving threads, instead of requiring an orderly Detach. The thread
+// must not be used after Abandon. The stress harness uses this to inject
+// simulated crashes; schemes without crash support simply don't implement
+// it and are exempted from crash injection.
+type Crasher interface{ Abandon() }
+
 // StackValue is the element type of the stack benchmark.
 type StackValue = uint64
 

@@ -1,0 +1,21 @@
+#!/bin/sh
+# check.sh - the repository's one-command gate: build, vet, race-enabled
+# tests, and a short chaos-enabled soak of cmd/cdrc-stress (deterministic
+# fault injection with simulated thread crashes; any UAF, double free,
+# leak, or unadopted crash state makes the soak exit non-zero).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> chaos soak (10s, seed 1, 2 simulated crashes per configuration)"
+go run ./cmd/cdrc-stress -duration 10s -chaos -chaos-seed 1 -crash-workers 2
+
+echo "==> all checks passed"
