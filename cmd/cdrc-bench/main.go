@@ -21,7 +21,23 @@ import (
 	"time"
 
 	"cdrc/internal/bench"
+	"cdrc/internal/obs"
 )
+
+// writeObsSidecar snapshots the per-figure metric window into
+// <dir>/fig<ID>.obs.json next to the figure's CSV.
+func writeObsSidecar(dir, figID string) error {
+	data, err := obs.Snapshot().JSON()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "fig"+figID+".obs.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fig %s obs -> %s\n", figID, path)
+	return nil
+}
 
 func main() {
 	var (
@@ -39,8 +55,16 @@ func main() {
 		bstSize    = flag.Int("bst-size", 10_000, "tree-set size (paper: 100,000)")
 		bstLarge   = flag.Int("bst-large", 1_000_000, "large tree-set size (paper: 100,000,000)")
 		memThreads = flag.Int("mem-threads", 8, "fixed thread count for Fig. 6h (paper: 128)")
+		obsOut     = flag.String("obs-out", "", "directory for per-figure obs metric sidecars (fig<ID>.obs.json); enables internal/obs")
 	)
 	flag.Parse()
+	if *obsOut != "" {
+		if err := os.MkdirAll(*obsOut, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "cdrc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		obs.Enable()
+	}
 
 	if *list {
 		for _, f := range bench.Figures() {
@@ -102,6 +126,9 @@ func main() {
 		} else {
 			fmt.Fprintf(os.Stderr, "# fig %s: %s\n", f.ID, f.Title)
 		}
+		if *obsOut != "" {
+			obs.Reset() // per-figure metric window
+		}
 		if *format == "table" {
 			var tbl bench.Table
 			f.Run(o, tbl.Add)
@@ -114,6 +141,12 @@ func main() {
 		}
 		if out != os.Stdout {
 			out.Close()
+		}
+		if *obsOut != "" {
+			if err := writeObsSidecar(*obsOut, f.ID); err != nil {
+				fmt.Fprintf(os.Stderr, "cdrc-bench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 }

@@ -23,11 +23,13 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cdrc/internal/chaos"
 	"cdrc/internal/ds"
 	"cdrc/internal/ds/rcds"
+	"cdrc/internal/obs"
 	"cdrc/internal/rcscheme"
 	"cdrc/internal/rcscheme/drcadapt"
 	"cdrc/internal/rcscheme/herlihyrc"
@@ -73,7 +75,7 @@ func (cs chaosSpec) faults(midOpCrash bool) map[string]chaos.Fault {
 		"arena.refill":       {Every: 5},
 		"acqret.acquire.between-read-and-announce":     {Prob: 0.001, Yields: 2},
 		"acqret.acquire.between-announce-and-validate": {Prob: 0.001, Yields: 2},
-		"acqret.retire":                           {Prob: 0.001, Yields: 1},
+		"acqret.retire": {Prob: 0.001, Yields: 1},
 		"core.load.between-acquire-and-increment": {Prob: 0.001, Yields: 2},
 		"core.decrement-before-destruct":          {Prob: 0.001, Yields: 2},
 	}
@@ -94,6 +96,131 @@ func (cs chaosSpec) enable(name string, midOpCrash bool) {
 		CrashBudget: cs.budget,
 		Faults:      cs.faults(midOpCrash),
 	})
+}
+
+// obsSpec carries the -obs configuration through the harness.
+type obsSpec struct {
+	enabled  bool
+	interval time.Duration
+}
+
+// workerOps is one worker's operation count plus its crash checkpoint,
+// padded so neighboring workers never share a cache line.
+type workerOps struct {
+	running atomic.Int64 // completed operations (written by the worker only)
+	frozen  atomic.Int64 // last periodic sample (written by the sampler only)
+	dead    atomic.Bool
+	_       [40]byte
+}
+
+// opsTracker counts completed operations per worker and periodically
+// checkpoints them. The final summary charges a crashed worker its last
+// checkpoint, not its running counter: operations completed after the
+// last sample died with the worker (their effects were only adopted as
+// garbage, never reported), so reading the running counter post-mortem
+// would double-count work the dead worker had already reported losing.
+type opsTracker struct {
+	ws   []workerOps
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newOpsTracker(workers int, interval time.Duration) *opsTracker {
+	t := &opsTracker{
+		ws:   make([]workerOps, workers),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(t.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-tick.C:
+				t.sample()
+			}
+		}
+	}()
+	return t
+}
+
+func (t *opsTracker) sample() {
+	for i := range t.ws {
+		if w := &t.ws[i]; !w.dead.Load() {
+			w.frozen.Store(w.running.Load())
+		}
+	}
+}
+
+// note records one completed operation by worker w.
+func (t *opsTracker) note(w int) { t.ws[w].running.Add(1) }
+
+// crash marks worker w dead; its count freezes at the last checkpoint.
+func (t *opsTracker) crash(w int) { t.ws[w].dead.Store(true) }
+
+func (t *opsTracker) close() { close(t.stop); <-t.done }
+
+// total sums live workers' running counters and dead workers' checkpoints.
+func (t *opsTracker) total() int64 {
+	var sum int64
+	for i := range t.ws {
+		w := &t.ws[i]
+		if w.dead.Load() {
+			sum += w.frozen.Load()
+		} else {
+			sum += w.running.Load()
+		}
+	}
+	return sum
+}
+
+// startObsReporter prints a metrics report every interval until stopped.
+func startObsReporter(name string, spec obsSpec) (stop func()) {
+	if !spec.enabled {
+		return func() {}
+	}
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		tick := time.NewTicker(spec.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-tick.C:
+				fmt.Printf("--- obs %s ---\n%s", name, obs.Snapshot().Text())
+			}
+		}
+	}()
+	return func() { close(stopCh); <-doneCh }
+}
+
+// reconcileObs checks the quiescence accounting identities after a clean
+// teardown. wantAllocFree holds only for scheme configurations (Teardown
+// drops every object); sets keep their contents, so only the deferred-
+// decrement identities apply there.
+func reconcileObs(name string, wantAllocFree bool) error {
+	if !obs.Enabled() {
+		return nil
+	}
+	r := obs.Snapshot()
+	if wantAllocFree {
+		if a, f := r.Counter("arena.alloc"), r.Counter("arena.free"); a != f {
+			return fmt.Errorf("%s: obs reconcile: arena.alloc=%d != arena.free=%d", name, a, f)
+		}
+	}
+	if re, ej := r.Counter("acqret.retire"), r.Counter("acqret.eject"); re != ej {
+		return fmt.Errorf("%s: obs reconcile: acqret.retire=%d != acqret.eject=%d", name, re, ej)
+	}
+	if d, ap := r.Counter("core.decr.deferred"), r.Counter("core.decr.applied"); d != ap {
+		return fmt.Errorf("%s: obs reconcile: core.decr.deferred=%d != core.decr.applied=%d", name, d, ap)
+	}
+	return nil
 }
 
 // firstError keeps the first worker failure, in occurrence order. The old
@@ -139,13 +266,15 @@ func safeDetach(name string, th interface{ Detach() }, fe *firstError) {
 	th.Detach()
 }
 
-func stressScheme(name string, s rcscheme.StackScheme, workers int, dur time.Duration, cs chaosSpec, midOpCrash bool) (int64, error) {
+func stressScheme(name string, s rcscheme.StackScheme, workers int, dur time.Duration, cs chaosSpec, ob obsSpec, midOpCrash bool) (int64, int64, error) {
 	if d, ok := s.(debuggable); ok {
 		d.EnableDebugChecks()
 	}
 	s.Setup(8)
 	s.SetupStacks(4, [][]uint64{{1, 2}, {3}, {4, 5, 6}, nil})
 	cs.enable(name, midOpCrash)
+	ops := newOpsTracker(workers, ob.interval)
+	stopReport := startObsReporter(name, ob)
 
 	deadline := time.Now().Add(dur)
 	var (
@@ -154,7 +283,7 @@ func stressScheme(name string, s rcscheme.StackScheme, workers int, dur time.Dur
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(seed int64) {
+		go func(id int, seed int64) {
 			defer wg.Done()
 			lt := s.Attach()
 			st := s.AttachStack()
@@ -172,6 +301,8 @@ func stressScheme(name string, s rcscheme.StackScheme, workers int, dur time.Dur
 					// Simulated crash: no Detach, no cleanup. The dead
 					// worker's announcement slots, retired lists, and
 					// arena shards stay behind for survivors to adopt.
+					// Its op count freezes at the last checkpoint.
+					ops.crash(id)
 					lc.Abandon()
 					sc.Abandon()
 					return
@@ -200,25 +331,30 @@ func stressScheme(name string, s rcscheme.StackScheme, workers int, dur time.Dur
 					default:
 						st.Find(rng.Intn(4), rng.Uint64()%100+1)
 					}
+					ops.note(id)
 				}
 			}
-		}(int64(w + 1))
+		}(w, int64(w+1))
 	}
 	wg.Wait()
+	ops.close()
+	stopReport()
 	crashes := chaos.Crashes()
 	chaos.Disable() // quiesce injection before teardown
 	if err := fe.get(); err != nil {
-		return crashes, err
+		return crashes, ops.total(), err
 	}
 	s.Teardown() // the teardown thread's flushes adopt any crashed workers
 	if live := s.Live(); live != 0 {
-		return crashes, fmt.Errorf("%s: %d objects leaked", name, live)
+		return crashes, ops.total(), fmt.Errorf("%s: %d objects leaked", name, live)
 	}
-	return crashes, nil
+	return crashes, ops.total(), reconcileObs(name, true)
 }
 
-func stressSet(name string, set ds.Set, workers int, dur time.Duration, cs chaosSpec, midOpCrash bool) (int64, error) {
+func stressSet(name string, set ds.Set, workers int, dur time.Duration, cs chaosSpec, ob obsSpec, midOpCrash bool) (int64, int64, error) {
 	cs.enable(name, midOpCrash)
+	ops := newOpsTracker(workers, ob.interval)
+	stopReport := startObsReporter(name, ob)
 	deadline := time.Now().Add(dur)
 	var (
 		wg sync.WaitGroup
@@ -226,7 +362,7 @@ func stressSet(name string, set ds.Set, workers int, dur time.Duration, cs chaos
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(seed int64) {
+		go func(id int, seed int64) {
 			defer wg.Done()
 			th := set.Attach()
 			cr, crashable := th.(rcscheme.Crasher)
@@ -237,6 +373,7 @@ func stressSet(name string, set ds.Set, workers int, dur time.Duration, cs chaos
 					return
 				}
 				if _, isCrash := r.(chaos.CrashSignal); isCrash && crashable {
+					ops.crash(id)
 					cr.Abandon()
 					return
 				}
@@ -259,15 +396,18 @@ func stressSet(name string, set ds.Set, workers int, dur time.Duration, cs chaos
 					default:
 						th.Contains(k)
 					}
+					ops.note(id)
 				}
 			}
-		}(int64(w + 1))
+		}(w, int64(w+1))
 	}
 	wg.Wait()
+	ops.close()
+	stopReport()
 	crashes := chaos.Crashes()
 	chaos.Disable()
 	if err := fe.get(); err != nil {
-		return crashes, err
+		return crashes, ops.total(), err
 	}
 	// Quiescent drain; the attach/detach rounds adopt crashed workers.
 	th := set.Attach()
@@ -275,21 +415,27 @@ func stressSet(name string, set ds.Set, workers int, dur time.Duration, cs chaos
 	th = set.Attach()
 	th.Detach()
 	if un := set.Unreclaimed(); un != 0 {
-		return crashes, fmt.Errorf("%s: %d nodes unreclaimed at quiescence", name, un)
+		return crashes, ops.total(), fmt.Errorf("%s: %d nodes unreclaimed at quiescence", name, un)
 	}
-	return crashes, nil
+	return crashes, ops.total(), reconcileObs(name, false)
 }
 
 func main() {
 	var (
-		duration = flag.Duration("duration", 10*time.Second, "total soak time")
-		workers  = flag.Int("workers", 8, "concurrent workers per configuration")
-		chaosOn  = flag.Bool("chaos", false, "enable deterministic fault injection")
-		seed     = flag.Uint64("chaos-seed", 1, "fault injection seed (same seed, same schedule)")
-		crashers = flag.Int("crash-workers", 2, "simulated thread crashes per configuration (with -chaos)")
+		duration    = flag.Duration("duration", 10*time.Second, "total soak time")
+		workers     = flag.Int("workers", 8, "concurrent workers per configuration")
+		chaosOn     = flag.Bool("chaos", false, "enable deterministic fault injection")
+		seed        = flag.Uint64("chaos-seed", 1, "fault injection seed (same seed, same schedule)")
+		crashers    = flag.Int("crash-workers", 2, "simulated thread crashes per configuration (with -chaos)")
+		obsOn       = flag.Bool("obs", false, "enable internal/obs metrics and periodic reports")
+		obsInterval = flag.Duration("obs-interval", 2*time.Second, "period between obs reports (and op-count checkpoints)")
 	)
 	flag.Parse()
 	cs := chaosSpec{enabled: *chaosOn, seed: *seed, budget: *crashers}
+	ob := obsSpec{enabled: *obsOn, interval: *obsInterval}
+	if ob.enabled {
+		obs.Enable()
+	}
 
 	// Each worker holds two attachments (cells + stacks) in single-registry
 	// schemes.
@@ -331,7 +477,7 @@ func main() {
 	}
 	fmt.Printf("soaking %d configurations, %v each, %d workers%s\n", total, per.Round(time.Millisecond), *workers, mode)
 
-	report := func(name string, start time.Time, crashes int64, err error) bool {
+	report := func(name string, start time.Time, crashes, ops int64, err error) bool {
 		status := "ok"
 		if cs.enabled {
 			status = fmt.Sprintf("ok (crashes=%d)", crashes)
@@ -339,20 +485,23 @@ func main() {
 		if err != nil {
 			status = err.Error()
 		}
-		fmt.Printf("  %-22s %8s  %s\n", name, time.Since(start).Round(time.Millisecond), status)
+		fmt.Printf("  %-22s %8s  ops=%-10d %s\n", name, time.Since(start).Round(time.Millisecond), ops, status)
 		return err != nil
 	}
 
 	failed := false
 	for _, c := range schemes {
+		obs.Reset() // per-configuration metric window
 		start := time.Now()
-		crashes, err := stressScheme(c.name, c.make(), *workers, per, cs, c.midOpCrash)
-		failed = report(c.name, start, crashes, err) || failed
+		s := c.make()
+		crashes, ops, err := stressScheme(c.name, s, *workers, per, cs, ob, c.midOpCrash)
+		failed = report(c.name, start, crashes, ops, err) || failed
 	}
 	for _, c := range sets {
+		obs.Reset()
 		start := time.Now()
-		crashes, err := stressSet(c.name, c.make(), *workers, per, cs, c.midOpCrash)
-		failed = report(c.name, start, crashes, err) || failed
+		crashes, ops, err := stressSet(c.name, c.make(), *workers, per, cs, ob, c.midOpCrash)
+		failed = report(c.name, start, crashes, ops, err) || failed
 	}
 	if failed {
 		os.Exit(1)

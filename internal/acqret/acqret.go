@@ -36,6 +36,7 @@ import (
 
 	"cdrc/internal/chaos"
 	"cdrc/internal/multiset"
+	"cdrc/internal/obs"
 	"cdrc/internal/pid"
 	"cdrc/internal/swcopy"
 )
@@ -51,6 +52,20 @@ var (
 	chaosAcquireRead     = chaos.New("acqret.acquire.between-read-and-announce")
 	chaosAcquireValidate = chaos.New("acqret.acquire.between-announce-and-validate")
 	chaosRetire          = chaos.New("acqret.retire")
+)
+
+// Observability metrics (inert single atomic loads unless obs.Enable has
+// armed them). The eject counter mirrors d.ejected exactly, including the
+// negative re-defer adjustments of Unregister and reapAbandoned, so
+// acqret.retire == acqret.eject holds at quiescence even across simulated
+// crashes.
+var (
+	obsRetire    = obs.NewCounter("acqret.retire")
+	obsEject     = obs.NewCounter("acqret.eject")
+	obsScan      = obs.NewCounter("acqret.scan")
+	obsAbandon   = obs.NewCounter("acqret.abandon")
+	obsAdopt     = obs.NewCounter("acqret.adopt")
+	obsScanBatch = obs.NewHistogram("acqret.scan.batch")
 )
 
 // SlotsPerProc is the number of announcement slots each processor owns:
@@ -263,6 +278,9 @@ func (d *Domain) Unregister(procID int) {
 	// flist entries were already counted as ejected; re-defer them.
 	d.deferred.Add(int64(len(p.flist)))
 	d.ejected.Add(^uint64(len(p.flist) - 1))
+	if n := len(p.flist); n > 0 {
+		obsEject.Sub(procID, uint64(n))
+	}
 	p.rlist = nil
 	p.flist = nil
 	if len(pending) > 0 {
@@ -288,6 +306,7 @@ func (d *Domain) Abandon(procID int) {
 	d.reg.Abandon(procID)
 	if d.abandoned[procID].CompareAndSwap(false, true) {
 		d.abandonedN.Add(1)
+		obsAbandon.Inc(procID)
 	}
 }
 
@@ -323,6 +342,7 @@ func (d *Domain) reapAbandoned() {
 		if n := len(dead.flist); n > 0 {
 			d.deferred.Add(int64(n))
 			d.ejected.Add(^uint64(n - 1))
+			obsEject.Sub(id, uint64(n))
 		}
 		dead.rlist, dead.flist = nil, nil
 		for s := 0; s < SlotsPerProc; s++ {
@@ -339,6 +359,7 @@ func (d *Domain) reapAbandoned() {
 		d.abandoned[id].Store(false)
 		d.abandonedN.Add(-1)
 		d.adopted.Add(1)
+		obsAdopt.Inc(id)
 		d.reg.Reinstate(id)
 	}
 }
@@ -467,6 +488,7 @@ func (d *Domain) Retire(procID int, h uint64) {
 	p.rlist = append(p.rlist, h)
 	d.retired.Add(1)
 	d.deferred.Add(1)
+	obsRetire.Inc(procID)
 }
 
 // Eject performs a constant number of steps of the incremental ejectAll
@@ -507,6 +529,8 @@ func (d *Domain) scanSteps(procID int, p *procState, budget int) {
 			p.scanBound = len(p.rlist)
 			p.scanKeep = p.scanKeep[:0]
 			p.plist.Reset()
+			obsScan.Inc(procID)
+			obsScanBatch.Observe(uint64(p.scanBound))
 			budget--
 			continue
 		}
@@ -529,6 +553,7 @@ func (d *Domain) scanSteps(procID int, p *procState, budget int) {
 				p.flist = append(p.flist, h)
 				d.deferred.Add(-1)
 				d.ejected.Add(1)
+				obsEject.Inc(procID)
 			}
 			p.scanRIdx++
 			budget--
@@ -583,6 +608,8 @@ func (d *Domain) EjectAllLocal(procID int) []uint64 {
 	d.reapAbandoned()
 	d.adoptOrphans(p)
 	p.plist.Reset()
+	obsScan.Inc(procID)
+	obsScanBatch.Observe(uint64(len(p.rlist)))
 	n := d.announcedSlots()
 	for i := 0; i < n; i++ {
 		if a := d.readAnnNormalized(i); a != 0 {
@@ -601,6 +628,9 @@ func (d *Domain) EjectAllLocal(procID int) []uint64 {
 	p.plist.Reset()
 	d.deferred.Add(-int64(len(out)))
 	d.ejected.Add(uint64(len(out)))
+	if len(out) > 0 {
+		obsEject.Add(procID, uint64(len(out)))
+	}
 	// Drain the flist too: callers of EjectAllLocal want everything.
 	out = append(out, p.flist...)
 	p.flist = p.flist[:0]

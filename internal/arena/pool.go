@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"weak"
 
 	"cdrc/internal/chaos"
+	"cdrc/internal/obs"
 	"cdrc/internal/pid"
 )
 
@@ -26,6 +28,17 @@ var (
 	chaosAlloc  = chaos.New("arena.alloc")
 	chaosFree   = chaos.New("arena.free")
 	chaosRefill = chaos.New("arena.refill")
+)
+
+// Observability counters (inert single atomic loads unless obs.Enable has
+// armed them; see internal/obs). At quiescence arena.alloc - arena.free
+// equals the summed Live of every pool.
+var (
+	obsAlloc = obs.NewCounter("arena.alloc")
+	obsFree  = obs.NewCounter("arena.free")
+
+	// poolSeq names pools for the obs gauge registry in creation order.
+	poolSeq atomic.Uint64
 )
 
 const (
@@ -157,6 +170,26 @@ func NewPool[T any](maxProcs int) *Pool[T] {
 	}
 	chunks := make([]*chunk[T], 0, 8)
 	p.chunks.Store(&chunks)
+	// Expose occupancy gauges through a weak pointer: obs must never keep
+	// a dead pool's chunks alive, and the registration is pruned once the
+	// pool is collected.
+	wp := weak.Make(p)
+	obs.RegisterPoolGauges(fmt.Sprintf("arena.pool.%03d", poolSeq.Add(1)), func() (obs.PoolGauges, bool) {
+		q := wp.Value()
+		if q == nil {
+			return obs.PoolGauges{}, false
+		}
+		st := q.Stats()
+		local := 0
+		for _, n := range st.FreeLocal {
+			local += n
+		}
+		return obs.PoolGauges{
+			Allocs: st.Allocs, Frees: st.Frees, Live: st.Live, Slots: st.Slots,
+			LiveHighWater: st.LiveHighWater, Capacity: st.Capacity,
+			FreeLocal: local, FreeGlobal: st.FreeGlobal,
+		}, true
+	})
 	return p
 }
 
@@ -212,11 +245,16 @@ func (p *Pool[T]) SetCapacity(slots uint64) {
 // Alloc carves a fresh slot out of the arena (or recycles a freed one) and
 // returns its unmarked handle. The slot's value and header counters are
 // zeroed. pid identifies the calling processor's free list. Alloc cannot
-// fail: exhaustion of a capacity-capped pool panics (use TryAlloc where
-// allocation failure is a condition the caller handles).
+// fail: exhaustion of a capacity-capped pool panics, and a chaos fault
+// fired at "arena.alloc" panics too - consuming the hit without effect
+// would desynchronize the deterministic (seed, point, hit) schedule
+// between Alloc and TryAlloc callers (use TryAlloc where allocation
+// failure is a condition the caller handles).
 func (p *Pool[T]) Alloc(procID int) Handle {
-	chaosAlloc.Fire()
-	idx, ok := p.takeSlot(&p.free[procID])
+	if chaosAlloc.Fire() {
+		panic(fmt.Sprintf("arena: injected fault: %v", ErrExhausted))
+	}
+	idx, ok := p.takeSlot(procID)
 	if !ok {
 		panic(fmt.Sprintf("arena: pool exhausted (capacity %d slots)", p.Stats().Capacity))
 	}
@@ -231,17 +269,19 @@ func (p *Pool[T]) TryAlloc(procID int) (Handle, error) {
 	if chaosAlloc.Fire() {
 		return Nil, fmt.Errorf("injected fault: %w", ErrExhausted)
 	}
-	idx, ok := p.takeSlot(&p.free[procID])
+	idx, ok := p.takeSlot(procID)
 	if !ok {
 		return Nil, ErrExhausted
 	}
 	return FromIndex(idx), nil
 }
 
-// takeSlot pops a slot from fl (refilling it first if empty), initializes
-// its header, and records the allocation. It reports false when the refill
-// could not produce a slot (capacity-capped pool with nothing recyclable).
-func (p *Pool[T]) takeSlot(fl *freeList) (uint64, bool) {
+// takeSlot pops a slot from procID's free list (refilling it first if
+// empty), initializes its header, and records the allocation. It reports
+// false when the refill could not produce a slot (capacity-capped pool
+// with nothing recyclable).
+func (p *Pool[T]) takeSlot(procID int) (uint64, bool) {
+	fl := &p.free[procID]
 	if fl.count.Load() == 0 {
 		p.refill(fl)
 		if fl.count.Load() == 0 {
@@ -269,6 +309,7 @@ func (p *Pool[T]) takeSlot(fl *freeList) (uint64, bool) {
 	if live > p.liveHW.Load() {
 		p.liveHW.Store(live)
 	}
+	obsAlloc.Inc(procID)
 	return idx, true
 }
 
@@ -289,6 +330,7 @@ func (p *Pool[T]) Free(procID int, h Handle) {
 		panic(fmt.Sprintf("arena: double free of handle %#x (state %#x)", uint64(h), s.hdr.state.Load()))
 	}
 	p.frees.Add(1)
+	obsFree.Inc(procID)
 
 	fl := &p.free[procID]
 	s.hdr.nextFree = fl.head
@@ -437,7 +479,12 @@ func (p *Pool[T]) Stats() Stats {
 		local[i] = int(p.free[i].count.Load())
 	}
 	p.growMu.Lock()
-	slots := p.nextFresh - 1
+	// nextFresh is 1 on a fresh pool (index 0 reserved) but 0 on a zero
+	// Pool that was never NewPool'd; guard the -1 against underflow.
+	slots := p.nextFresh
+	if slots > 0 {
+		slots--
+	}
 	capSlots := p.capSlots
 	global := p.globalFreeN
 	p.growMu.Unlock()

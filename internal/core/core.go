@@ -23,6 +23,7 @@ import (
 	"cdrc/internal/acqret"
 	"cdrc/internal/arena"
 	"cdrc/internal/chaos"
+	"cdrc/internal/obs"
 	"cdrc/internal/pid"
 )
 
@@ -45,6 +46,22 @@ var (
 	// taken). Crash-safe: a snapshot is uncounted, so a thread dying here
 	// loses nothing that adoption cannot recover.
 	chaosSnapshotAcquired = chaos.New("core.snapshot.acquired")
+)
+
+// Observability metrics (inert single atomic loads unless obs.Enable has
+// armed them). Every retire-based decrement counts once as deferred and
+// once as applied when its eject lands, so core.decr.deferred ==
+// core.decr.applied at quiescence; eager decrements touch neither. The
+// latency histogram measures last-retire to destruct: core does not use
+// the header's RetireEra field (only the era-based SMR schemes do, on
+// their own pools), so while obs is enabled retireAndEject stamps it with
+// a monotonic nanosecond timestamp that deleteObj reads back.
+var (
+	obsIncrDeferred = obs.NewCounter("core.incr.deferred")
+	obsDecrDeferred = obs.NewCounter("core.decr.deferred")
+	obsDecrApplied  = obs.NewCounter("core.decr.applied")
+	obsTakeover     = obs.NewCounter("core.snapshot.takeover")
+	obsReclaimLat   = obs.NewHistogram("core.retire-to-reclaim.ns")
 )
 
 // RcPtr is a counted reference to a domain-managed object, the analogue of
@@ -272,6 +289,7 @@ func (t *Thread[T]) drainLocal() {
 		if len(out) == 0 {
 			return
 		}
+		obsDecrApplied.Add(t.pid, uint64(len(out)))
 		for _, w := range out {
 			t.decrement(arena.Handle(w))
 		}
@@ -310,6 +328,9 @@ func (t *Thread[T]) deleteObj(h arena.Handle) {
 	var zero T
 	*ptr = zero
 	hdr := t.d.pool.Hdr(h)
+	if ts := hdr.RetireEra.Load(); ts != 0 {
+		obsReclaimLat.Observe(obs.NowNanos() - ts)
+	}
 	if c := hdr.WeakCount.Add(-1); c == 0 {
 		t.d.pool.Free(t.pid, h)
 	} else if c < 0 {
@@ -321,8 +342,13 @@ func (t *Thread[T]) deleteObj(h arena.Handle) {
 // step (Fig. 3's retire_and_eject), applying at most one now-safe deferred
 // decrement.
 func (t *Thread[T]) retireAndEject(h arena.Handle) {
+	obsDecrDeferred.Inc(t.pid)
+	if obs.Enabled() {
+		t.d.pool.Hdr(h.Unmarked()).RetireEra.Store(obs.NowNanos())
+	}
 	t.d.ar.Retire(t.pid, uint64(h.Unmarked()))
 	if e, ok := t.d.ar.Eject(t.pid); ok {
+		obsDecrApplied.Inc(t.pid)
 		t.decrement(arena.Handle(e))
 	}
 }
@@ -557,6 +583,7 @@ func (t *Thread[T]) GetSnapshot(a *AtomicRcPtr) Snapshot {
 		return Snapshot{h: h}
 	}
 	chaosSnapshotAcquired.Fire()
+	obsIncrDeferred.Inc(t.pid)
 	return Snapshot{h: h, slot: slot}
 }
 
@@ -573,6 +600,7 @@ func (t *Thread[T]) getSlot() int {
 	}
 	slot := 1 + t.snapNext
 	t.snapNext = (t.snapNext + 1) % acqret.MaxSnapshots
+	obsTakeover.Inc(t.pid)
 	w := arena.Handle(ar.ReadSlot(t.pid, slot))
 	if !w.IsNil() {
 		t.increment(w.Unmarked())

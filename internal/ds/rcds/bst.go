@@ -283,9 +283,21 @@ func (t *bstThread) Insert(key uint64) bool {
 		if key < leafN.Key {
 			niKey = leafN.Key
 		}
-		n := th.NewRc(func(ni *bstNode) {
+		// Allocate the new leaf before the internal node so a failure of
+		// either can release exactly what has been minted so far.
+		leafInit := func(nl *bstNode) { nl.Key = newLeafKey }
+		newLeaf, err := th.TryNewRc(leafInit)
+		if err != nil {
+			th.Flush() // recycle deferred slots, then retry once
+			if newLeaf, err = th.TryNewRc(leafInit); err != nil {
+				obsAllocDrop.Inc(th.ProcID())
+				th.Release(leafOwned)
+				t.releaseSeek(&sr)
+				return false
+			}
+		}
+		niInit := func(ni *bstNode) {
 			ni.Key = niKey
-			newLeaf := th.NewRc(func(nl *bstNode) { nl.Key = newLeafKey })
 			if leafOnLeft {
 				ni.left.Init(leafOwned)
 				ni.right.Init(newLeaf)
@@ -293,7 +305,18 @@ func (t *bstThread) Insert(key uint64) bool {
 				ni.left.Init(newLeaf)
 				ni.right.Init(leafOwned)
 			}
-		})
+		}
+		n, err := th.TryNewRc(niInit)
+		if err != nil {
+			th.Flush()
+			if n, err = th.TryNewRc(niInit); err != nil {
+				obsAllocDrop.Inc(th.ProcID())
+				th.Release(leafOwned)
+				th.Release(newLeaf)
+				t.releaseSeek(&sr)
+				return false
+			}
+		}
 		expected := sr.leaf.ptr().Unmarked()
 		if th.CompareAndSwapMove(addr, expected, n) {
 			t.releaseSeek(&sr)

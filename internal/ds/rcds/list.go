@@ -15,8 +15,13 @@ package rcds
 import (
 	"cdrc/internal/core"
 	"cdrc/internal/ds"
+	"cdrc/internal/obs"
 	"cdrc/internal/pid"
 )
+
+// obsAllocDrop counts operations dropped on allocation failure (arena cap
+// or injected fault); the name is shared with the rcscheme adapters.
+var obsAllocDrop = obs.NewCounter("rcscheme.alloc.drop")
 
 // deletedMark is the Harris deletion mark on a node's next word.
 const deletedMark = 0
@@ -211,10 +216,21 @@ func (t *listThread) insert(head *core.AtomicRcPtr, key uint64) bool {
 		} else if !pos.curRc.IsNil() {
 			curOwned = th.Clone(pos.curRc)
 		}
-		n := th.NewRc(func(nd *listNode) {
+		init := func(nd *listNode) {
 			nd.Key = key
 			nd.next.Init(curOwned)
-		})
+		}
+		n, err := th.TryNewRc(init)
+		if err != nil {
+			th.Flush() // recycle deferred slots, then retry once
+			if n, err = th.TryNewRc(init); err != nil {
+				// Drop the insert: init never ran, so curOwned is still ours.
+				obsAllocDrop.Inc(th.ProcID())
+				th.Release(curOwned)
+				t.releasePos(&pos)
+				return false
+			}
+		}
 		if th.CompareAndSwapMove(pos.prevLink, pos.cur(), n) {
 			t.releasePos(&pos)
 			return true

@@ -1,0 +1,173 @@
+//go:build !obsoff
+
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Every test arms and disarms the process-global registry, so none of
+// them may run in parallel with each other.
+
+func TestCounterDisabledIsInert(t *testing.T) {
+	Disable()
+	c := NewCounter("test.disabled")
+	c.Inc(0)
+	c.Add(3, 10)
+	c.Sub(5, 2)
+	if v := c.Value(); v != 0 {
+		t.Fatalf("disabled counter recorded %d", v)
+	}
+}
+
+func TestCounterShardingAndSub(t *testing.T) {
+	Enable()
+	defer Disable()
+	c := NewCounter("test.sharding")
+	// Hit every shard, including ids past the shard count (folded mod 64).
+	for p := 0; p < 3*numShards; p++ {
+		c.Inc(p)
+	}
+	c.Add(7, 100)
+	c.Sub(200, 30) // different shard than the Add: sum must still reconcile
+	if v := c.Value(); v != int64(3*numShards)+70 {
+		t.Fatalf("Value = %d, want %d", v, 3*numShards+70)
+	}
+}
+
+func TestCounterRegistrationWhileEnabled(t *testing.T) {
+	Enable()
+	defer Disable()
+	c := NewCounter("test.late-registration")
+	c.Inc(1)
+	if v := c.Value(); v != 1 {
+		t.Fatalf("counter registered under Enable not armed: %d", v)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	Enable()
+	defer Disable()
+	h := NewHistogram("test.hist")
+	h.Observe(0)    // bucket 0
+	h.Observe(1)    // [1,1]
+	h.Observe(2)    // [2,3]
+	h.Observe(3)    // [2,3]
+	h.Observe(1024) // [1024,2047]
+	r := Snapshot()
+	snap, ok := r.Histograms["test.hist"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if snap.Count != 5 {
+		t.Fatalf("Count = %d, want 5", snap.Count)
+	}
+	want := map[uint64]uint64{0: 1, 1: 1, 2: 2, 1024: 1}
+	for _, b := range snap.Buckets {
+		if n, ok := want[b.Lo]; !ok || n != b.Count {
+			t.Fatalf("unexpected bucket [%d,%d]=%d", b.Lo, b.Hi, b.Count)
+		}
+		delete(want, b.Lo)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing buckets: %v", want)
+	}
+}
+
+func TestResetZeroesWithoutDisarming(t *testing.T) {
+	Enable()
+	defer Disable()
+	c := NewCounter("test.reset")
+	c.Inc(0)
+	Reset()
+	if v := c.Value(); v != 0 {
+		t.Fatalf("Reset left %d", v)
+	}
+	c.Inc(0)
+	if v := c.Value(); v != 1 {
+		t.Fatalf("counter disarmed after Reset: %d", v)
+	}
+}
+
+func TestSnapshotRenderers(t *testing.T) {
+	Enable()
+	defer Disable()
+	c := NewCounter("test.render")
+	c.Add(0, 42)
+	RegisterPoolGauges("test.render.pool", func() (PoolGauges, bool) {
+		return PoolGauges{Allocs: 10, Frees: 13, Live: -3, Slots: 16}, true
+	})
+	r := Snapshot()
+	if got := r.Counter("test.render"); got != 42 {
+		t.Fatalf("Counter() = %d, want 42", got)
+	}
+	var found bool
+	for _, p := range r.Pools {
+		if p.Name == "test.render.pool" {
+			found = true
+			if p.Live != 0 {
+				t.Fatalf("negative Live not clamped: %d", p.Live)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("pool gauge missing from snapshot")
+	}
+	raw, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if back.Counters["test.render"] != 42 {
+		t.Fatalf("JSON lost counter: %v", back.Counters)
+	}
+	if !strings.Contains(r.Text(), "test.render") {
+		t.Fatal("Text() missing counter row")
+	}
+	// Dead gauge sources are pruned on the snapshot that discovers them.
+	RegisterPoolGauges("test.render.dead", func() (PoolGauges, bool) { return PoolGauges{}, false })
+	Snapshot()
+	for _, p := range Snapshot().Pools {
+		if p.Name == "test.render.dead" {
+			t.Fatal("dead gauge source not pruned")
+		}
+	}
+}
+
+func TestNowNanosNonZero(t *testing.T) {
+	if NowNanos() == 0 {
+		t.Fatal("NowNanos returned 0")
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	Enable()
+	defer Disable()
+	c := NewCounter("test.concurrent")
+	h := NewHistogram("test.concurrent.hist")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc(id)
+				h.Observe(uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v := c.Value(); v != workers*per {
+		t.Fatalf("lost increments: %d != %d", v, workers*per)
+	}
+	if n := Snapshot().Histograms["test.concurrent.hist"].Count; n != workers*per {
+		t.Fatalf("lost observations: %d != %d", n, workers*per)
+	}
+}

@@ -12,9 +12,14 @@ package drcadapt
 import (
 	"cdrc/internal/acqret"
 	"cdrc/internal/core"
+	"cdrc/internal/obs"
 	"cdrc/internal/pid"
 	"cdrc/internal/rcscheme"
 )
+
+// obsAllocDrop counts operations dropped on allocation failure (arena cap
+// or injected fault); the name is shared across all rcscheme adapters.
+var obsAllocDrop = obs.NewCounter("rcscheme.alloc.drop")
 
 type stackNode struct {
 	v    rcscheme.StackValue
@@ -194,6 +199,7 @@ func (t *thread) Store(i int, val uint64) {
 	if err != nil {
 		th.Flush() // recycle deferred slots, then retry once
 		if p, err = th.TryNewRc(init); err != nil {
+			obsAllocDrop.Inc(th.ProcID())
 			return
 		}
 	}
@@ -230,6 +236,7 @@ func (t *thread) Push(j int, v rcscheme.StackValue) {
 	if err != nil {
 		th.Flush()
 		if n, err = th.TryNewRc(func(nd *stackNode) { nd.v = v }); err != nil {
+			obsAllocDrop.Inc(th.ProcID())
 			return
 		}
 	}

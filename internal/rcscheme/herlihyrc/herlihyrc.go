@@ -26,6 +26,7 @@ import (
 
 	"cdrc/internal/arena"
 	"cdrc/internal/multiset"
+	"cdrc/internal/obs"
 	"cdrc/internal/pid"
 	"cdrc/internal/rcscheme"
 )
@@ -33,6 +34,10 @@ import (
 // guardsPerThread is the number of guard slots each thread owns: the load
 // path uses one and hand-over-hand traversal needs two.
 const guardsPerThread = 2
+
+// obsAllocDrop counts operations dropped on allocation failure (arena cap
+// or injected fault); the name is shared across all rcscheme adapters.
+var obsAllocDrop = obs.NewCounter("rcscheme.alloc.drop")
 
 // scanSlack pads the liberation threshold.
 const scanSlack = 64
@@ -335,10 +340,15 @@ func (t *thread) Load(i int) uint64 {
 	return v
 }
 
-// Store implements rcscheme.Thread.
+// Store implements rcscheme.Thread. Allocation failure (arena cap or
+// injected fault) drops the store; the cell keeps its old value.
 func (t *thread) Store(i int, val uint64) {
 	s := t.s
-	h := s.objs.Alloc(t.pid)
+	h, err := s.objs.TryAlloc(t.pid)
+	if err != nil {
+		obsAllocDrop.Inc(t.pid)
+		return
+	}
 	s.objs.Hdr(h).RefCount.Store(1) // the cell's unit
 	obj := s.objs.Get(h)
 	for w := range obj.V {
@@ -387,7 +397,11 @@ func (s *Scheme) SetupStacks(nstacks int, init [][]rcscheme.StackValue) {
 func (t *thread) Push(j int, v rcscheme.StackValue) {
 	s := t.s
 	c := &s.stacks[j].v
-	n := s.nodes.Alloc(t.pid)
+	n, err := s.nodes.TryAlloc(t.pid)
+	if err != nil {
+		obsAllocDrop.Inc(t.pid)
+		return
+	}
 	s.nodes.Hdr(n).RefCount.Store(1)
 	nd := s.nodes.Get(n)
 	nd.v = v

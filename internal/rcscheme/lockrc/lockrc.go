@@ -11,12 +11,18 @@ import (
 	"sync"
 
 	"cdrc/internal/arena"
+	"cdrc/internal/obs"
 	"cdrc/internal/pid"
 	"cdrc/internal/rcscheme"
 )
 
 // nLocks matches libstdc++'s global lock-table size.
 const nLocks = 16
+
+// obsAllocDrop counts operations dropped because the arena reported
+// exhaustion (or a chaos fault forced an allocation failure). The name is
+// process-global: every rcscheme adapter shares one counter.
+var obsAllocDrop = obs.NewCounter("rcscheme.alloc.drop")
 
 type stackNode struct {
 	v    rcscheme.StackValue
@@ -160,9 +166,15 @@ func (t *thread) Load(i int) uint64 {
 	return v
 }
 
-// Store implements rcscheme.Thread.
+// Store implements rcscheme.Thread. An allocation failure (arena cap or
+// injected fault) drops the store: the cell simply keeps its old value,
+// which is an allowed outcome for a store that never happened.
 func (t *thread) Store(i int, val uint64) {
-	h := t.s.objs.Alloc(t.pid)
+	h, err := t.s.objs.TryAlloc(t.pid)
+	if err != nil {
+		obsAllocDrop.Inc(t.pid)
+		return
+	}
 	hdr := t.s.objs.Hdr(h)
 	hdr.RefCount.Store(1)
 	obj := t.s.objs.Get(h)
@@ -203,10 +215,15 @@ func (s *Scheme) stackLock(j int) *sync.Mutex {
 	return &s.locks[uint(j*0x9E37+7)%nLocks]
 }
 
-// Push implements rcscheme.StackThread.
+// Push implements rcscheme.StackThread. Allocation failure drops the push
+// (see Store).
 func (t *thread) Push(j int, v rcscheme.StackValue) {
 	s := t.s
-	n := s.nodes.Alloc(t.pid)
+	n, err := s.nodes.TryAlloc(t.pid)
+	if err != nil {
+		obsAllocDrop.Inc(t.pid)
+		return
+	}
 	s.nodes.Hdr(n).RefCount.Store(1)
 	nd := s.nodes.Get(n)
 	nd.v = v

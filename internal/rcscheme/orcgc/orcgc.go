@@ -28,12 +28,17 @@ import (
 	"sync/atomic"
 
 	"cdrc/internal/arena"
+	"cdrc/internal/obs"
 	"cdrc/internal/pid"
 	"cdrc/internal/rcscheme"
 )
 
 // hazardsPerThread: one for the load path, two for traversal.
 const hazardsPerThread = 2
+
+// obsAllocDrop counts operations dropped on allocation failure (arena cap
+// or injected fault); the name is shared across all rcscheme adapters.
+var obsAllocDrop = obs.NewCounter("rcscheme.alloc.drop")
 
 type stackNode struct {
 	v    rcscheme.StackValue
@@ -267,9 +272,14 @@ func (t *thread) Load(i int) uint64 {
 }
 
 // Store implements rcscheme.Thread: the expensive path (O(P) retire).
+// Allocation failure (arena cap or injected fault) drops the store.
 func (t *thread) Store(i int, val uint64) {
 	s := t.s
-	h := s.objs.Alloc(t.pid)
+	h, err := s.objs.TryAlloc(t.pid)
+	if err != nil {
+		obsAllocDrop.Inc(t.pid)
+		return
+	}
 	s.objs.Hdr(h).RefCount.Store(1)
 	obj := s.objs.Get(h)
 	for w := range obj.V {
@@ -306,7 +316,11 @@ func (s *Scheme) SetupStacks(nstacks int, init [][]rcscheme.StackValue) {
 func (t *thread) Push(j int, v rcscheme.StackValue) {
 	s := t.s
 	c := &s.stacks[j].v
-	n := s.nodes.Alloc(t.pid)
+	n, err := s.nodes.TryAlloc(t.pid)
+	if err != nil {
+		obsAllocDrop.Inc(t.pid)
+		return
+	}
 	s.nodes.Hdr(n).RefCount.Store(1)
 	nd := s.nodes.Get(n)
 	nd.v = v

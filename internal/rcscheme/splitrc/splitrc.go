@@ -35,9 +35,14 @@ import (
 	"sync/atomic"
 
 	"cdrc/internal/arena"
+	"cdrc/internal/obs"
 	"cdrc/internal/pid"
 	"cdrc/internal/rcscheme"
 )
+
+// obsAllocDrop counts operations dropped on allocation failure (arena cap
+// or injected fault); the name is shared across all rcscheme adapters.
+var obsAllocDrop = obs.NewCounter("rcscheme.alloc.drop")
 
 const (
 	handleBits = 44
@@ -257,10 +262,15 @@ func (t *thread) Load(i int) uint64 {
 	return v
 }
 
-// Store implements rcscheme.Thread.
+// Store implements rcscheme.Thread. Allocation failure (arena cap or
+// injected fault) drops the store; the cell keeps its old value.
 func (t *thread) Store(i int, val uint64) {
 	s := t.s
-	h := s.objs.Alloc(t.pid)
+	h, err := s.objs.TryAlloc(t.pid)
+	if err != nil {
+		obsAllocDrop.Inc(t.pid)
+		return
+	}
 	s.objs.Hdr(h).RefCount.Store(1) // creator's unit becomes the cell's
 	obj := s.objs.Get(h)
 	for w := range obj.V {
@@ -298,7 +308,11 @@ func (s *Scheme) SetupStacks(nstacks int, init [][]rcscheme.StackValue) {
 func (t *thread) Push(j int, v rcscheme.StackValue) {
 	s := t.s
 	c := &s.stacks[j]
-	n := s.nodes.Alloc(t.pid)
+	n, err := s.nodes.TryAlloc(t.pid)
+	if err != nil {
+		obsAllocDrop.Inc(t.pid)
+		return
+	}
 	s.nodes.Hdr(n).RefCount.Store(1) // becomes the head cell's unit
 	nd := s.nodes.Get(n)
 	nd.v = v

@@ -24,6 +24,7 @@ type ebr struct {
 
 	orphans     orphanage[ebrRetired]
 	unreclaimed atomic.Int64
+	obs         obsMetrics
 }
 
 type ebrRetired struct {
@@ -36,6 +37,7 @@ func newEBR(cfg Config) *ebr {
 		cfg: cfg,
 		ann: make([]paddedSlot, cfg.MaxProcs),
 		reg: pid.NewRegistry(cfg.MaxProcs),
+		obs: newObsMetrics(string(KindEBR)),
 	}
 	e.epoch.Store(1) // epoch 0 means "inactive" in announcement slots
 	return e
@@ -104,6 +106,7 @@ func (t *ebrThread) OnAlloc(arena.Handle) {}
 func (t *ebrThread) Retire(h arena.Handle) {
 	t.limbo = append(t.limbo, ebrRetired{h: h, epoch: t.r.epoch.Load()})
 	t.r.unreclaimed.Add(1)
+	t.r.obs.retire.Inc(t.id)
 	t.counter++
 	if t.counter >= ebrFreq {
 		t.counter = 0
@@ -115,12 +118,15 @@ func (t *ebrThread) Retire(h arena.Handle) {
 // sweep frees every limbo entry retired in an epoch every active thread
 // has moved past.
 func (t *ebrThread) sweep() {
+	t.r.obs.scan.Inc(t.id)
+	obsScanBatchHist.Observe(uint64(len(t.limbo)))
 	min := t.r.minActive()
 	keep := t.limbo[:0]
 	for _, r := range t.limbo {
 		if r.epoch < min {
 			t.r.cfg.Free(t.id, r.h)
 			t.r.unreclaimed.Add(-1)
+			t.r.obs.reclaim.Inc(t.id)
 		} else {
 			keep = append(keep, r)
 		}

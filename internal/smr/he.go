@@ -23,6 +23,7 @@ type he struct {
 
 	orphans     orphanage[heRetired]
 	unreclaimed atomic.Int64
+	obs         obsMetrics
 }
 
 type heRetired struct {
@@ -39,6 +40,7 @@ func newHE(cfg Config) *he {
 		cfg:   cfg,
 		slots: make([]paddedSlot, cfg.MaxProcs*SlotsPerThread),
 		reg:   pid.NewRegistry(cfg.MaxProcs),
+		obs:   newObsMetrics(string(KindHE)),
 	}
 	r.era.Store(1)
 	return r
@@ -104,6 +106,7 @@ func (t *heThread) Retire(h arena.Handle) {
 	hdr.RetireEra.Store(death)
 	t.limbo = append(t.limbo, heRetired{h: h, birth: hdr.BirthEra.Load(), death: death})
 	t.r.unreclaimed.Add(1)
+	t.r.obs.retire.Inc(t.id)
 	t.counter++
 	if t.counter >= heFreq {
 		t.counter = 0
@@ -124,6 +127,8 @@ func (r *he) covered(birth, death uint64) bool {
 }
 
 func (t *heThread) sweep() {
+	t.r.obs.scan.Inc(t.id)
+	obsScanBatchHist.Observe(uint64(len(t.limbo)))
 	keep := t.limbo[:0]
 	for _, n := range t.limbo {
 		if t.r.covered(n.birth, n.death) {
@@ -132,6 +137,7 @@ func (t *heThread) sweep() {
 		}
 		t.r.cfg.Free(t.id, n.h)
 		t.r.unreclaimed.Add(-1)
+		t.r.obs.reclaim.Inc(t.id)
 	}
 	t.limbo = keep
 }

@@ -25,6 +25,7 @@ type hp struct {
 
 	orphans     orphanage[arena.Handle]
 	unreclaimed atomic.Int64
+	obs         obsMetrics
 }
 
 func newHP(cfg Config, scanMult int) *hp {
@@ -38,6 +39,7 @@ func newHP(cfg Config, scanMult int) *hp {
 		name:     name,
 		slots:    make([]paddedSlot, cfg.MaxProcs*SlotsPerThread),
 		reg:      pid.NewRegistry(cfg.MaxProcs),
+		obs:      newObsMetrics(name),
 	}
 }
 
@@ -96,6 +98,7 @@ func (t *hpThread) OnAlloc(arena.Handle) {}
 func (t *hpThread) Retire(h arena.Handle) {
 	t.rlist = append(t.rlist, h)
 	t.r.unreclaimed.Add(1)
+	t.r.obs.retire.Inc(t.id)
 	total := t.r.reg.HighWater() * SlotsPerThread
 	if len(t.rlist) >= t.r.scanMult*(2*total+scanSlack) {
 		t.scan()
@@ -105,6 +108,8 @@ func (t *hpThread) Retire(h arena.Handle) {
 // scan reads every announcement (unmarked) and frees the retired handles
 // not present.
 func (t *hpThread) scan() {
+	t.r.obs.scan.Inc(t.id)
+	obsScanBatchHist.Observe(uint64(len(t.rlist)))
 	t.plist.Reset()
 	n := t.r.reg.HighWater() * SlotsPerThread
 	for i := 0; i < n; i++ {
@@ -120,6 +125,7 @@ func (t *hpThread) scan() {
 		}
 		t.r.cfg.Free(t.id, h)
 		t.r.unreclaimed.Add(-1)
+		t.r.obs.reclaim.Inc(t.id)
 	}
 	t.rlist = keep
 	t.plist.Reset()

@@ -27,6 +27,7 @@ type ibr struct {
 
 	orphans     orphanage[ibrRetired]
 	unreclaimed atomic.Int64
+	obs         obsMetrics
 }
 
 type ibrRetired struct {
@@ -44,6 +45,7 @@ func newIBR(cfg Config) *ibr {
 		lo:  make([]paddedSlot, cfg.MaxProcs),
 		hi:  make([]paddedSlot, cfg.MaxProcs),
 		reg: pid.NewRegistry(cfg.MaxProcs),
+		obs: newObsMetrics(string(KindIBR)),
 	}
 	r.era.Store(1)
 	return r
@@ -110,6 +112,7 @@ func (t *ibrThread) Retire(h arena.Handle) {
 	hdr.RetireEra.Store(death)
 	t.limbo = append(t.limbo, ibrRetired{h: h, birth: hdr.BirthEra.Load(), death: death})
 	t.r.unreclaimed.Add(1)
+	t.r.obs.retire.Inc(t.id)
 	t.counter++
 	if t.counter >= ibrFreq {
 		t.counter = 0
@@ -135,6 +138,8 @@ func (r *ibr) conflicts(birth, death uint64) bool {
 }
 
 func (t *ibrThread) sweep() {
+	t.r.obs.scan.Inc(t.id)
+	obsScanBatchHist.Observe(uint64(len(t.limbo)))
 	keep := t.limbo[:0]
 	for _, n := range t.limbo {
 		if t.r.conflicts(n.birth, n.death) {
@@ -143,6 +148,7 @@ func (t *ibrThread) sweep() {
 		}
 		t.r.cfg.Free(t.id, n.h)
 		t.r.unreclaimed.Add(-1)
+		t.r.obs.reclaim.Inc(t.id)
 	}
 	t.limbo = keep
 }

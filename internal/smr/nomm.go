@@ -13,10 +13,11 @@ type noMM struct {
 	cfg         Config
 	reg         *pid.Registry
 	unreclaimed atomic.Int64
+	obs         obsMetrics
 }
 
 func newNoMM(cfg Config) *noMM {
-	return &noMM{cfg: cfg, reg: pid.NewRegistry(cfg.MaxProcs)}
+	return &noMM{cfg: cfg, reg: pid.NewRegistry(cfg.MaxProcs), obs: newObsMetrics(string(KindNoMM))}
 }
 
 func (n *noMM) Name() string       { return string(KindNoMM) }
@@ -41,7 +42,10 @@ func (t *noMMThread) Announce(int, arena.Handle) {}
 
 func (t *noMMThread) OnAlloc(arena.Handle) {}
 
-func (t *noMMThread) Retire(arena.Handle) { t.r.unreclaimed.Add(1) }
+func (t *noMMThread) Retire(arena.Handle) {
+	t.r.unreclaimed.Add(1)
+	t.r.obs.retire.Inc(t.id)
+}
 
 func (t *noMMThread) Flush()  {}
 func (t *noMMThread) Detach() { t.r.reg.Release(t.id) }

@@ -14,10 +14,12 @@
 package smr
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"cdrc/internal/arena"
+	"cdrc/internal/obs"
 	"cdrc/internal/pid"
 )
 
@@ -145,6 +147,30 @@ func New(kind Kind, cfg Config) Reclaimer {
 		return newHE(cfg)
 	default:
 		panic("smr: unknown kind " + string(kind))
+	}
+}
+
+// obsScanBatchHist records the retired-list length at every scan/sweep,
+// across all manual schemes (per-kind attribution lives in the counters).
+var obsScanBatchHist = obs.NewHistogram("smr.scan.batch")
+
+// obsMetrics bundles one scheme instance's observability counters (inert
+// single atomic loads unless obs.Enable has armed them). At quiescence
+// after Flush+Detach, retire - reclaim == Unreclaimed for every scheme.
+type obsMetrics struct {
+	retire  *obs.Counter
+	reclaim *obs.Counter
+	scan    *obs.Counter
+}
+
+// newObsMetrics names the counters smr.<Name>.retire/.reclaim/.scan,
+// stripping spaces ("No MM" -> smr.NoMM.retire).
+func newObsMetrics(name string) obsMetrics {
+	prefix := "smr." + strings.ReplaceAll(name, " ", "")
+	return obsMetrics{
+		retire:  obs.NewCounter(prefix + ".retire"),
+		reclaim: obs.NewCounter(prefix + ".reclaim"),
+		scan:    obs.NewCounter(prefix + ".scan"),
 	}
 }
 

@@ -18,4 +18,24 @@ go test -race ./...
 echo "==> chaos soak (10s, seed 1, 2 simulated crashes per configuration)"
 go run ./cmd/cdrc-stress -duration 10s -chaos -chaos-seed 1 -crash-workers 2
 
+echo "==> obs-enabled chaos soak (5s: metrics armed, accounting identities checked at each teardown)"
+go run ./cmd/cdrc-stress -duration 5s -chaos -chaos-seed 1 -crash-workers 2 -obs -obs-interval 2s
+
+# Overhead gate: with observability compiled in but disabled, every
+# instrumented hot path adds one atomic nil-load. Compare Fig. 6a DRC
+# throughput of the normal build (obs present, disarmed) against the
+# obsoff build (obs compiled out - the seed baseline), best of 3; fail
+# if the instrumented build loses more than 5%.
+echo "==> obs overhead gate (Fig6a DRC, disabled-obs vs obsoff baseline, best of 3)"
+best_drc_mops() {
+    awk '{for (i = 2; i <= NF; i++) if ($i == "DRC_Mops" && $(i-1)+0 > m) m = $(i-1)+0} END {print m}'
+}
+base=$(go test -tags obsoff -run '^$' -bench '^BenchmarkFig6a$' -benchtime 1x -count 3 . | best_drc_mops)
+inst=$(go test -run '^$' -bench '^BenchmarkFig6a$' -benchtime 1x -count 3 . | best_drc_mops)
+echo "    baseline (obsoff) ${base} Mops, instrumented (obs disabled) ${inst} Mops"
+awk -v inst="$inst" -v base="$base" 'BEGIN {
+    if (base + 0 <= 0 || inst + 0 <= 0) { print "    gate error: missing DRC_Mops metric"; exit 1 }
+    if (inst < 0.95 * base) { printf "    FAIL: %.1f%% regression exceeds 5%%\n", (1 - inst/base) * 100; exit 1 }
+}'
+
 echo "==> all checks passed"
