@@ -1,0 +1,286 @@
+// cdrc-load is the load generator and correctness gate for the
+// internal/server key→value service. It drives a read/write/delete mix
+// with Zipf-distributed keys over the wire protocol, measures per-op
+// latency through obs histograms (p50/p99 via Report.Quantile), and -
+// because every request line receives exactly one classified reply -
+// checks conservation at the end:
+//
+//	client sends == OK replies + BUSY sheds        (per client)
+//	client sends == server.reply + server.busy.queue   (in-process mode)
+//	client BUSYs == server.busy.{queue,arena,crash}    (in-process mode)
+//
+// plus value integrity (GET must return a value tagged for its key) and,
+// in in-process mode, full reclamation at Close (Live() == 0). Any
+// violation exits non-zero, which is how scripts/check.sh uses it as a
+// loopback soak - once plain and once with -chaos -crash-workers, where
+// simulated worker crashes exercise the abandonment/adoption path under
+// live traffic.
+//
+// With -addr it targets an already-running cdrc-serve instead (the
+// server-side identities are then skipped; the process-local obs
+// counters cannot see a remote server).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cdrc/internal/chaos"
+	"cdrc/internal/obs"
+	"cdrc/internal/server"
+)
+
+var (
+	obsGetNs  = obs.NewHistogram("load.get.ns")
+	obsPutNs  = obs.NewHistogram("load.put.ns")
+	obsDelNs  = obs.NewHistogram("load.del.ns")
+	obsScanNs = obs.NewHistogram("load.scan.ns")
+)
+
+// tally accumulates one connection's classified outcomes.
+type tally struct {
+	sends     int64
+	oks       int64
+	busys     int64
+	errs      int64
+	integrity int64
+}
+
+func (t *tally) add(o *tally) {
+	t.sends += o.sends
+	t.oks += o.oks
+	t.busys += o.busys
+	t.errs += o.errs
+	t.integrity += o.integrity
+}
+
+// valTag derives the stable upper bits every PUT to a key carries, so a
+// GET can detect torn, stale-freed, or misdirected values regardless of
+// which client wrote last (splitmix64 of the key, low 16 bits cleared
+// for a per-write sequence).
+func valTag(key uint64) uint64 {
+	x := key ^ 0xC0DEC0DEC0DEC0DE
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x &^ 0xFFFF
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "target server address (empty = run an in-process server)")
+		duration = flag.Duration("duration", 5*time.Second, "load duration")
+		conns    = flag.Int("conns", 4, "client connections")
+		keys     = flag.Int("keys", 4096, "key space size")
+		zipfS    = flag.Float64("zipf-s", 1.1, "Zipf s parameter (>1)")
+		zipfV    = flag.Float64("zipf-v", 1.0, "Zipf v parameter (>=1)")
+		reads    = flag.Float64("reads", 0.70, "GET fraction")
+		puts     = flag.Float64("puts", 0.20, "PUT fraction (remainder is DEL)")
+		scanEvry = flag.Int("scan-every", 200, "issue SCAN 16 every Nth op per connection (0 = never)")
+
+		shards   = flag.Int("shards", 4, "in-process server: shards")
+		workers  = flag.Int("workers", 4, "in-process server: worker pool size")
+		arenaCap = flag.Uint64("arena-cap", 0, "in-process server: per-shard arena slot cap")
+		queue    = flag.Int("queue", 0, "in-process server: request queue depth (0 = default)")
+
+		chaosOn   = flag.Bool("chaos", false, "in-process server: enable deterministic fault injection")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "chaos seed")
+		crashWk   = flag.Int("crash-workers", 0, "chaos crash budget (simulated worker crashes)")
+	)
+	flag.Parse()
+
+	obs.Enable()
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cdrc-load: FAIL: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	target := *addr
+	inproc := target == ""
+	var srv *server.Server
+	if inproc {
+		if *chaosOn {
+			chaos.Enable(chaos.Config{
+				Seed:        *chaosSeed,
+				CrashBudget: *crashWk,
+				Faults: map[string]chaos.Fault{
+					// Crash-safe points only: the worker op boundary (zero
+					// refs held) and snapshot acquisition (map ops hold no
+					// counted references across GetSnapshot).
+					"server.worker.op":       {Prob: 0.0005, Crash: true},
+					"core.snapshot.acquired": {Prob: 0.0002, Crash: true},
+					"arena.alloc":            {Prob: 0.002, Fail: true},
+					"arena.free":             {Prob: 0.001, Yields: 1},
+					"acqret.retire":          {Prob: 0.001, Yields: 1},
+					"core.load.between-acquire-and-increment": {Prob: 0.001, Yields: 2},
+				},
+			})
+		}
+		var err error
+		srv, err = server.New(server.Config{
+			Shards:        *shards,
+			Workers:       *workers,
+			MaxProcs:      *workers + *crashWk + 8,
+			ExpectedKeys:  *keys,
+			ArenaCapacity: *arenaCap,
+			QueueDepth:    *queue,
+			DebugChecks:   true,
+		})
+		if err != nil {
+			fail("start server: %v", err)
+		}
+		target = srv.Addr()
+	}
+
+	fmt.Printf("cdrc-load: %v against %s (conns=%d keys=%d zipf=%.2f mix=%.0f/%.0f/%.0f chaos=%v)\n",
+		*duration, target, *conns, *keys, *zipfS,
+		*reads*100, *puts*100, (1-*reads-*puts)*100, *chaosOn)
+
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	tallies := make([]tally, *conns)
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tl := &tallies[id]
+			cl, err := server.Dial(target)
+			if err != nil {
+				tl.errs++
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
+			zipf := rand.NewZipf(rng, *zipfS, *zipfV, uint64(*keys-1))
+			classify := func(err error) bool {
+				switch err {
+				case nil:
+					tl.oks++
+					return true
+				case server.ErrBusy:
+					tl.busys++
+					return true
+				default:
+					tl.errs++
+					return false
+				}
+			}
+			for op := 0; !stop.Load() && time.Now().Before(deadline); op++ {
+				k := zipf.Uint64()
+				p := rng.Float64()
+				t0 := time.Now()
+				switch {
+				case *scanEvry > 0 && op%*scanEvry == *scanEvry-1:
+					_, err := cl.Scan(16)
+					tl.sends++
+					obsScanNs.Observe(uint64(time.Since(t0)))
+					if !classify(err) {
+						return
+					}
+				case p < *reads:
+					v, ok, err := cl.Get(k)
+					tl.sends++
+					obsGetNs.Observe(uint64(time.Since(t0)))
+					if !classify(err) {
+						return
+					}
+					if err == nil && ok && v&^0xFFFF != valTag(k) {
+						tl.integrity++
+						return
+					}
+				case p < *reads+*puts:
+					_, _, err := cl.Put(k, valTag(k)|uint64(op&0xFFFF))
+					tl.sends++
+					obsPutNs.Observe(uint64(time.Since(t0)))
+					if !classify(err) {
+						return
+					}
+				default:
+					_, err := cl.Del(k)
+					tl.sends++
+					obsDelNs.Observe(uint64(time.Since(t0)))
+					if !classify(err) {
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	stop.Store(true)
+
+	var total tally
+	for i := range tallies {
+		total.add(&tallies[i])
+	}
+
+	// Quiesce fault injection before teardown so Close's drain rounds run
+	// deterministically clean, then tear the server down to zero.
+	crashes := chaos.Crashes()
+	if *chaosOn {
+		chaos.Disable()
+	}
+	var closeErr error
+	if inproc {
+		closeErr = srv.Close()
+	}
+
+	r := obs.Snapshot()
+	secs := duration.Seconds()
+	fmt.Printf("cdrc-load: %d ops (%.0f/s): ok=%d busy=%d err=%d integrity-violations=%d crashes=%d\n",
+		total.sends, float64(total.sends)/secs, total.oks, total.busys, total.errs, total.integrity, crashes)
+	for _, h := range []struct{ label, name string }{
+		{"get", "load.get.ns"}, {"put", "load.put.ns"},
+		{"del", "load.del.ns"}, {"scan", "load.scan.ns"},
+	} {
+		if r.Histograms[h.name].Count == 0 {
+			continue
+		}
+		fmt.Printf("cdrc-load: %-4s p50=%8.0fns p99=%8.0fns (n=%d)\n",
+			h.label, r.Quantile(h.name, 0.50), r.Quantile(h.name, 0.99), r.Histograms[h.name].Count)
+	}
+
+	// --- gates ---------------------------------------------------------
+	if total.errs != 0 {
+		fail("%d hard errors (connection or protocol failures)", total.errs)
+	}
+	if total.integrity != 0 {
+		fail("%d value integrity violations (GET returned a value not written for that key)", total.integrity)
+	}
+	if total.sends != total.oks+total.busys {
+		fail("reply conservation broken: sends=%d != ok=%d + busy=%d", total.sends, total.oks, total.busys)
+	}
+	if total.sends == 0 {
+		fail("no operations completed; soak proved nothing")
+	}
+	if inproc {
+		// Server-side conservation: every send was either executed by a
+		// worker (server.reply covers completions and crash-BUSYs) or shed
+		// at the queue; and the BUSYs the clients saw partition by cause.
+		replies := r.Counter("server.reply") + r.Counter("server.busy.queue")
+		if total.sends != replies {
+			fail("server conservation broken: sends=%d != server.reply+busy.queue=%d", total.sends, replies)
+		}
+		busyByCause := r.Counter("server.busy.queue") + r.Counter("server.busy.arena") + r.Counter("server.busy.crash")
+		if total.busys != busyByCause {
+			fail("BUSY accounting broken: clients saw %d, server counted %d (queue=%d arena=%d crash=%d)",
+				total.busys, busyByCause, r.Counter("server.busy.queue"),
+				r.Counter("server.busy.arena"), r.Counter("server.busy.crash"))
+		}
+		if closeErr != nil {
+			fail("teardown: %v", closeErr)
+		}
+		if live := srv.Live(); live != 0 {
+			fail("leak: %d nodes live after Close", live)
+		}
+	}
+	fmt.Println("cdrc-load: PASS (conservation, integrity, reclamation)")
+}

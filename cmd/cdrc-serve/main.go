@@ -1,0 +1,70 @@
+// cdrc-serve runs the internal/server key→value store as a standalone
+// process: a sharded collections.Map behind the line protocol described
+// in internal/server/proto.go, with the worker pool sized against the
+// pid registries and explicit -BUSY backpressure.
+//
+// Talk to it with cmd/cdrc-load, or by hand:
+//
+//	$ go run ./cmd/cdrc-serve -addr 127.0.0.1:7070 -obs &
+//	$ printf 'PUT 1 100\nGET 1\nSTATS\n' | nc 127.0.0.1 7070
+//
+// SIGINT/SIGTERM trigger an orderly shutdown; the process exits non-zero
+// if the storage engine fails to reach full reclamation (Live() != 0).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cdrc/internal/obs"
+	"cdrc/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "TCP listen address")
+		shards   = flag.Int("shards", 4, "map shards (rounded up to a power of two)")
+		workers  = flag.Int("workers", 8, "worker pool size (threads attached to the store)")
+		keys     = flag.Int("keys", 1<<16, "expected resident keys across all shards")
+		arenaCap = flag.Uint64("arena-cap", 0, "per-shard arena slot cap (0 = unbounded; beyond it PUT replies -BUSY)")
+		queue    = flag.Int("queue", 0, "request queue depth (0 = 4*workers)")
+		debug    = flag.Bool("debug-checks", false, "arm arena use-after-free panics")
+		obsOn    = flag.Bool("obs", false, "enable observability (STATS returns live metrics)")
+	)
+	flag.Parse()
+
+	if *obsOn {
+		obs.Enable()
+	}
+	srv, err := server.New(server.Config{
+		Addr:          *addr,
+		Shards:        *shards,
+		Workers:       *workers,
+		ExpectedKeys:  *keys,
+		ArenaCapacity: *arenaCap,
+		QueueDepth:    *queue,
+		DebugChecks:   *debug,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("cdrc-serve: listening on %s (shards=%d workers=%d obs=%v)\n",
+		srv.Addr(), *shards, *workers, *obsOn)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("cdrc-serve: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "cdrc-serve: %v\n", err)
+		os.Exit(1)
+	}
+	if *obsOn {
+		fmt.Print(obs.Snapshot().Text())
+	}
+	fmt.Println("cdrc-serve: clean shutdown, all nodes reclaimed")
+}

@@ -1,8 +1,8 @@
 // Package collections provides ready-made lock-free concurrent data
 // structures built on cdrc's deferred reference counting: a hash set, a
-// sorted set, a LIFO stack, and a FIFO queue.
+// hash map, a sorted set, a LIFO stack, and a FIFO queue.
 //
-// All four share the properties the underlying library provides
+// All of them share the properties the underlying library provides
 // (paper §5, §7.2):
 //
 //   - automatic reclamation: removed nodes free themselves once the last
@@ -37,8 +37,17 @@ func (h *SetHandle) Delete(key uint64) bool { return h.th.Delete(key) }
 // Contains reports whether key is present.
 func (h *SetHandle) Contains(key uint64) bool { return h.th.Contains(key) }
 
-// Close detaches the handle.
-func (h *SetHandle) Close() { h.th.Detach() }
+// Close detaches the handle. Close is idempotent: closing an
+// already-closed handle is a no-op rather than a double Detach (which
+// would return the processor id to the registry twice and corrupt arena
+// free lists). Other operations on a closed handle panic.
+func (h *SetHandle) Close() {
+	if h.th == nil {
+		return
+	}
+	h.th.Detach()
+	h.th = nil
+}
 
 // HashSet is a lock-free hash set of uint64 keys (Michael's hash table
 // over Harris-Michael bucket lists - the structure of the paper's
@@ -115,8 +124,14 @@ func (h *QueueHandle) Enqueue(v uint64) { h.th.Enqueue(v) }
 // queue is empty.
 func (h *QueueHandle) Dequeue() (uint64, bool) { return h.th.Dequeue() }
 
-// Close detaches the handle.
-func (h *QueueHandle) Close() { h.th.Detach() }
+// Close detaches the handle. Idempotent, like SetHandle.Close.
+func (h *QueueHandle) Close() {
+	if h.th == nil {
+		return
+	}
+	h.th.Detach()
+	h.th = nil
+}
 
 // LiveNodes reports currently allocated nodes (diagnostics; an empty
 // quiescent queue holds exactly one dummy node).

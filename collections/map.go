@@ -1,0 +1,100 @@
+package collections
+
+import (
+	"cdrc/internal/ds"
+	"cdrc/internal/ds/rcds"
+)
+
+// Map is a lock-free hash map from uint64 keys to uint64 values, built on
+// the same Michael-hash-table-over-DRC nodes as HashSet: lookups acquire
+// a single snapshot pointer on average and touch no shared counter, and a
+// replaced or deleted entry frees itself once the last in-flight reader
+// lets go. It is the storage engine behind internal/server and
+// cmd/cdrc-serve.
+type Map struct {
+	t *rcds.HashTable
+}
+
+// NewMap creates a map sized for roughly expectedKeys resident entries
+// (load factor 1), usable by up to maxProcs concurrent handles (0 selects
+// the default bound).
+func NewMap(expectedKeys, maxProcs int) *Map {
+	if expectedKeys < 16 {
+		expectedKeys = 16
+	}
+	return &Map{t: rcds.NewHashTable(expectedKeys, maxProcs, true)}
+}
+
+// Attach registers the calling goroutine.
+func (m *Map) Attach() *MapHandle { return &MapHandle{th: m.t.AttachMap()} }
+
+// LiveNodes reports currently allocated nodes (diagnostics).
+func (m *Map) LiveNodes() int64 { return m.t.LiveNodes() }
+
+// Unreclaimed reports removed-but-not-freed nodes (diagnostics).
+func (m *Map) Unreclaimed() int64 { return m.t.Unreclaimed() }
+
+// SetArenaCapacity caps the map's backing arena at the given slot count
+// (0 removes the cap). Beyond the cap, Put returns ErrBusy-style
+// backpressure instead of allocating; see MapHandle.Put.
+func (m *Map) SetArenaCapacity(slots uint64) { m.t.SetCapacity(slots) }
+
+// EnableDebugChecks turns reads of freed slots into panics. Set before
+// the map is shared; intended for tests and soak harnesses.
+func (m *Map) EnableDebugChecks() { m.t.EnableDebugChecks() }
+
+// MapHandle is a per-goroutine view of a Map. Not safe for concurrent
+// use; operations on a closed handle panic.
+type MapHandle struct {
+	th ds.MapThread
+}
+
+// Get returns key's current value.
+func (h *MapHandle) Get(key uint64) (uint64, bool) { return h.th.Get(key) }
+
+// Put maps key to val. When the key was present the previous value is
+// returned with existed == true. A non-nil error means the backing arena
+// is exhausted and the value was NOT stored - the caller should shed or
+// retry the request (internal/server maps it to a BUSY reply).
+func (h *MapHandle) Put(key, val uint64) (old uint64, existed bool, err error) {
+	return h.th.Put(key, val)
+}
+
+// Delete removes key, reporting false if it was absent.
+func (h *MapHandle) Delete(key uint64) bool { return h.th.Delete(key) }
+
+// Scan visits up to limit live entries (limit < 0 for all), stopping
+// early when fn returns false, and returns the number visited. Weakly
+// consistent under concurrent updates; never observes freed memory.
+func (h *MapHandle) Scan(limit int, fn func(key, val uint64) bool) int {
+	return h.th.Scan(limit, fn)
+}
+
+// Clear unlinks every entry and flushes this handle's deferred work.
+func (h *MapHandle) Clear() { h.th.Clear() }
+
+// Close detaches the handle. Close is idempotent: closing an
+// already-closed handle is a no-op (a double Detach would return the
+// processor id to the registry twice and corrupt arena free lists).
+func (h *MapHandle) Close() {
+	if h.th == nil {
+		return
+	}
+	h.th.Detach()
+	h.th = nil
+}
+
+// Abandon marks the handle's per-processor state as owned by a worker
+// that died without Close (see DESIGN.md §5): announcements, retired
+// lists, and the arena shard stay behind for survivors to adopt, and the
+// processor id is reissued only after adoption. Crash-recovery harnesses
+// call it from a recover; the handle must not be used afterwards.
+func (h *MapHandle) Abandon() {
+	if h.th == nil {
+		return
+	}
+	if a, ok := h.th.(interface{ Abandon() }); ok {
+		a.Abandon()
+	}
+	h.th = nil
+}

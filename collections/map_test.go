@@ -1,0 +1,225 @@
+package collections
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cdrc/internal/lincheck"
+)
+
+func TestMapBasics(t *testing.T) {
+	m := NewMap(64, 4)
+	m.EnableDebugChecks()
+	h := m.Attach()
+	defer h.Close()
+
+	if _, ok := h.Get(1); ok {
+		t.Fatal("Get on empty map reported a hit")
+	}
+	if _, existed, err := h.Put(1, 10); err != nil || existed {
+		t.Fatalf("Put(new) = existed=%v err=%v", existed, err)
+	}
+	if v, ok := h.Get(1); !ok || v != 10 {
+		t.Fatalf("Get = %d,%v, want 10,true", v, ok)
+	}
+	if old, existed, err := h.Put(1, 11); err != nil || !existed || old != 10 {
+		t.Fatalf("Put(replace) = %d,%v,%v, want 10,true,nil", old, existed, err)
+	}
+	if v, _ := h.Get(1); v != 11 {
+		t.Fatalf("Get after replace = %d, want 11", v)
+	}
+	for k := uint64(2); k < 40; k++ {
+		if _, _, err := h.Put(k, k*100); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+	}
+	got := map[uint64]uint64{}
+	n := h.Scan(-1, func(k, v uint64) bool { got[k] = v; return true })
+	if n != 39 || len(got) != 39 {
+		t.Fatalf("Scan visited %d (%d distinct), want 39", n, len(got))
+	}
+	if got[1] != 11 || got[5] != 500 {
+		t.Fatalf("Scan values wrong: got[1]=%d got[5]=%d", got[1], got[5])
+	}
+	if n := h.Scan(5, func(k, v uint64) bool { return true }); n != 5 {
+		t.Fatalf("bounded Scan visited %d, want 5", n)
+	}
+	if !h.Delete(1) || h.Delete(1) {
+		t.Fatal("Delete hit/miss sequence wrong")
+	}
+	if _, ok := h.Get(1); ok {
+		t.Fatal("Get after Delete reported a hit")
+	}
+	h.Clear()
+	if n := h.Scan(-1, func(k, v uint64) bool { return true }); n != 0 {
+		t.Fatalf("Scan after Clear visited %d, want 0", n)
+	}
+	h.Close()
+	if live := m.LiveNodes(); live != 0 {
+		t.Fatalf("LiveNodes = %d after Clear+Close, want 0", live)
+	}
+}
+
+// TestMapLinearizable records real concurrent Get/Put/Delete histories
+// and checks them against the sequential map model. The interesting
+// interleaving is a Put value-swap racing a Delete's mark: the Put must
+// linearize before the Delete (map.go's argument), and the checker
+// verifies exactly that on recorded schedules.
+func TestMapLinearizable(t *testing.T) {
+	const rounds = 300
+	const workers = 3
+	const opsPerWorker = 5
+
+	for r := 0; r < rounds; r++ {
+		m := NewMap(16, workers+1)
+		var clock atomic.Int64
+		hist := make([][]lincheck.Op, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int, seed int64) {
+				defer wg.Done()
+				h := m.Attach()
+				defer h.Close()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < opsPerWorker; i++ {
+					k := uint64(rng.Intn(lincheck.MapModelKeys))
+					v := uint64(rng.Intn(8))
+					op := lincheck.Op{Start: clock.Add(1)}
+					switch rng.Intn(3) {
+					case 0:
+						op.Kind = lincheck.OpPut
+						op.Arg = k<<8 | v
+						old, existed, err := h.Put(k, v)
+						if err != nil {
+							t.Errorf("Put: %v", err)
+							return
+						}
+						op.Ret, op.RetOK = old, existed
+					case 1:
+						op.Kind = lincheck.OpGet
+						op.Arg = k << 8
+						op.Ret, op.RetOK = h.Get(k)
+					default:
+						op.Kind = lincheck.OpDelete
+						op.Arg = k << 8
+						op.RetOK = h.Delete(k)
+					}
+					op.End = clock.Add(1)
+					hist[id] = append(hist[id], op)
+				}
+			}(w, int64(r*workers+w+29))
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		var all []lincheck.Op
+		for _, h := range hist {
+			all = append(all, h...)
+		}
+		if !lincheck.Check[string](lincheck.MapModel{}, all) {
+			t.Fatalf("round %d: map history not linearizable: %+v", r, all)
+		}
+	}
+}
+
+// TestMapConservation hammers a shared key space and checks value
+// integrity and full reclamation at quiescence.
+func TestMapConservation(t *testing.T) {
+	const workers = 4
+	const keys = 128
+	const opsPerWorker = 20000
+
+	m := NewMap(keys, workers+1)
+	m.EnableDebugChecks()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := m.Attach()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPerWorker; i++ {
+				k := uint64(rng.Intn(keys))
+				switch rng.Intn(4) {
+				case 0, 1:
+					// Values carry their key so readers can detect torn or
+					// misdirected values.
+					if _, _, err := h.Put(k, k<<32|uint64(i)); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				case 2:
+					if v, ok := h.Get(k); ok && v>>32 != k {
+						t.Errorf("Get(%d) returned value tagged for key %d", k, v>>32)
+						return
+					}
+				default:
+					h.Delete(k)
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	h := m.Attach()
+	h.Clear()
+	h.Close()
+	// Deferred decrements may need extra flush rounds to cascade.
+	for i := 0; i < 8 && m.LiveNodes() != 0; i++ {
+		h := m.Attach()
+		h.Clear()
+		h.Close()
+	}
+	if live := m.LiveNodes(); live != 0 {
+		t.Fatalf("LiveNodes = %d at quiescence, want 0", live)
+	}
+}
+
+// TestHandleCloseIdempotent is the regression test for the satellite
+// task: double-Close on every handle type must be a no-op, not a double
+// Detach (which would free the pid twice and corrupt arena free lists).
+func TestHandleCloseIdempotent(t *testing.T) {
+	hs := NewHashSet(16, 2)
+	sh := hs.Attach()
+	sh.Insert(1)
+	sh.Close()
+	sh.Close() // must not panic or double-free the pid
+
+	ss := NewSortedSet(2)
+	sh2 := ss.Attach()
+	sh2.Insert(1)
+	sh2.Close()
+	sh2.Close()
+
+	q := NewQueue(2)
+	qh := q.Attach()
+	qh.Enqueue(1)
+	qh.Close()
+	qh.Close()
+
+	st := NewStack(2)
+	th := st.Attach()
+	th.Push(1)
+	th.Close()
+	th.Close()
+
+	m := NewMap(16, 2)
+	mh := m.Attach()
+	mh.Put(1, 2)
+	mh.Close()
+	mh.Close()
+	mh.Abandon() // after Close: also a no-op
+
+	// The pid must actually have been returned exactly once: with
+	// maxProcs=2, two more attaches must succeed.
+	a, b := m.Attach(), m.Attach()
+	a.Close()
+	b.Close()
+}

@@ -36,8 +36,14 @@ type StackHandle struct {
 // Attach registers the calling goroutine.
 func (s *Stack) Attach() *StackHandle { return &StackHandle{s: s, t: s.dom.Attach()} }
 
-// Close detaches the handle.
-func (h *StackHandle) Close() { h.t.Detach() }
+// Close detaches the handle. Idempotent, like SetHandle.Close.
+func (h *StackHandle) Close() {
+	if h.t == nil {
+		return
+	}
+	h.t.Detach()
+	h.t = nil
+}
 
 // Push adds v to the top.
 func (h *StackHandle) Push(v uint64) {

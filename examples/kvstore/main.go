@@ -1,245 +1,53 @@
-// kvstore: a concurrent key-value store built on the public cdrc API.
+// kvstore: a concurrent key-value store in ~40 lines on collections.Map.
 //
-// The store is a fixed-size hash table of lock-free bucket lists (the
-// shape the paper's Fig. 7b benchmarks). Values are immutable versioned
-// records: Put publishes a new record with a single CAS, Get reads the
-// current record under a snapshot pointer - so readers never touch a
-// shared reference counter and never block writers. This is the
-// "snapshot-at-no-cost" usage pattern §5.2 motivates: on average a lookup
-// acquires exactly one snapshot.
+// Earlier revisions of this example hand-built a copy-on-write hash table
+// directly on the cdrc core API; that machinery now lives in the library
+// as collections.Map (internal/ds/rcds map.go - Michael's hash table with
+// in-place atomic value replace), so the example shrank to what it should
+// teach: attach a handle per goroutine, use it, close it, and reclamation
+// is automatic. For the full service built on the same engine - sharding,
+// a TCP wire protocol, a bounded worker pool with crash recovery, and
+// -BUSY backpressure - see internal/server and its cmd/cdrc-serve and
+// cmd/cdrc-load front ends.
 package main
 
 import (
 	"fmt"
 	"sync"
 
-	"cdrc"
+	"cdrc/collections"
 )
-
-// record is one key's current state. Records are immutable after publish;
-// chain links them within a bucket.
-type record struct {
-	key     uint64
-	value   string
-	version uint64
-	next    cdrc.AtomicRcPtr
-}
-
-// Store is a concurrent hash map from uint64 to string.
-type Store struct {
-	dom     *cdrc.Domain[record]
-	buckets []cdrc.AtomicRcPtr
-	mask    uint64
-}
-
-// NewStore creates a store with the given power-of-two bucket count.
-func NewStore(buckets, maxProcs int) *Store {
-	n := 1
-	for n < buckets {
-		n <<= 1
-	}
-	return &Store{
-		dom: cdrc.NewDomain[record](cdrc.Config[record]{
-			MaxProcs: maxProcs,
-			Finalizer: func(t *cdrc.Thread[record], r *record) {
-				t.Release(r.next.LoadRaw())
-				r.next.Init(cdrc.NilRcPtr)
-			},
-		}),
-		buckets: make([]cdrc.AtomicRcPtr, n),
-		mask:    uint64(n - 1),
-	}
-}
-
-// Session is a per-goroutine handle to the store.
-type Session struct {
-	s *Store
-	t *cdrc.Thread[record]
-}
-
-// Open attaches a session; Close releases it.
-func (s *Store) Open() *Session { return &Session{s: s, t: s.dom.Attach()} }
-func (se *Session) Close()      { se.t.Detach() }
-func (s *Store) bucket(k uint64) *cdrc.AtomicRcPtr {
-	return &s.buckets[(k*0x9E3779B97F4A7C15)>>33&s.mask]
-}
-
-// Get returns the current value and version for key.
-func (se *Session) Get(key uint64) (string, uint64, bool) {
-	t := se.t
-	cur := t.GetSnapshot(se.s.bucket(key))
-	for !cur.IsNil() {
-		r := t.DerefSnapshot(cur)
-		if r.key == key {
-			v, ver := r.value, r.version
-			t.ReleaseSnapshot(&cur)
-			return v, ver, true
-		}
-		next := t.GetSnapshot(&r.next)
-		t.ReleaseSnapshot(&cur)
-		cur = next
-	}
-	return "", 0, false
-}
-
-// Put sets key to value, returning the new version number.
-func (se *Session) Put(key uint64, value string) uint64 {
-	t := se.t
-	head := se.s.bucket(key)
-	for {
-		// Find the current record (if any) and the bucket head.
-		oldHead := t.Load(head)
-		var oldVersion uint64
-		cur := t.Clone(oldHead)
-		for !cur.IsNil() {
-			r := t.Deref(cur)
-			if r.key == key {
-				oldVersion = r.version
-				t.Release(cur)
-				cur = cdrc.NilRcPtr
-				break
-			}
-			next := t.Load(&r.next)
-			t.Release(cur)
-			cur = next
-		}
-		// Publish a new record at the head whose chain *excludes* any
-		// older record for this key (copy-on-write of the bucket prefix).
-		newHead := se.rebuildWithout(key, oldHead, value, oldVersion+1)
-		if t.CompareAndSwapMove(head, oldHead, newHead) {
-			t.Release(oldHead)
-			return oldVersion + 1
-		}
-		t.Release(newHead)
-		t.Release(oldHead)
-	}
-}
-
-// rebuildWithout builds a new bucket chain: a fresh record for key at the
-// front, followed by copies of the old chain's records except key's.
-// Records are immutable, so copying shares nothing mutable.
-func (se *Session) rebuildWithout(key uint64, oldHead cdrc.RcPtr, value string, version uint64) cdrc.RcPtr {
-	t := se.t
-	// Collect survivors (bucket chains are short: expected length 1).
-	type kv struct {
-		k, ver uint64
-		v      string
-	}
-	var rest []kv
-	cur := t.Clone(oldHead)
-	for !cur.IsNil() {
-		r := t.Deref(cur)
-		if r.key != key {
-			rest = append(rest, kv{r.key, r.version, r.value})
-		}
-		next := t.Load(&r.next)
-		t.Release(cur)
-		cur = next
-	}
-	tail := cdrc.NilRcPtr
-	for i := len(rest) - 1; i >= 0; i-- {
-		prev := tail
-		e := rest[i]
-		tail = t.NewRc(func(r *record) {
-			r.key, r.value, r.version = e.k, e.v, e.ver
-			r.next.Init(prev)
-		})
-	}
-	prev := tail
-	return t.NewRc(func(r *record) {
-		r.key, r.value, r.version = key, value, version
-		r.next.Init(prev)
-	})
-}
-
-// Delete removes key, reporting whether it was present.
-func (se *Session) Delete(key uint64) bool {
-	t := se.t
-	head := se.s.bucket(key)
-	for {
-		oldHead := t.Load(head)
-		found := false
-		cur := t.Clone(oldHead)
-		for !cur.IsNil() {
-			r := t.Deref(cur)
-			if r.key == key {
-				found = true
-				t.Release(cur)
-				break
-			}
-			next := t.Load(&r.next)
-			t.Release(cur)
-			cur = next
-		}
-		if !found {
-			t.Release(oldHead)
-			return false
-		}
-		newHead := se.rebuildChainExcluding(key, oldHead)
-		if t.CompareAndSwapMove(head, oldHead, newHead) {
-			t.Release(oldHead)
-			return true
-		}
-		t.Release(newHead)
-		t.Release(oldHead)
-	}
-}
-
-func (se *Session) rebuildChainExcluding(key uint64, oldHead cdrc.RcPtr) cdrc.RcPtr {
-	t := se.t
-	type kv struct {
-		k, ver uint64
-		v      string
-	}
-	var rest []kv
-	cur := t.Clone(oldHead)
-	for !cur.IsNil() {
-		r := t.Deref(cur)
-		if r.key != key {
-			rest = append(rest, kv{r.key, r.version, r.value})
-		}
-		next := t.Load(&r.next)
-		t.Release(cur)
-		cur = next
-	}
-	tail := cdrc.NilRcPtr
-	for i := len(rest) - 1; i >= 0; i-- {
-		prev := tail
-		e := rest[i]
-		tail = t.NewRc(func(r *record) {
-			r.key, r.value, r.version = e.k, e.v, e.ver
-			r.next.Init(prev)
-		})
-	}
-	return tail
-}
 
 func main() {
 	const workers = 4
 	const keys = 256
 	const opsPerWorker = 20000
 
-	store := NewStore(keys, workers+1)
+	m := collections.NewMap(keys, workers+1)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			se := store.Open()
-			defer se.Close()
+			h := m.Attach()
+			defer h.Close()
 			rng := uint64(id + 1)
 			for i := 0; i < opsPerWorker; i++ {
 				rng = rng*6364136223846793005 + 1442695040888963407
 				k := rng >> 33 % keys
 				switch rng >> 62 {
 				case 0:
-					se.Put(k, fmt.Sprintf("w%d-i%d", id, i))
+					// Tag values with their key so readers can detect
+					// corruption; Put replaces in place with an atomic swap.
+					if _, _, err := h.Put(k, k<<32|uint64(i)); err != nil {
+						panic(err) // only possible with a capped arena
+					}
 				case 1:
-					se.Delete(k)
+					h.Delete(k)
 				default:
-					if v, ver, ok := se.Get(k); ok && (v == "" || ver == 0) {
-						panic("corrupt record")
+					if v, ok := h.Get(k); ok && v>>32 != k {
+						panic("corrupt value")
 					}
 				}
 			}
@@ -247,29 +55,16 @@ func main() {
 	}
 	wg.Wait()
 
-	se := store.Open()
-	present := 0
-	maxVer := uint64(0)
-	for k := uint64(0); k < keys; k++ {
-		if _, ver, ok := se.Get(k); ok {
-			present++
-			if ver > maxVer {
-				maxVer = ver
-			}
-		}
-	}
-	// Teardown: clear all buckets, then drain.
-	for i := range store.buckets {
-		se.t.StoreMove(&store.buckets[i], cdrc.NilRcPtr)
-	}
-	se.t.Flush()
-	se.Close()
+	h := m.Attach()
+	present := h.Scan(-1, func(k, v uint64) bool { return true })
+	h.Clear()
+	h.Close()
 
 	fmt.Printf("%d workers x %d ops on %d keys\n", workers, opsPerWorker, keys)
-	fmt.Printf("keys present at end: %d (highest version seen: %d)\n", present, maxVer)
-	fmt.Printf("live records after teardown: %d\n", store.dom.Live())
-	if store.dom.Live() != 0 {
+	fmt.Printf("keys present at end: %d\n", present)
+	fmt.Printf("live nodes after teardown: %d\n", m.LiveNodes())
+	if m.LiveNodes() != 0 {
 		panic("leak!")
 	}
-	fmt.Println("all records reclaimed automatically")
+	fmt.Println("all nodes reclaimed automatically")
 }

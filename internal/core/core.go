@@ -208,6 +208,12 @@ func (d *Domain[T]) Deferred() int64 { return d.ar.Deferred() }
 // PoolStats exposes the arena counters.
 func (d *Domain[T]) PoolStats() arena.Stats { return d.pool.Stats() }
 
+// SetCapacity caps the domain's arena at the given slot count (0 removes
+// the cap; see arena.Pool.SetCapacity). Beyond it TryNewRc/TryAllocRc
+// return an error wrapping arena.ErrExhausted - the backpressure signal
+// service layers map to load shedding.
+func (d *Domain[T]) SetCapacity(slots uint64) { d.pool.SetCapacity(slots) }
+
 // EnableDebugChecks turns on arena use-after-free checking for every
 // dereference. Set before the domain is shared; intended for tests.
 func (d *Domain[T]) EnableDebugChecks() { d.pool.DebugChecks = true }

@@ -20,6 +20,48 @@ type Set interface {
 	Unreclaimed() int64
 }
 
+// Map is a concurrent map from uint64 keys to uint64 values. The rcds
+// hash table implements both Set and Map over the same nodes (service
+// workloads want values; the §7.2 benchmarks want sets).
+type Map interface {
+	// Name labels the structure+scheme combination.
+	Name() string
+
+	// AttachMap registers a worker for map operations.
+	AttachMap() MapThread
+
+	// LiveNodes returns currently allocated nodes (diagnostics).
+	LiveNodes() int64
+
+	// Unreclaimed returns removed-but-not-freed nodes.
+	Unreclaimed() int64
+}
+
+// MapThread is a per-worker map context. Not safe for concurrent use.
+type MapThread interface {
+	// Get returns key's current value.
+	Get(key uint64) (uint64, bool)
+
+	// Put maps key to val, returning the replaced value when the key was
+	// present. A non-nil error reports arena backpressure: the value was
+	// not stored and the caller should shed or retry the request.
+	Put(key, val uint64) (old uint64, existed bool, err error)
+
+	// Delete removes key, reporting false if it was absent.
+	Delete(key uint64) bool
+
+	// Scan visits up to limit live entries (limit < 0 for all), stopping
+	// early when fn returns false, and returns the number visited. The
+	// scan is weakly consistent under concurrent updates.
+	Scan(limit int, fn func(key, val uint64) bool) int
+
+	// Clear unlinks every entry and flushes this worker's deferred work.
+	Clear()
+
+	// Detach unregisters the worker.
+	Detach()
+}
+
 // SetThread is a per-worker context. Not safe for concurrent use.
 type SetThread interface {
 	// Insert adds key, reporting false if it was already present.

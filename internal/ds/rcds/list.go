@@ -13,6 +13,8 @@
 package rcds
 
 import (
+	"sync/atomic"
+
 	"cdrc/internal/core"
 	"cdrc/internal/ds"
 	"cdrc/internal/obs"
@@ -27,8 +29,12 @@ var obsAllocDrop = obs.NewCounter("rcscheme.alloc.drop")
 const deletedMark = 0
 
 // listNode is a Harris-Michael node with a counted successor reference.
+// Val is only meaningful for nodes inserted through the map API (map.go);
+// it is read and replaced with sync/atomic so a Put racing with readers
+// on other processors stays well-defined even on recycled arena slots.
 type listNode struct {
 	Key  uint64
+	Val  uint64
 	next core.AtomicRcPtr
 }
 
@@ -200,44 +206,65 @@ retry:
 	}
 }
 
-// insert adds key under head.
-func (t *listThread) insert(head *core.AtomicRcPtr, key uint64) bool {
+// tryLink allocates a key/val node and CASes it in at pos. It returns
+// (true, nil) when the node was linked, (false, nil) when the CAS lost and
+// the caller should re-search, and (false, err) when the arena is
+// exhausted even after a flush-and-retry (the caller's backpressure
+// signal). pos protections remain owned by the caller.
+func (t *listThread) tryLink(pos *position, key, val uint64) (bool, error) {
 	th := t.th
+	// The new node owns a counted reference to cur.
+	var curOwned core.RcPtr
+	if !pos.curSnap.IsNil() {
+		curOwned = th.RcFromSnapshot(pos.curSnap)
+	} else if !pos.curRc.IsNil() {
+		curOwned = th.Clone(pos.curRc)
+	}
+	init := func(nd *listNode) {
+		nd.Key = key
+		atomic.StoreUint64(&nd.Val, val)
+		nd.next.Init(curOwned)
+	}
+	n, err := th.TryNewRc(init)
+	if err != nil {
+		th.Flush() // recycle deferred slots, then retry once
+		if n, err = th.TryNewRc(init); err != nil {
+			// Drop the insert: init never ran, so curOwned is still ours.
+			obsAllocDrop.Inc(th.ProcID())
+			th.Release(curOwned)
+			return false, err
+		}
+	}
+	if th.CompareAndSwapMove(pos.prevLink, pos.cur(), n) {
+		return true, nil
+	}
+	th.Release(n) // finalizer releases curOwned
+	return false, nil
+}
+
+// insertWith adds key with value val under head, reporting whether it
+// was absent (and any arena-exhaustion error when it could not be added).
+func (t *listThread) insertWith(head *core.AtomicRcPtr, key, val uint64) (bool, error) {
 	for {
 		pos := t.search(head, key)
 		if pos.found {
 			t.releasePos(&pos)
-			return false
+			return false, nil
 		}
-		// The new node owns a counted reference to cur.
-		var curOwned core.RcPtr
-		if !pos.curSnap.IsNil() {
-			curOwned = th.RcFromSnapshot(pos.curSnap)
-		} else if !pos.curRc.IsNil() {
-			curOwned = th.Clone(pos.curRc)
-		}
-		init := func(nd *listNode) {
-			nd.Key = key
-			nd.next.Init(curOwned)
-		}
-		n, err := th.TryNewRc(init)
-		if err != nil {
-			th.Flush() // recycle deferred slots, then retry once
-			if n, err = th.TryNewRc(init); err != nil {
-				// Drop the insert: init never ran, so curOwned is still ours.
-				obsAllocDrop.Inc(th.ProcID())
-				th.Release(curOwned)
-				t.releasePos(&pos)
-				return false
-			}
-		}
-		if th.CompareAndSwapMove(pos.prevLink, pos.cur(), n) {
-			t.releasePos(&pos)
-			return true
-		}
-		th.Release(n) // finalizer releases curOwned
+		linked, err := t.tryLink(&pos, key, val)
 		t.releasePos(&pos)
+		if linked || err != nil {
+			return linked, err
+		}
 	}
+}
+
+// insert adds key under head. An arena-exhausted insert is dropped (the
+// set-semantics callers count it via rcscheme.alloc.drop and return
+// false, matching the benchmark adapters).
+func (t *listThread) insert(head *core.AtomicRcPtr, key uint64) bool {
+	ok, _ := t.insertWith(head, key, 0)
+	return ok
 }
 
 // delete removes key under head.

@@ -131,6 +131,8 @@ const (
 	OpInsert
 	OpDelete
 	OpContains
+	OpGet // map get: Arg = key<<8, Ret = value, RetOK = present
+	OpPut // map put: Arg = key<<8|val, Ret = old value, RetOK = existed
 )
 
 // StackModel is the sequential LIFO stack specification.
@@ -190,6 +192,58 @@ func (QueueModel) Apply(s string, op Op) (string, bool) {
 			return s, false
 		}
 		return s[1:], true
+	}
+	return s, false
+}
+
+// MapModelKeys is the MapModel key-space bound.
+const MapModelKeys = 4
+
+// MapModel is the sequential key→value map specification for histories of
+// OpGet, OpPut, and OpDelete. Operations pack their key and value into
+// Arg as key<<8 | val, with key < MapModelKeys and val < 255. OpPut's
+// observed result is (Ret = replaced value, RetOK = key existed); OpGet's
+// is (Ret = value, RetOK = present); OpDelete uses RetOK only.
+type MapModel struct{}
+
+// Init implements Model. The state encodes each key's binding in one
+// byte: 0 for absent, otherwise value+1.
+func (MapModel) Init() string { return string(make([]byte, MapModelKeys)) }
+
+// Key implements Model.
+func (MapModel) Key(s string) string { return s }
+
+// Apply implements Model.
+func (MapModel) Apply(s string, op Op) (string, bool) {
+	k := int(op.Arg >> 8)
+	v := byte(op.Arg)
+	if k >= len(s) {
+		return s, false
+	}
+	cur := s[k]
+	switch op.Kind {
+	case OpGet:
+		if cur == 0 {
+			return s, !op.RetOK
+		}
+		return s, op.RetOK && op.Ret == uint64(cur-1)
+	case OpPut:
+		next := s[:k] + string(v+1) + s[k+1:]
+		if cur == 0 {
+			return next, !op.RetOK
+		}
+		if !op.RetOK || op.Ret != uint64(cur-1) {
+			return s, false
+		}
+		return next, true
+	case OpDelete:
+		if cur == 0 {
+			return s, !op.RetOK
+		}
+		if !op.RetOK {
+			return s, false
+		}
+		return s[:k] + "\x00" + s[k+1:], true
 	}
 	return s, false
 }

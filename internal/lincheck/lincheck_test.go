@@ -142,3 +142,54 @@ func TestOversizeHistoryPanics(t *testing.T) {
 	}()
 	Check[string](StackModel{}, make([]Op, maxOps+1))
 }
+
+func TestMapSequential(t *testing.T) {
+	key := func(k, v uint64) uint64 { return k<<8 | v }
+	ok := seq(
+		htuple{OpGet, key(1, 0), 0, false},
+		htuple{OpPut, key(1, 5), 0, false},
+		htuple{OpGet, key(1, 0), 5, true},
+		htuple{OpPut, key(1, 6), 5, true},
+		htuple{OpGet, key(1, 0), 6, true},
+		htuple{OpDelete, key(1, 0), 0, true},
+		htuple{OpGet, key(1, 0), 0, false},
+		htuple{OpDelete, key(1, 0), 0, false},
+	)
+	if !Check[string](MapModel{}, ok) {
+		t.Fatal("legal map history rejected")
+	}
+	// A Get observing a value nobody put: not linearizable.
+	bad := seq(
+		htuple{OpPut, key(2, 5), 0, false},
+		htuple{OpGet, key(2, 0), 7, true},
+	)
+	if Check[string](MapModel{}, bad) {
+		t.Fatal("map history with phantom value accepted")
+	}
+	// A replace whose observed old value was already overwritten.
+	bad2 := seq(
+		htuple{OpPut, key(0, 1), 0, false},
+		htuple{OpPut, key(0, 2), 1, true},
+		htuple{OpPut, key(0, 3), 1, true},
+	)
+	if Check[string](MapModel{}, bad2) {
+		t.Fatal("map history with stale replace value accepted")
+	}
+}
+
+// The swap-vs-delete interleaving internal/ds/rcds/map.go argues about:
+// a Put overlapping a Delete may land "just before" it, so a concurrent
+// reader seeing the old value, the Delete succeeding, and the Put
+// reporting a replace is all simultaneously legal.
+func TestMapPutDeleteOverlap(t *testing.T) {
+	k := uint64(1)
+	h := []Op{
+		{Kind: OpPut, Arg: k<<8 | 4, Start: 1, End: 2},                       // setup: 1 -> 4
+		{Kind: OpPut, Arg: k<<8 | 9, Ret: 4, RetOK: true, Start: 3, End: 10}, // replace, overlaps delete
+		{Kind: OpDelete, Arg: k << 8, RetOK: true, Start: 4, End: 11},        // delete wins after the put
+		{Kind: OpGet, Arg: k << 8, Start: 12, End: 13},                       // later get: gone
+	}
+	if !Check[string](MapModel{}, h) {
+		t.Fatal("put-before-delete linearization rejected")
+	}
+}

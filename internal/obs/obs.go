@@ -378,6 +378,43 @@ func Snapshot() *Report {
 	return r
 }
 
+// Quantile returns the q-quantile (q in [0, 1]) of the named histogram,
+// linearly interpolated inside its power-of-two bucket, or 0 when the
+// histogram is unknown or empty. Precision is bounded by the pow2 bucket
+// width (a p99 inside [2^19, 2^20) nanoseconds resolves to within that
+// half-megananosecond band), which is the price of the lock-free
+// constant-overhead recording path; it is plenty for latency SLO
+// reporting (cmd/cdrc-load, the server's STATS command).
+func (r *Report) Quantile(name string, q float64) float64 {
+	h, ok := r.Histograms[name]
+	if !ok || h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// Fractional 0-based rank of the target observation.
+	rank := q * float64(h.Count-1)
+	cum := uint64(0)
+	for _, b := range h.Buckets {
+		if float64(cum+b.Count-1) >= rank {
+			frac := (rank - float64(cum)) / float64(b.Count)
+			if frac < 0 {
+				frac = 0 // rank fell in the gap between adjacent buckets
+			}
+			return float64(b.Lo) + frac*float64(b.Hi-b.Lo)
+		}
+		cum += b.Count
+	}
+	// Unreachable for a well-formed snapshot; fall back to the top edge.
+	if n := len(h.Buckets); n > 0 {
+		return float64(h.Buckets[n-1].Hi)
+	}
+	return 0
+}
+
 // JSON renders the report as indented JSON (stable: maps marshal in key
 // order, pools are pre-sorted).
 func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }

@@ -80,7 +80,8 @@ type Report struct {
 	Pools      []PoolReport                 `json:"pools,omitempty"`
 }
 
-func (r *Report) Counter(string) int64 { return 0 }
+func (r *Report) Counter(string) int64             { return 0 }
+func (r *Report) Quantile(string, float64) float64 { return 0 }
 func (r *Report) JSON() ([]byte, error) {
 	return []byte(`{"enabled":false,"uptimeNano":0}`), nil
 }

@@ -171,3 +171,41 @@ func TestConcurrentIncrements(t *testing.T) {
 		t.Fatalf("lost observations: %d != %d", n, workers*per)
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	Enable()
+	defer Disable()
+	Reset()
+	h := NewHistogram("quantile.test")
+	for i := 0; i < 10; i++ {
+		h.Observe(0) // bucket [0,0]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1) // bucket [1,1]
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(8 + uint64(i)%8) // bucket [8,15]
+	}
+	r := Snapshot()
+	if got := r.Quantile("quantile.test", 0); got != 0 {
+		t.Fatalf("q0 = %v, want 0", got)
+	}
+	if got := r.Quantile("quantile.test", 0.2); got != 0 {
+		t.Fatalf("q0.2 = %v, want 0 (inside the zero bucket)", got)
+	}
+	if got := r.Quantile("quantile.test", 0.4); got != 1 {
+		t.Fatalf("q0.4 = %v, want 1 (inside the [1,1] bucket)", got)
+	}
+	for _, q := range []float64{0.75, 0.99, 1.0, 1.5} {
+		got := r.Quantile("quantile.test", q)
+		if got < 8 || got > 15 {
+			t.Fatalf("q%v = %v, want inside [8,15]", q, got)
+		}
+	}
+	if p99, p100 := r.Quantile("quantile.test", 0.99), r.Quantile("quantile.test", 1); p99 > p100 {
+		t.Fatalf("quantiles not monotone: p99=%v > p100=%v", p99, p100)
+	}
+	if got := r.Quantile("no.such.histogram", 0.5); got != 0 {
+		t.Fatalf("unknown histogram quantile = %v, want 0", got)
+	}
+}

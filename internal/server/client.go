@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// ErrBusy is the client-side rendering of a -BUSY reply: the server shed
+// the request (queue full, arena exhausted, or the serving worker
+// simulated a crash mid-request). The request had no effect and may be
+// retried.
+var ErrBusy = errors.New("server: busy")
+
+// Client speaks the wire protocol over one connection. It is not safe
+// for concurrent use: the protocol allows one request in flight per
+// connection.
+type Client struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// Dial connects to a server at addr.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(c), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(c net.Conn) *Client {
+	return &Client{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+}
+
+// Close closes the underlying connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// roundTrip sends one request line and reads one reply line. A -BUSY
+// reply is returned as ErrBusy, a -ERR reply as an error; anything else
+// comes back verbatim for the caller to parse.
+func (cl *Client) roundTrip(req string) (string, error) {
+	if _, err := cl.bw.WriteString(req); err != nil {
+		return "", err
+	}
+	if err := cl.bw.WriteByte('\n'); err != nil {
+		return "", err
+	}
+	if err := cl.bw.Flush(); err != nil {
+		return "", err
+	}
+	return cl.readLine()
+}
+
+func (cl *Client) readLine() (string, error) {
+	line, err := cl.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	switch {
+	case line == "-BUSY":
+		return "", ErrBusy
+	case strings.HasPrefix(line, "-ERR "):
+		return "", fmt.Errorf("server: %s", line[len("-ERR "):])
+	}
+	return line, nil
+}
+
+func parseTagged(line, tag string) (uint64, error) {
+	rest, ok := strings.CutPrefix(line, tag+" ")
+	if !ok {
+		return 0, fmt.Errorf("server: unexpected reply %q (want %s)", line, tag)
+	}
+	return strconv.ParseUint(rest, 10, 64)
+}
+
+// Ping checks liveness.
+func (cl *Client) Ping() error {
+	line, err := cl.roundTrip("PING")
+	if err != nil {
+		return err
+	}
+	if line != "+PONG" {
+		return fmt.Errorf("server: unexpected reply %q to PING", line)
+	}
+	return nil
+}
+
+// Get fetches key's value; ok reports presence.
+func (cl *Client) Get(key uint64) (v uint64, ok bool, err error) {
+	line, err := cl.roundTrip("GET " + strconv.FormatUint(key, 10))
+	if err != nil {
+		return 0, false, err
+	}
+	if line == "+NIL" {
+		return 0, false, nil
+	}
+	v, err = parseTagged(line, "+VAL")
+	return v, err == nil, err
+}
+
+// Put maps key to val; when the key was present the replaced value is
+// returned with existed == true. ErrBusy means the store rejected the
+// write (nothing was stored).
+func (cl *Client) Put(key, val uint64) (old uint64, existed bool, err error) {
+	line, err := cl.roundTrip("PUT " + strconv.FormatUint(key, 10) + " " + strconv.FormatUint(val, 10))
+	if err != nil {
+		return 0, false, err
+	}
+	if line == "+NEW" {
+		return 0, false, nil
+	}
+	old, err = parseTagged(line, "+OLD")
+	return old, err == nil, err
+}
+
+// Del removes key, reporting whether it was present.
+func (cl *Client) Del(key uint64) (bool, error) {
+	line, err := cl.roundTrip("DEL " + strconv.FormatUint(key, 10))
+	if err != nil {
+		return false, err
+	}
+	n, err := parseTagged(line, "+DEL")
+	return n == 1, err
+}
+
+// Scan returns up to limit entries as {key, val} pairs (weakly
+// consistent; see MapHandle.Scan).
+func (cl *Client) Scan(limit int) ([][2]uint64, error) {
+	line, err := cl.roundTrip("SCAN " + strconv.Itoa(limit))
+	if err != nil {
+		return nil, err
+	}
+	rest, ok := strings.CutPrefix(line, "*")
+	if !ok {
+		return nil, fmt.Errorf("server: unexpected reply %q to SCAN", line)
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return nil, fmt.Errorf("server: bad SCAN count %q", rest)
+	}
+	ents := make([][2]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		row, err := cl.readLine()
+		if err != nil {
+			return nil, err
+		}
+		var k, v uint64
+		if _, err := fmt.Sscanf(row, "%d %d", &k, &v); err != nil {
+			return nil, fmt.Errorf("server: bad SCAN row %q", row)
+		}
+		ents = append(ents, [2]uint64{k, v})
+	}
+	return ents, nil
+}
+
+// Stats fetches the server's obs JSON report.
+func (cl *Client) Stats() ([]byte, error) {
+	line, err := cl.roundTrip("STATS")
+	if err != nil {
+		return nil, err
+	}
+	rest, ok := strings.CutPrefix(line, "$")
+	if !ok {
+		return nil, fmt.Errorf("server: unexpected reply %q to STATS", line)
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("server: bad STATS length %q", rest)
+	}
+	body := make([]byte, n+1) // payload plus trailing LF
+	if _, err := io.ReadFull(cl.br, body); err != nil {
+		return nil, err
+	}
+	return body[:n], nil
+}

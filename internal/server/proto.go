@@ -1,0 +1,142 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Wire protocol: a RESP-like text framing over TCP, one request per line
+// (LF or CRLF), decimal uint64 keys and values.
+//
+// Requests:
+//
+//	PING
+//	GET <key>
+//	PUT <key> <val>
+//	DEL <key>
+//	SCAN <limit>
+//	STATS
+//
+// Replies (first byte classifies):
+//
+//	+PONG
+//	+VAL <v>   GET hit            +NIL       GET miss
+//	+OLD <v>   PUT replaced       +NEW       PUT inserted
+//	+DEL 1     DEL hit            +DEL 0     DEL miss
+//	*<n>       SCAN header, followed by n lines "<key> <val>"
+//	$<len>     STATS header, followed by len raw bytes (obs JSON) and LF
+//	-BUSY      request shed: worker queue full, arena exhausted, or the
+//	           serving worker crashed mid-request; no effect, retryable
+//	-ERR <msg> malformed request or server-side failure
+//
+// Every request line receives exactly one reply (BUSY included), which is
+// what lets cmd/cdrc-load check conservation: sends == replies, and
+// separately sends == executed requests + BUSY sheds.
+
+// opcodes for worker-executed requests.
+const (
+	opGet = iota
+	opPut
+	opDel
+	opScan
+)
+
+// request is one parsed worker-bound command plus its reply path. The
+// reply channel is per-connection and buffered: a connection has at most
+// one request in flight, so the worker's send never blocks.
+type request struct {
+	op    int
+	key   uint64
+	val   uint64
+	limit int
+	reply chan []byte
+}
+
+// Shared immutable reply lines.
+var (
+	lineBusy = []byte("-BUSY\n")
+	linePong = []byte("+PONG\n")
+	lineNil  = []byte("+NIL\n")
+	lineNew  = []byte("+NEW\n")
+	lineDel1 = []byte("+DEL 1\n")
+	lineDel0 = []byte("+DEL 0\n")
+)
+
+func errLine(format string, args ...any) []byte {
+	return []byte("-ERR " + fmt.Sprintf(format, args...) + "\n")
+}
+
+// valLine renders "<prefix> <v>\n".
+func valLine(prefix string, v uint64) []byte {
+	b := make([]byte, 0, len(prefix)+22)
+	b = append(b, prefix...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, v, 10)
+	return append(b, '\n')
+}
+
+// parseRequest parses the space-separated fields of one worker-bound
+// command line (verb already upper-cased by the caller).
+func parseRequest(verb string, fields []string) (*request, error) {
+	wantArgs := func(n int) error {
+		if len(fields) != n+1 {
+			return fmt.Errorf("%s takes %d argument(s)", verb, n)
+		}
+		return nil
+	}
+	num := func(s string) (uint64, error) {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad number %q", s)
+		}
+		return v, nil
+	}
+	req := &request{}
+	var err error
+	switch verb {
+	case "GET", "DEL":
+		req.op = opGet
+		if verb == "DEL" {
+			req.op = opDel
+		}
+		if err = wantArgs(1); err == nil {
+			req.key, err = num(fields[1])
+		}
+	case "PUT":
+		req.op = opPut
+		if err = wantArgs(2); err == nil {
+			if req.key, err = num(fields[1]); err == nil {
+				req.val, err = num(fields[2])
+			}
+		}
+	case "SCAN":
+		req.op = opScan
+		if err = wantArgs(1); err == nil {
+			// Signed: a non-positive limit selects the server's ScanLimit.
+			var n int64
+			if n, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+				err = fmt.Errorf("bad number %q", fields[1])
+			} else {
+				req.limit = int(n)
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown command %q", verb)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// normalizeVerb upper-cases an ASCII verb without allocating for the
+// already-uppercase common case.
+func normalizeVerb(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'a' && s[i] <= 'z' {
+			return strings.ToUpper(s)
+		}
+	}
+	return s
+}

@@ -1,0 +1,437 @@
+// Package server is a sharded in-memory key→value store service built on
+// the cdrc collections: the storage engine is collections.Map (Michael
+// hash table over deferred reference counting), the front end is a
+// line-oriented text protocol over stdlib net TCP (see proto.go), and the
+// execution model is a bounded worker pool sized to the pid registry.
+//
+// The shape is deliberate (DESIGN.md §7): connection goroutines are
+// unbounded and cheap because they never touch a cdrc domain - they
+// parse, enqueue, and wait. Only the W pool workers attach Threads, so
+// the pid registries are sized to W plus crash headroom instead of to
+// the connection count, and the paper's O(P²) deferred-work bound stays
+// small and independent of client fan-in. Backpressure is explicit:
+// a full request queue or an exhausted arena sheds the request with a
+// -BUSY reply instead of blocking or panicking, and a worker that dies
+// mid-request (simulated via chaos.CrashSignal) BUSYs the in-flight
+// request, abandons its per-processor state for survivors to adopt
+// (the PR-1 abandonment path), and is respawned with fresh ids.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cdrc/collections"
+	"cdrc/internal/chaos"
+	"cdrc/internal/obs"
+)
+
+// Observability counters. server.req counts worker-executed requests;
+// server.reply counts replies sent by workers (completions plus
+// crash-BUSYs); the three busy counters partition every shed by cause.
+// At quiescence: client sends == server.reply + server.busy.queue, and
+// client-observed BUSYs == busy.queue + busy.arena + busy.crash.
+var (
+	obsReq        = obs.NewCounter("server.req")
+	obsReply      = obs.NewCounter("server.reply")
+	obsBusyQueue  = obs.NewCounter("server.busy.queue")
+	obsBusyArena  = obs.NewCounter("server.busy.arena")
+	obsBusyCrash  = obs.NewCounter("server.busy.crash")
+	obsWorkerDead = obs.NewCounter("server.worker.crash")
+	obsConns      = obs.NewCounter("server.conns")
+)
+
+// chaosWorkerOp fires once per dequeued request, before execution - a
+// crash-safe point (the worker holds zero counted references between
+// requests), documented in DESIGN.md's fault model.
+var chaosWorkerOp = chaos.New("server.worker.op")
+
+// Config parameterizes New. The zero value is usable: it listens on an
+// ephemeral loopback port with small defaults.
+type Config struct {
+	// Addr is the TCP listen address (default "127.0.0.1:0").
+	Addr string
+
+	// Shards is the number of independent collections.Map shards; rounded
+	// up to a power of two (default 4). Sharding multiplies arena pools
+	// and pid registries, not correctness: each key maps to one shard.
+	Shards int
+
+	// Workers is the pool size - the number of goroutines that attach
+	// cdrc Threads (default 8).
+	Workers int
+
+	// MaxProcs bounds each shard's pid registry. It must leave headroom
+	// above Workers for crash respawns, because an abandoned id stays out
+	// of circulation until a survivor adopts it (default Workers+16).
+	MaxProcs int
+
+	// ExpectedKeys sizes the table across all shards (default 1<<16).
+	ExpectedKeys int
+
+	// ArenaCapacity, if non-zero, caps each shard's arena at that many
+	// slots; beyond it PUT replies -BUSY (ErrExhausted backpressure).
+	ArenaCapacity uint64
+
+	// QueueDepth bounds the request queue (default 4*Workers). A full
+	// queue sheds with -BUSY rather than blocking the connection.
+	QueueDepth int
+
+	// ScanLimit caps entries returned by one SCAN (default 4096).
+	ScanLimit int
+
+	// DebugChecks arms arena use-after-free panics on every shard. Set by
+	// tests and soak harnesses.
+	DebugChecks bool
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	for cfg.Shards&(cfg.Shards-1) != 0 {
+		cfg.Shards++
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.MaxProcs <= 0 {
+		cfg.MaxProcs = cfg.Workers + 16
+	}
+	if cfg.ExpectedKeys <= 0 {
+		cfg.ExpectedKeys = 1 << 16
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.ScanLimit <= 0 {
+		cfg.ScanLimit = 4096
+	}
+	return cfg
+}
+
+// Server is one running instance. Create with New, stop with Close.
+type Server struct {
+	cfg    Config
+	shards []*collections.Map
+	ln     net.Listener
+	reqs   chan *request
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closing bool
+
+	acceptDone chan struct{}
+	connWg     sync.WaitGroup
+	workerWg   sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds the shards, binds the listener, and starts the worker pool
+// and acceptor.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		shards:     make([]*collections.Map, cfg.Shards),
+		reqs:       make(chan *request, cfg.QueueDepth),
+		conns:      make(map[net.Conn]struct{}),
+		acceptDone: make(chan struct{}),
+	}
+	perShard := cfg.ExpectedKeys / cfg.Shards
+	for i := range s.shards {
+		m := collections.NewMap(perShard, cfg.MaxProcs)
+		if cfg.ArenaCapacity != 0 {
+			m.SetArenaCapacity(cfg.ArenaCapacity)
+		}
+		if cfg.DebugChecks {
+			m.EnableDebugChecks()
+		}
+		s.shards[i] = m
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
+	}
+	s.ln = ln
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWg.Add(1)
+		go s.runWorker(i)
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Live returns the number of live nodes across all shards; a quiescent
+// closed server must report 0.
+func (s *Server) Live() int64 {
+	var n int64
+	for _, m := range s.shards {
+		n += m.LiveNodes()
+	}
+	return n
+}
+
+// shardOf picks the shard for a key with a splitmix-style mix so that the
+// bits it consumes are independent of the per-shard bucket hash.
+func (s *Server) shardOf(key uint64) int {
+	x := key
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return int((x >> 48) & uint64(len(s.shards)-1))
+}
+
+// --- connection front end --------------------------------------------------
+
+func (s *Server) acceptLoop() {
+	defer close(s.acceptDone)
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Close
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.connWg.Add(1)
+		s.mu.Unlock()
+		obsConns.Inc(0)
+		go s.serveConn(c)
+	}
+}
+
+// serveConn parses request lines and replies in order. It never blocks on
+// the worker queue: a full queue is an immediate -BUSY. At most one
+// request is in flight per connection, so the buffered reply channel
+// guarantees workers never block replying - which is what makes Close's
+// "drain connections, then drain workers" sequence deadlock-free.
+func (s *Server) serveConn(c net.Conn) {
+	defer s.connWg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 0, 512), 1<<16)
+	bw := bufio.NewWriter(c)
+	reply := make(chan []byte, 1)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		var resp []byte
+		switch verb := normalizeVerb(fields[0]); verb {
+		case "PING":
+			resp = linePong
+		case "STATS":
+			resp = statsReply()
+		default:
+			req, err := parseRequest(verb, fields)
+			if err != nil {
+				resp = errLine("%v", err)
+				break
+			}
+			req.reply = reply
+			select {
+			case s.reqs <- req:
+				resp = <-reply
+			default:
+				obsBusyQueue.Inc(0)
+				resp = lineBusy
+			}
+		}
+		if _, err := bw.Write(resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// statsReply renders the length-prefixed obs JSON report. It runs on the
+// connection goroutine: obs.Snapshot touches no cdrc domain.
+func statsReply() []byte {
+	j, err := obs.Snapshot().JSON()
+	if err != nil {
+		return errLine("stats: %v", err)
+	}
+	b := make([]byte, 0, len(j)+16)
+	b = append(b, '$')
+	b = strconv.AppendInt(b, int64(len(j)), 10)
+	b = append(b, '\n')
+	b = append(b, j...)
+	return append(b, '\n')
+}
+
+// --- worker pool -----------------------------------------------------------
+
+// runWorker keeps exactly one session alive until the request queue
+// closes; a crashed session is replaced with a fresh one (fresh pids).
+func (s *Server) runWorker(id int) {
+	defer s.workerWg.Done()
+	for s.workerSession(id) {
+	}
+}
+
+// workerSession attaches one MapHandle per shard and serves requests.
+// It returns true when the session died to a simulated crash and should
+// be respawned, false when the queue closed (orderly drain: handles are
+// detached, flushing deferred work). A crash mid-request replies -BUSY
+// for the in-flight request and abandons every handle - announcements,
+// retired lists and arena shards stay behind for survivors (or the
+// teardown drain rounds) to adopt before the pids are reissued.
+func (s *Server) workerSession(id int) (respawn bool) {
+	handles := make([]*collections.MapHandle, len(s.shards))
+	for i, m := range s.shards {
+		handles[i] = m.Attach()
+	}
+	var cur *request
+	defer func() {
+		r := recover()
+		if r == nil {
+			for _, h := range handles {
+				h.Close()
+			}
+			return
+		}
+		if _, ok := r.(chaos.CrashSignal); !ok {
+			panic(r) // real bug (UAF, invariant breach): fail loudly
+		}
+		obsWorkerDead.Inc(id)
+		for _, h := range handles {
+			h.Abandon()
+		}
+		if cur != nil {
+			obsBusyCrash.Inc(id)
+			obsReply.Inc(id)
+			cur.reply <- lineBusy
+		}
+		respawn = true
+	}()
+	for req := range s.reqs {
+		cur = req
+		chaosWorkerOp.Fire()
+		resp := s.exec(handles, id, req)
+		cur = nil
+		obsReply.Inc(id)
+		req.reply <- resp
+	}
+	return false
+}
+
+// exec runs one request against this worker's shard handles and renders
+// the reply line(s).
+func (s *Server) exec(handles []*collections.MapHandle, id int, req *request) []byte {
+	obsReq.Inc(id)
+	switch req.op {
+	case opGet:
+		if v, ok := handles[s.shardOf(req.key)].Get(req.key); ok {
+			return valLine("+VAL", v)
+		}
+		return lineNil
+	case opPut:
+		old, existed, err := handles[s.shardOf(req.key)].Put(req.key, req.val)
+		if err != nil {
+			obsBusyArena.Inc(id)
+			return lineBusy
+		}
+		if existed {
+			return valLine("+OLD", old)
+		}
+		return lineNew
+	case opDel:
+		if handles[s.shardOf(req.key)].Delete(req.key) {
+			return lineDel1
+		}
+		return lineDel0
+	case opScan:
+		limit := req.limit
+		if limit <= 0 || limit > s.cfg.ScanLimit {
+			limit = s.cfg.ScanLimit
+		}
+		var body bytes.Buffer
+		n := 0
+		for _, h := range handles {
+			if n >= limit {
+				break
+			}
+			h.Scan(limit-n, func(k, v uint64) bool {
+				fmt.Fprintf(&body, "%d %d\n", k, v)
+				n++
+				return true
+			})
+		}
+		head := make([]byte, 0, body.Len()+16)
+		head = append(head, '*')
+		head = strconv.AppendInt(head, int64(n), 10)
+		head = append(head, '\n')
+		return append(head, body.Bytes()...)
+	}
+	return errLine("internal: unknown opcode %d", req.op)
+}
+
+// --- shutdown --------------------------------------------------------------
+
+// Close shuts the server down and tears the storage engine to
+// quiescence: stop accepting, sever connections, drain the worker pool,
+// clear every shard, and run adoption/flush rounds until Live() == 0.
+// The drain rounds matter after crashes: abandoned arena shards and
+// deferred decrements are only adopted when some thread ejects or scans,
+// so Close attaches and detaches throwaway handles until everything is
+// reclaimed. A residual leak is returned as an error (UAF/leak gates in
+// cmd/cdrc-load and the tests treat it as fatal).
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closing = true
+		conns := make([]net.Conn, 0, len(s.conns))
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		s.ln.Close()
+		<-s.acceptDone
+		for _, c := range conns {
+			c.Close()
+		}
+		s.connWg.Wait()
+		close(s.reqs)
+		s.workerWg.Wait()
+		const rounds = 16
+		for round := 0; round < rounds; round++ {
+			for _, m := range s.shards {
+				h := m.Attach()
+				h.Clear()
+				h.Close()
+			}
+			if s.Live() == 0 {
+				return
+			}
+		}
+		s.closeErr = fmt.Errorf("server: %d nodes still live after %d teardown rounds", s.Live(), rounds)
+	})
+	return s.closeErr
+}

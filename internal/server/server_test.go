@@ -1,0 +1,301 @@
+package server
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cdrc/internal/chaos"
+)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	cfg.DebugChecks = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func dialTest(t *testing.T, s *Server) *Client {
+	t.Helper()
+	cl, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	return cl
+}
+
+// TestProtocolBasics drives every verb through a real TCP round trip.
+func TestProtocolBasics(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, Workers: 2, ExpectedKeys: 256})
+	cl := dialTest(t, s)
+	defer cl.Close()
+
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if _, ok, err := cl.Get(7); err != nil || ok {
+		t.Fatalf("Get(miss) = ok=%v err=%v, want miss", ok, err)
+	}
+	if _, existed, err := cl.Put(7, 70); err != nil || existed {
+		t.Fatalf("Put(new) = existed=%v err=%v", existed, err)
+	}
+	if v, ok, err := cl.Get(7); err != nil || !ok || v != 70 {
+		t.Fatalf("Get(hit) = %d,%v,%v, want 70", v, ok, err)
+	}
+	if old, existed, err := cl.Put(7, 71); err != nil || !existed || old != 70 {
+		t.Fatalf("Put(replace) = %d,%v,%v, want old=70", old, existed, err)
+	}
+	for k := uint64(0); k < 20; k++ {
+		if _, _, err := cl.Put(100+k, k); err != nil {
+			t.Fatalf("Put(%d): %v", 100+k, err)
+		}
+	}
+	ents, err := cl.Scan(1000)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(ents) != 21 {
+		t.Fatalf("Scan returned %d entries, want 21", len(ents))
+	}
+	found := false
+	for _, e := range ents {
+		if e[0] == 7 && e[1] == 71 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Scan did not return key 7 -> 71: %v", ents)
+	}
+	if hit, err := cl.Del(7); err != nil || !hit {
+		t.Fatalf("Del(hit) = %v,%v", hit, err)
+	}
+	if hit, err := cl.Del(7); err != nil || hit {
+		t.Fatalf("Del(miss) = %v,%v", hit, err)
+	}
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if !bytes.HasPrefix(bytes.TrimSpace(stats), []byte("{")) {
+		t.Fatalf("Stats is not JSON: %.60s", stats)
+	}
+	// Malformed requests must produce -ERR, not kill the connection.
+	if _, err := cl.roundTrip("PUT onearg"); err == nil {
+		t.Fatal("malformed PUT did not error")
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("Ping after -ERR: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if live := s.Live(); live != 0 {
+		t.Fatalf("Live() = %d after Close, want 0", live)
+	}
+}
+
+// TestTeardownWithInflightConnections closes the server while clients
+// are mid-stream and requires full reclamation: the acceptance bar from
+// the satellite task list (Live() == 0 after Close with in-flight
+// connections).
+func TestTeardownWithInflightConnections(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 4, Workers: 4, ExpectedKeys: 1 << 12})
+	var wg sync.WaitGroup
+	var ops atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			cl, err := Dial(s.Addr())
+			if err != nil {
+				return
+			}
+			defer cl.Close()
+			for k := seed; ; k += 3 {
+				if _, _, err := cl.Put(k%4096, k); err != nil && err != ErrBusy {
+					return // connection severed by Close
+				}
+				if _, _, err := cl.Get((k + 1) % 4096); err != nil && err != ErrBusy {
+					return
+				}
+				ops.Add(2)
+			}
+		}(uint64(i) * 1001)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close with in-flight connections: %v", err)
+	}
+	wg.Wait()
+	if live := s.Live(); live != 0 {
+		t.Fatalf("Live() = %d after Close, want 0", live)
+	}
+	if ops.Load() == 0 {
+		t.Fatal("no operations completed before Close; test proved nothing")
+	}
+}
+
+// TestBusyOnArenaExhausted caps the arena and checks that overflowing
+// PUTs shed with ErrBusy while the server stays up, and that deleting
+// entries frees capacity for new ones.
+func TestBusyOnArenaExhausted(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, Workers: 2, ExpectedKeys: 64, ArenaCapacity: 32})
+	cl := dialTest(t, s)
+	defer cl.Close()
+
+	busy, stored := 0, 0
+	for k := uint64(0); k < 100; k++ {
+		_, _, err := cl.Put(k, k)
+		switch err {
+		case nil:
+			stored++
+		case ErrBusy:
+			busy++
+		default:
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+	}
+	if busy == 0 {
+		t.Fatalf("no PUT shed with 100 keys against a 32-slot arena (stored=%d)", stored)
+	}
+	if stored == 0 {
+		t.Fatal("every PUT shed; capacity 32 should admit some")
+	}
+	// The server must still serve reads while saturated.
+	if _, _, err := cl.Get(0); err != nil {
+		t.Fatalf("Get while saturated: %v", err)
+	}
+	// Free everything, then new inserts must succeed again (slot reuse).
+	ents, err := cl.Scan(-1)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	for _, e := range ents {
+		if _, err := cl.Del(e[0]); err != nil {
+			t.Fatalf("Del(%d): %v", e[0], err)
+		}
+	}
+	recovered := false
+	for k := uint64(1000); k < 1032 && !recovered; k++ {
+		if _, _, err := cl.Put(k, 1); err == nil {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatal("no PUT succeeded after clearing the table; freed slots were not reused")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestWorkerCrashAdoption injects deterministic simulated crashes at the
+// worker op boundary: crashed workers must BUSY their in-flight request,
+// abandon state for adoption, respawn, and the server must still reach
+// Live() == 0 at Close.
+func TestWorkerCrashAdoption(t *testing.T) {
+	chaos.Enable(chaos.Config{
+		Seed:        42,
+		CrashBudget: 3,
+		Faults: map[string]chaos.Fault{
+			"server.worker.op": {Every: 40, Crash: true},
+		},
+	})
+	defer chaos.Disable()
+
+	s := newTestServer(t, Config{Shards: 2, Workers: 3, ExpectedKeys: 1 << 10})
+	var wg sync.WaitGroup
+	var busys, fails atomic.Int64
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			cl, err := Dial(s.Addr())
+			if err != nil {
+				fails.Add(1)
+				return
+			}
+			defer cl.Close()
+			for k := uint64(0); k < 200; k++ {
+				_, _, err := cl.Put(seed+k, k)
+				switch err {
+				case nil:
+				case ErrBusy:
+					busys.Add(1)
+				default:
+					fails.Add(1)
+					return
+				}
+			}
+		}(uint64(i) * 10000)
+	}
+	wg.Wait()
+	if fails.Load() != 0 {
+		t.Fatalf("%d connections saw hard failures", fails.Load())
+	}
+	if chaos.Crashes() == 0 {
+		t.Fatal("no simulated crash fired; test exercised nothing")
+	}
+	// A crash with a request in flight must have replied -BUSY.
+	if busys.Load() == 0 {
+		t.Log("no client observed a crash-BUSY (crashes may have hit between requests)")
+	}
+	cl := dialTest(t, s)
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("Ping after crashes: %v", err)
+	}
+	cl.Close()
+	chaos.Disable() // teardown must run clean
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after %d crashes: %v", chaos.Crashes(), err)
+	}
+	if live := s.Live(); live != 0 {
+		t.Fatalf("Live() = %d after Close, want 0", live)
+	}
+}
+
+// TestQueueBusy fills the worker queue through a stalled worker pool and
+// checks the connection-level shed path.
+func TestQueueBusy(t *testing.T) {
+	// One worker, depth-1 queue, and a stall injected on every op makes
+	// concurrent clients overrun the queue.
+	chaos.Enable(chaos.Config{
+		Seed: 7,
+		Faults: map[string]chaos.Fault{
+			"server.worker.op": {Every: 1, Sleep: 2 * time.Millisecond},
+		},
+	})
+	defer chaos.Disable()
+	s := newTestServer(t, Config{Shards: 1, Workers: 1, QueueDepth: 1, ExpectedKeys: 64})
+	var wg sync.WaitGroup
+	var busys atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			cl, err := Dial(s.Addr())
+			if err != nil {
+				return
+			}
+			defer cl.Close()
+			for k := uint64(0); k < 30; k++ {
+				if _, _, err := cl.Put(base+k, k); err == ErrBusy {
+					busys.Add(1)
+				}
+			}
+		}(uint64(i) * 100)
+	}
+	wg.Wait()
+	if busys.Load() == 0 {
+		t.Fatal("no request shed by the bounded queue")
+	}
+	chaos.Disable()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -21,6 +21,17 @@ go run ./cmd/cdrc-stress -duration 10s -chaos -chaos-seed 1 -crash-workers 2
 echo "==> obs-enabled chaos soak (5s: metrics armed, accounting identities checked at each teardown)"
 go run ./cmd/cdrc-stress -duration 5s -chaos -chaos-seed 1 -crash-workers 2 -obs -obs-interval 2s
 
+# Loopback service soak: cdrc-load runs an in-process internal/server
+# (sharded collections.Map behind the TCP protocol) and fails on any
+# dropped reply (sends != replies + counted BUSY sheds), value-integrity
+# violation, or leak at Close. The chaos pass adds simulated worker
+# crashes, exercising abandonment/adoption under live traffic.
+echo "==> loopback service soak (5s, race)"
+go run -race ./cmd/cdrc-load -duration 5s -conns 4
+
+echo "==> loopback service soak under chaos (5s, race, 1 simulated worker crash budget)"
+go run -race ./cmd/cdrc-load -duration 5s -conns 4 -chaos -chaos-seed 1 -crash-workers 1
+
 # Overhead gate: with observability compiled in but disabled, every
 # instrumented hot path adds one atomic nil-load. Compare Fig. 6a DRC
 # throughput of the normal build (obs present, disarmed) against the
