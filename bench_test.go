@@ -189,3 +189,4 @@ func BenchmarkAblationEjectThreshold(b *testing.B) {
 		})
 	}
 }
+

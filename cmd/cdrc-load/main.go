@@ -22,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -36,10 +37,11 @@ import (
 )
 
 var (
-	obsGetNs  = obs.NewHistogram("load.get.ns")
-	obsPutNs  = obs.NewHistogram("load.put.ns")
-	obsDelNs  = obs.NewHistogram("load.del.ns")
-	obsScanNs = obs.NewHistogram("load.scan.ns")
+	obsGetNs   = obs.NewHistogram("load.get.ns")
+	obsPutNs   = obs.NewHistogram("load.put.ns")
+	obsDelNs   = obs.NewHistogram("load.del.ns")
+	obsScanNs  = obs.NewHistogram("load.scan.ns")
+	obsBatchNs = obs.NewHistogram("load.batch.ns")
 )
 
 // tally accumulates one connection's classified outcomes.
@@ -84,6 +86,8 @@ func main() {
 		reads    = flag.Float64("reads", 0.70, "GET fraction")
 		puts     = flag.Float64("puts", 0.20, "PUT fraction (remainder is DEL)")
 		scanEvry = flag.Int("scan-every", 200, "issue SCAN 16 every Nth op per connection (0 = never)")
+		pipeline = flag.Int("pipeline", 1, "requests in flight per connection (1 = lock-step round trips)")
+		jsonOut  = flag.String("json-out", "", "write a machine-readable run summary (throughput + latency quantiles) to this file")
 
 		shards   = flag.Int("shards", 4, "in-process server: shards")
 		workers  = flag.Int("workers", 4, "in-process server: worker pool size")
@@ -139,9 +143,9 @@ func main() {
 		target = srv.Addr()
 	}
 
-	fmt.Printf("cdrc-load: %v against %s (conns=%d keys=%d zipf=%.2f mix=%.0f/%.0f/%.0f chaos=%v)\n",
+	fmt.Printf("cdrc-load: %v against %s (conns=%d keys=%d zipf=%.2f mix=%.0f/%.0f/%.0f pipeline=%d chaos=%v)\n",
 		*duration, target, *conns, *keys, *zipfS,
-		*reads*100, *puts*100, (1-*reads-*puts)*100, *chaosOn)
+		*reads*100, *puts*100, (1-*reads-*puts)*100, *pipeline, *chaosOn)
 
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
@@ -172,6 +176,68 @@ func main() {
 					tl.errs++
 					return false
 				}
+			}
+			if *pipeline > 1 {
+				// Pipelined mode: windows of `pipeline` requests sent in
+				// one write, replies read in order. Latency is recorded
+				// per batch round trip (load.batch.ns); conservation and
+				// integrity are still checked per request.
+				depth := *pipeline
+				var b server.Batch
+				results := make([]server.Result, 0, depth)
+				keys := make([]uint64, 0, depth)
+				kinds := make([]byte, 0, depth)
+				for op := 0; !stop.Load() && time.Now().Before(deadline); {
+					b.Reset()
+					keys, kinds = keys[:0], kinds[:0]
+					for j := 0; j < depth; j++ {
+						k := zipf.Uint64()
+						p := rng.Float64()
+						switch {
+						case p < *reads:
+							b.Get(k)
+							kinds = append(kinds, 'G')
+						case p < *reads+*puts:
+							b.Put(k, valTag(k)|uint64((op+j)&0xFFFF))
+							kinds = append(kinds, 'P')
+						default:
+							b.Del(k)
+							kinds = append(kinds, 'D')
+						}
+						keys = append(keys, k)
+					}
+					t0 := time.Now()
+					var err error
+					results, err = cl.DoBatch(&b, results[:0])
+					obsBatchNs.Observe(uint64(time.Since(t0)))
+					tl.sends += int64(len(results))
+					if err != nil {
+						tl.errs++
+						return
+					}
+					for i, res := range results {
+						if res.Busy {
+							tl.busys++
+							continue
+						}
+						tl.oks++
+						if kinds[i] == 'G' && res.Found && res.Val&^0xFFFF != valTag(keys[i]) {
+							tl.integrity++
+							return
+						}
+					}
+					op += len(results)
+					if *scanEvry > 0 && op%*scanEvry < depth {
+						t0 := time.Now()
+						_, err := cl.Scan(16)
+						tl.sends++
+						obsScanNs.Observe(uint64(time.Since(t0)))
+						if !classify(err) {
+							return
+						}
+					}
+				}
+				return
 			}
 			for op := 0; !stop.Load() && time.Now().Before(deadline); op++ {
 				k := zipf.Uint64()
@@ -235,17 +301,53 @@ func main() {
 
 	r := obs.Snapshot()
 	secs := duration.Seconds()
+	opsPerSec := float64(total.sends) / secs
 	fmt.Printf("cdrc-load: %d ops (%.0f/s): ok=%d busy=%d err=%d integrity-violations=%d crashes=%d\n",
-		total.sends, float64(total.sends)/secs, total.oks, total.busys, total.errs, total.integrity, crashes)
+		total.sends, opsPerSec, total.oks, total.busys, total.errs, total.integrity, crashes)
+	type quantiles struct {
+		P50   float64 `json:"p50"`
+		P99   float64 `json:"p99"`
+		P999  float64 `json:"p999"`
+		Count uint64  `json:"count"`
+	}
+	latencies := make(map[string]quantiles)
 	for _, h := range []struct{ label, name string }{
 		{"get", "load.get.ns"}, {"put", "load.put.ns"},
 		{"del", "load.del.ns"}, {"scan", "load.scan.ns"},
+		{"batch", "load.batch.ns"},
 	} {
 		if r.Histograms[h.name].Count == 0 {
 			continue
 		}
-		fmt.Printf("cdrc-load: %-4s p50=%8.0fns p99=%8.0fns (n=%d)\n",
-			h.label, r.Quantile(h.name, 0.50), r.Quantile(h.name, 0.99), r.Histograms[h.name].Count)
+		q := quantiles{
+			P50:   r.Quantile(h.name, 0.50),
+			P99:   r.Quantile(h.name, 0.99),
+			P999:  r.Quantile(h.name, 0.999),
+			Count: r.Histograms[h.name].Count,
+		}
+		latencies[h.label] = q
+		fmt.Printf("cdrc-load: %-5s p50=%8.0fns p99=%8.0fns p999=%8.0fns (n=%d)\n",
+			h.label, q.P50, q.P99, q.P999, q.Count)
+	}
+	if *jsonOut != "" {
+		summary := struct {
+			Pipeline    int                  `json:"pipeline"`
+			Conns       int                  `json:"conns"`
+			DurationSec float64              `json:"durationSec"`
+			Ops         int64                `json:"ops"`
+			OpsPerSec   float64              `json:"opsPerSec"`
+			OK          int64                `json:"ok"`
+			Busy        int64                `json:"busy"`
+			Crashes     int64                `json:"crashes"`
+			LatencyNs   map[string]quantiles `json:"latencyNs"`
+		}{*pipeline, *conns, secs, total.sends, opsPerSec, total.oks, total.busys, crashes, latencies}
+		j, err := json.MarshalIndent(&summary, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(j, '\n'), 0o644)
+		}
+		if err != nil {
+			fail("write %s: %v", *jsonOut, err)
+		}
 	}
 
 	// --- gates ---------------------------------------------------------

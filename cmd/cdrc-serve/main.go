@@ -30,7 +30,9 @@ func main() {
 		workers  = flag.Int("workers", 8, "worker pool size (threads attached to the store)")
 		keys     = flag.Int("keys", 1<<16, "expected resident keys across all shards")
 		arenaCap = flag.Uint64("arena-cap", 0, "per-shard arena slot cap (0 = unbounded; beyond it PUT replies -BUSY)")
-		queue    = flag.Int("queue", 0, "request queue depth (0 = 4*workers)")
+		queue    = flag.Int("queue", 0, "per-shard request queue depth (0 = default)")
+		pipe     = flag.Int("max-pipeline", 0, "per-connection pipeline window (0 = default 64)")
+		flush    = flag.Int("flush-batch", 0, "max replies coalesced per flush (0 = pipeline window)")
 		debug    = flag.Bool("debug-checks", false, "arm arena use-after-free panics")
 		obsOn    = flag.Bool("obs", false, "enable observability (STATS returns live metrics)")
 	)
@@ -46,6 +48,8 @@ func main() {
 		ExpectedKeys:  *keys,
 		ArenaCapacity: *arenaCap,
 		QueueDepth:    *queue,
+		MaxPipeline:   *pipe,
+		FlushBatch:    *flush,
 		DebugChecks:   *debug,
 	})
 	if err != nil {

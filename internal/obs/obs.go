@@ -171,6 +171,7 @@ var (
 	counters   = make(map[string]*Counter)
 	histograms = make(map[string]*Histogram)
 	pools      = make(map[string]func() (PoolGauges, bool))
+	gauges     = make(map[string]func() (int64, bool))
 
 	// enabled is the process-global arm switch; metrics registered while
 	// enabled are armed immediately.
@@ -221,6 +222,20 @@ func RegisterPoolGauges(name string, read func() (PoolGauges, bool)) {
 	regMu.Lock()
 	defer regMu.Unlock()
 	pools[name] = read
+}
+
+// RegisterGauge registers a scalar gauge source under name: an
+// instantaneous reading sampled only at Snapshot time (queue depths,
+// in-flight windows - anything already maintained by the instrumented
+// code, where a counter would duplicate state). read must be cheap and
+// safe to call from any goroutine; it reports false once its subject is
+// gone, at which point the registration is pruned. Re-registering a name
+// replaces the previous source (servers restarted in one process simply
+// take the name over).
+func RegisterGauge(name string, read func() (int64, bool)) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	gauges[name] = read
 }
 
 // Enabled reports whether metrics are currently armed. Instrumented code
@@ -313,6 +328,7 @@ type Report struct {
 	UptimeNano uint64                       `json:"uptimeNano"`
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Pools      []PoolReport                 `json:"pools,omitempty"`
 }
 
@@ -358,6 +374,17 @@ func Snapshot() *Report {
 		if snap.Count > 0 {
 			r.Histograms[name] = snap
 		}
+	}
+	for name, read := range gauges {
+		v, ok := read()
+		if !ok {
+			delete(gauges, name)
+			continue
+		}
+		if r.Gauges == nil {
+			r.Gauges = make(map[string]int64)
+		}
+		r.Gauges[name] = v
 	}
 	for name, read := range pools {
 		g, ok := read()
@@ -443,6 +470,14 @@ func (r *Report) Text() string {
 		for _, bk := range h.Buckets {
 			fmt.Fprintf(&b, "    [%d, %d]: %d\n", bk.Lo, bk.Hi, bk.Count)
 		}
+	}
+	gnames := make([]string, 0, len(r.Gauges))
+	for n := range r.Gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		fmt.Fprintf(&b, "  %-28s %d (gauge)\n", n, r.Gauges[n])
 	}
 	for _, p := range r.Pools {
 		fmt.Fprintf(&b, "  pool %-20s allocs=%d frees=%d live=%d slots=%d hw=%d freeLocal=%d freeGlobal=%d\n",

@@ -41,6 +41,8 @@ type PoolGauges struct {
 
 func RegisterPoolGauges(string, func() (PoolGauges, bool)) {}
 
+func RegisterGauge(string, func() (int64, bool)) {}
+
 func Enabled() bool    { return false }
 func NowNanos() uint64 { return 1 }
 func Enable()          {}
@@ -77,6 +79,7 @@ type Report struct {
 	UptimeNano uint64                       `json:"uptimeNano"`
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Pools      []PoolReport                 `json:"pools,omitempty"`
 }
 

@@ -161,6 +161,136 @@ func (cl *Client) Scan(limit int) ([][2]uint64, error) {
 	return ents, nil
 }
 
+// --- pipelined API ---------------------------------------------------------
+
+// Batch accumulates GET/PUT/DEL requests to be sent as one pipelined
+// write. A Batch renders requests into a reusable buffer as they are
+// added, so building and sending one allocates nothing in steady state.
+// Batches are not safe for concurrent use, but may be reused (Reset)
+// across DoBatch calls and across clients.
+type Batch struct {
+	buf []byte
+	ops []byte // one kind byte per request: 'G', 'P', 'D'
+}
+
+// Len returns the number of queued requests.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset empties the batch, retaining capacity.
+func (b *Batch) Reset() {
+	b.buf = b.buf[:0]
+	b.ops = b.ops[:0]
+}
+
+// Get queues a GET.
+func (b *Batch) Get(key uint64) {
+	b.buf = append(b.buf, "GET "...)
+	b.buf = strconv.AppendUint(b.buf, key, 10)
+	b.buf = append(b.buf, '\n')
+	b.ops = append(b.ops, 'G')
+}
+
+// Put queues a PUT.
+func (b *Batch) Put(key, val uint64) {
+	b.buf = append(b.buf, "PUT "...)
+	b.buf = strconv.AppendUint(b.buf, key, 10)
+	b.buf = append(b.buf, ' ')
+	b.buf = strconv.AppendUint(b.buf, val, 10)
+	b.buf = append(b.buf, '\n')
+	b.ops = append(b.ops, 'P')
+}
+
+// Del queues a DEL.
+func (b *Batch) Del(key uint64) {
+	b.buf = append(b.buf, "DEL "...)
+	b.buf = strconv.AppendUint(b.buf, key, 10)
+	b.buf = append(b.buf, '\n')
+	b.ops = append(b.ops, 'D')
+}
+
+// Result classifies one pipelined reply. For a GET, Found reports a hit
+// and Val the value; for a PUT, Found reports that the key existed and
+// Val the replaced value; for a DEL, Found reports that the key was
+// present. Busy means the server shed the request (-BUSY): it had no
+// effect and Val/Found are meaningless.
+type Result struct {
+	Val   uint64
+	Found bool
+	Busy  bool
+}
+
+// DoBatch writes every queued request in one flush and reads exactly one
+// reply per request, in order, appending to results (pass results[:0] to
+// reuse a slice). The round trip allocates nothing once results has
+// capacity. A -ERR reply or a malformed reply aborts with an error: it
+// signals a protocol bug, not a retryable condition, and the connection
+// should be abandoned. The batch itself is untouched - callers Reset and
+// refill it.
+func (cl *Client) DoBatch(b *Batch, results []Result) ([]Result, error) {
+	if len(b.ops) == 0 {
+		return results, nil
+	}
+	if _, err := cl.bw.Write(b.buf); err != nil {
+		return results, err
+	}
+	if err := cl.bw.Flush(); err != nil {
+		return results, err
+	}
+	for _, kind := range b.ops {
+		line, err := cl.br.ReadSlice('\n')
+		if err != nil {
+			return results, err
+		}
+		line = line[:len(line)-1]
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		res, err := parseBatchReply(kind, line)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// parseBatchReply decodes one reply line for a request of the given
+// kind, allocation-free.
+func parseBatchReply(kind byte, line []byte) (Result, error) {
+	if len(line) > 0 && line[0] == '-' {
+		if string(line) == "-BUSY" {
+			return Result{Busy: true}, nil
+		}
+		return Result{}, fmt.Errorf("server: %s", line)
+	}
+	tagged := func(tag string) (uint64, error) {
+		if len(line) > len(tag)+1 && string(line[:len(tag)]) == tag && line[len(tag)] == ' ' {
+			if v, ok := parseUintBytes(line[len(tag)+1:]); ok {
+				return v, nil
+			}
+		}
+		return 0, fmt.Errorf("server: unexpected reply %q (want %s)", line, tag)
+	}
+	switch kind {
+	case 'G':
+		if string(line) == "+NIL" {
+			return Result{}, nil
+		}
+		v, err := tagged("+VAL")
+		return Result{Val: v, Found: true}, err
+	case 'P':
+		if string(line) == "+NEW" {
+			return Result{}, nil
+		}
+		v, err := tagged("+OLD")
+		return Result{Val: v, Found: true}, err
+	case 'D':
+		v, err := tagged("+DEL")
+		return Result{Found: v == 1}, err
+	}
+	return Result{}, fmt.Errorf("client: unknown batch op %q", kind)
+}
+
 // Stats fetches the server's obs JSON report.
 func (cl *Client) Stats() ([]byte, error) {
 	line, err := cl.roundTrip("STATS")

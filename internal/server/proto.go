@@ -3,11 +3,14 @@ package server
 import (
 	"fmt"
 	"strconv"
-	"strings"
+	"sync/atomic"
 )
 
 // Wire protocol: a RESP-like text framing over TCP, one request per line
-// (LF or CRLF), decimal uint64 keys and values.
+// (LF or CRLF), decimal uint64 keys and values. The protocol is
+// pipelined: a client may send any number of request lines without
+// waiting, and the server replies strictly in request order per
+// connection.
 //
 // Requests:
 //
@@ -32,7 +35,10 @@ import (
 //
 // Every request line receives exactly one reply (BUSY included), which is
 // what lets cmd/cdrc-load check conservation: sends == replies, and
-// separately sends == executed requests + BUSY sheds.
+// separately sends == executed requests + BUSY sheds. A line longer than
+// the server's read buffer is consumed and answered with
+// "-ERR line too long"; the connection then resynchronizes at the next
+// newline instead of dropping.
 
 // opcodes for worker-executed requests.
 const (
@@ -42,101 +48,303 @@ const (
 	opScan
 )
 
-// request is one parsed worker-bound command plus its reply path. The
-// reply channel is per-connection and buffered: a connection has at most
-// one request in flight, so the worker's send never blocks.
-type request struct {
+// Completion causes. A slot completes with exactly one cause; the first
+// failure to land wins (slot.fail is CAS-once), so a SCAN that is both
+// partially shed at a queue and hit by a worker crash still counts one
+// shed, under one cause, for one -BUSY reply.
+const (
+	causeNone  uint32 = iota
+	causeQueue        // shed at a full shard queue (never reached a worker)
+	causeArena        // arena exhausted mid-execution (PUT backpressure)
+	causeCrash        // serving worker took a simulated crash
+)
+
+// slot is one in-flight request in a connection's completion ring. Slots
+// are allocated once per connection (MaxPipeline of them) and recycled
+// through the free list, so the steady-state hot path performs zero heap
+// allocations per request. Single-shard ops are owned by exactly one
+// worker; SCAN is fanned out to every shard and each worker writes only
+// its own segs/ns index, so no field is written concurrently except the
+// atomics.
+type slot struct {
 	op    int
 	key   uint64
 	val   uint64
 	limit int
-	reply chan []byte
+
+	// local marks reader-completed replies (PING, STATS, parse errors,
+	// oversize lines): they bypass the server.req/server.reply accounting,
+	// which counts worker-bound requests only.
+	local bool
+
+	// static, when non-nil, is a shared immutable reply line; otherwise
+	// buf holds the rendered reply. buf is per-slot scratch, reused.
+	static []byte
+	buf    []byte
+
+	// scan holds the per-shard segment buffers for SCAN fan-out; lazily
+	// created on a slot's first SCAN and reused afterwards.
+	scan *scanState
+
+	// pending counts outstanding completions (1 for single-shard ops,
+	// one per shard for SCAN); the decrement that reaches zero finishes
+	// the slot. cause is the CAS-once failure cause. done is buffered 1
+	// and signalled exactly once per issue; the connection writer blocks
+	// on it in issue order.
+	pending atomic.Int32
+	cause   atomic.Uint32
+	done    chan struct{}
+}
+
+// scanState carries SCAN fan-out results: segs[i] holds shard i's
+// rendered "<key> <val>\n" rows, ns[i] the row count.
+type scanState struct {
+	segs [][]byte
+	ns   []int
+}
+
+func (sl *slot) reset() {
+	sl.local = false
+	sl.static = nil
+	sl.buf = sl.buf[:0]
+	sl.cause.Store(causeNone)
+}
+
+func (sl *slot) ensureScan(shards int) {
+	if sl.scan == nil {
+		sl.scan = &scanState{segs: make([][]byte, shards), ns: make([]int, shards)}
+	}
+}
+
+// fail records a completion cause; the first one wins.
+func (sl *slot) fail(cause uint32) {
+	sl.cause.CompareAndSwap(causeNone, cause)
+}
+
+// complete retires one pending unit; the last unit finishes the slot:
+// accounting, busy rendering, SCAN assembly, and the done signal. procID
+// shards the obs counters (workers pass their pool id, the connection
+// goroutines 0).
+func (sl *slot) complete(procID int) {
+	if sl.pending.Add(-1) != 0 {
+		return
+	}
+	switch sl.cause.Load() {
+	case causeNone:
+		if !sl.local {
+			obsReq.Inc(procID)
+			obsReply.Inc(procID)
+		}
+		if sl.op == opScan && !sl.local {
+			sl.buf = sl.scan.assemble(sl.buf[:0], sl.limit)
+			sl.static = nil
+		}
+	case causeQueue:
+		// Shed before any worker executed it: counts as a queue shed,
+		// not a reply, preserving sends == server.reply + busy.queue.
+		obsBusyQueue.Inc(procID)
+		sl.static = lineBusy
+	case causeArena:
+		obsReq.Inc(procID)
+		obsReply.Inc(procID)
+		obsBusyArena.Inc(procID)
+		sl.static = lineBusy
+	case causeCrash:
+		obsReply.Inc(procID)
+		obsBusyCrash.Inc(procID)
+		sl.static = lineBusy
+	}
+	sl.done <- struct{}{}
+}
+
+// payload returns the rendered reply. Only the connection writer calls
+// it, after receiving done.
+func (sl *slot) payload() []byte {
+	if sl.static != nil {
+		return sl.static
+	}
+	return sl.buf
+}
+
+// assemble renders the SCAN reply: "*<n>\n" followed by n rows taken
+// from the shard segments in shard order, truncated to limit (each shard
+// scanned up to limit rows on its own, so the union can exceed it).
+func (s *scanState) assemble(buf []byte, limit int) []byte {
+	total := 0
+	for _, n := range s.ns {
+		total += n
+	}
+	if limit > 0 && total > limit {
+		total = limit
+	}
+	buf = append(buf, '*')
+	buf = strconv.AppendInt(buf, int64(total), 10)
+	buf = append(buf, '\n')
+	need := total
+	for i, seg := range s.segs {
+		if need <= 0 {
+			break
+		}
+		if s.ns[i] <= need {
+			buf = append(buf, seg...)
+			need -= s.ns[i]
+			continue
+		}
+		// Partial segment: copy the first `need` newline-terminated rows.
+		rows, end := 0, 0
+		for end < len(seg) && rows < need {
+			if seg[end] == '\n' {
+				rows++
+			}
+			end++
+		}
+		buf = append(buf, seg[:end]...)
+		need = 0
+	}
+	return buf
 }
 
 // Shared immutable reply lines.
 var (
-	lineBusy = []byte("-BUSY\n")
-	linePong = []byte("+PONG\n")
-	lineNil  = []byte("+NIL\n")
-	lineNew  = []byte("+NEW\n")
-	lineDel1 = []byte("+DEL 1\n")
-	lineDel0 = []byte("+DEL 0\n")
+	lineBusy    = []byte("-BUSY\n")
+	linePong    = []byte("+PONG\n")
+	lineNil     = []byte("+NIL\n")
+	lineNew     = []byte("+NEW\n")
+	lineDel1    = []byte("+DEL 1\n")
+	lineDel0    = []byte("+DEL 0\n")
+	lineTooLong = []byte("-ERR line too long\n")
 )
 
-func errLine(format string, args ...any) []byte {
-	return []byte("-ERR " + fmt.Sprintf(format, args...) + "\n")
+// appendErr renders "-ERR <msg>\n" into buf (error path; may allocate
+// for the formatted message).
+func appendErr(buf []byte, format string, args ...any) []byte {
+	buf = append(buf, "-ERR "...)
+	buf = fmt.Appendf(buf, format, args...)
+	return append(buf, '\n')
 }
 
-// valLine renders "<prefix> <v>\n".
-func valLine(prefix string, v uint64) []byte {
-	b := make([]byte, 0, len(prefix)+22)
-	b = append(b, prefix...)
-	b = append(b, ' ')
-	b = strconv.AppendUint(b, v, 10)
-	return append(b, '\n')
+// appendVal renders "<prefix> <v>\n" into buf without allocating.
+func appendVal(buf []byte, prefix string, v uint64) []byte {
+	buf = append(buf, prefix...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, v, 10)
+	return append(buf, '\n')
 }
 
-// parseRequest parses the space-separated fields of one worker-bound
-// command line (verb already upper-cased by the caller).
-func parseRequest(verb string, fields []string) (*request, error) {
-	wantArgs := func(n int) error {
-		if len(fields) != n+1 {
-			return fmt.Errorf("%s takes %d argument(s)", verb, n)
-		}
-		return nil
-	}
-	num := func(s string) (uint64, error) {
-		v, err := strconv.ParseUint(s, 10, 64)
-		if err != nil {
-			return 0, fmt.Errorf("bad number %q", s)
-		}
-		return v, nil
-	}
-	req := &request{}
-	var err error
-	switch verb {
-	case "GET", "DEL":
-		req.op = opGet
-		if verb == "DEL" {
-			req.op = opDel
-		}
-		if err = wantArgs(1); err == nil {
-			req.key, err = num(fields[1])
-		}
-	case "PUT":
-		req.op = opPut
-		if err = wantArgs(2); err == nil {
-			if req.key, err = num(fields[1]); err == nil {
-				req.val, err = num(fields[2])
+// Verb classes produced by verbOf.
+const (
+	vUnknown = iota
+	vPing
+	vStats
+	vGet
+	vPut
+	vDel
+	vScan
+)
+
+// verbOf classifies an ASCII verb case-insensitively without allocating.
+func verbOf(b []byte) int {
+	switch len(b) {
+	case 3:
+		switch b[0] &^ 0x20 {
+		case 'G':
+			if b[1]&^0x20 == 'E' && b[2]&^0x20 == 'T' {
+				return vGet
+			}
+		case 'P':
+			if b[1]&^0x20 == 'U' && b[2]&^0x20 == 'T' {
+				return vPut
+			}
+		case 'D':
+			if b[1]&^0x20 == 'E' && b[2]&^0x20 == 'L' {
+				return vDel
 			}
 		}
-	case "SCAN":
-		req.op = opScan
-		if err = wantArgs(1); err == nil {
-			// Signed: a non-positive limit selects the server's ScanLimit.
-			var n int64
-			if n, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
-				err = fmt.Errorf("bad number %q", fields[1])
-			} else {
-				req.limit = int(n)
+	case 4:
+		switch b[0] &^ 0x20 {
+		case 'P':
+			if b[1]&^0x20 == 'I' && b[2]&^0x20 == 'N' && b[3]&^0x20 == 'G' {
+				return vPing
+			}
+		case 'S':
+			if b[1]&^0x20 == 'C' && b[2]&^0x20 == 'A' && b[3]&^0x20 == 'N' {
+				return vScan
 			}
 		}
-	default:
-		err = fmt.Errorf("unknown command %q", verb)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return req, nil
-}
-
-// normalizeVerb upper-cases an ASCII verb without allocating for the
-// already-uppercase common case.
-func normalizeVerb(s string) string {
-	for i := 0; i < len(s); i++ {
-		if s[i] >= 'a' && s[i] <= 'z' {
-			return strings.ToUpper(s)
+	case 5:
+		if b[0]&^0x20 == 'S' && b[1]&^0x20 == 'T' && b[2]&^0x20 == 'A' &&
+			b[3]&^0x20 == 'T' && b[4]&^0x20 == 'S' {
+			return vStats
 		}
 	}
-	return s
+	return vUnknown
+}
+
+// parseUintBytes is an allocation-free strconv.ParseUint(s, 10, 64) over
+// raw line bytes.
+func parseUintBytes(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		nv := v*10 + uint64(c-'0')
+		if nv < v {
+			return 0, false
+		}
+		v = nv
+	}
+	return v, true
+}
+
+// parseIntBytes parses a signed decimal (SCAN's limit is signed: a
+// non-positive limit selects the server's ScanLimit).
+func parseIntBytes(b []byte) (int64, bool) {
+	neg := false
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	v, ok := parseUintBytes(b)
+	if !ok || v > 1<<62 {
+		return 0, false
+	}
+	if neg {
+		return -int64(v), true
+	}
+	return int64(v), true
+}
+
+// maxFields bounds the per-line field split: no verb takes more than two
+// arguments, so anything beyond four fields is malformed regardless.
+const maxFields = 4
+
+// splitFields splits line on spaces/tabs into out, returning the field
+// count; maxFields+1 means "too many" (the tail is dropped, and every
+// per-verb arity check then fails as it should). CRs are treated as
+// whitespace so CRLF framing needs no special casing.
+func splitFields(line []byte, out *[maxFields][]byte) int {
+	n, i := 0, 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' && line[j] != '\r' {
+			j++
+		}
+		if n == maxFields {
+			return maxFields + 1
+		}
+		out[n] = line[i:j]
+		n++
+		i = j
+	}
+	return n
 }

@@ -1,41 +1,55 @@
 // Package server is a sharded in-memory key→value store service built on
 // the cdrc collections: the storage engine is collections.Map (Michael
 // hash table over deferred reference counting), the front end is a
-// line-oriented text protocol over stdlib net TCP (see proto.go), and the
-// execution model is a bounded worker pool sized to the pid registry.
+// pipelined line-oriented text protocol over stdlib net TCP (see
+// proto.go), and the execution model is a bounded worker pool with
+// worker–shard affinity.
 //
 // The shape is deliberate (DESIGN.md §7): connection goroutines are
-// unbounded and cheap because they never touch a cdrc domain - they
-// parse, enqueue, and wait. Only the W pool workers attach Threads, so
-// the pid registries are sized to W plus crash headroom instead of to
-// the connection count, and the paper's O(P²) deferred-work bound stays
-// small and independent of client fan-in. Backpressure is explicit:
-// a full request queue or an exhausted arena sheds the request with a
-// -BUSY reply instead of blocking or panicking, and a worker that dies
-// mid-request (simulated via chaos.CrashSignal) BUSYs the in-flight
-// request, abandons its per-processor state for survivors to adopt
-// (the PR-1 abandonment path), and is respawned with fresh ids.
+// unbounded and cheap because they never touch a cdrc domain — they
+// parse, route to a shard queue, and hand completed replies to a
+// per-connection writer. Only the W pool workers attach Threads, each to
+// exactly one shard, so the pid registries are sized to the pool instead
+// of the connection count and the paper's O(P²) deferred-work bound
+// stays small and independent of client fan-in. Backpressure is
+// explicit: a full shard queue or an exhausted arena sheds the request
+// with a -BUSY reply instead of blocking or panicking, and a worker that
+// dies mid-request (simulated via chaos.CrashSignal) BUSYs the in-flight
+// request, abandons its shard's per-processor state for survivors to
+// adopt (the PR-1 abandonment path), and is respawned with fresh ids.
+//
+// The hot path is allocation-free: requests are parsed from the raw line
+// bytes into per-connection ring slots, workers render replies into
+// per-slot scratch buffers, and the writer coalesces consecutive
+// completions into one buffered write, flushing only when the ring
+// drains or a batch cap hits.
 package server
 
 import (
 	"bufio"
-	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
-	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cdrc/collections"
 	"cdrc/internal/chaos"
 	"cdrc/internal/obs"
 )
 
-// Observability counters. server.req counts worker-executed requests;
-// server.reply counts replies sent by workers (completions plus
-// crash-BUSYs); the three busy counters partition every shed by cause.
-// At quiescence: client sends == server.reply + server.busy.queue, and
-// client-observed BUSYs == busy.queue + busy.arena + busy.crash.
+// Observability. server.req counts worker-executed requests; server.reply
+// counts worker-bound requests that completed with a reply (completions
+// plus crash/arena BUSYs); the three busy counters partition every shed
+// by cause. At quiescence: client sends == server.reply +
+// server.busy.queue, and client-observed BUSYs == busy.queue +
+// busy.arena + busy.crash. server.conns/server.disconn count connection
+// accept/teardown; their difference is the live-connection gauge and
+// must be 0 after Close. server.queue.depth samples shard-queue
+// occupancy at enqueue; server.flush.batch records how many replies each
+// writer Flush coalesced.
 var (
 	obsReq        = obs.NewCounter("server.req")
 	obsReply      = obs.NewCounter("server.reply")
@@ -44,12 +58,19 @@ var (
 	obsBusyCrash  = obs.NewCounter("server.busy.crash")
 	obsWorkerDead = obs.NewCounter("server.worker.crash")
 	obsConns      = obs.NewCounter("server.conns")
+	obsDisconn    = obs.NewCounter("server.disconn")
+	obsQueueDepth = obs.NewHistogram("server.queue.depth")
+	obsFlushBatch = obs.NewHistogram("server.flush.batch")
 )
 
 // chaosWorkerOp fires once per dequeued request, before execution - a
 // crash-safe point (the worker holds zero counted references between
 // requests), documented in DESIGN.md's fault model.
 var chaosWorkerOp = chaos.New("server.worker.op")
+
+// maxLine bounds one request line; longer lines are consumed and
+// answered with -ERR line too long (the connection resynchronizes).
+const maxLine = 1 << 16
 
 // Config parameterizes New. The zero value is usable: it listens on an
 // ephemeral loopback port with small defaults.
@@ -58,17 +79,20 @@ type Config struct {
 	Addr string
 
 	// Shards is the number of independent collections.Map shards; rounded
-	// up to a power of two (default 4). Sharding multiplies arena pools
-	// and pid registries, not correctness: each key maps to one shard.
+	// up to a power of two (default 4). Each shard has its own bounded
+	// request queue and its own slice of the worker pool.
 	Shards int
 
 	// Workers is the pool size - the number of goroutines that attach
-	// cdrc Threads (default 8).
+	// cdrc Threads (default 8). Worker i serves shard i mod Shards, so
+	// Workers is raised to Shards if below it (every shard needs at
+	// least one server).
 	Workers int
 
 	// MaxProcs bounds each shard's pid registry. It must leave headroom
-	// above Workers for crash respawns, because an abandoned id stays out
-	// of circulation until a survivor adopts it (default Workers+16).
+	// above the shard's workers for crash respawns, because an abandoned
+	// id stays out of circulation until a survivor adopts it (default
+	// Workers+16).
 	MaxProcs int
 
 	// ExpectedKeys sizes the table across all shards (default 1<<16).
@@ -78,9 +102,22 @@ type Config struct {
 	// slots; beyond it PUT replies -BUSY (ErrExhausted backpressure).
 	ArenaCapacity uint64
 
-	// QueueDepth bounds the request queue (default 4*Workers). A full
-	// queue sheds with -BUSY rather than blocking the connection.
+	// QueueDepth bounds each shard's request queue (default 4 * the
+	// shard's worker count, with a floor of one MaxPipeline window so a
+	// single pipelining client does not trip backpressure). A full queue
+	// sheds with -BUSY rather than blocking the connection.
 	QueueDepth int
+
+	// MaxPipeline is the per-connection pipeline window: how many
+	// requests may be in flight (parsed but not yet replied) on one
+	// connection (default 64). The window is a fixed ring of reply
+	// slots, so it also bounds per-connection memory.
+	MaxPipeline int
+
+	// FlushBatch caps how many replies the connection writer coalesces
+	// into its buffered writer before forcing a Flush (default
+	// MaxPipeline). Lower values trade throughput for per-reply latency.
+	FlushBatch int
 
 	// ScanLimit caps entries returned by one SCAN (default 4096).
 	ScanLimit int
@@ -104,14 +141,27 @@ func (c *Config) withDefaults() Config {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 8
 	}
+	if cfg.Workers < cfg.Shards {
+		cfg.Workers = cfg.Shards
+	}
 	if cfg.MaxProcs <= 0 {
 		cfg.MaxProcs = cfg.Workers + 16
 	}
 	if cfg.ExpectedKeys <= 0 {
 		cfg.ExpectedKeys = 1 << 16
 	}
+	if cfg.MaxPipeline <= 0 {
+		cfg.MaxPipeline = 64
+	}
 	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 4 * cfg.Workers
+		perShard := (cfg.Workers + cfg.Shards - 1) / cfg.Shards
+		cfg.QueueDepth = 4 * perShard
+		if cfg.QueueDepth < cfg.MaxPipeline {
+			cfg.QueueDepth = cfg.MaxPipeline
+		}
+	}
+	if cfg.FlushBatch <= 0 || cfg.FlushBatch > cfg.MaxPipeline {
+		cfg.FlushBatch = cfg.MaxPipeline
 	}
 	if cfg.ScanLimit <= 0 {
 		cfg.ScanLimit = 4096
@@ -123,12 +173,13 @@ func (c *Config) withDefaults() Config {
 type Server struct {
 	cfg    Config
 	shards []*collections.Map
+	queues []chan *slot
 	ln     net.Listener
-	reqs   chan *request
 
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
 	closing bool
+	closed  atomic.Bool
 
 	acceptDone chan struct{}
 	connWg     sync.WaitGroup
@@ -145,7 +196,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		shards:     make([]*collections.Map, cfg.Shards),
-		reqs:       make(chan *request, cfg.QueueDepth),
+		queues:     make([]chan *slot, cfg.Shards),
 		conns:      make(map[net.Conn]struct{}),
 		acceptDone: make(chan struct{}),
 	}
@@ -159,6 +210,14 @@ func New(cfg Config) (*Server, error) {
 			m.EnableDebugChecks()
 		}
 		s.shards[i] = m
+		s.queues[i] = make(chan *slot, cfg.QueueDepth)
+		q := s.queues[i]
+		obs.RegisterGauge(fmt.Sprintf("server.queue.%d", i), func() (int64, bool) {
+			if s.closed.Load() {
+				return 0, false
+			}
+			return int64(len(q)), true
+		})
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -167,7 +226,7 @@ func New(cfg Config) (*Server, error) {
 	s.ln = ln
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWg.Add(1)
-		go s.runWorker(i)
+		go s.runWorker(i, i%cfg.Shards)
 	}
 	go s.acceptLoop()
 	return s, nil
@@ -219,11 +278,47 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serveConn parses request lines and replies in order. It never blocks on
-// the worker queue: a full queue is an immediate -BUSY. At most one
-// request is in flight per connection, so the buffered reply channel
-// guarantees workers never block replying - which is what makes Close's
-// "drain connections, then drain workers" sequence deadlock-free.
+// errLineTooLong is readLine's sentinel for an oversized request line
+// that was fully consumed (the stream is resynchronized at the newline).
+var errLineTooLong = errors.New("line too long")
+
+// readLine returns the next LF-terminated line (EOL trimmed) from br.
+// An unterminated final line before EOF is returned as a line. A line
+// exceeding the reader's buffer is discarded up to its newline and
+// reported as errLineTooLong so the caller can reply -ERR and continue,
+// instead of silently dropping the connection (the bufio.Scanner
+// failure mode this replaced).
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	switch err {
+	case nil:
+		return line[:len(line)-1], nil
+	case io.EOF:
+		if len(line) > 0 {
+			return line, nil
+		}
+		return nil, io.EOF
+	case bufio.ErrBufferFull:
+		for err == bufio.ErrBufferFull {
+			_, err = br.ReadSlice('\n')
+		}
+		if err != nil {
+			return nil, err // stream died mid-discard
+		}
+		return nil, errLineTooLong
+	default:
+		return nil, err
+	}
+}
+
+// serveConn runs a connection's read half: parse request lines from raw
+// bytes, claim a ring slot, and route. Replies are completed into the
+// slot (by a worker, or inline for local/shed requests) and written in
+// request order by connWriter. The reader never blocks on a shard
+// queue - a full queue is an immediate -BUSY - and the writer never
+// blocks completers (every slot's done channel holds one buffered
+// token), which is what keeps Close's "drain connections, then workers"
+// sequence deadlock-free.
 func (s *Server) serveConn(c net.Conn) {
 	defer s.connWg.Done()
 	defer func() {
@@ -231,178 +326,319 @@ func (s *Server) serveConn(c net.Conn) {
 		delete(s.conns, c)
 		s.mu.Unlock()
 		c.Close()
+		obsDisconn.Inc(0)
 	}()
-	sc := bufio.NewScanner(c)
-	sc.Buffer(make([]byte, 0, 512), 1<<16)
-	bw := bufio.NewWriter(c)
-	reply := make(chan []byte, 1)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 {
+
+	n := s.cfg.MaxPipeline
+	slots := make([]slot, n)
+	free := make(chan *slot, n)
+	issued := make(chan *slot, n)
+	for i := range slots {
+		slots[i].done = make(chan struct{}, 1)
+		free <- &slots[i]
+	}
+	writerDone := make(chan struct{})
+	go s.connWriter(c, issued, free, writerDone)
+
+	br := bufio.NewReaderSize(c, maxLine)
+	var fields [maxFields][]byte
+	for {
+		line, err := readLine(br)
+		if err == errLineTooLong {
+			sl := <-free
+			sl.reset()
+			sl.local, sl.static = true, lineTooLong
+			sl.pending.Store(1)
+			issued <- sl
+			sl.complete(0)
 			continue
 		}
-		var resp []byte
-		switch verb := normalizeVerb(fields[0]); verb {
-		case "PING":
-			resp = linePong
-		case "STATS":
-			resp = statsReply()
+		if err != nil {
+			break
+		}
+		nf := splitFields(line, &fields)
+		if nf == 0 {
+			continue
+		}
+		sl := <-free
+		sl.reset()
+		s.dispatch(sl, fields[:min(nf, maxFields)], nf, issued)
+	}
+	close(issued)
+	<-writerDone
+}
+
+// localReply finishes a reader-completed slot (no worker involved).
+func localReply(sl *slot, issued chan<- *slot) {
+	sl.local = true
+	sl.pending.Store(1)
+	issued <- sl
+	sl.complete(0)
+}
+
+// dispatch routes one parsed request: local verbs complete inline,
+// single-shard ops go to their shard's queue, SCAN fans out to every
+// shard. The slot is sent to issued (the ordered completion ring) before
+// any queue send, so the writer sees slots in exact request order.
+func (s *Server) dispatch(sl *slot, fields [][]byte, nf int, issued chan<- *slot) {
+	verb := verbOf(fields[0])
+	badArity := func(want int) bool {
+		if nf != want+1 {
+			sl.buf = appendErr(sl.buf[:0], "%s takes %d argument(s)", fields[0], want)
+			localReply(sl, issued)
+			return true
+		}
+		return false
+	}
+	switch verb {
+	case vPing:
+		sl.static = linePong
+		localReply(sl, issued)
+	case vStats:
+		sl.buf = appendStats(sl.buf[:0])
+		localReply(sl, issued)
+	case vGet, vPut, vDel:
+		want := 1
+		if verb == vPut {
+			want = 2
+		}
+		if badArity(want) {
+			return
+		}
+		key, ok := parseUintBytes(fields[1])
+		if !ok {
+			sl.buf = appendErr(sl.buf[:0], "bad number %q", fields[1])
+			localReply(sl, issued)
+			return
+		}
+		sl.key = key
+		switch verb {
+		case vGet:
+			sl.op = opGet
+		case vDel:
+			sl.op = opDel
+		case vPut:
+			val, ok := parseUintBytes(fields[2])
+			if !ok {
+				sl.buf = appendErr(sl.buf[:0], "bad number %q", fields[2])
+				localReply(sl, issued)
+				return
+			}
+			sl.op, sl.val = opPut, val
+		}
+		sl.pending.Store(1)
+		issued <- sl
+		q := s.queues[s.shardOf(key)]
+		if obs.Enabled() {
+			obsQueueDepth.Observe(uint64(len(q)))
+		}
+		select {
+		case q <- sl:
 		default:
-			req, err := parseRequest(verb, fields)
-			if err != nil {
-				resp = errLine("%v", err)
+			sl.fail(causeQueue)
+			sl.complete(0)
+		}
+	case vScan:
+		if badArity(1) {
+			return
+		}
+		lim64, ok := parseIntBytes(fields[1])
+		if !ok {
+			sl.buf = appendErr(sl.buf[:0], "bad number %q", fields[1])
+			localReply(sl, issued)
+			return
+		}
+		sl.op = opScan
+		sl.limit = int(lim64)
+		if sl.limit <= 0 || sl.limit > s.cfg.ScanLimit {
+			sl.limit = s.cfg.ScanLimit
+		}
+		sl.ensureScan(len(s.shards))
+		sl.pending.Store(int32(len(s.shards)))
+		issued <- sl
+		for i := range s.queues {
+			select {
+			case s.queues[i] <- sl:
+			default:
+				// This shard's share is shed; the scan completes -BUSY
+				// once every other share resolves (cause is CAS-once, so
+				// exactly one shed is counted for the whole request).
+				sl.fail(causeQueue)
+				sl.complete(0)
+			}
+		}
+	default:
+		sl.buf = appendErr(sl.buf[:0], "unknown command %q", fields[0])
+		localReply(sl, issued)
+	}
+}
+
+// connWriter is the connection's write half: it consumes issued slots in
+// request order, waits for each slot's completion, and coalesces
+// consecutive completed replies into one buffered write, flushing only
+// when no further completed reply is immediately available (the ring
+// drained) or FlushBatch replies have accumulated. A lock-step client
+// therefore still gets one flush per request, while a pipelining client
+// amortizes the syscall across the window. On a broken peer it keeps
+// draining and recycling slots without writing, so workers and the
+// reader never block on a dead connection.
+func (s *Server) connWriter(c net.Conn, issued <-chan *slot, free chan<- *slot, writerDone chan<- struct{}) {
+	defer close(writerDone)
+	bw := bufio.NewWriterSize(c, 32<<10)
+	broken := false
+	for sl := range issued {
+		batch := 0
+		for sl != nil {
+			<-sl.done
+			if !broken {
+				if _, err := bw.Write(sl.payload()); err != nil {
+					broken = true
+				}
+			}
+			free <- sl
+			batch++
+			if batch >= s.cfg.FlushBatch {
 				break
 			}
-			req.reply = reply
 			select {
-			case s.reqs <- req:
-				resp = <-reply
+			case nx, ok := <-issued:
+				if !ok {
+					sl = nil // channel closed; flush and let the range exit
+					continue
+				}
+				sl = nx
 			default:
-				obsBusyQueue.Inc(0)
-				resp = lineBusy
+				sl = nil
 			}
 		}
-		if _, err := bw.Write(resp); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
+		if !broken {
+			if obs.Enabled() {
+				obsFlushBatch.Observe(uint64(batch))
+			}
+			if err := bw.Flush(); err != nil {
+				broken = true
+			}
 		}
 	}
 }
 
-// statsReply renders the length-prefixed obs JSON report. It runs on the
-// connection goroutine: obs.Snapshot touches no cdrc domain.
-func statsReply() []byte {
+// appendStats renders the length-prefixed obs JSON report. It runs on
+// the connection goroutine: obs.Snapshot touches no cdrc domain.
+func appendStats(buf []byte) []byte {
 	j, err := obs.Snapshot().JSON()
 	if err != nil {
-		return errLine("stats: %v", err)
+		return appendErr(buf, "stats: %v", err)
 	}
-	b := make([]byte, 0, len(j)+16)
-	b = append(b, '$')
-	b = strconv.AppendInt(b, int64(len(j)), 10)
-	b = append(b, '\n')
-	b = append(b, j...)
-	return append(b, '\n')
+	buf = append(buf, '$')
+	buf = strconv.AppendInt(buf, int64(len(j)), 10)
+	buf = append(buf, '\n')
+	buf = append(buf, j...)
+	return append(buf, '\n')
 }
 
 // --- worker pool -----------------------------------------------------------
 
-// runWorker keeps exactly one session alive until the request queue
-// closes; a crashed session is replaced with a fresh one (fresh pids).
-func (s *Server) runWorker(id int) {
+// runWorker keeps exactly one session alive until the shard queue
+// closes; a crashed session is replaced with a fresh one (fresh pid).
+func (s *Server) runWorker(id, shard int) {
 	defer s.workerWg.Done()
-	for s.workerSession(id) {
+	for s.workerSession(id, shard) {
 	}
 }
 
-// workerSession attaches one MapHandle per shard and serves requests.
-// It returns true when the session died to a simulated crash and should
-// be respawned, false when the queue closed (orderly drain: handles are
-// detached, flushing deferred work). A crash mid-request replies -BUSY
-// for the in-flight request and abandons every handle - announcements,
-// retired lists and arena shards stay behind for survivors (or the
-// teardown drain rounds) to adopt before the pids are reissued.
-func (s *Server) workerSession(id int) (respawn bool) {
-	handles := make([]*collections.MapHandle, len(s.shards))
-	for i, m := range s.shards {
-		handles[i] = m.Attach()
-	}
-	var cur *request
+// workerSession attaches one MapHandle to this worker's shard and serves
+// that shard's queue. It returns true when the session died to a
+// simulated crash and should be respawned, false when the queue closed
+// (orderly drain: the handle is detached, flushing deferred work). A
+// crash mid-request fails the in-flight slot to -BUSY and abandons the
+// handle — announcements, retired list and arena shard stay behind for
+// the shard's survivors (or the teardown drain rounds) to adopt before
+// the pid is reissued. Only this shard's registry is involved: a crash
+// never perturbs the other shards.
+func (s *Server) workerSession(id, shard int) (respawn bool) {
+	h := s.shards[shard].Attach()
+	var cur *slot
 	defer func() {
 		r := recover()
 		if r == nil {
-			for _, h := range handles {
-				h.Close()
-			}
+			h.Close()
 			return
 		}
 		if _, ok := r.(chaos.CrashSignal); !ok {
 			panic(r) // real bug (UAF, invariant breach): fail loudly
 		}
 		obsWorkerDead.Inc(id)
-		for _, h := range handles {
-			h.Abandon()
-		}
+		h.Abandon()
 		if cur != nil {
-			obsBusyCrash.Inc(id)
-			obsReply.Inc(id)
-			cur.reply <- lineBusy
+			cur.fail(causeCrash)
+			cur.complete(id)
 		}
 		respawn = true
 	}()
-	for req := range s.reqs {
-		cur = req
+	for sl := range s.queues[shard] {
+		cur = sl
 		chaosWorkerOp.Fire()
-		resp := s.exec(handles, id, req)
+		s.exec(h, shard, sl)
 		cur = nil
-		obsReply.Inc(id)
-		req.reply <- resp
+		sl.complete(id)
 	}
 	return false
 }
 
-// exec runs one request against this worker's shard handles and renders
-// the reply line(s).
-func (s *Server) exec(handles []*collections.MapHandle, id int, req *request) []byte {
-	obsReq.Inc(id)
-	switch req.op {
+// exec runs one request (or, for SCAN, this shard's share of one)
+// against the worker's shard handle, rendering the reply into the
+// slot's scratch. The GET/PUT/DEL path performs zero heap allocations
+// once the slot's buffers are warm.
+func (s *Server) exec(h *collections.MapHandle, shard int, sl *slot) {
+	switch sl.op {
 	case opGet:
-		if v, ok := handles[s.shardOf(req.key)].Get(req.key); ok {
-			return valLine("+VAL", v)
+		if v, ok := h.Get(sl.key); ok {
+			sl.buf = appendVal(sl.buf[:0], "+VAL", v)
+		} else {
+			sl.static = lineNil
 		}
-		return lineNil
 	case opPut:
-		old, existed, err := handles[s.shardOf(req.key)].Put(req.key, req.val)
-		if err != nil {
-			obsBusyArena.Inc(id)
-			return lineBusy
+		old, existed, err := h.Put(sl.key, sl.val)
+		switch {
+		case err != nil:
+			sl.fail(causeArena)
+		case existed:
+			sl.buf = appendVal(sl.buf[:0], "+OLD", old)
+		default:
+			sl.static = lineNew
 		}
-		if existed {
-			return valLine("+OLD", old)
-		}
-		return lineNew
 	case opDel:
-		if handles[s.shardOf(req.key)].Delete(req.key) {
-			return lineDel1
+		if h.Delete(sl.key) {
+			sl.static = lineDel1
+		} else {
+			sl.static = lineDel0
 		}
-		return lineDel0
 	case opScan:
-		limit := req.limit
-		if limit <= 0 || limit > s.cfg.ScanLimit {
-			limit = s.cfg.ScanLimit
-		}
-		var body bytes.Buffer
-		n := 0
-		for _, h := range handles {
-			if n >= limit {
-				break
-			}
-			h.Scan(limit-n, func(k, v uint64) bool {
-				fmt.Fprintf(&body, "%d %d\n", k, v)
-				n++
-				return true
-			})
-		}
-		head := make([]byte, 0, body.Len()+16)
-		head = append(head, '*')
-		head = strconv.AppendInt(head, int64(n), 10)
-		head = append(head, '\n')
-		return append(head, body.Bytes()...)
+		seg := sl.scan.segs[shard][:0]
+		n := h.Scan(sl.limit, func(k, v uint64) bool {
+			seg = strconv.AppendUint(seg, k, 10)
+			seg = append(seg, ' ')
+			seg = strconv.AppendUint(seg, v, 10)
+			seg = append(seg, '\n')
+			return true
+		})
+		sl.scan.segs[shard] = seg
+		sl.scan.ns[shard] = n
 	}
-	return errLine("internal: unknown opcode %d", req.op)
 }
 
 // --- shutdown --------------------------------------------------------------
 
 // Close shuts the server down and tears the storage engine to
-// quiescence: stop accepting, sever connections, drain the worker pool,
-// clear every shard, and run adoption/flush rounds until Live() == 0.
-// The drain rounds matter after crashes: abandoned arena shards and
-// deferred decrements are only adopted when some thread ejects or scans,
-// so Close attaches and detaches throwaway handles until everything is
-// reclaimed. A residual leak is returned as an error (UAF/leak gates in
-// cmd/cdrc-load and the tests treat it as fatal).
+// quiescence: stop accepting, sever connections (their readers exit and
+// their writers drain every in-flight slot — workers are still running,
+// so every pending completion arrives), close the shard queues, drain
+// the worker pool, clear every shard, and run adoption/flush rounds
+// until Live() == 0. The drain rounds matter after crashes: abandoned
+// arena shards and deferred decrements are only adopted when some thread
+// ejects or scans, so Close attaches and detaches throwaway handles
+// until everything is reclaimed. A residual leak is returned as an error
+// (UAF/leak gates in cmd/cdrc-load and the tests treat it as fatal).
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
@@ -418,8 +654,11 @@ func (s *Server) Close() error {
 			c.Close()
 		}
 		s.connWg.Wait()
-		close(s.reqs)
+		for _, q := range s.queues {
+			close(q)
+		}
 		s.workerWg.Wait()
+		s.closed.Store(true) // prunes the queue-depth gauges
 		const rounds = 16
 		for round := 0; round < rounds; round++ {
 			for _, m := range s.shards {

@@ -32,6 +32,34 @@ go run -race ./cmd/cdrc-load -duration 5s -conns 4
 echo "==> loopback service soak under chaos (5s, race, 1 simulated worker crash budget)"
 go run -race ./cmd/cdrc-load -duration 5s -conns 4 -chaos -chaos-seed 1 -crash-workers 1
 
+# Pipelined soaks: same conservation/integrity/leak checks with 16
+# requests in flight per connection (the ordered-completion-ring path),
+# plain and under simulated worker crashes.
+echo "==> pipelined loopback soak (5s, race, depth 16)"
+go run -race ./cmd/cdrc-load -duration 5s -conns 4 -pipeline 16 -json-out /tmp/cdrc-check-d16.json
+
+echo "==> pipelined loopback soak under chaos (5s, race, depth 16, 2 simulated worker crashes)"
+go run -race ./cmd/cdrc-load -duration 5s -conns 4 -pipeline 16 -chaos -chaos-seed 1 -crash-workers 2
+
+# Pipelining throughput gate: depth-16 must beat depth-1 lock-step by a
+# comfortable margin (the acceptance bar is 2x; we gate at 1.5x to stay
+# robust on loaded CI machines). Uses the race-free binary so the ratio
+# reflects the protocol, not the race detector.
+echo "==> pipelining throughput gate (depth 16 vs depth 1, no race)"
+go run ./cmd/cdrc-load -duration 3s -conns 4 -pipeline 1 -json-out /tmp/cdrc-check-d1.json >/dev/null
+go run ./cmd/cdrc-load -duration 3s -conns 4 -pipeline 16 -json-out /tmp/cdrc-check-d16.json >/dev/null
+ops_per_sec() {
+    awk -F'[:,]' '/"opsPerSec"/ {gsub(/[ "]/, "", $2); print $2}' "$1"
+}
+d1=$(ops_per_sec /tmp/cdrc-check-d1.json)
+d16=$(ops_per_sec /tmp/cdrc-check-d16.json)
+echo "    depth-1 ${d1} ops/s, depth-16 ${d16} ops/s"
+awk -v d1="$d1" -v d16="$d16" 'BEGIN {
+    if (d1 + 0 <= 0 || d16 + 0 <= 0) { print "    gate error: missing ops_per_sec"; exit 1 }
+    if (d16 < 1.5 * d1) { printf "    FAIL: depth-16 only %.2fx depth-1, want >= 1.5x\n", d16/d1; exit 1 }
+    printf "    OK: depth-16 is %.2fx depth-1\n", d16/d1
+}'
+
 # Overhead gate: with observability compiled in but disabled, every
 # instrumented hot path adds one atomic nil-load. Compare Fig. 6a DRC
 # throughput of the normal build (obs present, disarmed) against the

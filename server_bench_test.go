@@ -1,0 +1,75 @@
+package cdrc_test
+
+// BenchmarkServerPipelined lives in an external test package because
+// internal/server (via collections) depends on the root cdrc package.
+
+import (
+	"fmt"
+	"testing"
+
+	"cdrc/internal/server"
+)
+
+// BenchmarkServerPipelined measures the internal/server loopback hot
+// path (GET on resident keys) at pipeline depth 1 (lock-step round
+// trips, the pre-pipeline behaviour) and depth 16 (the pipelined
+// protocol): ns/op is one request's share of the wall clock, and
+// -benchmem shows the per-request allocation count, which must be ~0 at
+// depth 16 on the warmed path. cmd/cdrc-load drives the same comparison
+// at soak scale.
+func BenchmarkServerPipelined(b *testing.B) {
+	for _, depth := range []int{1, 16} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			srv, err := server.New(server.Config{Shards: 4, Workers: 4, ExpectedKeys: 1 << 12})
+			if err != nil {
+				b.Fatalf("server.New: %v", err)
+			}
+			defer srv.Close()
+			cl, err := server.Dial(srv.Addr())
+			if err != nil {
+				b.Fatalf("Dial: %v", err)
+			}
+			defer cl.Close()
+			const nKeys = 1024
+			for k := uint64(0); k < nKeys; k++ {
+				if _, _, err := cl.Put(k, k*3); err != nil {
+					b.Fatalf("seed Put: %v", err)
+				}
+			}
+			var batch server.Batch
+			results := make([]server.Result, 0, depth)
+			// Warm the per-connection ring and client buffers.
+			for i := 0; i < 4; i++ {
+				batch.Reset()
+				for j := 0; j < depth; j++ {
+					batch.Get(uint64(j))
+				}
+				if results, err = cl.DoBatch(&batch, results[:0]); err != nil {
+					b.Fatalf("warmup DoBatch: %v", err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; {
+				batch.Reset()
+				n := depth
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				for j := 0; j < n; j++ {
+					batch.Get(uint64((i + j) % nKeys))
+				}
+				results, err = cl.DoBatch(&batch, results[:0])
+				if err != nil {
+					b.Fatalf("DoBatch: %v", err)
+				}
+				i += n
+			}
+			b.StopTimer()
+			elapsed := b.Elapsed().Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed/1e3, "kops/s")
+			}
+		})
+	}
+}
