@@ -137,9 +137,10 @@ func WithNormalizer(f func(uint64) uint64) Option {
 // retired lists taken, and before the id is reinstated for reuse. Layers
 // stacked on the domain use it to evacuate their own per-processor state
 // bound to the same id space - the core library drains the dead
-// processor's arena free lists here, so an id is never reissued while its
-// free lists are non-empty. The hook runs on the adopting goroutine with
-// the domain's adoption lock held; it must not call back into the domain.
+// processor's arena magazines (active and spare) to the global block
+// stack here, so an id is never reissued while its magazines are
+// non-empty. The hook runs on the adopting goroutine with the domain's
+// adoption lock held; it must not call back into the domain.
 func WithAdoptHook(f func(procID int)) Option {
 	return func(c *config) { c.adoptHook = f }
 }

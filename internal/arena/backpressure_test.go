@@ -77,19 +77,24 @@ func TestStatsHighWaterAndOccupancy(t *testing.T) {
 	if st.Live != 0 {
 		t.Fatalf("Live = %d at quiescence", st.Live)
 	}
-	if len(st.FreeLocal) != 3 {
-		t.Fatalf("FreeLocal has %d shards, want 3", len(st.FreeLocal))
+	perProc := p.FreeLocalPerProc()
+	if len(perProc) != 3 {
+		t.Fatalf("FreeLocalPerProc has %d shards, want 3", len(perProc))
 	}
-	// Conservation: every carved slot is live, on a local list, or global.
-	sum := int64(st.FreeGlobal)
-	for _, n := range st.FreeLocal {
-		sum += int64(n)
-	}
+	// Conservation: every carved slot is live, in a magazine, or global.
+	sum := int64(st.FreeGlobal) + int64(st.FreeLocal)
 	if sum+st.Live != int64(st.Slots) {
 		t.Fatalf("slot conservation violated: %d free + %d live != %d carved", sum, st.Live, st.Slots)
 	}
-	if st.FreeLocal[1] == 0 {
-		t.Fatal("shard 1 freed 200 slots but reports empty free list")
+	perSum := 0
+	for _, n := range perProc {
+		perSum += n
+	}
+	if perSum != st.FreeLocal {
+		t.Fatalf("FreeLocal %d != summed per-proc occupancy %d", st.FreeLocal, perSum)
+	}
+	if perProc[1] == 0 {
+		t.Fatal("shard 1 freed 200 slots but reports empty magazines")
 	}
 }
 
@@ -140,11 +145,7 @@ func TestRecyclingNeverResurrectsLiveHeader(t *testing.T) {
 	if st.Live != 0 {
 		t.Fatalf("leaked %d slots", st.Live)
 	}
-	sum := int64(st.FreeGlobal)
-	for _, n := range st.FreeLocal {
-		sum += int64(n)
-	}
-	if sum != int64(st.Slots) {
+	if sum := int64(st.FreeGlobal) + int64(st.FreeLocal); sum != int64(st.Slots) {
 		t.Fatalf("conservation at quiescence: %d free != %d carved", sum, st.Slots)
 	}
 }
@@ -159,16 +160,17 @@ func TestDrainLocalMovesShardToGlobal(t *testing.T) {
 		p.Free(1, h)
 	}
 	before := p.Stats()
-	if before.FreeLocal[1] == 0 {
+	beforeLocal := p.FreeLocalPerProc()[1]
+	if beforeLocal == 0 {
 		t.Fatal("shard 1 unexpectedly empty before drain")
 	}
 	p.DrainLocal(1)
 	after := p.Stats()
-	if after.FreeLocal[1] != 0 {
-		t.Fatalf("DrainLocal left %d slots on shard 1", after.FreeLocal[1])
+	if got := p.FreeLocalPerProc()[1]; got != 0 {
+		t.Fatalf("DrainLocal left %d slots on shard 1", got)
 	}
-	if after.FreeGlobal != before.FreeGlobal+before.FreeLocal[1] {
-		t.Fatalf("global chain gained %d, want %d", after.FreeGlobal-before.FreeGlobal, before.FreeLocal[1])
+	if after.FreeGlobal != before.FreeGlobal+beforeLocal {
+		t.Fatalf("global stack gained %d, want %d", after.FreeGlobal-before.FreeGlobal, beforeLocal)
 	}
 	// Another processor can allocate the drained slots.
 	if _, err := p.TryAlloc(0); err != nil {
@@ -222,11 +224,7 @@ func TestChaosShuffleKeepsConservation(t *testing.T) {
 	if st.Live != 0 {
 		t.Fatalf("leaked %d slots under chaos", st.Live)
 	}
-	sum := int64(st.FreeGlobal)
-	for _, n := range st.FreeLocal {
-		sum += int64(n)
-	}
-	if sum != int64(st.Slots) {
+	if sum := int64(st.FreeGlobal) + int64(st.FreeLocal); sum != int64(st.Slots) {
 		t.Fatalf("conservation under chaos: %d free != %d carved", sum, st.Slots)
 	}
 }

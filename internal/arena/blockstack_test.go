@@ -1,0 +1,254 @@
+package arena
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// walkMagazine counts the slots reachable from m's head, bounded by limit,
+// and reports each visited index to visit (which may be nil). The caller
+// must own m exclusively.
+func walkMagazine[T any](p *Pool[T], m magazine, limit int, visit func(uint64)) int {
+	n := 0
+	for idx := m.head; idx != 0 && n < limit; idx = p.slotFor(idx).hdr.nextFree {
+		if visit != nil {
+			visit(idx)
+		}
+		n++
+	}
+	return n
+}
+
+func TestBlockStackPushPopLIFO(t *testing.T) {
+	p := NewPool[uint64](1)
+	var heads []uint64
+	for i := 0; i < 3; i++ {
+		m, ok := p.carveBlock()
+		if !ok || m.count != blockSize {
+			t.Fatalf("carveBlock = %+v, %v", m, ok)
+		}
+		heads = append(heads, m.head)
+		p.pushBlock(m)
+	}
+	if got := int(p.blocksN.Load()); got != 3*blockSize {
+		t.Fatalf("blocksN = %d after 3 pushes, want %d", got, 3*blockSize)
+	}
+	for i := 2; i >= 0; i-- {
+		m, ok := p.popBlock()
+		if !ok {
+			t.Fatalf("popBlock empty with %d blocks expected", i+1)
+		}
+		if m.head != heads[i] || m.count != blockSize {
+			t.Fatalf("popped {head %d, count %d}, want {head %d, count %d} (LIFO)",
+				m.head, m.count, heads[i], blockSize)
+		}
+		if n := walkMagazine(p, m, m.count+1, nil); n != m.count {
+			t.Fatalf("block chain has %d reachable slots, descriptor says %d", n, m.count)
+		}
+	}
+	if _, ok := p.popBlock(); ok {
+		t.Fatal("popBlock succeeded on an empty stack")
+	}
+	if got := p.blocksN.Load(); got != 0 {
+		t.Fatalf("blocksN = %d on an empty stack", got)
+	}
+}
+
+// TestBlockStackConcurrentTransfers hammers the Treiber stack's ABA guard:
+// workers race to pop a block, walk its chain while holding exclusive
+// ownership, and push it back. A stale-head CAS that wrongly succeeded
+// would splice chains together or resurrect a popped block, which the
+// per-round chain walks and the final distinct-slot sweep would detect.
+func TestBlockStackConcurrentTransfers(t *testing.T) {
+	const workers = 8
+	const rounds = 5000
+	p := NewPool[uint64](workers)
+	total := 0
+	for i := 0; i < 2*workers; i++ {
+		m, ok := p.carveBlock()
+		if !ok {
+			t.Fatal("carveBlock failed on an unbounded pool")
+		}
+		total += m.count
+		p.pushBlock(m)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				m, ok := p.popBlock()
+				if !ok {
+					continue // transiently drained by the other workers
+				}
+				if n := walkMagazine(p, m, m.count+1, nil); n != m.count {
+					t.Errorf("popped block: %d reachable slots, descriptor says %d", n, m.count)
+					return
+				}
+				p.pushBlock(m)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := int(p.blocksN.Load()); got != total {
+		t.Fatalf("blocksN = %d at quiescence, want %d", got, total)
+	}
+	seen := make(map[uint64]bool, total)
+	for {
+		m, ok := p.popBlock()
+		if !ok {
+			break
+		}
+		walkMagazine(p, m, m.count+1, func(idx uint64) {
+			if seen[idx] {
+				t.Fatalf("slot %d appears in two blocks", idx)
+			}
+			seen[idx] = true
+		})
+	}
+	if len(seen) != total {
+		t.Fatalf("recovered %d distinct slots from the stack, want %d", len(seen), total)
+	}
+}
+
+// TestMagazineSpareHysteresis: alloc/free ping-pong across a block
+// boundary must bounce between the active and spare magazines without any
+// global-stack traffic.
+func TestMagazineSpareHysteresis(t *testing.T) {
+	p := NewPool[uint64](1)
+	var hs []Handle
+	for i := 0; i < 2*blockSize; i++ {
+		hs = append(hs, p.Alloc(0))
+	}
+	for _, h := range hs {
+		p.Free(0, h)
+	}
+	global := p.Stats().FreeGlobal
+	for i := 0; i < 10*blockSize; i++ {
+		h := p.Alloc(0)
+		p.Free(0, h)
+	}
+	if got := p.Stats().FreeGlobal; got != global {
+		t.Fatalf("local ping-pong leaked block traffic to the global stack: %d -> %d", global, got)
+	}
+}
+
+// TestDrainLocalPushesBothMagazines is the abandonment-adoption contract
+// at arena level: a dead processor's active AND spare magazines must both
+// reach the global stack, leaving nothing stranded, and the drained slots
+// must be allocatable by another processor without fresh carving.
+func TestDrainLocalPushesBothMagazines(t *testing.T) {
+	p := NewPool[uint64](2)
+	p.DebugChecks = true
+	var hs []Handle
+	for i := 0; i < 100; i++ {
+		hs = append(hs, p.Alloc(1))
+	}
+	// Keep 10 live so conservation has a live component; free the rest.
+	for _, h := range hs[10:] {
+		p.Free(1, h)
+	}
+	// 90 frees: the first 36 fill the partially consumed active magazine
+	// to a full block, which parks as the spare; the remaining 54 land in
+	// a fresh active magazine.
+	pc := &p.local[1]
+	if pc.spare.count == 0 || pc.active.count == 0 {
+		t.Fatalf("setup: want both magazines populated, have active=%d spare=%d",
+			pc.active.count, pc.spare.count)
+	}
+	localBefore := p.FreeLocalPerProc()[1]
+	globalBefore := p.Stats().FreeGlobal
+
+	p.DrainLocal(1)
+
+	if got := p.FreeLocalPerProc()[1]; got != 0 {
+		t.Fatalf("DrainLocal stranded %d slots in the dead processor's magazines", got)
+	}
+	st := p.Stats()
+	if st.FreeGlobal != globalBefore+localBefore {
+		t.Fatalf("global stack gained %d slots, want %d", st.FreeGlobal-globalBefore, localBefore)
+	}
+	if sum := int64(st.FreeGlobal) + int64(st.FreeLocal); sum+st.Live != int64(st.Slots) {
+		t.Fatalf("conservation after drain: %d free + %d live != %d carved", sum, st.Live, st.Slots)
+	}
+	// Freeze capacity: processor 0 may only recycle, never carve, so every
+	// drained slot must be reachable through the global stack.
+	p.SetCapacity(st.Slots)
+	for i := int64(0); i < int64(st.Slots)-st.Live; i++ {
+		if _, err := p.TryAlloc(0); err != nil {
+			t.Fatalf("TryAlloc %d/%d after drain: %v", i, int64(st.Slots)-st.Live, err)
+		}
+	}
+	if _, err := p.TryAlloc(0); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("pool over-delivered: %v", err)
+	}
+}
+
+// TestCappedPoolLastBlockFirstAsker: when capacity allows exactly one
+// block, whichever processor allocates first owns the whole block (block
+// transfer is all-or-nothing), and the loser sees ErrExhausted until the
+// winner's slots are drained back to the global stack.
+func TestCappedPoolLastBlockFirstAsker(t *testing.T) {
+	p := NewPool[uint64](2)
+	p.SetCapacity(blockSize)
+
+	h, err := p.TryAlloc(0)
+	if err != nil {
+		t.Fatalf("first asker failed: %v", err)
+	}
+	if got := p.FreeLocalPerProc()[0]; got != blockSize-1 {
+		t.Fatalf("first asker's magazine holds %d slots, want the whole block minus one (%d)",
+			got, blockSize-1)
+	}
+	if _, err := p.TryAlloc(1); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("second processor got %v, want ErrExhausted while the block is privately held", err)
+	}
+	// Even after the winner frees everything, the slots park in its own
+	// magazines; only a drain (abandonment adoption) republishes them.
+	p.Free(0, h)
+	if _, err := p.TryAlloc(1); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("second processor got %v before the winner's magazines were drained", err)
+	}
+	p.DrainLocal(0)
+	if _, err := p.TryAlloc(1); err != nil {
+		t.Fatalf("TryAlloc after drain: %v", err)
+	}
+}
+
+// TestLiveHighWaterExactUnderConcurrency: with the CAS max-loop the peak
+// is exact, not a lower bound. All workers hold their slots across a
+// barrier, so the true peak is exactly procs*hold, and the last allocation
+// to land must have recorded it.
+func TestLiveHighWaterExactUnderConcurrency(t *testing.T) {
+	const procs = 8
+	const hold = 50
+	for round := 0; round < 20; round++ {
+		p := NewPool[uint64](procs)
+		var held sync.WaitGroup
+		held.Add(procs)
+		var wg sync.WaitGroup
+		for w := 0; w < procs; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				hs := make([]Handle, hold)
+				for i := range hs {
+					hs[i] = p.Alloc(id)
+				}
+				held.Done()
+				held.Wait() // every worker holds `hold` slots right now
+				for _, h := range hs {
+					p.Free(id, h)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got := p.Stats().LiveHighWater; got != procs*hold {
+			t.Fatalf("round %d: LiveHighWater = %d, want exactly %d", round, got, procs*hold)
+		}
+	}
+}

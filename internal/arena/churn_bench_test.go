@@ -1,0 +1,84 @@
+package arena
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// BenchmarkArenaChurn is the allocator's contention benchmark: P workers in
+// a ring, each allocating a multi-block batch on its own processor id,
+// handing the batch to its neighbour, and freeing the batch it receives on
+// its own id. Every slot crosses processors between Alloc and Free, and the
+// batch deliberately exceeds the per-processor cache (it spans several
+// allocator blocks), so each cycle swings the local free state empty-full
+// and forces continuous traffic through the allocator's transfer path
+// (slot-at-a-time refill/flush under growMu on the seed allocator, O(1)
+// whole-block push/pop on the block-transfer allocator). procs=1 runs the
+// same swing single-threaded: local ping-pong plus self-transfer traffic.
+//
+// scripts/check.sh gates on this benchmark against the seed recording in
+// results/BENCH_arena.json: 8-proc throughput must be >= 1.5x the seed,
+// 1-proc within 10%.
+func BenchmarkArenaChurn(b *testing.B) {
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			benchChurn(b, procs)
+		})
+	}
+}
+
+// benchChurn reports ns per alloc+free pair. Handle batches travel the ring
+// in pre-allocated buffers so the measured loop performs no Go allocation.
+func benchChurn(b *testing.B, procs int) {
+	const batch = 256 // four allocator blocks per hop
+	p := NewPool[payload](procs)
+	rings := make([]chan []Handle, procs)
+	for i := range rings {
+		rings[i] = make(chan []Handle, 2)
+	}
+	iters := b.N / (procs * batch)
+	if iters == 0 {
+		iters = 1
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			buf := make([]Handle, batch)
+			next := rings[(id+1)%procs]
+			for i := 0; i < iters; i++ {
+				for j := range buf {
+					buf[j] = p.Alloc(id)
+				}
+				next <- buf
+				buf = <-rings[id]
+				for _, h := range buf {
+					p.Free(id, h)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	// One batch per worker is still in flight when its sender exits; drain
+	// so the pool quiesces (keeps -benchtime 1x runs leak-free too).
+	for i := range rings {
+		for {
+			select {
+			case buf := <-rings[i]:
+				for _, h := range buf {
+					p.Free(i, h)
+				}
+				continue
+			default:
+			}
+			break
+		}
+	}
+	if got := p.Live(); got != 0 {
+		b.Fatalf("Live = %d at quiescence", got)
+	}
+}

@@ -22,8 +22,9 @@ var ErrExhausted = errors.New("arena: pool exhausted")
 // Fault-injection points (inert single atomic loads unless an injector is
 // installed; see internal/chaos). arena.alloc stalls allocations and - for
 // TryAlloc only - forces typed failures; arena.free stalls the poisoning
-// window; arena.refill deterministically shuffles just-refilled free lists
-// to maximize handle-reuse/ABA pressure.
+// window; arena.refill deterministically permutes the magazine a processor
+// has just acquired (from the global block stack or a fresh carve) to
+// maximize handle-reuse/ABA pressure.
 var (
 	chaosAlloc  = chaos.New("arena.alloc")
 	chaosFree   = chaos.New("arena.free")
@@ -47,8 +48,18 @@ const (
 	chunkSize  = 1 << chunkShift
 	chunkMask  = chunkSize - 1
 
-	// refill/flush batch size for the per-processor free lists.
-	freeBatch = 64
+	// blockSize is the transfer granularity of the allocator: free slots
+	// are grouped into blocks of up to blockSize indices (chained through
+	// their headers' nextFree fields), and all traffic between processors
+	// and the shared pool moves whole blocks in O(1).
+	blockSize = 64
+
+	// blockIdxBits is the width of a slot index inside the block stack's
+	// packed words. 40 bits matches the Handle index budget (DESIGN.md
+	// §1); the remaining 24 high bits hold the ABA tag of the stack head
+	// or the slot count of a block descriptor.
+	blockIdxBits = 40
+	blockIdxMask = 1<<blockIdxBits - 1
 
 	// Header state magics. Anything else in the state word means the
 	// header itself has been corrupted.
@@ -60,7 +71,7 @@ const (
 // value. It plays the role of the C++ library's control block: the
 // reference-counting schemes keep their counter here, and the era-based SMR
 // schemes (IBR, HE) stamp birth and retire eras here. The allocator itself
-// uses only state and nextFree.
+// uses only state, nextFree, and blockMeta.
 type Header struct {
 	state atomic.Uint32
 	_     uint32
@@ -79,8 +90,18 @@ type Header struct {
 	BirthEra  atomic.Uint64
 	RetireEra atomic.Uint64
 
-	// nextFree chains free slots. Valid only while state == stateFree.
+	// nextFree chains free slots within a block (and within a processor's
+	// magazines). Valid only while state == stateFree; touched only by the
+	// slot's current owner.
 	nextFree uint64
+
+	// blockMeta is the block descriptor, valid only while this slot heads
+	// a block on the global stack: bits 0..39 hold the next block's head
+	// index, bits 40.. hold this block's slot count. It is atomic because
+	// a racing popBlock may read it after the block has already been
+	// popped and handed to a new owner; the stack head's ABA tag makes
+	// such stale reads harmless, but they must still be data-race-free.
+	blockMeta atomic.Uint64
 }
 
 // Live reports whether the header belongs to a currently allocated slot.
@@ -98,15 +119,26 @@ type chunk[T any] struct {
 	slots [chunkSize]slot[T]
 }
 
-// freeList is a per-processor stack of free slot indices, chained through
-// the slots' nextFree fields. The chain is touched only by its owning
-// processor (or, for an abandoned processor, by the single adopter draining
-// it); count is atomic only so Stats can observe occupancy from other
-// goroutines. The pad defeats false sharing.
-type freeList struct {
+// magazine is a chain of free slot indices linked through the slots'
+// nextFree fields, owned exclusively by one processor (or, in flight, by
+// the single goroutine pushing or popping it on the block stack).
+type magazine struct {
 	head  uint64
-	count atomic.Int64
-	_     [128 - 16]byte
+	count int
+}
+
+// procCache is one processor's private allocation cache: an active
+// magazine served by the fast path and a spare that buffers one full block
+// of hysteresis, so alloc/free ping-pong at a block boundary never touches
+// the shared stack. Both magazines are touched only by the owning
+// processor (or by the single adopter draining an abandoned one); n mirrors
+// their summed occupancy atomically so Stats can observe it from other
+// goroutines. The pad defeats false sharing.
+type procCache struct {
+	active magazine
+	spare  magazine
+	n      atomic.Int64
+	_      [128 - 48]byte
 }
 
 // Stats is a snapshot of a pool's allocation counters.
@@ -117,19 +149,20 @@ type Stats struct {
 	Slots  uint64 // slots ever carved out of chunks (capacity high-water)
 
 	// LiveHighWater is the largest Live value observed by any allocation.
-	// It is maintained with unsynchronized load/store pairs, so under
-	// concurrency it is a close lower bound on the true peak; it is exact
-	// at quiescence.
+	// It is maintained with a CAS max-loop, so it is exact even under
+	// concurrent allocation.
 	LiveHighWater int64
 
 	// Capacity is the configured slot cap (0 = unbounded).
 	Capacity uint64
 
-	// FreeLocal is the per-processor free-list occupancy, indexed by
-	// processor id. Entries of abandoned-and-drained processors are zero.
-	FreeLocal []int
+	// FreeLocal is the summed occupancy of every processor's magazines.
+	// Per-processor figures are available from Pool.FreeLocalPerProc
+	// (which allocates; this field deliberately does not, because the obs
+	// gauges snapshot Stats on every interval).
+	FreeLocal int
 
-	// FreeGlobal is the occupancy of the shared overflow free chain.
+	// FreeGlobal is the occupancy of the shared stack of free blocks.
 	FreeGlobal int
 }
 
@@ -137,20 +170,33 @@ type Stats struct {
 // Alloc and Free are safe for concurrent use by distinct processors;
 // Get and Hdr are safe for concurrent use by anyone holding a protected
 // handle. The zero Pool is not usable; create one with NewPool.
+//
+// Allocation is constant-time with no locks on every path except carving
+// fresh capacity: the fast path pops the calling processor's active
+// magazine, and the slow path transfers one whole block between the
+// processor and a lock-free Treiber stack of blocks (ABA-guarded by a
+// 24-bit tag in the packed head word). growMu is taken only when the
+// global stack is empty and fresh slots must be carved from chunks.
 type Pool[T any] struct {
 	chunks atomic.Pointer[[]*chunk[T]]
 
-	growMu      sync.Mutex
-	nextFresh   uint64 // next never-allocated index; index 0 is reserved
-	globalFree  uint64
-	globalFreeN int
-	capSlots    uint64 // max slots ever carved; 0 = unbounded. Guarded by growMu.
+	// blocks is the global stack of free blocks: tag<<blockIdxBits | head
+	// slot index of the top block (0 = empty). Every successful push or
+	// pop increments the tag, so a CAS by a thread holding a stale head
+	// can never succeed (the ABA guard). blocksN mirrors the stack's slot
+	// occupancy for Stats.
+	blocks  atomic.Uint64
+	blocksN atomic.Int64
 
-	free []freeList
+	growMu    sync.Mutex
+	nextFresh uint64 // next never-allocated index; index 0 is reserved
+	capSlots  uint64 // max slots ever carved; 0 = unbounded. Guarded by growMu.
+
+	local []procCache
 
 	allocs atomic.Uint64
 	frees  atomic.Uint64
-	liveHW atomic.Int64 // racy-monotone peak of allocs-frees
+	liveHW atomic.Int64 // exact monotone peak of allocs-frees (CAS max-loop)
 
 	// DebugChecks enables poisoned-header verification on every Get and
 	// Hdr. Tests turn this on; benchmarks leave it off. It must be set
@@ -166,7 +212,7 @@ func NewPool[T any](maxProcs int) *Pool[T] {
 	}
 	p := &Pool[T]{
 		nextFresh: 1, // index 0 reserved so Handle(0) is unambiguously nil
-		free:      make([]freeList, maxProcs),
+		local:     make([]procCache, maxProcs),
 	}
 	chunks := make([]*chunk[T], 0, 8)
 	p.chunks.Store(&chunks)
@@ -180,14 +226,10 @@ func NewPool[T any](maxProcs int) *Pool[T] {
 			return obs.PoolGauges{}, false
 		}
 		st := q.Stats()
-		local := 0
-		for _, n := range st.FreeLocal {
-			local += n
-		}
 		return obs.PoolGauges{
 			Allocs: st.Allocs, Frees: st.Frees, Live: st.Live, Slots: st.Slots,
 			LiveHighWater: st.LiveHighWater, Capacity: st.Capacity,
-			FreeLocal: local, FreeGlobal: st.FreeGlobal,
+			FreeLocal: st.FreeLocal, FreeGlobal: st.FreeGlobal,
 		}, true
 	})
 	return p
@@ -244,7 +286,7 @@ func (p *Pool[T]) SetCapacity(slots uint64) {
 
 // Alloc carves a fresh slot out of the arena (or recycles a freed one) and
 // returns its unmarked handle. The slot's value and header counters are
-// zeroed. pid identifies the calling processor's free list. Alloc cannot
+// zeroed. pid identifies the calling processor's magazines. Alloc cannot
 // fail: exhaustion of a capacity-capped pool panics, and a chaos fault
 // fired at "arena.alloc" panics too - consuming the hit without effect
 // would desynchronize the deterministic (seed, point, hit) schedule
@@ -262,8 +304,8 @@ func (p *Pool[T]) Alloc(procID int) Handle {
 }
 
 // TryAlloc is Alloc with graceful failure: it returns ErrExhausted when
-// the pool's capacity cap leaves no slot reachable from procID's free
-// lists, or when a chaos fault at "arena.alloc" forces the failure. On
+// the pool's capacity cap leaves no slot reachable from procID's
+// magazines, or when a chaos fault at "arena.alloc" forces the failure. On
 // failure the pool is unchanged and the caller is expected to back off.
 func (p *Pool[T]) TryAlloc(procID int) (Handle, error) {
 	if chaosAlloc.Fire() {
@@ -276,49 +318,70 @@ func (p *Pool[T]) TryAlloc(procID int) (Handle, error) {
 	return FromIndex(idx), nil
 }
 
-// takeSlot pops a slot from procID's free list (refilling it first if
-// empty), initializes its header, and records the allocation. It reports
-// false when the refill could not produce a slot (capacity-capped pool
-// with nothing recyclable).
+// takeSlot pops a slot from procID's active magazine (falling back to the
+// spare, then to a whole-block refill), initializes its header, and records
+// the allocation. It reports false when no block could be produced
+// (capacity-capped pool with nothing recyclable).
 func (p *Pool[T]) takeSlot(procID int) (uint64, bool) {
-	fl := &p.free[procID]
-	if fl.count.Load() == 0 {
-		p.refill(fl)
-		if fl.count.Load() == 0 {
+	pc := &p.local[procID]
+	if pc.active.count == 0 {
+		if pc.spare.count > 0 {
+			pc.active, pc.spare = pc.spare, pc.active
+		} else if !p.refill(pc) {
 			return 0, false
 		}
 	}
-	idx := fl.head
+	idx := pc.active.head
 	s := p.slotFor(idx)
-	fl.head = s.hdr.nextFree
-	fl.count.Add(-1)
+	pc.active.head = s.hdr.nextFree
+	pc.active.count--
+	pc.n.Add(-1)
 
 	if st := s.hdr.state.Load(); st == stateLive {
 		panic(fmt.Sprintf("arena: free list corruption: slot %d already live", idx))
 	}
 	var zero T
 	s.val = zero
-	s.hdr.RefCount.Store(0)
-	s.hdr.WeakCount.Store(0)
-	s.hdr.BirthEra.Store(0)
-	s.hdr.RetireEra.Store(0)
-	s.hdr.nextFree = 0
-	s.hdr.state.Store(stateLive)
+	// Header counters must read 0 on a fresh slot, but most recycled slots
+	// already satisfy that (a refcount is zero when its object dies), so
+	// test before writing: the loads are plain reads while the stores are
+	// full atomic exchanges on the hot path.
+	hdr := &s.hdr
+	if hdr.RefCount.Load() != 0 {
+		hdr.RefCount.Store(0)
+	}
+	if hdr.WeakCount.Load() != 0 {
+		hdr.WeakCount.Store(0)
+	}
+	if hdr.BirthEra.Load() != 0 {
+		hdr.BirthEra.Store(0)
+	}
+	if hdr.RetireEra.Load() != 0 {
+		hdr.RetireEra.Store(0)
+	}
+	hdr.nextFree = 0
+	hdr.state.Store(stateLive)
 
 	live := int64(p.allocs.Add(1)) - int64(p.frees.Load())
-	if live > p.liveHW.Load() {
-		p.liveHW.Store(live)
+	for {
+		cur := p.liveHW.Load()
+		if live <= cur || p.liveHW.CompareAndSwap(cur, live) {
+			break
+		}
 	}
 	obsAlloc.Inc(procID)
 	return idx, true
 }
 
-// Free returns the slot addressed by h to the arena. It panics on nil
-// handles and on double frees. The slot's header is poisoned so that a
-// subsequent checked Get fails, and the value is left in place: readers
-// racing with Free are exactly the read-reclaim races the algorithms under
-// test must prevent, and leaving the stale value visible makes such bugs
-// reproducible rather than silently masked.
+// Free returns the slot addressed by h to the calling processor's active
+// magazine; when that magazine completes a full block it is parked as the
+// spare or, if the spare is already full, pushed onto the global block
+// stack in O(1). Free takes no locks. It panics on nil handles and on
+// double frees. The slot's header is poisoned so that a subsequent checked
+// Get fails, and the value is left in place: readers racing with Free are
+// exactly the read-reclaim races the algorithms under test must prevent,
+// and leaving the stale value visible makes such bugs reproducible rather
+// than silently masked.
 func (p *Pool[T]) Free(procID int, h Handle) {
 	idx := h.Index()
 	if idx == 0 {
@@ -332,58 +395,121 @@ func (p *Pool[T]) Free(procID int, h Handle) {
 	p.frees.Add(1)
 	obsFree.Inc(procID)
 
-	fl := &p.free[procID]
-	s.hdr.nextFree = fl.head
-	fl.head = idx
-	if fl.count.Add(1) >= 2*freeBatch {
-		p.flush(fl)
+	pc := &p.local[procID]
+	s.hdr.nextFree = pc.active.head
+	pc.active.head = idx
+	pc.active.count++
+	pc.n.Add(1)
+	if pc.active.count == blockSize {
+		if pc.spare.count == 0 {
+			pc.active, pc.spare = magazine{}, pc.active
+		} else {
+			pc.n.Add(-blockSize)
+			p.pushBlock(pc.active)
+			pc.active = magazine{}
+		}
 	}
 }
 
-// refill moves a batch of free slots from the global pool (or fresh
-// capacity, up to any configured cap) onto fl. Called with fl.count == 0;
-// may return with fewer than freeBatch slots - or none - when the pool is
-// capacity-capped.
-func (p *Pool[T]) refill(fl *freeList) {
-	p.growMu.Lock()
-	// First drain recycled slots from the global free chain.
-	for p.globalFreeN > 0 && fl.count.Load() < freeBatch {
-		idx := p.globalFree
-		s := p.slotFor(idx)
-		p.globalFree = s.hdr.nextFree
-		p.globalFreeN--
-		s.hdr.nextFree = fl.head
-		fl.head = idx
-		fl.count.Add(1)
+// refill installs a fresh active magazine in pc: one whole block popped
+// from the global stack in O(1), or - only when the stack is empty - a
+// block of fresh slots carved from chunk capacity under growMu. Called
+// with pc.active empty; reports false when the pool is capacity-capped
+// with nothing recyclable. A chaos fault at "arena.refill" permutes the
+// incoming magazine (deterministically in the schedule seed) to maximize
+// the variety of handle-reuse interleavings.
+func (p *Pool[T]) refill(pc *procCache) bool {
+	m, ok := p.popBlock()
+	if !ok {
+		if m, ok = p.carveBlock(); !ok {
+			return false
+		}
 	}
-	// Then carve fresh indices, growing the chunk directory as needed.
-	for fl.count.Load() < freeBatch && (p.capSlots == 0 || p.nextFresh-1 < p.capSlots) {
+	pc.active = m
+	pc.n.Add(int64(m.count))
+	if seed, ok := chaosRefill.FireSeed(); ok {
+		p.shuffleMagazine(&pc.active, seed)
+	}
+	return true
+}
+
+// pushBlock pushes a magazine onto the global block stack: its head slot's
+// header becomes the block descriptor (count + next-block link), and one
+// CAS publishes it. Lock-free; O(1) per attempt.
+func (p *Pool[T]) pushBlock(m magazine) {
+	if m.count == 0 {
+		return
+	}
+	hdr := &p.slotFor(m.head).hdr
+	for {
+		old := p.blocks.Load()
+		hdr.blockMeta.Store(uint64(m.count)<<blockIdxBits | old&blockIdxMask)
+		if p.blocks.CompareAndSwap(old, taggedHead(old, m.head)) {
+			p.blocksN.Add(int64(m.count))
+			return
+		}
+	}
+}
+
+// popBlock pops the top block off the global stack. The descriptor read
+// between the head load and the CAS may be stale (the block may have been
+// popped, consumed, and even recycled in between), but then the head's tag
+// has advanced and the CAS fails harmlessly. Lock-free; O(1) per attempt.
+func (p *Pool[T]) popBlock() (magazine, bool) {
+	for {
+		old := p.blocks.Load()
+		idx := old & blockIdxMask
+		if idx == 0 {
+			return magazine{}, false
+		}
+		meta := p.slotFor(idx).hdr.blockMeta.Load()
+		if p.blocks.CompareAndSwap(old, taggedHead(old, meta&blockIdxMask)) {
+			count := int(meta >> blockIdxBits)
+			p.blocksN.Add(-int64(count))
+			return magazine{head: idx, count: count}, true
+		}
+	}
+}
+
+// taggedHead packs a new stack head word: the given top-block index with
+// old's ABA tag incremented. The tag occupies the bits above blockIdxBits
+// and wraps naturally on overflow.
+func taggedHead(old, idx uint64) uint64 {
+	return (old>>blockIdxBits+1)<<blockIdxBits | idx
+}
+
+// carveBlock carves up to blockSize fresh indices out of chunk capacity
+// (respecting any configured cap) and returns them as a magazine. This is
+// the only allocator path that takes a lock: growMu serializes growth of
+// nextFresh and the chunk directory.
+func (p *Pool[T]) carveBlock() (magazine, bool) {
+	var m magazine
+	p.growMu.Lock()
+	for m.count < blockSize && (p.capSlots == 0 || p.nextFresh-1 < p.capSlots) {
 		idx := p.nextFresh
 		p.nextFresh++
 		p.ensureCapacityLocked(idx)
 		s := p.slotFor(idx)
 		s.hdr.state.Store(stateFree)
-		s.hdr.nextFree = fl.head
-		fl.head = idx
-		fl.count.Add(1)
-	}
-	if seed, ok := chaosRefill.FireSeed(); ok {
-		p.shuffleLocked(fl, seed)
+		s.hdr.nextFree = m.head
+		m.head = idx
+		m.count++
 	}
 	p.growMu.Unlock()
+	return m, m.count > 0
 }
 
-// shuffleLocked permutes fl's chain with a splitmix64 Fisher-Yates,
-// deterministic in seed. Called with growMu held, on a list owned by the
-// caller. Recycling order is normally LIFO; shuffling it maximizes the
-// variety of handle-reuse interleavings (the ABA pressure chaos runs seek).
-func (p *Pool[T]) shuffleLocked(fl *freeList, seed uint64) {
-	n := int(fl.count.Load())
+// shuffleMagazine permutes m's chain with a splitmix64 Fisher-Yates,
+// deterministic in seed. Called by the magazine's owner, no lock needed.
+// Recycling order is normally LIFO; shuffling it maximizes the variety of
+// handle-reuse interleavings (the ABA pressure chaos runs seek).
+func (p *Pool[T]) shuffleMagazine(m *magazine, seed uint64) {
+	n := m.count
 	if n < 2 {
 		return
 	}
 	idxs := make([]uint64, 0, n)
-	for idx := fl.head; len(idxs) < n; idx = p.slotFor(idx).hdr.nextFree {
+	for idx := m.head; len(idxs) < n; idx = p.slotFor(idx).hdr.nextFree {
 		idxs = append(idxs, idx)
 	}
 	rng := seed
@@ -405,50 +531,34 @@ func (p *Pool[T]) shuffleLocked(fl *freeList, seed uint64) {
 		p.slotFor(idxs[i]).hdr.nextFree = head
 		head = idxs[i]
 	}
-	fl.head = head
+	m.head = head
 }
 
-// flush returns half of fl's slots to the global free chain.
-func (p *Pool[T]) flush(fl *freeList) {
-	p.growMu.Lock()
-	for fl.count.Load() > freeBatch {
-		idx := fl.head
-		s := p.slotFor(idx)
-		fl.head = s.hdr.nextFree
-		fl.count.Add(-1)
-		s.hdr.nextFree = p.globalFree
-		p.globalFree = idx
-		p.globalFreeN++
-	}
-	p.growMu.Unlock()
-}
-
-// DrainLocal moves every slot on procID's private free list to the global
-// free chain. It exists for processor-id recycling after a thread crash:
-// an abandoned id's free list is unreachable (no live thread owns the id),
-// so its slots would be stranded - and a future thread reissued the same
-// id would inherit a list it never built. The adopter of an abandoned id
-// must drain here before the id is reissued. Safe only when no live thread
-// owns procID.
+// DrainLocal pushes both of procID's magazines (active and spare) onto the
+// global block stack, leaving the processor's cache empty. It exists for
+// processor-id recycling after a thread crash: an abandoned id's magazines
+// are unreachable (no live thread owns the id), so their slots would be
+// stranded - and a future thread reissued the same id would inherit
+// magazines it never built. The adopter of an abandoned id must drain here
+// before the id is reissued. Safe only when no live thread owns procID.
 func (p *Pool[T]) DrainLocal(procID int) {
-	fl := &p.free[procID]
-	p.growMu.Lock()
-	for fl.count.Load() > 0 {
-		idx := fl.head
-		s := p.slotFor(idx)
-		fl.head = s.hdr.nextFree
-		fl.count.Add(-1)
-		s.hdr.nextFree = p.globalFree
-		p.globalFree = idx
-		p.globalFreeN++
+	pc := &p.local[procID]
+	if pc.active.count > 0 {
+		pc.n.Add(-int64(pc.active.count))
+		p.pushBlock(pc.active)
+		pc.active = magazine{}
 	}
-	p.growMu.Unlock()
+	if pc.spare.count > 0 {
+		pc.n.Add(-int64(pc.spare.count))
+		p.pushBlock(pc.spare)
+		pc.spare = magazine{}
+	}
 }
 
-// FreeListLen returns the occupancy of procID's private free list
-// (diagnostics; racy unless the owner is quiescent).
+// FreeListLen returns the occupancy of procID's magazines (diagnostics;
+// racy unless the owner is quiescent).
 func (p *Pool[T]) FreeListLen(procID int) int {
-	return int(p.free[procID].count.Load())
+	return int(p.local[procID].n.Load())
 }
 
 // ensureCapacityLocked grows the chunk directory so that idx is
@@ -468,15 +578,17 @@ func (p *Pool[T]) ensureCapacityLocked(idx uint64) {
 	p.chunks.Store(&grown)
 }
 
-// Stats returns a snapshot of the pool's counters. Live can transiently
-// disagree with a concurrent workload's own accounting but is exact at
-// quiescence.
+// Stats returns a snapshot of the pool's counters. Live and the occupancy
+// gauges can transiently disagree with a concurrent workload's own
+// accounting (a block in flight between a magazine and the global stack is
+// briefly counted in neither) but are exact at quiescence. Stats performs
+// no allocation: the obs pool gauges call it on every snapshot interval.
 func (p *Pool[T]) Stats() Stats {
 	a := p.allocs.Load()
 	f := p.frees.Load()
-	local := make([]int, len(p.free))
-	for i := range p.free {
-		local[i] = int(p.free[i].count.Load())
+	local := 0
+	for i := range p.local {
+		local += int(p.local[i].n.Load())
 	}
 	p.growMu.Lock()
 	// nextFresh is 1 on a fresh pool (index 0 reserved) but 0 on a zero
@@ -486,7 +598,6 @@ func (p *Pool[T]) Stats() Stats {
 		slots--
 	}
 	capSlots := p.capSlots
-	global := p.globalFreeN
 	p.growMu.Unlock()
 	return Stats{
 		Allocs:        a,
@@ -496,8 +607,19 @@ func (p *Pool[T]) Stats() Stats {
 		LiveHighWater: p.liveHW.Load(),
 		Capacity:      capSlots,
 		FreeLocal:     local,
-		FreeGlobal:    global,
+		FreeGlobal:    int(p.blocksN.Load()),
 	}
+}
+
+// FreeLocalPerProc returns each processor's magazine occupancy, indexed by
+// processor id (diagnostics and tests; entries of abandoned-and-drained
+// processors are zero). Unlike Stats it allocates its result.
+func (p *Pool[T]) FreeLocalPerProc() []int {
+	out := make([]int, len(p.local))
+	for i := range p.local {
+		out[i] = int(p.local[i].n.Load())
+	}
+	return out
 }
 
 // Live returns the number of currently allocated objects.

@@ -153,18 +153,22 @@ func TestFreeOnOtherProcessorsList(t *testing.T) {
 
 func TestFlushToGlobalAndRefill(t *testing.T) {
 	p := NewPool[payload](2)
-	// Allocate and free enough on processor 0 to force a flush.
+	// Allocate and free enough on processor 0 to overflow its two
+	// magazines and push full blocks onto the global stack.
 	var hs []Handle
-	for i := 0; i < 4*freeBatch; i++ {
+	for i := 0; i < 4*blockSize; i++ {
 		hs = append(hs, p.Alloc(0))
 	}
 	for _, h := range hs {
 		p.Free(0, h)
 	}
-	// Processor 1 should be able to pick recycled slots from the global
-	// chain rather than carving fresh capacity.
+	if st := p.Stats(); st.FreeGlobal == 0 {
+		t.Fatalf("no blocks reached the global stack: %+v", st)
+	}
+	// Processor 1 should be able to pop recycled blocks from the global
+	// stack rather than carving fresh capacity.
 	before := p.Stats().Slots
-	for i := 0; i < freeBatch; i++ {
+	for i := 0; i < blockSize; i++ {
 		p.Alloc(1)
 	}
 	if after := p.Stats().Slots; after != before {

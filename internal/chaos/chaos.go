@@ -24,7 +24,8 @@
 //     mode). Crashes draw from a global budget so a run kills at most a
 //     configured number of workers;
 //   - reseed: hand the call site a deterministic 64-bit seed (FireSeed),
-//     used by the arena to shuffle refilled free lists and maximize
+//     used by the arena to permute the magazine a processor has just
+//     acquired from the global block stack (or carved fresh), maximizing
 //     handle-reuse/ABA pressure.
 //
 // Determinism: whether hit number n at point p fires is a pure function of
@@ -251,7 +252,7 @@ func (p *Point) Fire() bool {
 }
 
 // FireSeed is Fire for call sites that need deterministic randomness when
-// the fault fires (e.g. the arena's free-list shuffle): it returns a 64-bit
+// the fault fires (e.g. the arena's magazine shuffle): it returns a 64-bit
 // seed derived from (injector seed, point, hit index) and whether the fault
 // fired. Stalls and crashes apply as in Fire; the Fail verdict is folded
 // into the bool.

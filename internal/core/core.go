@@ -181,10 +181,11 @@ func NewDomain[T any](cfg Config[T]) *Domain[T] {
 		acqret.WithNormalizer(func(w uint64) uint64 {
 			return uint64(arena.Handle(w).Unmarked())
 		}),
-		// When a survivor adopts an abandoned processor, move the dead
-		// processor's private arena free list to the global chain before
-		// the id can be reissued (the one-id-space invariant: a reissued
-		// id must start with an empty shard).
+		// When a survivor adopts an abandoned processor, push the dead
+		// processor's private arena magazines (active and spare) onto the
+		// global block stack before the id can be reissued (the
+		// one-id-space invariant: a reissued id must start with empty
+		// magazines).
 		acqret.WithAdoptHook(func(procID int) {
 			d.pool.DrainLocal(procID)
 		}))

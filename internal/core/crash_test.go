@@ -120,9 +120,10 @@ func TestCrashedWriterRetiredListAdopted(t *testing.T) {
 
 // TestAbandonedPidNotReusedUntilArenaDrain is the arena half of the
 // abandonment invariant (sibling of TestBSTNoDoubleRetireUnderChainStress):
-// an abandoned processor id whose arena free list is non-empty must not be
-// reissued until adoption has drained that list to the global chain -
-// otherwise the new owner and the adopter would push to the same shard.
+// an abandoned processor id whose arena magazines are non-empty must not be
+// reissued until adoption has drained both of them (active and spare) to
+// the global block stack - otherwise the new owner and the adopter would
+// push to the same magazines.
 func TestAbandonedPidNotReusedUntilArenaDrain(t *testing.T) {
 	d := crashDomain(3, acqret.LockFreeAcquire)
 
@@ -130,15 +131,22 @@ func TestAbandonedPidNotReusedUntilArenaDrain(t *testing.T) {
 	survivor := d.Attach()
 	crashedID := crashed.ProcID()
 
-	// Populate the crashed thread's arena shard: allocate, release, and
-	// flush so the frees land on its private free list.
-	for i := 0; i < 20; i++ {
-		p := crashed.NewRc(nil)
+	// Populate the crashed thread's arena magazines: carve more than one
+	// block's worth of objects, hand 10 of them to the survivor (they stay
+	// live across the crash, so the dead shard's free count is not a
+	// multiple of the block size), and release the rest. The frees then
+	// park a full spare block AND leave a partial active magazine -
+	// adoption must evacuate both.
+	held := make([]RcPtr, 100)
+	for i := range held {
+		held[i] = crashed.NewRc(nil)
+	}
+	for _, p := range held[10:] {
 		crashed.Release(p)
 	}
 	drain(crashed)
-	if n := d.PoolStats().FreeLocal[crashedID]; n == 0 {
-		t.Fatal("setup: crashed thread's arena shard is empty")
+	if n := dPool(d).FreeLocalPerProc()[crashedID]; n <= 64 {
+		t.Fatalf("setup: crashed thread's magazines hold %d slots, want a full spare plus a partial active (>64)", n)
 	}
 	// One more retire so the dead processor also carries deferred work.
 	p := crashed.NewRc(nil)
@@ -153,8 +161,11 @@ func TestAbandonedPidNotReusedUntilArenaDrain(t *testing.T) {
 	}
 	third.Detach() // third's flush adopts the dead processor
 
-	if st := d.PoolStats(); st.FreeLocal[crashedID] != 0 {
-		t.Fatalf("adoption left %d slots on the dead processor's shard", st.FreeLocal[crashedID])
+	if n := dPool(d).FreeLocalPerProc()[crashedID]; n != 0 {
+		t.Fatalf("adoption left %d slots on the dead processor's magazines", n)
+	}
+	for _, p := range held[:10] {
+		survivor.Release(p)
 	}
 	drain(survivor)
 	if d.Live() != 0 {
@@ -256,10 +267,7 @@ func TestTryAllocFailureLeavesLiveConsistent(t *testing.T) {
 				t.Fatalf("Live = %d at quiescence under %s", d.Live(), tc.name)
 			}
 			st := d.PoolStats()
-			sum := int64(st.FreeGlobal)
-			for _, n := range st.FreeLocal {
-				sum += int64(n)
-			}
+			sum := int64(st.FreeGlobal) + int64(st.FreeLocal)
 			if sum != int64(st.Slots) {
 				t.Fatalf("slot conservation violated: %d free != %d carved", sum, st.Slots)
 			}

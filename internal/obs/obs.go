@@ -162,8 +162,8 @@ type PoolGauges struct {
 	Slots         uint64
 	LiveHighWater int64
 	Capacity      uint64
-	FreeLocal     int // summed across processors
-	FreeGlobal    int
+	FreeLocal     int // magazine occupancy, summed across processors
+	FreeGlobal    int // slots parked on the shared stack of free blocks
 }
 
 var (

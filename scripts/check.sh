@@ -15,6 +15,15 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Targeted race pass over the allocator's block-transfer machinery (the
+# lock-free magazine/block-stack paths added by the arena rewrite) plus
+# the arena fuzz target's seed corpus. These are already in the ./...
+# sweep above; running them again with higher repetition catches
+# interleavings the single pass can miss.
+echo "==> arena block-transfer race pass (count 3) + fuzz seed corpus"
+go test -race -count 3 -run 'BlockStack|Magazine|DrainLocal|CappedPool|LiveHighWater' ./internal/arena
+go test -race -run FuzzPoolOps ./internal/arena
+
 echo "==> chaos soak (10s, seed 1, 2 simulated crashes per configuration)"
 go run ./cmd/cdrc-stress -duration 10s -chaos -chaos-seed 1 -crash-workers 2
 
@@ -75,6 +84,29 @@ echo "    baseline (obsoff) ${base} Mops, instrumented (obs disabled) ${inst} Mo
 awk -v inst="$inst" -v base="$base" 'BEGIN {
     if (base + 0 <= 0 || inst + 0 <= 0) { print "    gate error: missing DRC_Mops metric"; exit 1 }
     if (inst < 0.95 * base) { printf "    FAIL: %.1f%% regression exceeds 5%%\n", (1 - inst/base) * 100; exit 1 }
+}'
+
+# Arena contention gate: the cross-processor churn benchmark must beat
+# the recorded seed allocator (results/BENCH_arena.json: 109.0 ns/op at
+# 8 procs, 111.0 ns/op at 1 proc) by >= 1.5x under contention, and the
+# single-proc hot path must stay within 10% of the seed. Best of 3 to
+# absorb scheduler noise; no race detector so the ratio reflects the
+# allocator, not instrumentation.
+echo "==> arena contention gate (BenchmarkArenaChurn vs recorded seed, best of 3)"
+seed1=111.0
+seed8=109.0
+best_ns_op() {
+    awk -v pat="$1" '$1 ~ pat {for (i = 2; i <= NF; i++) if ($(i+1) == "ns/op" && (b == 0 || $i + 0 < b)) b = $i + 0} END {print b}'
+}
+churn_out=$(go test -run '^$' -bench BenchmarkArenaChurn -benchtime 500000x -count 3 ./internal/arena)
+new1=$(printf '%s\n' "$churn_out" | best_ns_op 'ArenaChurn/procs=1')
+new8=$(printf '%s\n' "$churn_out" | best_ns_op 'ArenaChurn/procs=8')
+echo "    1-proc ${new1} ns/op (seed ${seed1}), 8-proc ${new8} ns/op (seed ${seed8})"
+awk -v new1="$new1" -v new8="$new8" -v seed1="$seed1" -v seed8="$seed8" 'BEGIN {
+    if (new1 + 0 <= 0 || new8 + 0 <= 0) { print "    gate error: missing ns/op"; exit 1 }
+    if (new8 > seed8 / 1.5) { printf "    FAIL: 8-proc churn only %.2fx seed, want >= 1.5x\n", seed8/new8; exit 1 }
+    if (new1 > seed1 * 1.1) { printf "    FAIL: 1-proc churn %.1f%% slower than seed, want within 10%%\n", (new1/seed1 - 1) * 100; exit 1 }
+    printf "    OK: 8-proc %.2fx seed, 1-proc %.2fx seed\n", seed8/new8, seed1/new1
 }'
 
 echo "==> all checks passed"
