@@ -1,0 +1,257 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cdrc/internal/chaos"
+	"cdrc/internal/obs"
+	"cdrc/internal/server"
+)
+
+// clusterParams carries the cluster-mode knobs from main's flag block.
+type clusterParams struct {
+	nodes     int
+	duration  time.Duration
+	conns     int
+	keys      int
+	reads     float64
+	puts      float64
+	shards    int
+	workers   int
+	chaosOn   bool
+	chaosSeed uint64
+	crashWk   int
+	killNodes int
+}
+
+// ackedOp is a writer's record of its last acked PUT/DEL for one key.
+type ackedOp struct {
+	val     uint64
+	present bool
+}
+
+// runCluster is the replicated-mode soak: an N-node loopback cluster
+// under ClusterClient load, optionally losing whole nodes to the chaos
+// injector. Each connection owns a disjoint key partition and retries
+// every PUT/DEL until it is acked, recording the acked state — which
+// makes the lossless gate exact: after the load (and any failovers),
+// every recorded key must read back its last acked state through a
+// fresh cluster view. GETs issued during the load double as online
+// integrity probes against the same record.
+func runCluster(fail func(string, ...any), p clusterParams) {
+	if p.chaosOn {
+		faults := map[string]chaos.Fault{
+			// The same crash-safe worker points as single-node mode...
+			"server.worker.op":       {Prob: 0.0005, Crash: true},
+			"core.snapshot.acquired": {Prob: 0.0002, Crash: true},
+			"arena.alloc":            {Prob: 0.002, Fail: true},
+			"arena.free":             {Prob: 0.001, Yields: 1},
+		}
+		// ...plus whole-node kill points (fired between requests on the
+		// node's connection goroutines; budgeted below).
+		for i := 0; i < p.nodes; i++ {
+			faults[fmt.Sprintf("server.node%d.kill", i)] = chaos.Fault{Prob: 0.0002, Kill: true}
+		}
+		chaos.Enable(chaos.Config{
+			Seed:        p.chaosSeed,
+			CrashBudget: p.crashWk,
+			KillBudget:  p.killNodes,
+			Faults:      faults,
+		})
+	}
+	enq0 := time.Now()
+	srvs, err := server.StartCluster(p.nodes, server.Config{
+		Shards:           p.shards,
+		Workers:          p.workers,
+		MaxProcs:         p.workers + p.crashWk + 8,
+		ExpectedKeys:     p.keys,
+		DebugChecks:      true,
+		ReplDrainTimeout: 2 * time.Second,
+		ReplPeerPatience: 500 * time.Millisecond,
+	})
+	if err != nil {
+		fail("start cluster: %v", err)
+	}
+	peers := make([]string, p.nodes)
+	for i, s := range srvs {
+		peers[i] = s.Addr()
+	}
+	nshards := srvs[0].NumShards()
+	fmt.Printf("cdrc-load: %v against %d-node cluster (conns=%d keys=%d shards=%d chaos=%v kill-budget=%d)\n",
+		p.duration, p.nodes, p.conns, p.keys, nshards, p.chaosOn, p.killNodes)
+
+	deadline := time.Now().Add(p.duration)
+	perConn := p.keys / p.conns
+	if perConn == 0 {
+		perConn = 1
+	}
+	states := make([]map[uint64]ackedOp, p.conns)
+	var wg sync.WaitGroup
+	tallies := make([]tally, p.conns)
+	for i := 0; i < p.conns; i++ {
+		states[i] = make(map[uint64]ackedOp, perConn)
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tl := &tallies[id]
+			acked := states[id]
+			cc := server.NewClusterClient(peers, nshards, server.Backoff{
+				Attempts: 16, Seed: p.chaosSeed ^ uint64(id),
+			})
+			defer cc.Close()
+			rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
+			base := uint64(id * perConn)
+			for op := 0; time.Now().Before(deadline); op++ {
+				key := base + uint64(rng.Intn(perConn))
+				pr := rng.Float64()
+				t0 := time.Now()
+				switch {
+				case pr < p.reads:
+					v, ok, err := cc.Get(key)
+					tl.sends++
+					obsGetNs.Observe(uint64(time.Since(t0)))
+					if err != nil {
+						// A read may exhaust its budget mid-failover; that is
+						// backpressure, not loss.
+						tl.busys++
+						continue
+					}
+					tl.oks++
+					if want, tracked := acked[key]; tracked {
+						if ok != want.present || (ok && v != want.val) {
+							tl.integrity++
+							return
+						}
+					}
+				case pr < p.reads+p.puts:
+					val := valTag(key) | uint64(op&0xFFFF)
+					if !ackWrite(tl, deadline, func() error {
+						_, _, err := cc.Put(key, val)
+						return err
+					}) {
+						return
+					}
+					obsPutNs.Observe(uint64(time.Since(t0)))
+					acked[key] = ackedOp{val: val, present: true}
+				default:
+					if !ackWrite(tl, deadline, func() error {
+						_, err := cc.Del(key)
+						return err
+					}) {
+						return
+					}
+					obsDelNs.Observe(uint64(time.Since(t0)))
+					acked[key] = ackedOp{}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var total tally
+	for i := range tallies {
+		total.add(&tallies[i])
+	}
+	kills := chaos.Kills()
+	crashes := chaos.Crashes()
+	if p.chaosOn {
+		chaos.Disable()
+	}
+
+	// Lossless gate: every tracked key must read back its last acked
+	// state through a fresh cluster view (which re-discovers any deaths
+	// and promotions on its own).
+	var lost int64
+	verify := server.NewClusterClient(peers, nshards, server.Backoff{
+		Attempts: 32, Seed: p.chaosSeed ^ 0xFEEDFACE,
+	})
+	for id, acked := range states {
+		for key, want := range acked {
+			v, ok, err := verify.Get(key)
+			if err != nil {
+				fail("verify Get(%d): %v", key, err)
+			}
+			if ok != want.present || (ok && v != want.val) {
+				fmt.Printf("cdrc-load: LOST acked write: conn %d key %d got (%d,%v) want (%d,%v)\n",
+					id, key, v, ok, want.val, want.present)
+				lost++
+			}
+		}
+	}
+	verify.Close()
+
+	// Teardown every node (killed nodes already completed their fail-stop
+	// teardown inside Kill; Close returns the same recorded error).
+	var closeErrs int
+	var liveTotal int64
+	for i, s := range srvs {
+		if err := s.Close(); err != nil {
+			fmt.Printf("cdrc-load: node %d teardown: %v\n", i, err)
+			closeErrs++
+		}
+		liveTotal += s.Live()
+	}
+
+	r := obs.Snapshot()
+	enq := r.Counter("server.repl.enq")
+	ack := r.Counter("server.repl.ack")
+	replLost := r.Counter("server.repl.lost")
+	fmt.Printf("cdrc-load: %d ops in %v: ok=%d busy-retries=%d err=%d kills=%d crashes=%d promotes=%d reroutes=%d\n",
+		total.sends, time.Since(enq0).Round(time.Millisecond), total.oks, total.busys, total.errs,
+		kills, crashes, r.Counter("server.promote"), r.Counter("cluster.reroute"))
+	fmt.Printf("cdrc-load: repl: enq=%d ack=%d lost=%d\n", enq, ack, replLost)
+
+	// --- gates ---------------------------------------------------------
+	if lost != 0 {
+		fail("%d acked writes lost after failover", lost)
+	}
+	if total.integrity != 0 {
+		fail("%d online integrity violations (GET disagreed with the acked record)", total.integrity)
+	}
+	if total.errs != 0 {
+		fail("%d hard errors", total.errs)
+	}
+	if enq != ack+replLost {
+		fail("repl conservation broken: enq=%d != ack=%d + lost=%d", enq, ack, replLost)
+	}
+	if total.oks == 0 {
+		fail("no operations acked; soak proved nothing")
+	}
+	if p.killNodes > 0 && kills == 0 {
+		fail("kill budget %d never fired; failover path not exercised", p.killNodes)
+	}
+	if closeErrs != 0 || liveTotal != 0 {
+		fail("leak: %d teardown errors, %d nodes live after Close", closeErrs, liveTotal)
+	}
+	fmt.Println("cdrc-load: PASS (lossless acked writes, repl conservation, reclamation)")
+}
+
+// ackWrite retries op until it is acked or the deadline passes; -BUSY
+// rounds (an exhausted client-side budget) are counted and retried,
+// anything else is a hard error. Returns false on hard error; a write
+// abandoned at the deadline is untracked, so it cannot assert loss.
+func ackWrite(tl *tally, deadline time.Time, op func() error) bool {
+	for {
+		tl.sends++
+		err := op()
+		if err == nil {
+			tl.oks++
+			return true
+		}
+		if errors.Is(err, server.ErrBusy) {
+			tl.busys++
+			if time.Now().After(deadline.Add(2 * time.Second)) {
+				tl.errs++
+				return false
+			}
+			continue
+		}
+		tl.errs++
+		fmt.Printf("cdrc-load: hard error: %v\n", err)
+		return false
+	}
+}

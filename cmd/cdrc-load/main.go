@@ -19,6 +19,15 @@
 // With -addr it targets an already-running cdrc-serve instead (the
 // server-side identities are then skipped; the process-local obs
 // counters cannot see a remote server).
+//
+// With -cluster N it runs an N-node in-process loopback cluster
+// (DESIGN.md §9) instead of a single server, drives it through
+// ClusterClients that retry every write until acked, and — with -chaos
+// -kill-nodes — lets the chaos injector fail-stop whole nodes mid-load.
+// The gates become the replicated invariants: zero lost acked writes
+// (every key's last acked state is readable after failover), the
+// replication conservation identity repl.enq == repl.ack + repl.lost,
+// and Live() == 0 on every node, killed ones included.
 package main
 
 import (
@@ -97,6 +106,9 @@ func main() {
 		chaosOn   = flag.Bool("chaos", false, "in-process server: enable deterministic fault injection")
 		chaosSeed = flag.Uint64("chaos-seed", 1, "chaos seed")
 		crashWk   = flag.Int("crash-workers", 0, "chaos crash budget (simulated worker crashes)")
+
+		cluster   = flag.Int("cluster", 0, "run an N-node in-process replicated cluster (0 = single server)")
+		killNodes = flag.Int("kill-nodes", 0, "chaos kill budget (whole fail-stop nodes; needs -chaos and -cluster)")
 	)
 	flag.Parse()
 
@@ -104,6 +116,24 @@ func main() {
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "cdrc-load: FAIL: "+format+"\n", args...)
 		os.Exit(1)
+	}
+
+	if *cluster > 1 {
+		runCluster(fail, clusterParams{
+			nodes:     *cluster,
+			duration:  *duration,
+			conns:     *conns,
+			keys:      *keys,
+			reads:     *reads,
+			puts:      *puts,
+			shards:    *shards,
+			workers:   *workers,
+			chaosOn:   *chaosOn,
+			chaosSeed: *chaosSeed,
+			crashWk:   *crashWk,
+			killNodes: *killNodes,
+		})
+		return
 	}
 
 	target := *addr

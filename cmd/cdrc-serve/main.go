@@ -8,8 +8,18 @@
 //	$ go run ./cmd/cdrc-serve -addr 127.0.0.1:7070 -obs &
 //	$ printf 'PUT 1 100\nGET 1\nSTATS\n' | nc 127.0.0.1 7070
 //
-// SIGINT/SIGTERM trigger an orderly shutdown; the process exits non-zero
-// if the storage engine fails to reach full reclamation (Live() != 0).
+// SIGINT/SIGTERM trigger an orderly shutdown: in-flight pipelined
+// requests are drained (each claimed ring entry gets its reply or a
+// -BUSY before the socket closes) and, in cluster mode, the replication
+// logs are replayed to the replicas. The process exits non-zero if the
+// storage engine fails to reach full reclamation (Live() != 0).
+//
+// Cluster mode (DESIGN.md §9): start one process per node with the same
+// -peers list and a distinct -node-id; each node's -addr must match its
+// own entry in -peers. For example, a two-node cluster:
+//
+//	$ go run ./cmd/cdrc-serve -addr 127.0.0.1:7070 -peers 127.0.0.1:7070,127.0.0.1:7071 -node-id 0 &
+//	$ go run ./cmd/cdrc-serve -addr 127.0.0.1:7071 -peers 127.0.0.1:7070,127.0.0.1:7071 -node-id 1 &
 package main
 
 import (
@@ -17,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"cdrc/internal/obs"
@@ -35,11 +46,18 @@ func main() {
 		flush    = flag.Int("flush-batch", 0, "max replies coalesced per flush (0 = pipeline window)")
 		debug    = flag.Bool("debug-checks", false, "arm arena use-after-free panics")
 		obsOn    = flag.Bool("obs", false, "enable observability (STATS returns live metrics)")
+		peers    = flag.String("peers", "", "comma-separated node addresses in node-id order (enables replicated cluster mode)")
+		nodeID   = flag.Int("node-id", 0, "this node's index into -peers")
+		idle     = flag.Duration("idle-timeout", 0, "close connections idle longer than this (0 = never)")
 	)
 	flag.Parse()
 
 	if *obsOn {
 		obs.Enable()
+	}
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
 	}
 	srv, err := server.New(server.Config{
 		Addr:          *addr,
@@ -51,13 +69,30 @@ func main() {
 		MaxPipeline:   *pipe,
 		FlushBatch:    *flush,
 		DebugChecks:   *debug,
+		Peers:         peerList,
+		NodeID:        *nodeID,
+		IdleTimeout:   *idle,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("cdrc-serve: listening on %s (shards=%d workers=%d obs=%v)\n",
-		srv.Addr(), *shards, *workers, *obsOn)
+	if len(peerList) > 0 {
+		primaries, replicas := 0, 0
+		for sh := 0; sh < *shards; sh++ {
+			switch *nodeID {
+			case server.PrimaryNode(sh, len(peerList)):
+				primaries++
+			case server.ReplicaNode(sh, len(peerList)):
+				replicas++
+			}
+		}
+		fmt.Printf("cdrc-serve: node %d/%d on %s (primary for %d shards, replica for %d)\n",
+			*nodeID, len(peerList), srv.Addr(), primaries, replicas)
+	} else {
+		fmt.Printf("cdrc-serve: listening on %s (shards=%d workers=%d obs=%v)\n",
+			srv.Addr(), *shards, *workers, *obsOn)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

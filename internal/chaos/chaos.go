@@ -61,6 +61,24 @@ func (c CrashSignal) String() string {
 	return fmt.Sprintf("chaos: simulated thread crash at %q", c.Point)
 }
 
+// NodeKillSignal is the panic value thrown by a kill fault: where
+// CrashSignal simulates one thread dying mid-operation, NodeKillSignal
+// simulates a whole node (process) failing. The internal/server cluster
+// recovers it at the connection front end and tears the entire node down
+// fail-stop - listeners closed, every connection severed without a
+// goodbye, only the durable replication log surviving - so failover
+// harnesses can verify that replicas promote without losing acked
+// writes. Kills draw from their own budget (Config.KillBudget), separate
+// from the thread-crash budget.
+type NodeKillSignal struct {
+	// Point is the name of the injection point that fired the kill.
+	Point string
+}
+
+func (k NodeKillSignal) String() string {
+	return fmt.Sprintf("chaos: simulated node kill at %q", k.Point)
+}
+
 // Fault configures the behaviour of one injection point under an installed
 // injector. The zero Fault never fires.
 type Fault struct {
@@ -90,6 +108,14 @@ type Fault struct {
 	// arbitrary point can lose resources no survivor can recover (e.g. a
 	// counted reference held in the dying goroutine's locals).
 	Crash bool
+
+	// Kill makes a firing hit panic with a NodeKillSignal, subject to the
+	// injector's global kill budget (Config.KillBudget). Configure it only
+	// at node-scope points (internal/server's per-node request boundary):
+	// the recovering harness fail-stops a whole cluster node, not one
+	// worker. Kill and Crash are mutually exclusive in practice; if both
+	// are set, Kill wins.
+	Kill bool
 }
 
 // fires reports whether hit number n of a point fires under f, using the
@@ -152,6 +178,8 @@ type Injector struct {
 	faults      map[*Point]*Fault
 	crashBudget atomic.Int64
 	crashes     atomic.Int64
+	killBudget  atomic.Int64
+	kills       atomic.Int64
 }
 
 var (
@@ -202,6 +230,12 @@ type Config struct {
 	// will throw across all points (0 = crashes disabled even if a Fault
 	// sets Crash).
 	CrashBudget int
+
+	// KillBudget bounds the total number of node-kill faults (0 = kills
+	// disabled even if a Fault sets Kill). Failover harnesses typically
+	// budget exactly one kill per run so the surviving topology is
+	// deterministic.
+	KillBudget int
 }
 
 // Enable installs a process-wide injector. It resets per-point hit/fire
@@ -210,6 +244,7 @@ type Config struct {
 func Enable(cfg Config) {
 	inj := &Injector{seed: cfg.Seed, faults: make(map[*Point]*Fault, len(cfg.Faults))}
 	inj.crashBudget.Store(int64(cfg.CrashBudget))
+	inj.killBudget.Store(int64(cfg.KillBudget))
 	for name, f := range cfg.Faults {
 		f := f
 		inj.faults[New(name)] = &f
@@ -238,6 +273,16 @@ func Crashes() int64 {
 		return 0
 	}
 	return inj.crashes.Load()
+}
+
+// Kills returns the number of node-kill faults thrown by the current (or
+// last) injector.
+func Kills() int64 {
+	inj := active.Load()
+	if inj == nil {
+		return 0
+	}
+	return inj.kills.Load()
 }
 
 // Fire records a hit at p and applies any configured fault: it stalls,
@@ -298,6 +343,18 @@ func (inj *Injector) act(p *Point) {
 	}
 	if f.Sleep > 0 {
 		time.Sleep(f.Sleep)
+	}
+	if f.Kill {
+		for {
+			b := inj.killBudget.Load()
+			if b <= 0 {
+				return
+			}
+			if inj.killBudget.CompareAndSwap(b, b-1) {
+				inj.kills.Add(1)
+				panic(NodeKillSignal{Point: p.name})
+			}
+		}
 	}
 	if f.Crash {
 		for {

@@ -132,6 +132,38 @@ func TestCrashBudgetBoundsCrashes(t *testing.T) {
 	}
 }
 
+func TestKillBudgetBoundsKills(t *testing.T) {
+	p := New("test.kill")
+	Enable(Config{Seed: 3, KillBudget: 1, CrashBudget: 99, Faults: map[string]Fault{
+		"test.kill": {Every: 1, Kill: true},
+	}})
+	defer Disable()
+	kills := 0
+	for i := 0; i < 20; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(NodeKillSignal); !ok {
+						panic(r)
+					}
+					kills++
+				}
+			}()
+			p.Fire()
+		}()
+	}
+	if kills != 1 {
+		t.Fatalf("kill budget 1 produced %d kills", kills)
+	}
+	if Kills() != 1 {
+		t.Fatalf("Kills() = %d, want 1", Kills())
+	}
+	// Kills never draw from the crash budget.
+	if Crashes() != 0 {
+		t.Fatalf("Crashes() = %d after kills only, want 0", Crashes())
+	}
+}
+
 func TestFireSeedDeterministic(t *testing.T) {
 	p := New("test.seed")
 	cfg := Config{Seed: 9, Faults: map[string]Fault{"test.seed": {Every: 3}}}

@@ -8,13 +8,21 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // ErrBusy is the client-side rendering of a -BUSY reply: the server shed
-// the request (queue full, arena exhausted, or the serving worker
-// simulated a crash mid-request). The request had no effect and may be
-// retried.
+// the request (queue full, arena exhausted, replication log full, or the
+// serving worker simulated a crash mid-request). The request had no
+// effect and may be retried.
 var ErrBusy = errors.New("server: busy")
+
+// MovedError is the client-side rendering of -MOVED: the key's shard is
+// not primary at the node that answered; Addr is where the topology
+// says it is. The request had no effect.
+type MovedError struct{ Addr string }
+
+func (e *MovedError) Error() string { return "server: moved to " + e.Addr }
 
 // Client speaks the wire protocol over one connection. It is not safe
 // for concurrent use: the protocol allows one request in flight per
@@ -67,6 +75,8 @@ func (cl *Client) readLine() (string, error) {
 	switch {
 	case line == "-BUSY":
 		return "", ErrBusy
+	case strings.HasPrefix(line, "-MOVED "):
+		return "", &MovedError{Addr: line[len("-MOVED "):]}
 	case strings.HasPrefix(line, "-ERR "):
 		return "", fmt.Errorf("server: %s", line[len("-ERR "):])
 	}
@@ -159,6 +169,123 @@ func (cl *Client) Scan(limit int) ([][2]uint64, error) {
 		ents = append(ents, [2]uint64{k, v})
 	}
 	return ents, nil
+}
+
+// Promote asks the node to take primary ownership of shard (replica
+// promotion after its primary died; idempotent if the node is already
+// primary). The call blocks until the node has drained its copy of the
+// shard's replication log, and returns the last applied seq.
+func (cl *Client) Promote(shard int) (uint64, error) {
+	line, err := cl.roundTrip("PROMOTE " + strconv.Itoa(shard))
+	if err != nil {
+		return 0, err
+	}
+	rest, ok := strings.CutPrefix(line, "+PROMOTED ")
+	if !ok {
+		return 0, fmt.Errorf("server: unexpected reply %q to PROMOTE", line)
+	}
+	sh, seq, ok := strings.Cut(rest, " ")
+	if !ok || sh != strconv.Itoa(shard) {
+		return 0, fmt.Errorf("server: bad PROMOTED frame %q", line)
+	}
+	return strconv.ParseUint(seq, 10, 64)
+}
+
+// --- retry policy ----------------------------------------------------------
+
+// Backoff is a bounded exponential backoff policy with deterministic
+// jitter: the pause after failed attempt i is Base<<i capped at Max,
+// scaled by a jitter factor in [0.5, 1.0) derived from (Seed, i) alone,
+// so two runs with the same seed sleep the same schedule (the chaos
+// harnesses depend on that) while different seeds decorrelate clients
+// that shed together. The zero value is usable.
+type Backoff struct {
+	Base     time.Duration // first delay (default 100µs)
+	Max      time.Duration // per-delay cap (default 10ms)
+	Attempts int           // total tries, including the first (default 8)
+	Seed     uint64        // jitter seed; same seed → same schedule
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Microsecond
+	}
+	if b.Max <= 0 {
+		b.Max = 10 * time.Millisecond
+	}
+	if b.Attempts <= 0 {
+		b.Attempts = 8
+	}
+	return b
+}
+
+// Delay returns the jittered pause after failed attempt i (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	d := b.Max
+	if shifted := b.Base << uint(attempt); attempt < 32 && shifted > 0 && shifted < b.Max {
+		d = shifted
+	}
+	x := mix64(b.Seed + uint64(attempt)*0x9E3779B97F4A7C15 + 1)
+	frac := float64(x>>11) / (1 << 53)
+	return time.Duration((0.5 + 0.5*frac) * float64(d))
+}
+
+// mix64 is the splitmix64 finalizer (same mix the arena and chaos use).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// RetryBusy runs op, retrying with the policy's backoff while it
+// returns ErrBusy; any other outcome (success included) is returned as
+// is. ErrBusy is returned only once the attempt budget is exhausted.
+func RetryBusy(bo Backoff, op func() error) error {
+	bo = bo.withDefaults()
+	var err error
+	for attempt := 0; attempt < bo.Attempts; attempt++ {
+		if err = op(); !errors.Is(err, ErrBusy) {
+			return err
+		}
+		if attempt < bo.Attempts-1 {
+			time.Sleep(bo.Delay(attempt))
+		}
+	}
+	return err
+}
+
+// DoGetRetry is Get with -BUSY retries under the policy.
+func (cl *Client) DoGetRetry(key uint64, bo Backoff) (v uint64, ok bool, err error) {
+	err = RetryBusy(bo, func() error {
+		var e error
+		v, ok, e = cl.Get(key)
+		return e
+	})
+	return
+}
+
+// DoPutRetry is Put with -BUSY retries under the policy.
+func (cl *Client) DoPutRetry(key, val uint64, bo Backoff) (old uint64, existed bool, err error) {
+	err = RetryBusy(bo, func() error {
+		var e error
+		old, existed, e = cl.Put(key, val)
+		return e
+	})
+	return
+}
+
+// DoDelRetry is Del with -BUSY retries under the policy.
+func (cl *Client) DoDelRetry(key uint64, bo Backoff) (hit bool, err error) {
+	err = RetryBusy(bo, func() error {
+		var e error
+		hit, e = cl.Del(key)
+		return e
+	})
+	return
 }
 
 // --- pipelined API ---------------------------------------------------------

@@ -1,0 +1,251 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"cdrc/internal/obs"
+)
+
+// cluster.reroute counts ops a ClusterClient redirected off a shard's
+// mapped owner — a -MOVED follow or a failover after a dead connection.
+var obsReroute = obs.NewCounter("cluster.reroute")
+
+// ErrClusterDown reports that both of a shard's hosts are marked dead.
+var ErrClusterDown = errors.New("cluster: shard has no live host")
+
+// ClusterClient routes GET/PUT/DEL across a cluster by key shard
+// (KeyShard, the server's own mapping) and fails over on node death:
+// when the shard's mapped owner stops answering, the client marks the
+// node dead, asks the shard's other host to PROMOTE, and retries there.
+// Nodes never come back (the fail-stop model — a restarted node would
+// be a new cluster), so dead-marking is permanent. -BUSY replies are
+// retried in place under the Backoff policy. Like Client, it is not
+// safe for concurrent use: give each goroutine its own.
+type ClusterClient struct {
+	peers  []string
+	shards int
+	bo     Backoff
+	conns  []*Client
+	dead   []bool
+	owner  []int // current owner node per shard; starts at PrimaryNode
+}
+
+// NewClusterClient builds a client for the given peer list (in node-id
+// order, the same list every node was configured with) and shard count.
+// Connections are dialed lazily.
+func NewClusterClient(peers []string, shards int, bo Backoff) *ClusterClient {
+	cc := &ClusterClient{
+		peers:  peers,
+		shards: shards,
+		bo:     bo.withDefaults(),
+		conns:  make([]*Client, len(peers)),
+		dead:   make([]bool, len(peers)),
+		owner:  make([]int, shards),
+	}
+	for sh := range cc.owner {
+		cc.owner[sh] = PrimaryNode(sh, len(peers))
+	}
+	return cc
+}
+
+// Close closes every dialed connection.
+func (cc *ClusterClient) Close() {
+	for i, cl := range cc.conns {
+		if cl != nil {
+			cl.Close()
+			cc.conns[i] = nil
+		}
+	}
+}
+
+// conn returns node's connection, dialing on first use. A dial failure
+// marks the node dead.
+func (cc *ClusterClient) conn(node int) (*Client, error) {
+	if cc.dead[node] {
+		return nil, fmt.Errorf("cluster: node %d is dead", node)
+	}
+	if cc.conns[node] != nil {
+		return cc.conns[node], nil
+	}
+	cl, err := Dial(cc.peers[node])
+	if err != nil {
+		cc.dead[node] = true
+		return nil, err
+	}
+	cc.conns[node] = cl
+	return cl, nil
+}
+
+// drop discards node's connection and marks it dead (a node that broke
+// a connection mid-protocol cannot be resumed: the stream position is
+// lost, and under the fail-stop model the node is gone).
+func (cc *ClusterClient) drop(node int) {
+	if cc.conns[node] != nil {
+		cc.conns[node].Close()
+		cc.conns[node] = nil
+	}
+	cc.dead[node] = true
+}
+
+// nodeOf resolves a -MOVED address back to a node id, -1 if unknown.
+func (cc *ClusterClient) nodeOf(addr string) int {
+	for i, p := range cc.peers {
+		if p == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// failover moves a shard off a dead owner: the shard's other host is
+// asked to PROMOTE (idempotent when it is already primary) and becomes
+// the owner. Reports whether the shard has a live owner afterwards.
+func (cc *ClusterClient) failover(shard int) bool {
+	n := len(cc.peers)
+	p, r := PrimaryNode(shard, n), ReplicaNode(shard, n)
+	alt := -1
+	for _, cand := range []int{p, r} {
+		if cand != cc.owner[shard] && !cc.dead[cand] {
+			alt = cand
+		}
+	}
+	if alt < 0 {
+		return false
+	}
+	cl, err := cc.conn(alt)
+	if err != nil {
+		return false
+	}
+	if _, err := cl.Promote(shard); err != nil {
+		var moved *MovedError
+		if !errors.As(err, &moved) && !errors.Is(err, ErrBusy) {
+			// Connection-level failure: this host is dead too.
+			cc.drop(alt)
+			return false
+		}
+	}
+	cc.owner[shard] = alt
+	obsReroute.Inc(0)
+	return true
+}
+
+// do runs op against key's shard owner, following -MOVED, backing off
+// on -BUSY, and failing over on connection errors, within the policy's
+// attempt budget.
+func (cc *ClusterClient) do(key uint64, op func(cl *Client) error) error {
+	shard := KeyShard(key, cc.shards)
+	var lastErr error
+	for attempt := 0; attempt < cc.bo.Attempts; attempt++ {
+		node := cc.owner[shard]
+		cl, err := cc.conn(node)
+		if err != nil {
+			lastErr = err
+			if !cc.failover(shard) {
+				return ErrClusterDown
+			}
+			continue
+		}
+		err = op(cl)
+		lastErr = err
+		var moved *MovedError
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, ErrBusy):
+			if attempt < cc.bo.Attempts-1 {
+				time.Sleep(cc.bo.Delay(attempt))
+			}
+		case errors.As(err, &moved):
+			// Stale mapping (e.g. a promoted shard whose topology primary
+			// we never talked to): follow the redirect.
+			if mn := cc.nodeOf(moved.Addr); mn >= 0 && !cc.dead[mn] {
+				cc.owner[shard] = mn
+				obsReroute.Inc(0)
+				continue
+			}
+			if !cc.failover(shard) {
+				return ErrClusterDown
+			}
+		default:
+			// Network error mid-round-trip: the node is gone.
+			cc.drop(node)
+			if !cc.failover(shard) {
+				return ErrClusterDown
+			}
+		}
+	}
+	return lastErr
+}
+
+// Get fetches key's value from its shard's owner.
+func (cc *ClusterClient) Get(key uint64) (v uint64, ok bool, err error) {
+	err = cc.do(key, func(cl *Client) error {
+		var e error
+		v, ok, e = cl.Get(key)
+		return e
+	})
+	return
+}
+
+// Put writes key on its shard's owner. A nil error is a durable ack:
+// the write is in the owner's replication log (or applied on a
+// replicaless promoted shard).
+func (cc *ClusterClient) Put(key, val uint64) (old uint64, existed bool, err error) {
+	err = cc.do(key, func(cl *Client) error {
+		var e error
+		old, existed, e = cl.Put(key, val)
+		return e
+	})
+	return
+}
+
+// Del removes key on its shard's owner; same ack semantics as Put.
+func (cc *ClusterClient) Del(key uint64) (hit bool, err error) {
+	err = cc.do(key, func(cl *Client) error {
+		var e error
+		hit, e = cl.Del(key)
+		return e
+	})
+	return
+}
+
+// StartCluster launches n loopback nodes sharing one topology. Every
+// node's listener is pre-bound on an ephemeral port first, so the full
+// peer list exists before any node starts — nodes dial each other
+// lazily (shippers retry), so start order never matters. The cfg is a
+// shared template; Peers, NodeID and Listener are filled per node.
+func StartCluster(n int, cfg Config) ([]*Server, error) {
+	lns := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns[:i] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("cluster: pre-bind node %d: %w", i, err)
+		}
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	srvs := make([]*Server, n)
+	for i := range srvs {
+		c := cfg
+		c.Peers, c.NodeID, c.Listener = peers, i, lns[i]
+		s, err := New(c)
+		if err != nil {
+			for _, prev := range srvs[:i] {
+				prev.Kill()
+			}
+			for _, l := range lns[i:] {
+				l.Close()
+			}
+			return nil, err
+		}
+		srvs[i] = s
+	}
+	return srvs, nil
+}

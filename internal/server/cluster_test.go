@@ -1,0 +1,463 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cdrc/internal/chaos"
+	"cdrc/internal/obs"
+)
+
+// clusterTestConfig is the shared node template for loopback clusters:
+// small shards/pools, debug checks armed, and short drain/promote
+// timeouts so a test that exercises the deadline paths stays fast.
+func clusterTestConfig() Config {
+	return Config{
+		Shards:           4,
+		Workers:          4,
+		ExpectedKeys:     1 << 12,
+		DebugChecks:      true,
+		ReplDrainTimeout: 500 * time.Millisecond,
+		PromoteTimeout:   2 * time.Second,
+	}
+}
+
+func startTestCluster(t *testing.T, n int, cfg Config) []*Server {
+	t.Helper()
+	srvs, err := StartCluster(n, cfg)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	return srvs
+}
+
+func peersOf(srvs []*Server) []string {
+	peers := make([]string, len(srvs))
+	for i, s := range srvs {
+		peers[i] = s.Addr()
+	}
+	return peers
+}
+
+// TestClusterRoutingAndMoved checks the static topology: every key is
+// served by its shard's primary, a non-primary node answers -MOVED with
+// the primary's address, and a ClusterClient follows the map without
+// ever seeing either.
+func TestClusterRoutingAndMoved(t *testing.T) {
+	srvs := startTestCluster(t, 2, clusterTestConfig())
+	peers := peersOf(srvs)
+	shards := srvs[0].NumShards()
+
+	// Find a key whose shard is primary on node 0.
+	var key uint64
+	for k := uint64(1); ; k++ {
+		if PrimaryNode(KeyShard(k, shards), 2) == 0 {
+			key = k
+			break
+		}
+	}
+	wrong := dialTest(t, srvs[1])
+	defer wrong.Close()
+	_, _, err := wrong.Put(key, 1)
+	var moved *MovedError
+	if !errors.As(err, &moved) {
+		t.Fatalf("Put at non-primary: err = %v, want MovedError", err)
+	}
+	if moved.Addr != peers[0] {
+		t.Fatalf("-MOVED addr = %q, want primary %q", moved.Addr, peers[0])
+	}
+
+	cc := NewClusterClient(peers, shards, Backoff{Seed: 1})
+	defer cc.Close()
+	for k := uint64(0); k < 256; k++ {
+		if _, _, err := cc.Put(k, k*3); err != nil {
+			t.Fatalf("cluster Put(%d): %v", k, err)
+		}
+	}
+	for k := uint64(0); k < 256; k++ {
+		v, ok, err := cc.Get(k)
+		if err != nil || !ok || v != k*3 {
+			t.Fatalf("cluster Get(%d) = %d,%v,%v want %d", k, v, ok, err, k*3)
+		}
+	}
+	for i, s := range srvs {
+		if err := s.Close(); err != nil {
+			t.Errorf("node %d Close: %v", i, err)
+		}
+		if live := s.Live(); live != 0 {
+			t.Errorf("node %d Live = %d after Close", i, live)
+		}
+	}
+}
+
+// TestPromoteDrainsLog is the focused lossless check: every write acked
+// by the primary is readable from the replica after the primary is
+// killed (fail-stop, no reply drain) and the replica promotes. The kill
+// path must replay the replication log before tearing down.
+func TestPromoteDrainsLog(t *testing.T) {
+	srvs := startTestCluster(t, 2, clusterTestConfig())
+	peers := peersOf(srvs)
+	shards := srvs[0].NumShards()
+
+	cc := NewClusterClient(peers, shards, Backoff{Attempts: 32, Seed: 2})
+	const nKeys = 500
+	for k := uint64(0); k < nKeys; k++ {
+		if _, _, err := cc.Put(k, k+7); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+	}
+	cc.Close()
+
+	if err := srvs[0].Kill(); err != nil {
+		t.Fatalf("node 0 Kill: %v", err)
+	}
+	if live := srvs[0].Live(); live != 0 {
+		t.Fatalf("killed node Live = %d, want 0", live)
+	}
+
+	// A fresh client discovers the death, promotes node 1, and must see
+	// every acked write.
+	cc2 := NewClusterClient(peers, shards, Backoff{Attempts: 32, Seed: 3})
+	defer cc2.Close()
+	for k := uint64(0); k < nKeys; k++ {
+		v, ok, err := cc2.Get(k)
+		if err != nil {
+			t.Fatalf("Get(%d) after failover: %v", k, err)
+		}
+		if !ok || v != k+7 {
+			t.Fatalf("acked write lost: Get(%d) = %d,%v want %d", k, v, ok, k+7)
+		}
+	}
+	if err := srvs[1].Close(); err != nil {
+		t.Errorf("node 1 Close: %v", err)
+	}
+	if live := srvs[1].Live(); live != 0 {
+		t.Errorf("node 1 Live = %d after Close", live)
+	}
+}
+
+// ackedState is a writer's record of its last acked op per key.
+type ackedState struct {
+	val     uint64
+	present bool
+}
+
+// TestClusterFailoverConservation is the satellite conservation test:
+// a 3-node cluster under concurrent writer load loses a node mid-load
+// (fail-stop Kill at a phase barrier, so the kill deterministically
+// lands between each writer's two phases); writers retry until every
+// op is acked. At quiescence: (a) no acked PUT/DEL is lost — every
+// key's last acked state is readable cluster-wide after promotion,
+// (b) the replication conservation identity repl.enq == repl.ack +
+// repl.lost holds process-wide, (c) Live() == 0 on every node.
+func TestClusterFailoverConservation(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	enq0 := obsReplEnq.Value()
+	ack0 := obsReplAck.Value()
+	lost0 := obsReplLost.Value()
+	promote0 := obsPromote.Value()
+
+	srvs := startTestCluster(t, 3, clusterTestConfig())
+	peers := peersOf(srvs)
+	shards := srvs[0].NumShards()
+
+	const (
+		nWriters    = 4
+		keysEach    = 64
+		opsPerPhase = 150
+	)
+	var phase1, writers sync.WaitGroup
+	phase1.Add(nWriters)
+	release := make(chan struct{})
+	states := make([]map[uint64]ackedState, nWriters)
+
+	for w := 0; w < nWriters; w++ {
+		states[w] = make(map[uint64]ackedState, keysEach)
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			cc := NewClusterClient(peers, shards, Backoff{Attempts: 16, Seed: uint64(w)})
+			defer cc.Close()
+			acked := states[w]
+			base := uint64(w * keysEach)
+			doOp := func(i int) {
+				r := mix64(uint64(w)<<32 + uint64(i) + 1)
+				key := base + r%keysEach
+				if r>>16&3 == 0 {
+					// DEL; retry until acked (ErrBusy surfaces only after the
+					// policy's budget, so loop on it too).
+					for {
+						_, err := cc.Del(key)
+						if err == nil {
+							acked[key] = ackedState{}
+							return
+						}
+						if !errors.Is(err, ErrBusy) {
+							t.Errorf("writer %d: Del(%d): %v", w, key, err)
+							return
+						}
+					}
+				}
+				val := r | 1
+				for {
+					_, _, err := cc.Put(key, val)
+					if err == nil {
+						acked[key] = ackedState{val: val, present: true}
+						return
+					}
+					if !errors.Is(err, ErrBusy) {
+						t.Errorf("writer %d: Put(%d): %v", w, key, err)
+						return
+					}
+				}
+			}
+			for i := 0; i < opsPerPhase; i++ {
+				doOp(i)
+			}
+			phase1.Done()
+			<-release
+			for i := opsPerPhase; i < 2*opsPerPhase; i++ {
+				doOp(i)
+			}
+		}(w)
+	}
+
+	phase1.Wait()
+	if err := srvs[0].Kill(); err != nil {
+		t.Errorf("node 0 Kill: %v", err)
+	}
+	close(release)
+	writers.Wait()
+	if t.Failed() {
+		for _, s := range srvs[1:] {
+			s.Kill()
+		}
+		return
+	}
+
+	// (a) No acked write lost: verify every key's last acked state
+	// through a fresh cluster view.
+	cc := NewClusterClient(peers, shards, Backoff{Attempts: 32, Seed: 99})
+	for w, acked := range states {
+		for key, want := range acked {
+			v, ok, err := cc.Get(key)
+			if err != nil {
+				t.Fatalf("verify Get(%d): %v", key, err)
+			}
+			if ok != want.present || (ok && v != want.val) {
+				t.Errorf("writer %d key %d: got (%d,%v), last acked (%d,%v)",
+					w, key, v, ok, want.val, want.present)
+			}
+		}
+	}
+	cc.Close()
+
+	// (c) Quiescent teardown on the survivors (node 1 first: its shard-1
+	// log drains to node 2; node 2's shard-2 log can only time out
+	// against the dead node 0, feeding repl.lost, which (b) accounts).
+	for i, s := range srvs[1:] {
+		if err := s.Close(); err != nil {
+			t.Errorf("node %d Close: %v", i+1, err)
+		}
+		if live := s.Live(); live != 0 {
+			t.Errorf("node %d Live = %d after Close", i+1, live)
+		}
+	}
+
+	// (b) Replication conservation: every logged entry was either acked
+	// by its replica or visibly abandoned against a dead one.
+	enq := obsReplEnq.Value() - enq0
+	ack := obsReplAck.Value() - ack0
+	lost := obsReplLost.Value() - lost0
+	if enq != ack+lost {
+		t.Errorf("repl conservation: enq %d != ack %d + lost %d", enq, ack, lost)
+	}
+	if enq == 0 {
+		t.Error("no entries were ever replicated; test exercised nothing")
+	}
+	if promotes := obsPromote.Value() - promote0; promotes == 0 {
+		t.Error("no promotion happened; failover path not exercised")
+	}
+}
+
+// TestReplicaDeathGoesReplicaless covers failover's converse: when a
+// REPLICA dies under a live primary, the primary's shard must not stall
+// behind a full replication log. After ReplPeerPatience of failed
+// redials the shipper abandons the log (server.repl.abandon, backlog
+// counted lost) and the shard continues replicaless — so writes far in
+// excess of ReplLogCap must all eventually ack on the survivor.
+func TestReplicaDeathGoesReplicaless(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	abandon0 := obsReplAbandon.Value()
+
+	cfg := clusterTestConfig()
+	cfg.ReplLogCap = 64
+	cfg.ReplPeerPatience = 100 * time.Millisecond
+	srvs := startTestCluster(t, 2, cfg)
+	peers := peersOf(srvs)
+	shards := srvs[0].NumShards()
+
+	cc := NewClusterClient(peers, shards, Backoff{Attempts: 16, Seed: 5})
+	defer cc.Close()
+	const nKeys = 4 * 64 // 4x the log capacity
+	// Prime every shard so both directions of replication are live, then
+	// fail-stop node 1 (replica for node 0's primary shards).
+	for k := uint64(0); k < 64; k++ {
+		if _, _, err := cc.Put(k, k); err != nil {
+			t.Fatalf("prime Put(%d): %v", k, err)
+		}
+	}
+	if err := srvs[1].Kill(); err != nil {
+		t.Errorf("node 1 Kill: %v", err)
+	}
+
+	// -BUSY is legal only while the patience window is open; every write
+	// must ack once the log is abandoned.
+	deadline := time.Now().Add(5 * time.Second)
+	for k := uint64(0); k < nKeys; k++ {
+		for {
+			_, _, err := cc.Put(k, k+1)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrBusy) || time.Now().After(deadline) {
+				t.Fatalf("Put(%d) after replica death: %v", k, err)
+			}
+		}
+	}
+	if got := obsReplAbandon.Value() - abandon0; got == 0 {
+		t.Error("no log abandoned: the primary stalled against a dead replica")
+	}
+	for k := uint64(0); k < nKeys; k++ {
+		v, ok, err := cc.Get(k)
+		if err != nil || !ok || v != k+1 {
+			t.Fatalf("Get(%d) = %d,%v,%v want %d", k, v, ok, err, k+1)
+		}
+	}
+	if err := srvs[0].Close(); err != nil {
+		t.Errorf("node 0 Close: %v", err)
+	}
+	if live := srvs[0].Live(); live != 0 {
+		t.Errorf("node 0 Live = %d after Close", live)
+	}
+}
+
+// TestIdleTimeoutClosesConn checks the idle-deadline satellite: a conn
+// that goes quiet past IdleTimeout is closed by the server and counted
+// in server.disconn.idle; an active server stays otherwise unaffected.
+func TestIdleTimeoutClosesConn(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	idle0 := obsDisconnIdle.Value()
+
+	s := newTestServer(t, Config{Shards: 2, Workers: 2, ExpectedKeys: 256,
+		IdleTimeout: 50 * time.Millisecond})
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	// Say nothing; the server must hang up on us.
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	if n, err := c.Read(buf); err == nil {
+		t.Fatalf("expected server-side close, read %d bytes", n)
+	}
+	deadlineBy := time.Now()
+	for obsDisconnIdle.Value() == idle0 && time.Since(deadlineBy) < time.Second {
+		time.Sleep(time.Millisecond)
+	}
+	if got := obsDisconnIdle.Value() - idle0; got != 1 {
+		t.Errorf("server.disconn.idle delta = %d, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestGracefulCloseDrainsPipeline checks the SIGTERM-drain satellite:
+// Close while a pipelined window is in flight (workers slowed by a
+// chaos Sleep fault so the ring is still full when shutdown starts)
+// must reply to every claimed request before the connection ends —
+// the client reads its whole window, then a clean EOF.
+func TestGracefulCloseDrainsPipeline(t *testing.T) {
+	const window = 16
+	chaos.Enable(chaos.Config{Seed: 11, Faults: map[string]chaos.Fault{
+		"server.worker.op": {Every: 1, Sleep: 5 * time.Millisecond},
+	}})
+	defer chaos.Disable()
+
+	s := newTestServer(t, Config{Shards: 2, Workers: 2, ExpectedKeys: 256,
+		MaxPipeline: window})
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	var b Batch
+	for k := uint64(0); k < window; k++ {
+		b.Put(k, k)
+	}
+	if _, err := c.Write(b.buf); err != nil {
+		t.Fatalf("write window: %v", err)
+	}
+	// Give the reader time to claim the window into the ring (the
+	// workers are sleeping 5ms per op, so execution lags far behind),
+	// then shut down gracefully and count the replies that still arrive.
+	time.Sleep(20 * time.Millisecond)
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- s.Close() }()
+
+	replies := 0
+	rd := make([]byte, 1)
+	line := 0
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		if _, err := c.Read(rd); err != nil {
+			break
+		}
+		line++
+		if rd[0] == '\n' {
+			replies++
+		}
+	}
+	if replies != window {
+		t.Errorf("graceful Close delivered %d replies, want the full window of %d", replies, window)
+	}
+	if err := <-closeErr; err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestBackoffDeterministic pins the retry policy: same seed, same
+// schedule; delays bounded by [Base/2, Max); different seeds diverge.
+func TestBackoffDeterministic(t *testing.T) {
+	a := Backoff{Base: time.Millisecond, Max: 8 * time.Millisecond, Attempts: 10, Seed: 42}
+	b := Backoff{Base: time.Millisecond, Max: 8 * time.Millisecond, Attempts: 10, Seed: 43}
+	diverged := false
+	for i := 0; i < a.Attempts; i++ {
+		d1, d2 := a.Delay(i), a.Delay(i)
+		if d1 != d2 {
+			t.Fatalf("Delay(%d) not deterministic: %v vs %v", i, d1, d2)
+		}
+		if d1 < time.Millisecond/2 || d1 >= 8*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v outside [Base/2, Max)", i, d1)
+		}
+		if b.Delay(i) != d1 {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("two seeds produced identical schedules")
+	}
+	// Early attempts grow before jitter caps out at Max.
+	if a.Delay(0) >= 2*time.Millisecond {
+		t.Fatalf("Delay(0) = %v, want < 2*Base", a.Delay(0))
+	}
+}

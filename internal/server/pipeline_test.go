@@ -63,17 +63,12 @@ func TestPipelinedOrdering(t *testing.T) {
 
 			// Seed this connection's key partition (retrying BUSYs), so
 			// the GET phase has a known expected value per key.
+			bo := Backoff{Attempts: 64, Seed: uint64(conn)}
 			for k := base; k < base+nKeys; k++ {
-				for {
-					_, _, err := cl.Put(k, valFor(k))
-					if err == nil {
-						break
-					}
-					if err != ErrBusy {
-						t.Errorf("conn %d: seed Put(%d): %v", conn, k, err)
-						hardFails.Add(1)
-						return
-					}
+				if _, _, err := cl.DoPutRetry(k, valFor(k), bo); err != nil {
+					t.Errorf("conn %d: seed Put(%d): %v", conn, k, err)
+					hardFails.Add(1)
+					return
 				}
 			}
 

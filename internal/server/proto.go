@@ -21,6 +21,13 @@ import (
 //	SCAN <limit>
 //	STATS
 //
+// Cluster requests (replicated mode, DESIGN.md §9):
+//
+//	RPUT <shard> <seq> <key> <val>   replicate a PUT (primary → replica)
+//	RDEL <shard> <seq> <key>         replicate a DEL (primary → replica)
+//	PROMOTE <shard>                  make this node primary for shard,
+//	                                 after draining its replication log
+//
 // Replies (first byte classifies):
 //
 //	+PONG
@@ -29,8 +36,17 @@ import (
 //	+DEL 1     DEL hit            +DEL 0     DEL miss
 //	*<n>       SCAN header, followed by n lines "<key> <val>"
 //	$<len>     STATS header, followed by len raw bytes (obs JSON) and LF
-//	-BUSY      request shed: worker queue full, arena exhausted, or the
-//	           serving worker crashed mid-request; no effect, retryable
+//	+RACK <shard> <seq>  RPUT/RDEL applied (or duplicate of an applied
+//	           seq; the apply is idempotent per (shard, seq))
+//	+PROMOTED <shard> <seq>  promotion done; seq is the last applied
+//	           replication seq for the shard (0 = log was empty)
+//	-BUSY      request shed: worker queue full, arena exhausted, the
+//	           serving worker crashed mid-request, or the shard's
+//	           replication log is full (ack would not be durable);
+//	           no effect, retryable. An out-of-order RPUT/RDEL (a gap in
+//	           the seq stream) is also -BUSY: the shipper rewinds to the
+//	           last acked seq and re-ships.
+//	-MOVED <addr>  the key's shard is not primary here; retry at addr
 //	-ERR <msg> malformed request or server-side failure
 //
 // Every request line receives exactly one reply (BUSY included), which is
@@ -46,6 +62,8 @@ const (
 	opPut
 	opDel
 	opScan
+	opRPut // replication apply of a PUT (replica side)
+	opRDel // replication apply of a DEL (replica side)
 )
 
 // Completion causes. A slot completes with exactly one cause; the first
@@ -57,6 +75,8 @@ const (
 	causeQueue        // shed at a full shard queue (never reached a worker)
 	causeArena        // arena exhausted mid-execution (PUT backpressure)
 	causeCrash        // serving worker took a simulated crash
+	causeRepl         // replication backpressure: log full (primary) or
+	// seq gap (replica); either way nothing was applied
 )
 
 // slot is one in-flight request in a connection's completion ring. Slots
@@ -71,6 +91,12 @@ type slot struct {
 	key   uint64
 	val   uint64
 	limit int
+
+	// shard and seq carry RPUT/RDEL replication coordinates (the shard is
+	// named on the wire, not derived from the key, so a replica applies
+	// into exactly the shard the primary logged).
+	shard int
+	seq   uint64
 
 	// local marks reader-completed replies (PING, STATS, parse errors,
 	// oversize lines): they bypass the server.req/server.reply accounting,
@@ -148,6 +174,11 @@ func (sl *slot) complete(procID int) {
 		obsReq.Inc(procID)
 		obsReply.Inc(procID)
 		obsBusyArena.Inc(procID)
+		sl.static = lineBusy
+	case causeRepl:
+		obsReq.Inc(procID)
+		obsReply.Inc(procID)
+		obsBusyRepl.Inc(procID)
 		sl.static = lineBusy
 	case causeCrash:
 		obsReply.Inc(procID)
@@ -231,6 +262,24 @@ func appendVal(buf []byte, prefix string, v uint64) []byte {
 	return append(buf, '\n')
 }
 
+// appendShardSeq renders "<prefix> <shard> <seq>\n" into buf without
+// allocating (the +RACK / +PROMOTED replies).
+func appendShardSeq(buf []byte, prefix string, shard int, seq uint64) []byte {
+	buf = append(buf, prefix...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, int64(shard), 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, seq, 10)
+	return append(buf, '\n')
+}
+
+// appendMoved renders "-MOVED <addr>\n" into buf.
+func appendMoved(buf []byte, addr string) []byte {
+	buf = append(buf, "-MOVED "...)
+	buf = append(buf, addr...)
+	return append(buf, '\n')
+}
+
 // Verb classes produced by verbOf.
 const (
 	vUnknown = iota
@@ -240,6 +289,9 @@ const (
 	vPut
 	vDel
 	vScan
+	vRPut
+	vRDel
+	vPromote
 )
 
 // verbOf classifies an ASCII verb case-insensitively without allocating.
@@ -270,11 +322,24 @@ func verbOf(b []byte) int {
 			if b[1]&^0x20 == 'C' && b[2]&^0x20 == 'A' && b[3]&^0x20 == 'N' {
 				return vScan
 			}
+		case 'R':
+			if b[2]&^0x20 == 'U' && b[3]&^0x20 == 'T' && b[1]&^0x20 == 'P' {
+				return vRPut
+			}
+			if b[1]&^0x20 == 'D' && b[2]&^0x20 == 'E' && b[3]&^0x20 == 'L' {
+				return vRDel
+			}
 		}
 	case 5:
 		if b[0]&^0x20 == 'S' && b[1]&^0x20 == 'T' && b[2]&^0x20 == 'A' &&
 			b[3]&^0x20 == 'T' && b[4]&^0x20 == 'S' {
 			return vStats
+		}
+	case 7:
+		if b[0]&^0x20 == 'P' && b[1]&^0x20 == 'R' && b[2]&^0x20 == 'O' &&
+			b[3]&^0x20 == 'M' && b[4]&^0x20 == 'O' && b[5]&^0x20 == 'T' &&
+			b[6]&^0x20 == 'E' {
+			return vPromote
 		}
 	}
 	return vUnknown
@@ -318,9 +383,10 @@ func parseIntBytes(b []byte) (int64, bool) {
 	return int64(v), true
 }
 
-// maxFields bounds the per-line field split: no verb takes more than two
-// arguments, so anything beyond four fields is malformed regardless.
-const maxFields = 4
+// maxFields bounds the per-line field split: the widest verb is RPUT
+// with four arguments, so anything beyond five fields is malformed
+// regardless.
+const maxFields = 5
 
 // splitFields splits line on spaces/tabs into out, returning the field
 // count; maxFields+1 means "too many" (the tail is dropped, and every

@@ -34,6 +34,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cdrc/collections"
 	"cdrc/internal/chaos"
@@ -125,6 +126,55 @@ type Config struct {
 	// DebugChecks arms arena use-after-free panics on every shard. Set by
 	// tests and soak harnesses.
 	DebugChecks bool
+
+	// Peers, when non-empty, switches the server into cluster mode
+	// (DESIGN.md §9): Peers lists every node's client-visible address in
+	// node-id order and NodeID is this node's index into it. Shard s is
+	// primary on node PrimaryNode(s, len(Peers)) and (with two or more
+	// nodes) replicated on ReplicaNode(s, len(Peers)); this node serves
+	// its primary shards, applies the inbound replication stream for its
+	// replica shards, and answers -MOVED for the rest.
+	Peers  []string
+	NodeID int
+
+	// Listener, when non-nil, is adopted instead of listening on Addr: it
+	// lets in-process clusters pre-bind every node on ":0" and hand each
+	// node the complete peer address list before any node starts.
+	Listener net.Listener
+
+	// IdleTimeout, when non-zero, closes a connection whose next request
+	// does not arrive within it, releasing its completion ring (counted in
+	// server.disconn.idle). Zero — the default, and what tests use —
+	// never arms a read deadline.
+	IdleTimeout time.Duration
+
+	// DrainGrace bounds how long a graceful Close waits for connection
+	// writers to flush in-flight pipelined replies before hard-closing
+	// the sockets (default 1s).
+	DrainGrace time.Duration
+
+	// ReplLogCap bounds each primary shard's unacked replication window;
+	// a full log sheds writes with -BUSY before applying them (default
+	// 4096 entries).
+	ReplLogCap int
+
+	// ReplDrainTimeout bounds how long shutdown — Close and Kill alike —
+	// keeps shipping a primary shard's log backlog to its replica before
+	// abandoning the remainder (counted in server.repl.lost; default 5s).
+	ReplDrainTimeout time.Duration
+
+	// PromoteTimeout bounds how long PROMOTE waits for the shard's
+	// inbound replication stream to drain before promoting anyway
+	// (default 5s).
+	PromoteTimeout time.Duration
+
+	// ReplPeerPatience bounds how long a primary shard's shipper keeps
+	// redialing an unreachable replica before presuming it dead
+	// (fail-stop) and abandoning replication for that shard: the unacked
+	// backlog is counted in server.repl.lost and subsequent writes ack
+	// without logging, so the shard stays writable instead of shedding
+	// -BUSY forever once the log fills (default 2s).
+	ReplPeerPatience time.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -166,15 +216,42 @@ func (c *Config) withDefaults() Config {
 	if cfg.ScanLimit <= 0 {
 		cfg.ScanLimit = 4096
 	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = time.Second
+	}
+	if cfg.ReplLogCap <= 0 {
+		cfg.ReplLogCap = 4096
+	}
+	if cfg.ReplDrainTimeout <= 0 {
+		cfg.ReplDrainTimeout = 5 * time.Second
+	}
+	if cfg.PromoteTimeout <= 0 {
+		cfg.PromoteTimeout = 5 * time.Second
+	}
+	if cfg.ReplPeerPatience <= 0 {
+		cfg.ReplPeerPatience = 2 * time.Second
+	}
 	return cfg
 }
 
-// Server is one running instance. Create with New, stop with Close.
+// Server is one running instance. Create with New, stop with Close
+// (graceful drain) or Kill (fail-stop, still replays the replication
+// logs — DESIGN.md §9).
 type Server struct {
 	cfg    Config
 	shards []*collections.Map
 	queues []chan *slot
 	ln     net.Listener
+
+	// Cluster state (repl.go). Single-node servers run with cluster ==
+	// false, every role rolePrimary, and nil log/stream slots, so the
+	// non-cluster hot path pays one nil check per write.
+	cluster   bool
+	role      []atomic.Uint32
+	replLogs  []*replLog
+	replIns   []*replIn
+	shipperWg sync.WaitGroup
+	chaosKill *chaos.Point // per-node kill point; nil outside cluster mode
 
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
@@ -190,15 +267,25 @@ type Server struct {
 }
 
 // New builds the shards, binds the listener, and starts the worker pool
-// and acceptor.
+// and acceptor (plus, in cluster mode, the per-primary-shard shippers).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if len(cfg.Peers) > 0 && (cfg.NodeID < 0 || cfg.NodeID >= len(cfg.Peers)) {
+		return nil, fmt.Errorf("server: node id %d outside peer list of %d", cfg.NodeID, len(cfg.Peers))
+	}
 	s := &Server{
 		cfg:        cfg,
 		shards:     make([]*collections.Map, cfg.Shards),
 		queues:     make([]chan *slot, cfg.Shards),
+		role:       make([]atomic.Uint32, cfg.Shards),
+		replLogs:   make([]*replLog, cfg.Shards),
+		replIns:    make([]*replIn, cfg.Shards),
+		cluster:    len(cfg.Peers) > 0,
 		conns:      make(map[net.Conn]struct{}),
 		acceptDone: make(chan struct{}),
+	}
+	if s.cluster {
+		s.chaosKill = chaos.New(fmt.Sprintf("server.node%d.kill", cfg.NodeID))
 	}
 	perShard := cfg.ExpectedKeys / cfg.Shards
 	for i := range s.shards {
@@ -212,24 +299,82 @@ func New(cfg Config) (*Server, error) {
 		s.shards[i] = m
 		s.queues[i] = make(chan *slot, cfg.QueueDepth)
 		q := s.queues[i]
-		obs.RegisterGauge(fmt.Sprintf("server.queue.%d", i), func() (int64, bool) {
+		obs.RegisterGauge(s.gaugeName(fmt.Sprintf("queue.%d", i)), func() (int64, bool) {
 			if s.closed.Load() {
 				return 0, false
 			}
 			return int64(len(q)), true
 		})
+		// Shard roles: single-node serves everything as primary; a cluster
+		// node is primary for its PrimaryNode shards (with a replication
+		// log when a distinct replica exists), replica for its ReplicaNode
+		// shards, and answers -MOVED for the rest.
+		if !s.cluster {
+			s.role[i].Store(rolePrimary)
+			continue
+		}
+		n := len(cfg.Peers)
+		switch {
+		case PrimaryNode(i, n) == cfg.NodeID:
+			s.role[i].Store(rolePrimary)
+			if r := ReplicaNode(i, n); r != cfg.NodeID {
+				s.replLogs[i] = newReplLog(i, cfg.Peers[r])
+			}
+		case ReplicaNode(i, n) == cfg.NodeID:
+			s.role[i].Store(roleReplica)
+			s.replIns[i] = &replIn{}
+		default:
+			s.role[i].Store(roleNone)
+		}
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
+		}
 	}
 	s.ln = ln
+	if s.cluster {
+		obs.RegisterGauge(s.gaugeName("repl.lag"), func() (int64, bool) {
+			if s.closed.Load() {
+				return 0, false
+			}
+			var lag int64
+			for _, rl := range s.replLogs {
+				if rl != nil {
+					lag += rl.lag()
+				}
+			}
+			return lag, true
+		})
+		for _, rl := range s.replLogs {
+			if rl != nil {
+				s.shipperWg.Add(1)
+				go s.runShipper(rl)
+			}
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWg.Add(1)
 		go s.runWorker(i, i%cfg.Shards)
 	}
 	go s.acceptLoop()
 	return s, nil
+}
+
+// gaugeName scopes a gauge to this node in cluster mode: gauges are
+// registered by name process-wide and re-registration replaces, so the
+// nodes of an in-process loopback cluster must not collide. Counters
+// stay process-global on purpose — a loopback cluster's conservation
+// identities (repl.enq == repl.apply, …) then sum across nodes with no
+// extra bookkeeping.
+func (s *Server) gaugeName(base string) string {
+	if s.cluster {
+		return fmt.Sprintf("server.node%d.%s", s.cfg.NodeID, base)
+	}
+	return "server." + base
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -245,14 +390,39 @@ func (s *Server) Live() int64 {
 	return n
 }
 
-// shardOf picks the shard for a key with a splitmix-style mix so that the
-// bits it consumes are independent of the per-shard bucket hash.
-func (s *Server) shardOf(key uint64) int {
+// KeyShard maps a key to its shard index with a splitmix-style mix so
+// that the bits it consumes are independent of the per-shard bucket
+// hash. Exported so cluster clients route exactly as the server does;
+// shards must be the server's (power-of-two) shard count.
+func KeyShard(key uint64, shards int) int {
 	x := key
 	x ^= x >> 30
 	x *= 0xBF58476D1CE4E5B9
 	x ^= x >> 27
-	return int((x >> 48) & uint64(len(s.shards)-1))
+	return int((x >> 48) & uint64(shards-1))
+}
+
+func (s *Server) shardOf(key uint64) int { return KeyShard(key, len(s.shards)) }
+
+// PrimaryNode and ReplicaNode fix the static cluster topology: shard s
+// is primary on PrimaryNode(s, nodes) and — when the two differ —
+// replicated on ReplicaNode(s, nodes). Exported for clients and tests;
+// promotion moves a shard's serving node off this map, which clients
+// discover through failed connections and -MOVED.
+func PrimaryNode(shard, nodes int) int { return shard % nodes }
+
+// ReplicaNode returns the node holding shard's replica.
+func ReplicaNode(shard, nodes int) int { return (shard%nodes + 1) % nodes }
+
+// NumShards returns the configured shard count (clients route with it).
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// isClosing reports whether shutdown has begun (promoteWait polls it so
+// a blocked PROMOTE never stalls Close's connection drain).
+func (s *Server) isClosing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closing
 }
 
 // --- connection front end --------------------------------------------------
@@ -322,6 +492,15 @@ func readLine(br *bufio.Reader) ([]byte, error) {
 func (s *Server) serveConn(c net.Conn) {
 	defer s.connWg.Done()
 	defer func() {
+		if s.cluster {
+			// If this conn was a replication stream source, its end is what
+			// promotion waits for — clear it.
+			for _, ri := range s.replIns {
+				if ri != nil {
+					ri.dropSrc(c)
+				}
+			}
+		}
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
@@ -343,6 +522,18 @@ func (s *Server) serveConn(c net.Conn) {
 	br := bufio.NewReaderSize(c, maxLine)
 	var fields [maxFields][]byte
 	for {
+		// The node-kill point fires between requests, before a slot is
+		// claimed: the "node" dies holding no ring slot and no counted
+		// references for an unstarted request (the §5 crash-point rule at
+		// node scope). Kill runs on its own goroutine — it must wait for
+		// this very connection to exit.
+		if s.chaosKill != nil && s.fireKill() {
+			go s.Kill()
+			break
+		}
+		if s.cfg.IdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		line, err := readLine(br)
 		if err == errLineTooLong {
 			sl := <-free
@@ -354,6 +545,10 @@ func (s *Server) serveConn(c net.Conn) {
 			continue
 		}
 		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() &&
+				s.cfg.IdleTimeout > 0 && !s.isClosing() {
+				obsDisconnIdle.Inc(0)
+			}
 			break
 		}
 		nf := splitFields(line, &fields)
@@ -362,7 +557,7 @@ func (s *Server) serveConn(c net.Conn) {
 		}
 		sl := <-free
 		sl.reset()
-		s.dispatch(sl, fields[:min(nf, maxFields)], nf, issued)
+		s.dispatch(c, sl, fields[:min(nf, maxFields)], nf, issued)
 	}
 	close(issued)
 	<-writerDone
@@ -379,8 +574,10 @@ func localReply(sl *slot, issued chan<- *slot) {
 // dispatch routes one parsed request: local verbs complete inline,
 // single-shard ops go to their shard's queue, SCAN fans out to every
 // shard. The slot is sent to issued (the ordered completion ring) before
-// any queue send, so the writer sees slots in exact request order.
-func (s *Server) dispatch(sl *slot, fields [][]byte, nf int, issued chan<- *slot) {
+// any queue send, so the writer sees slots in exact request order. The
+// conn is threaded through for the replication verbs, which record it
+// as the shard's stream source (promotion waits for it to close).
+func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued chan<- *slot) {
 	verb := verbOf(fields[0])
 	badArity := func(want int) bool {
 		if nf != want+1 {
@@ -411,7 +608,16 @@ func (s *Server) dispatch(sl *slot, fields [][]byte, nf int, issued chan<- *slot
 			localReply(sl, issued)
 			return
 		}
-		sl.key = key
+		shard := s.shardOf(key)
+		if s.cluster && s.role[shard].Load() != rolePrimary {
+			// Not primary here (replica, unhosted, or not yet promoted):
+			// point the client at the shard's topology primary. A promoted
+			// replica holds rolePrimary and serves normally.
+			sl.buf = appendMoved(sl.buf[:0], s.cfg.Peers[PrimaryNode(shard, len(s.cfg.Peers))])
+			localReply(sl, issued)
+			return
+		}
+		sl.key, sl.shard = key, shard
 		switch verb {
 		case vGet:
 			sl.op = opGet
@@ -428,7 +634,7 @@ func (s *Server) dispatch(sl *slot, fields [][]byte, nf int, issued chan<- *slot
 		}
 		sl.pending.Store(1)
 		issued <- sl
-		q := s.queues[s.shardOf(key)]
+		q := s.queues[shard]
 		if obs.Enabled() {
 			obsQueueDepth.Observe(uint64(len(q)))
 		}
@@ -438,6 +644,92 @@ func (s *Server) dispatch(sl *slot, fields [][]byte, nf int, issued chan<- *slot
 			sl.fail(causeQueue)
 			sl.complete(0)
 		}
+	case vRPut, vRDel:
+		want := 3
+		if verb == vRPut {
+			want = 4
+		}
+		if badArity(want) {
+			return
+		}
+		shard64, ok1 := parseUintBytes(fields[1])
+		seq, ok2 := parseUintBytes(fields[2])
+		key, ok3 := parseUintBytes(fields[3])
+		if !ok1 || !ok2 || !ok3 || shard64 >= uint64(len(s.shards)) {
+			sl.buf = appendErr(sl.buf[:0], "bad replication frame")
+			localReply(sl, issued)
+			return
+		}
+		if verb == vRPut {
+			val, ok := parseUintBytes(fields[4])
+			if !ok {
+				sl.buf = appendErr(sl.buf[:0], "bad number %q", fields[4])
+				localReply(sl, issued)
+				return
+			}
+			sl.op, sl.val = opRPut, val
+		} else {
+			sl.op = opRDel
+		}
+		shard := int(shard64)
+		ri := s.replIns[shard]
+		if ri == nil || s.role[shard].Load() != roleReplica {
+			// Not (or no longer) a replica for this shard: a hard error,
+			// not -BUSY — the shipper must stop, not rewind (split-brain
+			// guard after promotion).
+			sl.buf = appendErr(sl.buf[:0], "shard %d is not a replica here", shard)
+			localReply(sl, issued)
+			return
+		}
+		sl.key, sl.shard, sl.seq = key, shard, seq
+		ri.noteReceived(seq, c)
+		sl.pending.Store(1)
+		issued <- sl
+		q := s.queues[shard]
+		if obs.Enabled() {
+			obsQueueDepth.Observe(uint64(len(q)))
+		}
+		select {
+		case q <- sl:
+		default:
+			sl.fail(causeQueue)
+			sl.complete(0)
+		}
+	case vPromote:
+		if badArity(1) {
+			return
+		}
+		shard64, ok := parseUintBytes(fields[1])
+		if !ok || shard64 >= uint64(len(s.shards)) {
+			sl.buf = appendErr(sl.buf[:0], "bad shard %q", fields[1])
+			localReply(sl, issued)
+			return
+		}
+		shard := int(shard64)
+		switch {
+		case !s.cluster:
+			sl.buf = appendErr(sl.buf[:0], "not a cluster node")
+		case s.role[shard].Load() == rolePrimary:
+			// Idempotent: already primary (initial topology or an earlier
+			// PROMOTE); report the last applied seq, 0 if never a replica.
+			var applied uint64
+			if ri := s.replIns[shard]; ri != nil {
+				ri.mu.Lock()
+				applied = ri.applied
+				ri.mu.Unlock()
+			}
+			sl.buf = appendShardSeq(sl.buf[:0], "+PROMOTED", shard, applied)
+		case s.role[shard].Load() == roleReplica:
+			// Blocks this connection goroutine (never a worker — workers
+			// must keep applying the backlog we are waiting on).
+			applied, _ := s.promoteWait(shard)
+			s.role[shard].Store(rolePrimary)
+			obsPromote.Inc(0)
+			sl.buf = appendShardSeq(sl.buf[:0], "+PROMOTED", shard, applied)
+		default:
+			sl.buf = appendErr(sl.buf[:0], "shard %d is not hosted here", shard)
+		}
+		localReply(sl, issued)
 	case vScan:
 		if badArity(1) {
 			return
@@ -578,7 +870,7 @@ func (s *Server) workerSession(id, shard int) (respawn bool) {
 	for sl := range s.queues[shard] {
 		cur = sl
 		chaosWorkerOp.Fire()
-		s.exec(h, shard, sl)
+		s.exec(h, id, shard, sl)
 		cur = nil
 		sl.complete(id)
 	}
@@ -588,8 +880,9 @@ func (s *Server) workerSession(id, shard int) (respawn bool) {
 // exec runs one request (or, for SCAN, this shard's share of one)
 // against the worker's shard handle, rendering the reply into the
 // slot's scratch. The GET/PUT/DEL path performs zero heap allocations
-// once the slot's buffers are warm.
-func (s *Server) exec(h *collections.MapHandle, shard int, sl *slot) {
+// once the slot's buffers are warm; in single-node mode the cluster
+// checks cost one nil load per write.
+func (s *Server) exec(h *collections.MapHandle, procID, shard int, sl *slot) {
 	switch sl.op {
 	case opGet:
 		if v, ok := h.Get(sl.key); ok {
@@ -598,6 +891,10 @@ func (s *Server) exec(h *collections.MapHandle, shard int, sl *slot) {
 			sl.static = lineNil
 		}
 	case opPut:
+		if rl := s.replLogs[shard]; rl != nil {
+			s.execLoggedWrite(h, rl, sl, procID)
+			return
+		}
 		old, existed, err := h.Put(sl.key, sl.val)
 		switch {
 		case err != nil:
@@ -608,12 +905,26 @@ func (s *Server) exec(h *collections.MapHandle, shard int, sl *slot) {
 			sl.static = lineNew
 		}
 	case opDel:
+		if rl := s.replLogs[shard]; rl != nil {
+			s.execLoggedWrite(h, rl, sl, procID)
+			return
+		}
 		if h.Delete(sl.key) {
 			sl.static = lineDel1
 		} else {
 			sl.static = lineDel0
 		}
+	case opRPut, opRDel:
+		s.execReplApply(h, sl, procID)
 	case opScan:
+		if s.cluster && s.role[shard].Load() != rolePrimary {
+			// Replica/unhosted shards contribute no rows: a cluster-wide
+			// SCAN fans out one SCAN per node and unions them without
+			// duplicates.
+			sl.scan.segs[shard] = sl.scan.segs[shard][:0]
+			sl.scan.ns[shard] = 0
+			return
+		}
 		seg := sl.scan.segs[shard][:0]
 		n := h.Scan(sl.limit, func(k, v uint64) bool {
 			seg = strconv.AppendUint(seg, k, 10)
@@ -629,17 +940,32 @@ func (s *Server) exec(h *collections.MapHandle, shard int, sl *slot) {
 
 // --- shutdown --------------------------------------------------------------
 
-// Close shuts the server down and tears the storage engine to
-// quiescence: stop accepting, sever connections (their readers exit and
-// their writers drain every in-flight slot — workers are still running,
-// so every pending completion arrives), close the shard queues, drain
-// the worker pool, clear every shard, and run adoption/flush rounds
-// until Live() == 0. The drain rounds matter after crashes: abandoned
-// arena shards and deferred decrements are only adopted when some thread
-// ejects or scans, so Close attaches and detaches throwaway handles
-// until everything is reclaimed. A residual leak is returned as an error
-// (UAF/leak gates in cmd/cdrc-load and the tests treat it as fatal).
-func (s *Server) Close() error {
+// Close shuts the server down gracefully and tears the storage engine
+// to quiescence. Unlike Kill, it drains in-flight pipelined requests:
+// each connection's read half is poisoned (a zero read deadline) while
+// its socket stays open, so the reader stops claiming slots but the
+// writer flushes a reply — or -BUSY — for every ring entry already
+// issued, bounded by DrainGrace against peers that stop reading. After
+// the conns: close the shard queues, drain the worker pool, replay any
+// replication-log backlog to the replicas, clear every shard, and run
+// adoption/flush rounds until Live() == 0. The drain rounds matter
+// after crashes: abandoned arena shards and deferred decrements are
+// only adopted when some thread ejects or scans, so shutdown attaches
+// and detaches throwaway handles until everything is reclaimed. A
+// residual leak is returned as an error (UAF/leak gates in
+// cmd/cdrc-load and the tests treat it as fatal).
+func (s *Server) Close() error { return s.shutdown(true) }
+
+// Kill is fail-stop shutdown: connections are severed mid-flight with
+// no reply drain, exactly as a dead process would. Everything durable
+// still happens — the replication logs are replayed to the replicas
+// (the "replayable" half of the ack contract; the log stands in for
+// the disk a real fail-stop node would recover from) and the storage
+// engine is torn down to Live() == 0 so a killed node can still be
+// leak-checked. Used by the cluster chaos mode and tests.
+func (s *Server) Kill() error { return s.shutdown(false) }
+
+func (s *Server) shutdown(graceful bool) error {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
 		s.closing = true
@@ -650,15 +976,44 @@ func (s *Server) Close() error {
 		s.mu.Unlock()
 		s.ln.Close()
 		<-s.acceptDone
-		for _, c := range conns {
-			c.Close()
+		if graceful {
+			for _, c := range conns {
+				c.SetReadDeadline(time.Now())
+			}
+			drained := make(chan struct{})
+			go func() {
+				s.connWg.Wait()
+				close(drained)
+			}()
+			select {
+			case <-drained:
+			case <-time.After(s.cfg.DrainGrace):
+				for _, c := range conns {
+					c.Close()
+				}
+			}
+		} else {
+			for _, c := range conns {
+				c.Close()
+			}
 		}
 		s.connWg.Wait()
 		for _, q := range s.queues {
 			close(q)
 		}
 		s.workerWg.Wait()
-		s.closed.Store(true) // prunes the queue-depth gauges
+		// Workers are gone, so the replication logs are final: ship the
+		// unacked backlog to the replicas (Kill included), bounded by
+		// ReplDrainTimeout; what cannot be delivered is counted in
+		// server.repl.lost rather than dropped silently.
+		deadline := time.Now().Add(s.cfg.ReplDrainTimeout)
+		for _, rl := range s.replLogs {
+			if rl != nil {
+				rl.beginDrain(deadline)
+			}
+		}
+		s.shipperWg.Wait()
+		s.closed.Store(true) // prunes this node's gauges
 		const rounds = 16
 		for round := 0; round < rounds; round++ {
 			for _, m := range s.shards {

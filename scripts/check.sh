@@ -50,6 +50,18 @@ go run -race ./cmd/cdrc-load -duration 5s -conns 4 -pipeline 16 -json-out /tmp/c
 echo "==> pipelined loopback soak under chaos (5s, race, depth 16, 2 simulated worker crashes)"
 go run -race ./cmd/cdrc-load -duration 5s -conns 4 -pipeline 16 -chaos -chaos-seed 1 -crash-workers 2
 
+# Cluster failover soak: a 3-node loopback cluster (DESIGN.md §9) under
+# ClusterClient load while the chaos injector fail-stops one whole node
+# (seeded, budgeted). Gates: zero lost acked writes (every key's last
+# acked state readable after failover), the replication conservation
+# identity repl.enq == repl.ack + repl.lost, a promotion actually
+# happened, and Live() == 0 on every node, killed one included.
+echo "==> cluster failover soak (3 nodes, 5s, seeded node kill)"
+go run ./cmd/cdrc-load -cluster 3 -duration 5s -conns 4 -chaos -chaos-seed 1 -kill-nodes 1
+
+echo "==> cluster failover soak (race, 3s)"
+go run -race ./cmd/cdrc-load -cluster 3 -duration 3s -conns 4 -chaos -chaos-seed 2 -kill-nodes 1
+
 # Pipelining throughput gate: depth-16 must beat depth-1 lock-step by a
 # comfortable margin (the acceptance bar is 2x; we gate at 1.5x to stay
 # robust on loaded CI machines). Uses the race-free binary so the ratio
