@@ -6,8 +6,8 @@
 // checks conservation at the end:
 //
 //	client sends == OK replies + BUSY sheds        (per client)
-//	client sends == server.reply + server.busy.queue   (in-process mode)
-//	client BUSYs == server.busy.{queue,arena,crash}    (in-process mode)
+//	client sends == server.reply + server.busy.{queue,lease}   (in-process mode)
+//	client BUSYs == server.busy.{queue,arena,crash,lease}      (in-process mode)
 //
 // plus value integrity (GET must return a value tagged for its key) and,
 // in in-process mode, full reclamation at Close (Live() == 0). Any
@@ -46,11 +46,13 @@ import (
 )
 
 var (
-	obsGetNs   = obs.NewHistogram("load.get.ns")
-	obsPutNs   = obs.NewHistogram("load.put.ns")
-	obsDelNs   = obs.NewHistogram("load.del.ns")
-	obsScanNs  = obs.NewHistogram("load.scan.ns")
-	obsBatchNs = obs.NewHistogram("load.batch.ns")
+	obsGetNs      = obs.NewHistogram("load.get.ns")
+	obsPutNs      = obs.NewHistogram("load.put.ns")
+	obsDelNs      = obs.NewHistogram("load.del.ns")
+	obsScanNs     = obs.NewHistogram("load.scan.ns")
+	obsSnapScanNs = obs.NewHistogram("load.snapscan.ns")
+	obsMGetNs     = obs.NewHistogram("load.mget.ns")
+	obsBatchNs    = obs.NewHistogram("load.batch.ns")
 )
 
 // tally accumulates one connection's classified outcomes.
@@ -95,6 +97,7 @@ func main() {
 		reads    = flag.Float64("reads", 0.70, "GET fraction")
 		puts     = flag.Float64("puts", 0.20, "PUT fraction (remainder is DEL)")
 		scanEvry = flag.Int("scan-every", 200, "issue SCAN 16 every Nth op per connection (0 = never)")
+		scanHvy  = flag.Bool("scan-heavy", false, "snapshot-read mix: the scan-every boundary issues SNAPSCAN 512 plus a 4-key MGET instead of SCAN 16")
 		pipeline = flag.Int("pipeline", 1, "requests in flight per connection (1 = lock-step round trips)")
 		jsonOut  = flag.String("json-out", "", "write a machine-readable run summary (throughput + latency quantiles) to this file")
 
@@ -259,11 +262,20 @@ func main() {
 					op += len(results)
 					if *scanEvry > 0 && op%*scanEvry < depth {
 						t0 := time.Now()
-						_, err := cl.Scan(16)
-						tl.sends++
-						obsScanNs.Observe(uint64(time.Since(t0)))
-						if !classify(err) {
-							return
+						if *scanHvy {
+							_, err := cl.SnapScan(512)
+							tl.sends++
+							obsSnapScanNs.Observe(uint64(time.Since(t0)))
+							if !classify(err) {
+								return
+							}
+						} else {
+							_, err := cl.Scan(16)
+							tl.sends++
+							obsScanNs.Observe(uint64(time.Since(t0)))
+							if !classify(err) {
+								return
+							}
 						}
 					}
 				}
@@ -274,6 +286,34 @@ func main() {
 				p := rng.Float64()
 				t0 := time.Now()
 				switch {
+				case *scanEvry > 0 && op%*scanEvry == *scanEvry-1 && *scanHvy:
+					// Snapshot-read boundary: a wide SNAPSCAN that holds a
+					// lease across every shard, then a 4-key MGET whose
+					// values must each carry their own key's tag (a torn
+					// snapshot that pairs key A with key B's slot shows up
+					// as an integrity violation).
+					_, err := cl.SnapScan(512)
+					tl.sends++
+					obsSnapScanNs.Observe(uint64(time.Since(t0)))
+					if !classify(err) {
+						return
+					}
+					mk := [4]uint64{zipf.Uint64(), zipf.Uint64(), zipf.Uint64(), zipf.Uint64()}
+					t0 = time.Now()
+					res, err := cl.MGet(mk[:]...)
+					tl.sends++
+					obsMGetNs.Observe(uint64(time.Since(t0)))
+					if !classify(err) {
+						return
+					}
+					if err == nil {
+						for i, r := range res {
+							if r.Found && r.Val&^0xFFFF != valTag(mk[i]) {
+								tl.integrity++
+								return
+							}
+						}
+					}
 				case *scanEvry > 0 && op%*scanEvry == *scanEvry-1:
 					_, err := cl.Scan(16)
 					tl.sends++
@@ -344,6 +384,7 @@ func main() {
 	for _, h := range []struct{ label, name string }{
 		{"get", "load.get.ns"}, {"put", "load.put.ns"},
 		{"del", "load.del.ns"}, {"scan", "load.scan.ns"},
+		{"snapscan", "load.snapscan.ns"}, {"mget", "load.mget.ns"},
 		{"batch", "load.batch.ns"},
 	} {
 		if r.Histograms[h.name].Count == 0 {
@@ -397,15 +438,20 @@ func main() {
 		// Server-side conservation: every send was either executed by a
 		// worker (server.reply covers completions and crash-BUSYs) or shed
 		// at the queue; and the BUSYs the clients saw partition by cause.
-		replies := r.Counter("server.reply") + r.Counter("server.busy.queue")
+		replies := r.Counter("server.reply") + r.Counter("server.busy.queue") + r.Counter("server.busy.lease")
 		if total.sends != replies {
-			fail("server conservation broken: sends=%d != server.reply+busy.queue=%d", total.sends, replies)
+			fail("server conservation broken: sends=%d != server.reply+busy.queue+busy.lease=%d", total.sends, replies)
 		}
-		busyByCause := r.Counter("server.busy.queue") + r.Counter("server.busy.arena") + r.Counter("server.busy.crash")
+		busyByCause := r.Counter("server.busy.queue") + r.Counter("server.busy.arena") +
+			r.Counter("server.busy.crash") + r.Counter("server.busy.lease")
 		if total.busys != busyByCause {
-			fail("BUSY accounting broken: clients saw %d, server counted %d (queue=%d arena=%d crash=%d)",
+			fail("BUSY accounting broken: clients saw %d, server counted %d (queue=%d arena=%d crash=%d lease=%d)",
 				total.busys, busyByCause, r.Counter("server.busy.queue"),
-				r.Counter("server.busy.arena"), r.Counter("server.busy.crash"))
+				r.Counter("server.busy.arena"), r.Counter("server.busy.crash"),
+				r.Counter("server.busy.lease"))
+		}
+		if srv.ActiveLeases() != 0 {
+			fail("lease leak: %d snapshot leases active at quiescence", srv.ActiveLeases())
 		}
 		if closeErr != nil {
 			fail("teardown: %v", closeErr)

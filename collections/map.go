@@ -25,8 +25,34 @@ func NewMap(expectedKeys, maxProcs int) *Map {
 	return &Map{t: rcds.NewHashTable(expectedKeys, maxProcs, true)}
 }
 
+// VersionSource is the clock and retention oracle a versioned map trims
+// old versions against; internal/snaplease.Pool implements it.
+type VersionSource = rcds.VersionSource
+
+// NewVersionedMap creates a map whose writes are multi-versioned against
+// vs, adding GetAt/ScanAt point-in-time reads on MapHandle. While a
+// lease with timestamp ≥ v is active on vs, no version with stamp ≤ v is
+// trimmed, so a reader can resolve any number of keys "as of ts" while
+// holding only O(1) cdrc snapshots at a time.
+func NewVersionedMap(expectedKeys, maxProcs int, vs VersionSource) *Map {
+	if expectedKeys < 16 {
+		expectedKeys = 16
+	}
+	return &Map{t: rcds.NewVersionedHashTable(expectedKeys, maxProcs, vs)}
+}
+
 // Attach registers the calling goroutine.
-func (m *Map) Attach() *MapHandle { return &MapHandle{th: m.t.AttachMap()} }
+func (m *Map) Attach() *MapHandle {
+	th := m.t.AttachMap()
+	h := &MapHandle{th: th}
+	if m.Versioned() {
+		h.vth = th.(ds.VersionedMapThread)
+	}
+	return h
+}
+
+// Versioned reports whether the map was built with NewVersionedMap.
+func (m *Map) Versioned() bool { return m.t.Versioned() }
 
 // LiveNodes reports currently allocated nodes (diagnostics).
 func (m *Map) LiveNodes() int64 { return m.t.LiveNodes() }
@@ -46,7 +72,8 @@ func (m *Map) EnableDebugChecks() { m.t.EnableDebugChecks() }
 // MapHandle is a per-goroutine view of a Map. Not safe for concurrent
 // use; operations on a closed handle panic.
 type MapHandle struct {
-	th ds.MapThread
+	th  ds.MapThread
+	vth ds.VersionedMapThread // non-nil on versioned maps
 }
 
 // Get returns key's current value.
@@ -60,8 +87,27 @@ func (h *MapHandle) Put(key, val uint64) (old uint64, existed bool, err error) {
 	return h.th.Put(key, val)
 }
 
-// Delete removes key, reporting false if it was absent.
-func (h *MapHandle) Delete(key uint64) bool { return h.th.Delete(key) }
+// Delete removes key, reporting whether it was present. A non-nil error
+// is arena backpressure on a versioned map (deletes there allocate a
+// tombstone version and the key remains bound); plain maps never err.
+func (h *MapHandle) Delete(key uint64) (bool, error) {
+	if h.vth != nil {
+		return h.vth.DeleteV(key)
+	}
+	return h.th.Delete(key), nil
+}
+
+// GetAt returns key's value as of version timestamp ts; the caller must
+// hold a snaplease lease with TS ≥ ts. Panics on an unversioned map.
+func (h *MapHandle) GetAt(ts, key uint64) (uint64, bool) { return h.vth.GetAt(ts, key) }
+
+// ScanAt visits up to limit entries as of ts (limit < 0 for all),
+// stopping early when fn returns false. Unlike Scan, the rows form one
+// atomic point-in-time snapshot across all keys. Panics on an
+// unversioned map.
+func (h *MapHandle) ScanAt(ts uint64, limit int, fn func(key, val uint64) bool) int {
+	return h.vth.ScanAt(ts, limit, fn)
+}
 
 // Scan visits up to limit live entries (limit < 0 for all), stopping
 // early when fn returns false, and returns the number visited. Weakly

@@ -46,8 +46,11 @@ func TestMapBasics(t *testing.T) {
 	if n := h.Scan(5, func(k, v uint64) bool { return true }); n != 5 {
 		t.Fatalf("bounded Scan visited %d, want 5", n)
 	}
-	if !h.Delete(1) || h.Delete(1) {
-		t.Fatal("Delete hit/miss sequence wrong")
+	if hit, _ := h.Delete(1); !hit {
+		t.Fatal("Delete of a present key missed")
+	}
+	if hit, _ := h.Delete(1); hit {
+		t.Fatal("Delete of an absent key hit")
 	}
 	if _, ok := h.Get(1); ok {
 		t.Fatal("Get after Delete reported a hit")
@@ -105,7 +108,7 @@ func TestMapLinearizable(t *testing.T) {
 					default:
 						op.Kind = lincheck.OpDelete
 						op.Arg = k << 8
-						op.RetOK = h.Delete(k)
+						op.RetOK, _ = h.Delete(k)
 					}
 					op.End = clock.Add(1)
 					hist[id] = append(hist[id], op)
@@ -159,7 +162,10 @@ func TestMapConservation(t *testing.T) {
 						return
 					}
 				default:
-					h.Delete(k)
+					if _, err := h.Delete(k); err != nil {
+						t.Errorf("Delete: %v", err)
+						return
+					}
 				}
 			}
 		}(int64(w + 1))

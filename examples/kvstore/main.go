@@ -44,7 +44,9 @@ func main() {
 						panic(err) // only possible with a capped arena
 					}
 				case 1:
-					h.Delete(k)
+					if _, err := h.Delete(k); err != nil {
+						panic(err) // only possible with a capped arena
+					}
 				default:
 					if v, ok := h.Get(k); ok && v>>32 != k {
 						panic("corrupt value")

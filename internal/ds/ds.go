@@ -62,6 +62,28 @@ type MapThread interface {
 	Detach()
 }
 
+// VersionedMapThread is a per-worker context on a multi-versioned map
+// (rcds.NewVersionedHashTable): MapThread plus point-in-time reads
+// against a lease timestamp, and a Delete variant that surfaces arena
+// backpressure (a versioned delete allocates its tombstone).
+type VersionedMapThread interface {
+	MapThread
+
+	// DeleteV removes key, reporting whether it was present. A non-nil
+	// error is arena backpressure: the tombstone was not appended and
+	// the key remains bound.
+	DeleteV(key uint64) (bool, error)
+
+	// GetAt returns key's value as of version timestamp ts. The caller
+	// must hold a lease with TS ≥ ts on the table's VersionSource.
+	GetAt(ts, key uint64) (uint64, bool)
+
+	// ScanAt visits up to limit entries as of ts (limit < 0 for all),
+	// stopping early when fn returns false. Unlike Scan, the visited
+	// rows form one atomic point-in-time snapshot across all keys.
+	ScanAt(ts uint64, limit int, fn func(key, val uint64) bool) int
+}
+
 // SetThread is a per-worker context. Not safe for concurrent use.
 type SetThread interface {
 	// Insert adds key, reporting false if it was already present.

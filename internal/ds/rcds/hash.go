@@ -14,6 +14,7 @@ type HashTable struct {
 	snapshots bool
 	buckets   []core.AtomicRcPtr
 	mask      uint64
+	vsrc      VersionSource // non-nil selects the versioned map paths (vers.go)
 }
 
 // NewHashTable creates a hash set with the given power-of-two-rounded
@@ -33,6 +34,9 @@ func NewHashTable(buckets int, maxProcs int, snapshots bool) *HashTable {
 
 // Name implements ds.Set.
 func (h *HashTable) Name() string { return h.base.name }
+
+// Versioned reports whether the table runs the multi-versioned paths.
+func (h *HashTable) Versioned() bool { return h.vsrc != nil }
 
 // LiveNodes implements ds.Set.
 func (h *HashTable) LiveNodes() int64 { return h.base.dom.Live() }
@@ -60,8 +64,16 @@ func (h *HashTable) bucket(key uint64) *core.AtomicRcPtr {
 // Insert implements ds.SetThread.
 func (t *hashThread) Insert(key uint64) bool { return t.insert(t.t.bucket(key), key) }
 
-// Delete implements ds.SetThread.
-func (t *hashThread) Delete(key uint64) bool { return t.delete(t.t.bucket(key), key) }
+// Delete implements ds.SetThread. On a versioned table it appends a
+// tombstone version and swallows the arena-backpressure error; map-path
+// callers that must distinguish use DeleteV.
+func (t *hashThread) Delete(key uint64) bool {
+	if t.t.vsrc != nil {
+		hit, _ := t.delV(key)
+		return hit
+	}
+	return t.delete(t.t.bucket(key), key)
+}
 
 // Contains implements ds.SetThread.
 func (t *hashThread) Contains(key uint64) bool { return t.contains(t.t.bucket(key), key) }

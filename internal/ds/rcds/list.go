@@ -32,10 +32,16 @@ const deletedMark = 0
 // Val is only meaningful for nodes inserted through the map API (map.go);
 // it is read and replaced with sync/atomic so a Put racing with readers
 // on other processors stays well-defined even on recycled arena slots.
+//
+// Vers is used only by versioned tables (vers.go): on an entry node it
+// heads the key's version chain; on a version cell it is nil and Key is
+// reinterpreted as the cell's stamp word. Plain tables keep it nil, so
+// the only cost they pay is one extra Init per insert.
 type listNode struct {
 	Key  uint64
 	Val  uint64
 	next core.AtomicRcPtr
+	Vers core.AtomicRcPtr
 }
 
 // listBase is shared by List and HashTable.
@@ -60,6 +66,11 @@ func newListBase(structure string, maxProcs int, snapshots bool) *listBase {
 		Finalizer: func(t *core.Thread[listNode], n *listNode) {
 			t.Release(n.next.LoadRaw().Unmarked())
 			n.next.Init(core.NilRcPtr)
+			// Versioned tables: an entry's version chain dies with it (the
+			// word may carry the freeze mark; strip it). Plain nodes and
+			// version cells hold nil here.
+			t.Release(n.Vers.LoadRaw().Unmarked())
+			n.Vers.Init(core.NilRcPtr)
 		},
 	})
 	return b
@@ -224,6 +235,7 @@ func (t *listThread) tryLink(pos *position, key, val uint64) (bool, error) {
 		nd.Key = key
 		atomic.StoreUint64(&nd.Val, val)
 		nd.next.Init(curOwned)
+		nd.Vers.Init(core.NilRcPtr) // recycled slots carry arena poison
 	}
 	n, err := th.TryNewRc(init)
 	if err != nil {

@@ -71,10 +71,18 @@ func (h *HashTable) SetCapacity(slots uint64) { h.base.dom.SetCapacity(slots) }
 func (h *HashTable) EnableDebugChecks() { h.base.dom.EnableDebugChecks() }
 
 // Get implements ds.MapThread.
-func (t *hashThread) Get(key uint64) (uint64, bool) { return t.get(t.t.bucket(key), key) }
+func (t *hashThread) Get(key uint64) (uint64, bool) {
+	if t.t.vsrc != nil {
+		return t.getV(key)
+	}
+	return t.get(t.t.bucket(key), key)
+}
 
 // Put implements ds.MapThread.
 func (t *hashThread) Put(key, val uint64) (uint64, bool, error) {
+	if t.t.vsrc != nil {
+		return t.putV(key, val)
+	}
 	return t.put(t.t.bucket(key), key, val)
 }
 
@@ -84,6 +92,9 @@ func (t *hashThread) Put(key, val uint64) (uint64, bool, error) {
 // per link, so Scan is weakly consistent: it never observes a freed node
 // (snapshots pin them), but concurrent updates may or may not appear.
 func (t *hashThread) Scan(limit int, fn func(key, val uint64) bool) int {
+	if t.t.vsrc != nil {
+		return t.scanVersioned(limit, fn)
+	}
 	th := t.th
 	n := 0
 	for i := range t.t.buckets {

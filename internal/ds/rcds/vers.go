@@ -1,0 +1,603 @@
+package rcds
+
+import (
+	"math"
+	"sync/atomic"
+
+	"cdrc/internal/core"
+)
+
+// Versioned map operations (multi-version concurrency over the same
+// Harris-Michael bucket lists, DESIGN.md §10). A versioned table keeps,
+// per key, a chain of immutable version cells hanging off the entry
+// node's Vers word, newest first. A version cell is an ordinary listNode
+// drawn from the same arena/domain:
+//
+//	entry node:   Key = map key, next = bucket chain, Vers = version head
+//	version cell: Key = stamp word, Val = value, next = older cell,
+//	              Vers = nil
+//
+// The stamp word packs a tombstone flag (bit 63) and a version stamp
+// (bits 0..62; all-ones = pending). Writers publish a pending cell with
+// one CAS on the entry's Vers word, then fix its stamp from the
+// VersionSource clock. Readers resolving "as of ts" walk the chain to
+// the first cell with a fixed stamp ≤ ts, help-stamping pending cells on
+// the way — helping is what makes a write's position in version order
+// agreed on by everyone, which in turn is what makes a multi-key read at
+// one ts an atomic snapshot (a half-stamped write could otherwise be
+// visible under one key and invisible under another).
+//
+// Retention is the lease contract (internal/snaplease): a version
+// superseded at or before MinActive() can never be observed by any
+// active or future lease and is trimmed; deletions append a tombstone
+// cell and physically remove the entry only once the tombstone itself
+// falls at or before MinActive() (the freeze protocol at tryPurge).
+//
+// Snapshot budget: every operation here holds at most 5 of the 7
+// per-thread snapshot slots at once (search's prev/cur plus at most a
+// 3-deep protection chain), preserving the acqret.MaxSnapshots
+// discipline no matter how many keys one service request touches —
+// that is the whole point: the lease replaces "hold snapshots for the
+// duration of a multi-shard read" with "hold a timestamp".
+
+// VersionSource is the clock and retention oracle a versioned table
+// trims against (implemented by snaplease.Pool).
+type VersionSource interface {
+	// Now returns the stamp a write fixed at this instant carries.
+	// Must be monotone, and > the timestamp of any lease granted
+	// before the call.
+	Now() uint64
+
+	// MinActive returns the smallest timestamp any active lease may
+	// hold, MaxUint64 when none (versions superseded at or before it
+	// are unobservable).
+	MinActive() uint64
+}
+
+const (
+	// versTombFlag marks a version cell as a tombstone (key absent).
+	versTombFlag = uint64(1) << 63
+
+	// versStampMask extracts the stamp; all-ones means "pending" (the
+	// writer has published the cell but not yet fixed its stamp).
+	versStampMask = uint64(1)<<63 - 1
+	versPending   = versStampMask
+
+	// versDeadMark is the mark bit on an entry's Vers word that freezes
+	// the chain: no writer can prepend past it (their CAS expects an
+	// unmarked word), making the head tombstone final so the entry can
+	// be unlinked. Distinct from deletedMark, which lives on next words.
+	versDeadMark = 1
+
+	// maintainDepth caps maintainVers's walk: under a long-held lease
+	// the trim boundary can be arbitrarily deep and write latency must
+	// not scale with it. Trimming is best-effort — the first write
+	// after the lease releases finds the boundary at the head.
+	maintainDepth = 8
+)
+
+// NewVersionedHashTable creates a hash map whose Put/Get/Delete/Scan run
+// multi-versioned against vs, adding GetAt/ScanAt point-in-time reads.
+// Snapshot mode is forced on (version resolution traverses under
+// snapshot protection). The set API (Insert/Contains via Attach) must
+// not be used on a versioned table.
+func NewVersionedHashTable(buckets, maxProcs int, vs VersionSource) *HashTable {
+	h := NewHashTable(buckets, maxProcs, true)
+	h.vsrc = vs
+	return h
+}
+
+// stampWord returns c's stamp word, first fixing a pending stamp from
+// the live clock (helping). All helpers CAS against the same observed
+// word, so exactly one stamp wins and everyone returns it. A stamp fixed
+// now is > the timestamp of every already-granted lease (snaplease's
+// clock contract), so a reader that helps knows the cell is invisible to
+// its own read.
+func (t *hashThread) stampWord(c *listNode) uint64 {
+	w := atomic.LoadUint64(&c.Key)
+	if w&versStampMask != versPending {
+		return w
+	}
+	nw := (w & versTombFlag) | t.t.vsrc.Now()
+	if atomic.CompareAndSwapUint64(&c.Key, w, nw) {
+		return nw
+	}
+	return atomic.LoadUint64(&c.Key)
+}
+
+// stampCellIn fixes the stamp of the cell whose reference word is
+// target, walking e's version chain under snapshot protection and
+// help-stamping newer cells on the way (they are the only cells above
+// it). A writer must not return before its cell's stamp is fixed —
+// otherwise a later lease could predate the eventual stamp and miss a
+// completed write. Safe when target was already trimmed: a cell cut
+// while pending sat below a fixed cell whose stamp bounds every present
+// and future lease, so it is permanently shadowed either way.
+func (t *hashThread) stampCellIn(e *listNode, target core.RcPtr) {
+	th := t.th
+	cur := th.GetSnapshot(&e.Vers)
+	for !cur.IsNil() {
+		cn := th.DerefSnapshot(cur)
+		t.stampWord(cn)
+		if cur.Ptr().Unmarked() == target.Unmarked() {
+			break
+		}
+		nxt := th.GetSnapshot(&cn.next)
+		th.ReleaseSnapshot(&cur)
+		cur = nxt
+	}
+	th.ReleaseSnapshot(&cur)
+}
+
+// maintainVers help-stamps the newest cells and trims the superseded
+// tail: the first cell (from the head) with a fixed stamp ≤ MinActive is
+// the boundary — every active and future lease resolves at or above it —
+// and one StoreMove cuts everything older (the finalizer cascade
+// releases the cells). ma is read once up front: a cell stamped after
+// that read carries a stamp greater than every lease ts that was active
+// during the read, hence > ma, so it can never be mistaken for the
+// boundary.
+func (t *hashThread) maintainVers(e *listNode) {
+	th := t.th
+	ma := t.t.vsrc.MinActive()
+	cur := th.GetSnapshot(&e.Vers)
+	for depth := 0; !cur.IsNil() && depth < maintainDepth; depth++ {
+		cn := th.DerefSnapshot(cur)
+		w := t.stampWord(cn)
+		if w&versStampMask <= ma {
+			if !cn.next.LoadRaw().IsNil() {
+				th.StoreMove(&cn.next, core.NilRcPtr)
+			}
+			break
+		}
+		nxt := th.GetSnapshot(&cn.next)
+		th.ReleaseSnapshot(&cur)
+		cur = nxt
+	}
+	th.ReleaseSnapshot(&cur)
+}
+
+// resolveHead returns e's newest live value: the head cell, unless the
+// chain is frozen or headed by a tombstone. This is the "current read"
+// used by versioned Get and Scan.
+func (t *hashThread) resolveHead(e *listNode) (uint64, bool) {
+	th := t.th
+	hs := th.GetSnapshot(&e.Vers)
+	var v uint64
+	ok := false
+	if !hs.IsNil() && !hs.HasMark(versDeadMark) {
+		hc := th.DerefSnapshot(hs)
+		if atomic.LoadUint64(&hc.Key)&versTombFlag == 0 {
+			v = atomic.LoadUint64(&hc.Val) // pending included: it is the newest write
+			ok = true
+		}
+	}
+	th.ReleaseSnapshot(&hs)
+	return v, ok
+}
+
+// resolveAt returns e's value as of ts: the first cell from the head
+// with a (help-)fixed stamp ≤ ts. Pending cells get stamped from the
+// live clock — necessarily > ts — and skipped; tombstones report absent.
+// Walking off the end means the key was born after ts.
+func (t *hashThread) resolveAt(e *listNode, ts uint64) (uint64, bool) {
+	th := t.th
+	cur := th.GetSnapshot(&e.Vers)
+	if cur.HasMark(versDeadMark) {
+		// Frozen chains are absent at every observable timestamp: the
+		// tombstone purge freezes only once the tombstone's stamp is ≤
+		// MinActive, and the allocation-free delete fallback freezes only
+		// with no lease active — either way no current or future lease's
+		// ts predates the logical delete.
+		th.ReleaseSnapshot(&cur)
+		return 0, false
+	}
+	for !cur.IsNil() {
+		cn := th.DerefSnapshot(cur)
+		w := t.stampWord(cn)
+		if w&versStampMask <= ts {
+			var v uint64
+			ok := false
+			if w&versTombFlag == 0 {
+				v = atomic.LoadUint64(&cn.Val)
+				ok = true
+			}
+			th.ReleaseSnapshot(&cur)
+			return v, ok
+		}
+		nxt := th.GetSnapshot(&cn.next)
+		th.ReleaseSnapshot(&cur)
+		cur = nxt
+	}
+	th.ReleaseSnapshot(&cur)
+	return 0, false
+}
+
+// helpFreeze finishes a frozen entry's logical delete: set the Harris
+// mark on its next word so every subsequent search unlinks it. The CAS
+// retries only over successor-unlink interference, as delete does.
+func (t *hashThread) helpFreeze(e *listNode) {
+	th := t.th
+	for {
+		w := e.next.LoadRaw()
+		if w.HasMark(deletedMark) {
+			return
+		}
+		if th.CompareAndSetMark(&e.next, w, deletedMark) {
+			return
+		}
+	}
+}
+
+// tryPurge physically removes an entry whose newest version is a
+// tombstone no active or future lease can see past (stamp ≤ MinActive):
+// freeze the chain (versDeadMark on the Vers word — racing writers'
+// prepend CAS now fails and they re-insert a fresh entry), mark the
+// entry's next word, and attempt the unlink. Best-effort: any failed
+// step leaves the entry for a later pass, a search, or Clear.
+func (t *hashThread) tryPurge(pos *position, e *listNode) {
+	th := t.th
+	hs := th.GetSnapshot(&e.Vers)
+	if hs.IsNil() {
+		th.ReleaseSnapshot(&hs)
+		return
+	}
+	if hs.HasMark(versDeadMark) {
+		th.ReleaseSnapshot(&hs)
+		t.helpFreeze(e)
+		return
+	}
+	w := atomic.LoadUint64(&th.DerefSnapshot(hs).Key)
+	if w&versTombFlag == 0 || w&versStampMask == versPending ||
+		w&versStampMask > t.t.vsrc.MinActive() {
+		th.ReleaseSnapshot(&hs)
+		return
+	}
+	if !th.CompareAndSetMark(&e.Vers, hs.Ptr(), versDeadMark) {
+		th.ReleaseSnapshot(&hs)
+		return
+	}
+	th.ReleaseSnapshot(&hs)
+	t.helpFreeze(e)
+	// Physical unlink; a stale pos just fails the CAS and a later search
+	// finishes the job.
+	nextRc := th.Load(&e.next)
+	if !th.CompareAndSwapMove(pos.prevLink, pos.cur(), nextRc.Unmarked()) {
+		th.Release(nextRc)
+	}
+}
+
+// tryLinkV inserts a fresh entry for key carrying a single pending
+// version cell, then fixes the cell's stamp. Returns like tryLink:
+// (false, nil) asks the caller to re-search.
+func (t *hashThread) tryLinkV(pos *position, key, val uint64) (bool, error) {
+	th := t.th
+	cinit := func(nd *listNode) {
+		nd.Key = versPending
+		atomic.StoreUint64(&nd.Val, val)
+		nd.next.Init(core.NilRcPtr)
+		nd.Vers.Init(core.NilRcPtr)
+	}
+	cell, err := th.TryNewRc(cinit)
+	if err != nil {
+		th.Flush()
+		if cell, err = th.TryNewRc(cinit); err != nil {
+			obsAllocDrop.Inc(th.ProcID())
+			return false, err
+		}
+	}
+	var curOwned core.RcPtr
+	if !pos.curSnap.IsNil() {
+		curOwned = th.RcFromSnapshot(pos.curSnap)
+	} else if !pos.curRc.IsNil() {
+		curOwned = th.Clone(pos.curRc)
+	}
+	einit := func(nd *listNode) {
+		nd.Key = key
+		atomic.StoreUint64(&nd.Val, 0)
+		nd.next.Init(curOwned)
+		nd.Vers.Init(cell)
+	}
+	en, err := th.TryNewRc(einit)
+	if err != nil {
+		th.Flush()
+		if en, err = th.TryNewRc(einit); err != nil {
+			obsAllocDrop.Inc(th.ProcID())
+			th.Release(curOwned)
+			th.Release(cell)
+			return false, err
+		}
+	}
+	if !th.CompareAndSwapMove(pos.prevLink, pos.cur(), en) {
+		th.Release(en) // finalizer releases curOwned and cell
+		return false, nil
+	}
+	// Fix the cell's stamp before returning. en moved into the list and
+	// could already be deleted and reclaimed, so re-protect through the
+	// link we published it on; a mismatch means a concurrent mutator
+	// replaced the chain head and its own maintenance stamps our cell.
+	hsEn := th.GetSnapshot(pos.prevLink)
+	if !hsEn.IsNil() && hsEn.Ptr().Unmarked() == en.Unmarked() {
+		t.stampCellIn(th.DerefSnapshot(hsEn), cell)
+	}
+	th.ReleaseSnapshot(&hsEn)
+	return true, nil
+}
+
+// putV maps key to val by prepending a version cell (insert and replace
+// are the same write; a tombstone head reports existed == false). The
+// replaced value, like the plain path's, is the newest version at the
+// moment the new cell was published.
+func (t *hashThread) putV(key, val uint64) (old uint64, existed bool, err error) {
+	th := t.th
+	head := t.t.bucket(key)
+	for {
+		pos := t.search(head, key)
+		if !pos.found {
+			linked, err := t.tryLinkV(&pos, key, val)
+			t.releasePos(&pos)
+			if linked || err != nil {
+				return 0, false, err
+			}
+			continue
+		}
+		e := t.deref(pos.curSnap, pos.curRc)
+		if e.next.LoadRaw().HasMark(deletedMark) {
+			// Mid-unlink; the re-search helps finish it.
+			t.releasePos(&pos)
+			continue
+		}
+		hs := th.GetSnapshot(&e.Vers)
+		if hs.HasMark(versDeadMark) {
+			// Frozen: finish the purge, then insert fresh.
+			th.ReleaseSnapshot(&hs)
+			t.helpFreeze(e)
+			t.releasePos(&pos)
+			continue
+		}
+		var headVal uint64
+		headTomb := true
+		var headOwned core.RcPtr
+		if !hs.IsNil() {
+			hc := th.DerefSnapshot(hs)
+			headTomb = atomic.LoadUint64(&hc.Key)&versTombFlag != 0
+			headVal = atomic.LoadUint64(&hc.Val)
+			headOwned = th.RcFromSnapshot(hs)
+		}
+		init := func(nd *listNode) {
+			nd.Key = versPending
+			atomic.StoreUint64(&nd.Val, val)
+			nd.next.Init(headOwned)
+			nd.Vers.Init(core.NilRcPtr)
+		}
+		cell, aerr := th.TryNewRc(init)
+		if aerr != nil {
+			th.Flush()
+			if cell, aerr = th.TryNewRc(init); aerr != nil {
+				obsAllocDrop.Inc(th.ProcID())
+				th.Release(headOwned)
+				th.ReleaseSnapshot(&hs)
+				t.releasePos(&pos)
+				return 0, false, aerr
+			}
+		}
+		if !th.CompareAndSwapMove(&e.Vers, hs.Ptr(), cell) {
+			th.Release(cell) // finalizer releases headOwned
+			th.ReleaseSnapshot(&hs)
+			t.releasePos(&pos)
+			continue
+		}
+		th.ReleaseSnapshot(&hs)
+		t.stampCellIn(e, cell)
+		t.maintainVers(e)
+		t.releasePos(&pos)
+		return headVal, !headTomb, nil
+	}
+}
+
+// delV removes key by appending a tombstone cell (so leases older than
+// the delete still see the value), then attempts the physical purge.
+// The error is arena backpressure: versioned deletes allocate.
+func (t *hashThread) delV(key uint64) (bool, error) {
+	th := t.th
+	head := t.t.bucket(key)
+	for {
+		pos := t.search(head, key)
+		if !pos.found {
+			t.releasePos(&pos)
+			return false, nil
+		}
+		e := t.deref(pos.curSnap, pos.curRc)
+		if e.next.LoadRaw().HasMark(deletedMark) {
+			t.releasePos(&pos)
+			continue
+		}
+		hs := th.GetSnapshot(&e.Vers)
+		if hs.HasMark(versDeadMark) {
+			th.ReleaseSnapshot(&hs)
+			t.helpFreeze(e)
+			t.releasePos(&pos)
+			continue
+		}
+		if hs.IsNil() {
+			th.ReleaseSnapshot(&hs)
+			t.releasePos(&pos)
+			return false, nil
+		}
+		if atomic.LoadUint64(&th.DerefSnapshot(hs).Key)&versTombFlag != 0 {
+			// Already absent; opportunistically finish its removal.
+			th.ReleaseSnapshot(&hs)
+			t.tryPurge(&pos, e)
+			t.releasePos(&pos)
+			return false, nil
+		}
+		headOwned := th.RcFromSnapshot(hs)
+		init := func(nd *listNode) {
+			nd.Key = versTombFlag | versPending
+			atomic.StoreUint64(&nd.Val, 0)
+			nd.next.Init(headOwned)
+			nd.Vers.Init(core.NilRcPtr)
+		}
+		cell, aerr := th.TryNewRc(init)
+		if aerr != nil {
+			th.Flush()
+			cell, aerr = th.TryNewRc(init)
+		}
+		if aerr != nil {
+			th.Release(headOwned)
+			// Allocation-free fallback: deleting must not require memory
+			// when nothing retains history, or a full arena could never be
+			// drained. With no lease active (and none mid-claim) the freeze
+			// protocol deletes directly — frozen chains read as absent at
+			// every current and future timestamp. With leases active the
+			// error is honest backpressure: history retention needs the
+			// tombstone cell.
+			if t.t.vsrc.MinActive() != math.MaxUint64 {
+				obsAllocDrop.Inc(th.ProcID())
+				th.ReleaseSnapshot(&hs)
+				t.releasePos(&pos)
+				return false, aerr
+			}
+			if !th.CompareAndSetMark(&e.Vers, hs.Ptr(), versDeadMark) {
+				th.ReleaseSnapshot(&hs)
+				t.releasePos(&pos)
+				continue
+			}
+			th.ReleaseSnapshot(&hs)
+			t.helpFreeze(e)
+			nextRc := th.Load(&e.next)
+			if !th.CompareAndSwapMove(pos.prevLink, pos.cur(), nextRc.Unmarked()) {
+				th.Release(nextRc)
+			}
+			t.releasePos(&pos)
+			return true, nil
+		}
+		if !th.CompareAndSwapMove(&e.Vers, hs.Ptr(), cell) {
+			th.Release(cell)
+			th.ReleaseSnapshot(&hs)
+			t.releasePos(&pos)
+			continue
+		}
+		th.ReleaseSnapshot(&hs)
+		t.stampCellIn(e, cell)
+		t.maintainVers(e)
+		t.tryPurge(&pos, e)
+		t.releasePos(&pos)
+		return true, nil
+	}
+}
+
+// getV is the versioned current-value read.
+func (t *hashThread) getV(key uint64) (uint64, bool) {
+	pos := t.search(t.t.bucket(key), key)
+	if !pos.found {
+		t.releasePos(&pos)
+		return 0, false
+	}
+	v, ok := t.resolveHead(t.deref(pos.curSnap, pos.curRc))
+	t.releasePos(&pos)
+	return v, ok
+}
+
+// getAt reads key as of ts. A key whose entry was purged reports absent,
+// which is consistent: purging requires the tombstone's stamp ≤
+// MinActive ≤ every live lease's ts.
+func (t *hashThread) getAt(ts, key uint64) (uint64, bool) {
+	pos := t.search(t.t.bucket(key), key)
+	if !pos.found {
+		t.releasePos(&pos)
+		return 0, false
+	}
+	e := t.deref(pos.curSnap, pos.curRc)
+	v, ok := t.resolveAt(e, ts)
+	t.releasePos(&pos)
+	return v, ok
+}
+
+// scanVersioned is the weakly-consistent scan over a versioned table
+// (each entry resolved to its newest live version).
+func (t *hashThread) scanVersioned(limit int, fn func(key, val uint64) bool) int {
+	th := t.th
+	n := 0
+	for i := range t.t.buckets {
+		if limit >= 0 && n >= limit {
+			break
+		}
+		cur := th.GetSnapshot(&t.t.buckets[i])
+		for !cur.IsNil() {
+			nd := th.DerefSnapshot(cur)
+			if !nd.next.LoadRaw().HasMark(deletedMark) {
+				if limit >= 0 && n >= limit {
+					break
+				}
+				if v, ok := t.resolveHead(nd); ok {
+					if !fn(nd.Key, v) {
+						th.ReleaseSnapshot(&cur)
+						return n
+					}
+					n++
+				}
+			}
+			next := th.GetSnapshot(&nd.next)
+			th.ReleaseSnapshot(&cur)
+			cur = next
+		}
+		th.ReleaseSnapshot(&cur)
+	}
+	return n
+}
+
+// ScanAt visits up to limit entries as of ts (limit < 0 for all),
+// stopping early when fn returns false. Unlike Scan, the rows form one
+// point-in-time snapshot across every key: all writes stamped ≤ ts, none
+// stamped later. Entries skipped for a Harris mark are safe to skip —
+// versioned tables mark an entry only after freezing it on a tombstone
+// no live lease can see past. Implements ds.VersionedMapThread.
+func (t *hashThread) ScanAt(ts uint64, limit int, fn func(key, val uint64) bool) int {
+	th := t.th
+	n := 0
+	for i := range t.t.buckets {
+		if limit >= 0 && n >= limit {
+			break
+		}
+		cur := th.GetSnapshot(&t.t.buckets[i])
+		for !cur.IsNil() {
+			nd := th.DerefSnapshot(cur)
+			if !nd.next.LoadRaw().HasMark(deletedMark) {
+				if limit >= 0 && n >= limit {
+					break
+				}
+				if v, ok := t.resolveAt(nd, ts); ok {
+					if !fn(nd.Key, v) {
+						th.ReleaseSnapshot(&cur)
+						return n
+					}
+					n++
+				}
+			}
+			next := th.GetSnapshot(&nd.next)
+			th.ReleaseSnapshot(&cur)
+			cur = next
+		}
+		th.ReleaseSnapshot(&cur)
+	}
+	return n
+}
+
+// GetAt reads key as of ts. Implements ds.VersionedMapThread.
+func (t *hashThread) GetAt(ts, key uint64) (uint64, bool) {
+	if t.t.vsrc == nil {
+		panic("rcds: GetAt on an unversioned table")
+	}
+	return t.getAt(ts, key)
+}
+
+// DeleteV is Delete with the arena-backpressure error surfaced (a
+// versioned delete allocates its tombstone). Implements
+// ds.VersionedMapThread.
+func (t *hashThread) DeleteV(key uint64) (bool, error) {
+	if t.t.vsrc != nil {
+		return t.delV(key)
+	}
+	return t.delete(t.t.bucket(key), key), nil
+}

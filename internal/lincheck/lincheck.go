@@ -131,8 +131,9 @@ const (
 	OpInsert
 	OpDelete
 	OpContains
-	OpGet // map get: Arg = key<<8, Ret = value, RetOK = present
-	OpPut // map put: Arg = key<<8|val, Ret = old value, RetOK = existed
+	OpGet  // map get: Arg = key<<8, Ret = value, RetOK = present
+	OpPut  // map put: Arg = key<<8|val, Ret = old value, RetOK = existed
+	OpMGet // map multi-get: Ret packs key i's value into byte i (0 = absent)
 )
 
 // StackModel is the sequential LIFO stack specification.
@@ -149,7 +150,7 @@ func (StackModel) Key(s string) string { return s }
 func (StackModel) Apply(s string, op Op) (string, bool) {
 	switch op.Kind {
 	case OpPush:
-		return s + string(rune(op.Arg)), true
+		return s + string([]byte{byte(op.Arg)}), true
 	case OpPop:
 		if len(s) == 0 {
 			return s, !op.RetOK
@@ -180,7 +181,7 @@ func (QueueModel) Key(s string) string { return s }
 func (QueueModel) Apply(s string, op Op) (string, bool) {
 	switch op.Kind {
 	case OpPush:
-		return s + string(rune(op.Arg)), true
+		return s + string([]byte{byte(op.Arg)}), true
 	case OpPop:
 		if len(s) == 0 {
 			return s, !op.RetOK
@@ -199,11 +200,15 @@ func (QueueModel) Apply(s string, op Op) (string, bool) {
 // MapModelKeys is the MapModel key-space bound.
 const MapModelKeys = 4
 
-// MapModel is the sequential key→value map specification for histories of
-// OpGet, OpPut, and OpDelete. Operations pack their key and value into
-// Arg as key<<8 | val, with key < MapModelKeys and val < 255. OpPut's
-// observed result is (Ret = replaced value, RetOK = key existed); OpGet's
-// is (Ret = value, RetOK = present); OpDelete uses RetOK only.
+// MapModel is the sequential key→value map specification for histories
+// of OpGet, OpPut, OpDelete, and OpMGet. Single-key operations pack
+// their key and value into Arg as key<<8 | val, with key < MapModelKeys
+// and 0 < val < 255. OpPut's observed result is (Ret = replaced value,
+// RetOK = key existed); OpGet's is (Ret = value, RetOK = present);
+// OpDelete uses RetOK only. OpMGet reads every key atomically: Ret packs
+// key i's observed value into byte i (0 for absent — callers keep values
+// nonzero), so it is legal only in a state where ALL keys match at once;
+// a write half-visible across the keys has no such state.
 type MapModel struct{}
 
 // Init implements Model. The state encodes each key's binding in one
@@ -228,7 +233,10 @@ func (MapModel) Apply(s string, op Op) (string, bool) {
 		}
 		return s, op.RetOK && op.Ret == uint64(cur-1)
 	case OpPut:
-		next := s[:k] + string(v+1) + s[k+1:]
+		// string([]byte{...}), not string(rune): a rune conversion UTF-8
+		// encodes values > 127 into two bytes and shifts every later
+		// key's slot in the state string.
+		next := s[:k] + string([]byte{v + 1}) + s[k+1:]
 		if cur == 0 {
 			return next, !op.RetOK
 		}
@@ -244,6 +252,14 @@ func (MapModel) Apply(s string, op Op) (string, bool) {
 			return s, false
 		}
 		return s[:k] + "\x00" + s[k+1:], true
+	case OpMGet:
+		var want uint64
+		for i := 0; i < len(s); i++ {
+			if s[i] != 0 {
+				want |= uint64(s[i]-1) << (8 * i)
+			}
+		}
+		return s, op.RetOK && op.Ret == want
 	}
 	return s, false
 }

@@ -141,20 +141,16 @@ func (cl *Client) Del(key uint64) (bool, error) {
 	return n == 1, err
 }
 
-// Scan returns up to limit entries as {key, val} pairs (weakly
-// consistent; see MapHandle.Scan).
-func (cl *Client) Scan(limit int) ([][2]uint64, error) {
-	line, err := cl.roundTrip("SCAN " + strconv.Itoa(limit))
-	if err != nil {
-		return nil, err
-	}
+// readScanReply parses a `*<n>` header line plus n `<key> <val>` rows
+// (the reply shape SCAN and SNAPSCAN share).
+func (cl *Client) readScanReply(line, verb string) ([][2]uint64, error) {
 	rest, ok := strings.CutPrefix(line, "*")
 	if !ok {
-		return nil, fmt.Errorf("server: unexpected reply %q to SCAN", line)
+		return nil, fmt.Errorf("server: unexpected reply %q to %s", line, verb)
 	}
 	n, err := strconv.Atoi(rest)
 	if err != nil {
-		return nil, fmt.Errorf("server: bad SCAN count %q", rest)
+		return nil, fmt.Errorf("server: bad %s count %q", verb, rest)
 	}
 	ents := make([][2]uint64, 0, n)
 	for i := 0; i < n; i++ {
@@ -164,11 +160,83 @@ func (cl *Client) Scan(limit int) ([][2]uint64, error) {
 		}
 		var k, v uint64
 		if _, err := fmt.Sscanf(row, "%d %d", &k, &v); err != nil {
-			return nil, fmt.Errorf("server: bad SCAN row %q", row)
+			return nil, fmt.Errorf("server: bad %s row %q", verb, row)
 		}
 		ents = append(ents, [2]uint64{k, v})
 	}
 	return ents, nil
+}
+
+// Scan returns up to limit entries as {key, val} pairs (weakly
+// consistent; see MapHandle.Scan).
+func (cl *Client) Scan(limit int) ([][2]uint64, error) {
+	line, err := cl.roundTrip("SCAN " + strconv.Itoa(limit))
+	if err != nil {
+		return nil, err
+	}
+	return cl.readScanReply(line, "SCAN")
+}
+
+// SnapScan returns up to limit entries read from one point-in-time
+// snapshot of the whole keyspace: every row reflects the same instant,
+// unlike Scan's weakly consistent walk. ErrBusy means the server's
+// snapshot-lease pool was exhausted; retry.
+func (cl *Client) SnapScan(limit int) ([][2]uint64, error) {
+	line, err := cl.roundTrip("SNAPSCAN " + strconv.Itoa(limit))
+	if err != nil {
+		return nil, err
+	}
+	return cl.readScanReply(line, "SNAPSCAN")
+}
+
+// MGet reads up to 8 keys atomically from one point-in-time snapshot
+// and returns one Result per key in request order (Found reports
+// presence, Val the value). ErrBusy means the server shed the request
+// (lease pool or queues exhausted); it had no effect.
+func (cl *Client) MGet(keys ...uint64) ([]Result, error) {
+	if len(keys) == 0 || len(keys) > maxMGetKeys {
+		return nil, fmt.Errorf("client: MGET takes 1..%d keys, got %d", maxMGetKeys, len(keys))
+	}
+	req := "MGET"
+	for _, k := range keys {
+		req += " " + strconv.FormatUint(k, 10)
+	}
+	line, err := cl.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	rest, ok := strings.CutPrefix(line, "*")
+	if !ok {
+		return nil, fmt.Errorf("server: unexpected reply %q to MGET", line)
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n != len(keys) {
+		return nil, fmt.Errorf("server: bad MGET count %q (want %d)", rest, len(keys))
+	}
+	res := make([]Result, n)
+	for i := 0; i < n; i++ {
+		row, err := cl.readLine()
+		if err != nil {
+			return nil, err
+		}
+		ks, vs, ok := strings.Cut(row, " ")
+		if !ok {
+			return nil, fmt.Errorf("server: bad MGET row %q", row)
+		}
+		k, err := strconv.ParseUint(ks, 10, 64)
+		if err != nil || k != keys[i] {
+			return nil, fmt.Errorf("server: MGET row %q out of order (want key %d)", row, keys[i])
+		}
+		if vs == "-" {
+			continue
+		}
+		v, err := strconv.ParseUint(vs, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: bad MGET row %q", row)
+		}
+		res[i] = Result{Val: v, Found: true}
+	}
+	return res, nil
 }
 
 // Promote asks the node to take primary ownership of shard (replica

@@ -212,6 +212,78 @@ func (cc *ClusterClient) Del(key uint64) (hit bool, err error) {
 	return
 }
 
+// scanNodes fans one scan verb across every live node and enforces the
+// row cap globally: each node is asked for at most the rows still
+// needed, and keys already seen from an earlier node are dropped (after
+// a failover the promoted node answers for shards the topology maps to
+// its dead peer, so two nodes can both claim a shard's rows — first
+// answer wins). A node that dies mid-scan is dropped and the sweep
+// continues; its unpromoted shards simply contribute no rows, matching
+// SCAN's weakly consistent contract. Note the snapshot verbs are
+// per-node point-in-time: rows from different nodes come from different
+// snapshots.
+func (cc *ClusterClient) scanNodes(limit int, scan func(cl *Client, limit int) ([][2]uint64, error)) ([][2]uint64, error) {
+	var out [][2]uint64
+	seen := make(map[uint64]struct{})
+	for node := range cc.peers {
+		if limit >= 0 && len(out) >= limit {
+			break
+		}
+		if cc.dead[node] {
+			continue
+		}
+		cl, err := cc.conn(node)
+		if err != nil {
+			continue
+		}
+		remaining := limit
+		if limit >= 0 {
+			remaining = limit - len(out)
+		}
+		var rows [][2]uint64
+		err = RetryBusy(cc.bo, func() error {
+			var e error
+			rows, e = scan(cl, remaining)
+			return e
+		})
+		if err != nil {
+			// Busy budget exhausted or the node broke the stream; either
+			// way this connection's framing can no longer be trusted.
+			cc.drop(node)
+			obsReroute.Inc(0)
+			continue
+		}
+		for _, r := range rows {
+			if _, dup := seen[r[0]]; dup {
+				continue
+			}
+			seen[r[0]] = struct{}{}
+			out = append(out, r)
+			if limit >= 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// Scan sweeps every live node and returns at most limit entries in
+// total (limit < 0 means unbounded), deduplicated by key.
+func (cc *ClusterClient) Scan(limit int) ([][2]uint64, error) {
+	return cc.scanNodes(limit, func(cl *Client, lim int) ([][2]uint64, error) {
+		return cl.Scan(lim)
+	})
+}
+
+// SnapScan is Scan over each node's point-in-time snapshot: rows from
+// one node are mutually consistent, rows from different nodes are not
+// (each node snapshots independently).
+func (cc *ClusterClient) SnapScan(limit int) ([][2]uint64, error) {
+	return cc.scanNodes(limit, func(cl *Client, lim int) ([][2]uint64, error) {
+		return cl.SnapScan(lim)
+	})
+}
+
 // StartCluster launches n loopback nodes sharing one topology. Every
 // node's listener is pre-bound on an ephemeral port first, so the full
 // peer list exists before any node starts — nodes dial each other

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"sync/atomic"
+
+	"cdrc/internal/snaplease"
 )
 
 // Wire protocol: a RESP-like text framing over TCP, one request per line
@@ -19,7 +21,14 @@ import (
 //	PUT <key> <val>
 //	DEL <key>
 //	SCAN <limit>
+//	MGET <k1> [k2 … k8]     snapshot-consistent multi-key read
+//	SNAPSCAN <limit>        snapshot-consistent scan over all shards
 //	STATS
+//
+// MGET and SNAPSCAN read every key at one version timestamp drawn from
+// the server's snapshot-lease pool (DESIGN.md §10): the reply is an
+// atomic point-in-time view across shards, unlike SCAN's weakly
+// consistent per-shard union. A full lease pool sheds with -BUSY.
 //
 // Cluster requests (replicated mode, DESIGN.md §9):
 //
@@ -34,7 +43,9 @@ import (
 //	+VAL <v>   GET hit            +NIL       GET miss
 //	+OLD <v>   PUT replaced       +NEW       PUT inserted
 //	+DEL 1     DEL hit            +DEL 0     DEL miss
-//	*<n>       SCAN header, followed by n lines "<key> <val>"
+//	*<n>       SCAN/SNAPSCAN header, followed by n lines "<key> <val>"
+//	*<n>       MGET header: one line per requested key, in request
+//	           order — "<key> <val>" for a hit, "<key> -" for a miss
 //	$<len>     STATS header, followed by len raw bytes (obs JSON) and LF
 //	+RACK <shard> <seq>  RPUT/RDEL applied (or duplicate of an applied
 //	           seq; the apply is idempotent per (shard, seq))
@@ -64,6 +75,8 @@ const (
 	opScan
 	opRPut // replication apply of a PUT (replica side)
 	opRDel // replication apply of a DEL (replica side)
+	opMGet // leased multi-key read, fanned to every shard
+	opSnapScan
 )
 
 // Completion causes. A slot completes with exactly one cause; the first
@@ -77,6 +90,7 @@ const (
 	causeCrash        // serving worker took a simulated crash
 	causeRepl         // replication backpressure: log full (primary) or
 	// seq gap (replica); either way nothing was applied
+	causeLease // snapshot-lease pool exhausted (never reached a worker)
 )
 
 // slot is one in-flight request in a connection's completion ring. Slots
@@ -112,6 +126,16 @@ type slot struct {
 	// created on a slot's first SCAN and reused afterwards.
 	scan *scanState
 
+	// MGET state: keys holds the requested keys (request order); worker i
+	// fills mvals/mhits for the keys its shard owns. ts and lease carry
+	// the snapshot lease for MGET/SNAPSCAN — complete releases the lease
+	// exactly once, whatever the outcome (reply, shed, or crash).
+	keys  []uint64
+	mvals []uint64
+	mhits []bool
+	ts    uint64
+	lease snaplease.Lease
+
 	// pending counts outstanding completions (1 for single-shard ops,
 	// one per shard for SCAN); the decrement that reaches zero finishes
 	// the slot. cause is the CAS-once failure cause. done is buffered 1
@@ -139,6 +163,29 @@ func (sl *slot) reset() {
 func (sl *slot) ensureScan(shards int) {
 	if sl.scan == nil {
 		sl.scan = &scanState{segs: make([][]byte, shards), ns: make([]int, shards)}
+		return
+	}
+	// Recycled slot: a shard that contributes nothing this time (replica,
+	// crash, shed) must not leak the previous request's rows into the
+	// union, so both halves of the accounting are reset up front.
+	for i := range sl.scan.segs {
+		sl.scan.segs[i] = sl.scan.segs[i][:0]
+		sl.scan.ns[i] = 0
+	}
+}
+
+// ensureMGet sizes the multi-key result arrays and clears the hit flags
+// (workers only write the indexes their shard owns).
+func (sl *slot) ensureMGet(n int) {
+	if cap(sl.mvals) < n {
+		sl.mvals = make([]uint64, n)
+		sl.mhits = make([]bool, n)
+	}
+	sl.mvals = sl.mvals[:n]
+	sl.mhits = sl.mhits[:n]
+	for i := range sl.mhits {
+		sl.mhits[i] = false
+		sl.mvals[i] = 0
 	}
 }
 
@@ -155,20 +202,32 @@ func (sl *slot) complete(procID int) {
 	if sl.pending.Add(-1) != 0 {
 		return
 	}
+	// The snapshot lease ends with the slot, success or shed: the last
+	// completion is the single point every outcome (worker finish, queue
+	// shed, crash adoption) funnels through. Idempotent and nil-safe.
+	sl.lease.Release(procID)
 	switch sl.cause.Load() {
 	case causeNone:
 		if !sl.local {
 			obsReq.Inc(procID)
 			obsReply.Inc(procID)
 		}
-		if sl.op == opScan && !sl.local {
+		if !sl.local && (sl.op == opScan || sl.op == opSnapScan) {
 			sl.buf = sl.scan.assemble(sl.buf[:0], sl.limit)
+			sl.static = nil
+		}
+		if !sl.local && sl.op == opMGet {
+			sl.buf = sl.assembleMGet(sl.buf[:0])
 			sl.static = nil
 		}
 	case causeQueue:
 		// Shed before any worker executed it: counts as a queue shed,
 		// not a reply, preserving sends == server.reply + busy.queue.
 		obsBusyQueue.Inc(procID)
+		sl.static = lineBusy
+	case causeLease:
+		// Shed at the lease pool, also before any worker ran.
+		obsBusyLease.Inc(procID)
 		sl.static = lineBusy
 	case causeArena:
 		obsReq.Inc(procID)
@@ -198,8 +257,12 @@ func (sl *slot) payload() []byte {
 }
 
 // assemble renders the SCAN reply: "*<n>\n" followed by n rows taken
-// from the shard segments in shard order, truncated to limit (each shard
-// scanned up to limit rows on its own, so the union can exceed it).
+// from the shard segments in shard order, capped at limit at merge time
+// (each shard scanned up to limit rows on its own, so the union can
+// carry up to shards×limit). Rows are always copied by explicit newline
+// count — never "the whole segment" on the ns[i] <= need fast path — so
+// a segment that somehow disagrees with its row count can shift rows but
+// never overrun the advertised header.
 func (s *scanState) assemble(buf []byte, limit int) []byte {
 	total := 0
 	for _, n := range s.ns {
@@ -216,21 +279,38 @@ func (s *scanState) assemble(buf []byte, limit int) []byte {
 		if need <= 0 {
 			break
 		}
-		if s.ns[i] <= need {
-			buf = append(buf, seg...)
-			need -= s.ns[i]
-			continue
+		take := s.ns[i]
+		if take > need {
+			take = need
 		}
-		// Partial segment: copy the first `need` newline-terminated rows.
 		rows, end := 0, 0
-		for end < len(seg) && rows < need {
+		for end < len(seg) && rows < take {
 			if seg[end] == '\n' {
 				rows++
 			}
 			end++
 		}
 		buf = append(buf, seg[:end]...)
-		need = 0
+		need -= rows
+	}
+	return buf
+}
+
+// assembleMGet renders the MGET reply: "*<n>\n" then one row per
+// requested key in request order — "<key> <val>" or "<key> -".
+func (sl *slot) assembleMGet(buf []byte) []byte {
+	buf = append(buf, '*')
+	buf = strconv.AppendInt(buf, int64(len(sl.keys)), 10)
+	buf = append(buf, '\n')
+	for i, k := range sl.keys {
+		buf = strconv.AppendUint(buf, k, 10)
+		buf = append(buf, ' ')
+		if sl.mhits[i] {
+			buf = strconv.AppendUint(buf, sl.mvals[i], 10)
+		} else {
+			buf = append(buf, '-')
+		}
+		buf = append(buf, '\n')
 	}
 	return buf
 }
@@ -292,6 +372,8 @@ const (
 	vRPut
 	vRDel
 	vPromote
+	vMGet
+	vSnapScan
 )
 
 // verbOf classifies an ASCII verb case-insensitively without allocating.
@@ -329,6 +411,10 @@ func verbOf(b []byte) int {
 			if b[1]&^0x20 == 'D' && b[2]&^0x20 == 'E' && b[3]&^0x20 == 'L' {
 				return vRDel
 			}
+		case 'M':
+			if b[1]&^0x20 == 'G' && b[2]&^0x20 == 'E' && b[3]&^0x20 == 'T' {
+				return vMGet
+			}
 		}
 	case 5:
 		if b[0]&^0x20 == 'S' && b[1]&^0x20 == 'T' && b[2]&^0x20 == 'A' &&
@@ -340,6 +426,12 @@ func verbOf(b []byte) int {
 			b[3]&^0x20 == 'M' && b[4]&^0x20 == 'O' && b[5]&^0x20 == 'T' &&
 			b[6]&^0x20 == 'E' {
 			return vPromote
+		}
+	case 8:
+		if b[0]&^0x20 == 'S' && b[1]&^0x20 == 'N' && b[2]&^0x20 == 'A' &&
+			b[3]&^0x20 == 'P' && b[4]&^0x20 == 'S' && b[5]&^0x20 == 'C' &&
+			b[6]&^0x20 == 'A' && b[7]&^0x20 == 'N' {
+			return vSnapScan
 		}
 	}
 	return vUnknown
@@ -383,10 +475,15 @@ func parseIntBytes(b []byte) (int64, bool) {
 	return int64(v), true
 }
 
-// maxFields bounds the per-line field split: the widest verb is RPUT
-// with four arguments, so anything beyond five fields is malformed
-// regardless.
-const maxFields = 5
+// maxMGetKeys bounds the keys one MGET may request: 8 keeps the reply
+// and per-slot state small while covering the multi-key read patterns
+// the analytic workloads use.
+const maxMGetKeys = 8
+
+// maxFields bounds the per-line field split: the widest verb is MGET
+// with up to maxMGetKeys keys, so anything beyond nine fields is
+// malformed regardless.
+const maxFields = 1 + maxMGetKeys
 
 // splitFields splits line on spaces/tabs into out, returning the field
 // count; maxFields+1 means "too many" (the tail is dropped, and every

@@ -391,7 +391,13 @@ func (s *Server) execLoggedWrite(h *collections.MapHandle, rl *replLog, sl *slot
 		}
 		return
 	}
-	hit := h.Delete(sl.key)
+	hit, err := h.Delete(sl.key)
+	if err != nil {
+		// Tombstone allocation failed: the key is still bound and nothing
+		// was applied, so shed without logging.
+		sl.fail(causeArena)
+		return
+	}
 	if logIt {
 		rl.appendLocked('D', sl.key, 0, procID)
 	}
@@ -453,7 +459,11 @@ func (s *Server) execReplApply(h *collections.MapHandle, sl *slot, procID int) {
 				return
 			}
 		} else {
-			h.Delete(sl.key)
+			if _, err := h.Delete(sl.key); err != nil {
+				// Not applied: leave the cursor so the shipper retries.
+				sl.fail(causeArena)
+				return
+			}
 		}
 		ri.applied = sl.seq
 		obsReplApply.Inc(procID)

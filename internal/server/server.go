@@ -39,14 +39,16 @@ import (
 	"cdrc/collections"
 	"cdrc/internal/chaos"
 	"cdrc/internal/obs"
+	"cdrc/internal/snaplease"
 )
 
 // Observability. server.req counts worker-executed requests; server.reply
 // counts worker-bound requests that completed with a reply (completions
-// plus crash/arena BUSYs); the three busy counters partition every shed
-// by cause. At quiescence: client sends == server.reply +
-// server.busy.queue, and client-observed BUSYs == busy.queue +
-// busy.arena + busy.crash. server.conns/server.disconn count connection
+// plus crash/arena BUSYs); the busy counters partition every shed by
+// cause. At quiescence: client sends == server.reply + server.busy.queue
+// + server.busy.lease, and client-observed BUSYs == busy.queue +
+// busy.arena + busy.crash + busy.lease (queue and lease sheds never
+// reach a worker, so they count no req/reply). server.conns/server.disconn count connection
 // accept/teardown; their difference is the live-connection gauge and
 // must be 0 after Close. server.queue.depth samples shard-queue
 // occupancy at enqueue; server.flush.batch records how many replies each
@@ -57,6 +59,7 @@ var (
 	obsBusyQueue  = obs.NewCounter("server.busy.queue")
 	obsBusyArena  = obs.NewCounter("server.busy.arena")
 	obsBusyCrash  = obs.NewCounter("server.busy.crash")
+	obsBusyLease  = obs.NewCounter("server.busy.lease")
 	obsWorkerDead = obs.NewCounter("server.worker.crash")
 	obsConns      = obs.NewCounter("server.conns")
 	obsDisconn    = obs.NewCounter("server.disconn")
@@ -122,6 +125,13 @@ type Config struct {
 
 	// ScanLimit caps entries returned by one SCAN (default 4096).
 	ScanLimit int
+
+	// SnapLeases sizes the snapshot-lease pool shared by MGET and
+	// SNAPSCAN (default 64): how many leased point-in-time reads may be
+	// in flight at once across all connections. A full pool sheds with
+	// -BUSY (server.busy.lease). Smaller pools bound how much version
+	// history concurrent writers must retain.
+	SnapLeases int
 
 	// DebugChecks arms arena use-after-free panics on every shard. Set by
 	// tests and soak harnesses.
@@ -216,6 +226,9 @@ func (c *Config) withDefaults() Config {
 	if cfg.ScanLimit <= 0 {
 		cfg.ScanLimit = 4096
 	}
+	if cfg.SnapLeases <= 0 {
+		cfg.SnapLeases = snaplease.DefaultLeases
+	}
 	if cfg.DrainGrace <= 0 {
 		cfg.DrainGrace = time.Second
 	}
@@ -241,6 +254,7 @@ type Server struct {
 	cfg    Config
 	shards []*collections.Map
 	queues []chan *slot
+	leases *snaplease.Pool // snapshot leases + version clock for all shards
 	ln     net.Listener
 
 	// Cluster state (repl.go). Single-node servers run with cluster ==
@@ -287,9 +301,18 @@ func New(cfg Config) (*Server, error) {
 	if s.cluster {
 		s.chaosKill = chaos.New(fmt.Sprintf("server.node%d.kill", cfg.NodeID))
 	}
+	// One lease pool (and version clock) spans every shard: an MGET or
+	// SNAPSCAN resolves all shards at one timestamp.
+	s.leases = snaplease.NewPool(cfg.SnapLeases)
+	obs.RegisterGauge(s.gaugeName("snaplease.active"), func() (int64, bool) {
+		if s.closed.Load() {
+			return 0, false
+		}
+		return int64(s.leases.Active()), true
+	})
 	perShard := cfg.ExpectedKeys / cfg.Shards
 	for i := range s.shards {
-		m := collections.NewMap(perShard, cfg.MaxProcs)
+		m := collections.NewVersionedMap(perShard, cfg.MaxProcs, s.leases)
 		if cfg.ArenaCapacity != 0 {
 			m.SetArenaCapacity(cfg.ArenaCapacity)
 		}
@@ -379,6 +402,10 @@ func (s *Server) gaugeName(base string) string {
 
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// ActiveLeases reports currently held snapshot leases; a quiescent
+// server must report 0 (tests treat a stuck lease as a leak).
+func (s *Server) ActiveLeases() int { return s.leases.Active() }
 
 // Live returns the number of live nodes across all shards; a quiescent
 // closed server must report 0.
@@ -571,12 +598,33 @@ func localReply(sl *slot, issued chan<- *slot) {
 	sl.complete(0)
 }
 
+// enqueue sends sl to q or sheds it with causeQueue. The depth histogram
+// samples AFTER a successful send — len(q) including the element just
+// added — so at saturation the recorded depth is the full capacity the
+// -BUSY threshold acted on, not capacity-1 (a shed records cap(q)).
+func enqueue(q chan *slot, sl *slot) {
+	select {
+	case q <- sl:
+		if obs.Enabled() {
+			obsQueueDepth.Observe(uint64(len(q)))
+		}
+	default:
+		if obs.Enabled() {
+			obsQueueDepth.Observe(uint64(cap(q)))
+		}
+		sl.fail(causeQueue)
+		sl.complete(0)
+	}
+}
+
 // dispatch routes one parsed request: local verbs complete inline,
-// single-shard ops go to their shard's queue, SCAN fans out to every
-// shard. The slot is sent to issued (the ordered completion ring) before
-// any queue send, so the writer sees slots in exact request order. The
-// conn is threaded through for the replication verbs, which record it
-// as the shard's stream source (promotion waits for it to close).
+// single-shard ops go to their shard's queue, SCAN, SNAPSCAN, and MGET
+// fan out to every shard (the leased verbs first draw a snapshot lease;
+// a dry pool sheds with -BUSY before touching any queue). The slot is
+// sent to issued (the ordered completion ring) before any queue send, so
+// the writer sees slots in exact request order. The conn is threaded
+// through for the replication verbs, which record it as the shard's
+// stream source (promotion waits for it to close).
 func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued chan<- *slot) {
 	verb := verbOf(fields[0])
 	badArity := func(want int) bool {
@@ -634,16 +682,7 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 		}
 		sl.pending.Store(1)
 		issued <- sl
-		q := s.queues[shard]
-		if obs.Enabled() {
-			obsQueueDepth.Observe(uint64(len(q)))
-		}
-		select {
-		case q <- sl:
-		default:
-			sl.fail(causeQueue)
-			sl.complete(0)
-		}
+		enqueue(s.queues[shard], sl)
 	case vRPut, vRDel:
 		want := 3
 		if verb == vRPut {
@@ -685,16 +724,7 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 		ri.noteReceived(seq, c)
 		sl.pending.Store(1)
 		issued <- sl
-		q := s.queues[shard]
-		if obs.Enabled() {
-			obsQueueDepth.Observe(uint64(len(q)))
-		}
-		select {
-		case q <- sl:
-		default:
-			sl.fail(causeQueue)
-			sl.complete(0)
-		}
+		enqueue(s.queues[shard], sl)
 	case vPromote:
 		if badArity(1) {
 			return
@@ -749,15 +779,82 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 		sl.pending.Store(int32(len(s.shards)))
 		issued <- sl
 		for i := range s.queues {
-			select {
-			case s.queues[i] <- sl:
-			default:
-				// This shard's share is shed; the scan completes -BUSY
-				// once every other share resolves (cause is CAS-once, so
-				// exactly one shed is counted for the whole request).
-				sl.fail(causeQueue)
-				sl.complete(0)
+			// A shed shard's share completes -BUSY once every other share
+			// resolves (cause is CAS-once, so exactly one shed is counted
+			// for the whole request).
+			enqueue(s.queues[i], sl)
+		}
+	case vSnapScan:
+		if badArity(1) {
+			return
+		}
+		lim64, ok := parseIntBytes(fields[1])
+		if !ok {
+			sl.buf = appendErr(sl.buf[:0], "bad number %q", fields[1])
+			localReply(sl, issued)
+			return
+		}
+		sl.op = opSnapScan
+		sl.limit = int(lim64)
+		if sl.limit <= 0 || sl.limit > s.cfg.ScanLimit {
+			sl.limit = s.cfg.ScanLimit
+		}
+		sl.ensureScan(len(s.shards))
+		lease, ok := s.leases.Acquire(0)
+		if !ok {
+			sl.pending.Store(1)
+			issued <- sl
+			sl.fail(causeLease)
+			sl.complete(0)
+			return
+		}
+		sl.ts, sl.lease = lease.TS(), lease
+		sl.pending.Store(int32(len(s.shards)))
+		issued <- sl
+		for i := range s.queues {
+			enqueue(s.queues[i], sl)
+		}
+	case vMGet:
+		if nf < 2 || nf-1 > maxMGetKeys {
+			sl.buf = appendErr(sl.buf[:0], "MGET takes 1..%d keys", maxMGetKeys)
+			localReply(sl, issued)
+			return
+		}
+		sl.keys = sl.keys[:0]
+		for _, f := range fields[1:nf] {
+			key, ok := parseUintBytes(f)
+			if !ok {
+				sl.buf = appendErr(sl.buf[:0], "bad number %q", f)
+				localReply(sl, issued)
+				return
 			}
+			if sh := s.shardOf(key); s.cluster && s.role[sh].Load() != rolePrimary {
+				// Per-node MGET atomicity only: every requested key must be
+				// primary here (cross-node multi-key reads would need a
+				// cross-node clock; see DESIGN.md §10).
+				sl.buf = appendMoved(sl.buf[:0], s.cfg.Peers[PrimaryNode(sh, len(s.cfg.Peers))])
+				localReply(sl, issued)
+				return
+			}
+			sl.keys = append(sl.keys, key)
+		}
+		sl.op = opMGet
+		sl.ensureMGet(len(sl.keys))
+		lease, ok := s.leases.Acquire(0)
+		if !ok {
+			sl.pending.Store(1)
+			issued <- sl
+			sl.fail(causeLease)
+			sl.complete(0)
+			return
+		}
+		sl.ts, sl.lease = lease.TS(), lease
+		// Fan to every shard: each worker resolves only the keys its
+		// shard owns, writing disjoint indexes of mvals/mhits.
+		sl.pending.Store(int32(len(s.shards)))
+		issued <- sl
+		for i := range s.queues {
+			enqueue(s.queues[i], sl)
 		}
 	default:
 		sl.buf = appendErr(sl.buf[:0], "unknown command %q", fields[0])
@@ -909,9 +1006,13 @@ func (s *Server) exec(h *collections.MapHandle, procID, shard int, sl *slot) {
 			s.execLoggedWrite(h, rl, sl, procID)
 			return
 		}
-		if h.Delete(sl.key) {
+		hit, err := h.Delete(sl.key)
+		switch {
+		case err != nil:
+			sl.fail(causeArena)
+		case hit:
 			sl.static = lineDel1
-		} else {
+		default:
 			sl.static = lineDel0
 		}
 	case opRPut, opRDel:
@@ -935,6 +1036,34 @@ func (s *Server) exec(h *collections.MapHandle, procID, shard int, sl *slot) {
 		})
 		sl.scan.segs[shard] = seg
 		sl.scan.ns[shard] = n
+	case opSnapScan:
+		if s.cluster && s.role[shard].Load() != rolePrimary {
+			sl.scan.segs[shard] = sl.scan.segs[shard][:0]
+			sl.scan.ns[shard] = 0
+			return
+		}
+		seg := sl.scan.segs[shard][:0]
+		n := h.ScanAt(sl.ts, sl.limit, func(k, v uint64) bool {
+			seg = strconv.AppendUint(seg, k, 10)
+			seg = append(seg, ' ')
+			seg = strconv.AppendUint(seg, v, 10)
+			seg = append(seg, '\n')
+			return true
+		})
+		sl.scan.segs[shard] = seg
+		sl.scan.ns[shard] = n
+	case opMGet:
+		// Resolve only this shard's keys, at the slot's lease timestamp;
+		// the workers write disjoint mvals/mhits indexes.
+		for i, k := range sl.keys {
+			if s.shardOf(k) != shard {
+				continue
+			}
+			if v, ok := h.GetAt(sl.ts, k); ok {
+				sl.mvals[i] = v
+				sl.mhits[i] = true
+			}
+		}
 	}
 }
 

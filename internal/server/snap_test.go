@@ -1,0 +1,504 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cdrc/internal/chaos"
+	"cdrc/internal/obs"
+)
+
+// TestScanRowCap pins the fan-out row cap: a SCAN's limit bounds the
+// TOTAL reply, not each shard's share. The regression this guards
+// (each of 4 shards returning `limit` rows, so a SCAN 10 over 120 keys
+// answered 40 rows) only shows with limit < rows-per-shard.
+func TestScanRowCap(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 4, Workers: 4, ExpectedKeys: 256})
+	cl := dialTest(t, s)
+	defer cl.Close()
+
+	const keys = 120
+	for k := uint64(0); k < keys; k++ {
+		if _, _, err := cl.Put(k, k); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+	}
+	// 120 keys over 4 shards: every shard holds far more than 10 rows.
+	ents, err := cl.Scan(10)
+	if err != nil {
+		t.Fatalf("Scan(10): %v", err)
+	}
+	if len(ents) != 10 {
+		t.Fatalf("Scan(10) returned %d rows, want exactly 10", len(ents))
+	}
+	if ents, err = cl.Scan(1000); err != nil || len(ents) != keys {
+		t.Fatalf("Scan(1000) = %d rows, err %v, want %d", len(ents), err, keys)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if live := s.Live(); live != 0 {
+		t.Fatalf("Live() = %d after Close, want 0", live)
+	}
+}
+
+// TestSnapScanRowCap is the same cap pin for the snapshot scan.
+func TestSnapScanRowCap(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 4, Workers: 4, ExpectedKeys: 256})
+	cl := dialTest(t, s)
+	defer cl.Close()
+
+	const keys = 120
+	for k := uint64(0); k < keys; k++ {
+		if _, _, err := cl.Put(k, k); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+	}
+	ents, err := cl.SnapScan(10)
+	if err != nil {
+		t.Fatalf("SnapScan(10): %v", err)
+	}
+	if len(ents) != 10 {
+		t.Fatalf("SnapScan(10) returned %d rows, want exactly 10", len(ents))
+	}
+	if ents, err = cl.SnapScan(1000); err != nil || len(ents) != keys {
+		t.Fatalf("SnapScan(1000) = %d rows, err %v, want %d", len(ents), err, keys)
+	}
+	if got := s.ActiveLeases(); got != 0 {
+		t.Fatalf("ActiveLeases() = %d after replies, want 0", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if live := s.Live(); live != 0 {
+		t.Fatalf("Live() = %d after Close, want 0", live)
+	}
+}
+
+// TestScanAfterScanSlotReuse drives SCAN and SNAPSCAN repeatedly over
+// one connection so each request recycles the previous one's slot.
+// The regression this guards: a recycled slot whose scanState still
+// held the previous scan's segments (replica/unhosted shards skip
+// rendering, and assemble once trusted whatever the segment buffers
+// contained), so a scan after deleting everything replayed stale rows.
+func TestScanAfterScanSlotReuse(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, Workers: 2, ExpectedKeys: 128})
+	cl := dialTest(t, s)
+	defer cl.Close()
+
+	const keys = 50
+	for k := uint64(0); k < keys; k++ {
+		if _, _, err := cl.Put(k, k+1); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+	}
+	for _, scan := range []struct {
+		name string
+		fn   func(int) ([][2]uint64, error)
+	}{{"Scan", cl.Scan}, {"SnapScan", cl.SnapScan}} {
+		ents, err := scan.fn(1000)
+		if err != nil {
+			t.Fatalf("%s(full): %v", scan.name, err)
+		}
+		if len(ents) != keys {
+			t.Fatalf("%s(full) = %d rows, want %d", scan.name, len(ents), keys)
+		}
+	}
+	for k := uint64(0); k < keys; k++ {
+		if hit, err := cl.Del(k); err != nil || !hit {
+			t.Fatalf("Del(%d) = %v, %v", k, hit, err)
+		}
+	}
+	// The same connection's slots now recycle with warm scan buffers; an
+	// empty keyspace must produce empty replies.
+	for _, scan := range []struct {
+		name string
+		fn   func(int) ([][2]uint64, error)
+	}{{"Scan", cl.Scan}, {"SnapScan", cl.SnapScan}} {
+		ents, err := scan.fn(1000)
+		if err != nil {
+			t.Fatalf("%s(empty): %v", scan.name, err)
+		}
+		if len(ents) != 0 {
+			t.Fatalf("%s after deleting all keys returned %d stale rows: %v", scan.name, len(ents), ents)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if live := s.Live(); live != 0 {
+		t.Fatalf("Live() = %d after Close, want 0", live)
+	}
+}
+
+// TestMGetBasic checks MGET hit/miss rendering, request-order replies,
+// and arity policing (0 keys and >8 keys are -ERR, and the connection
+// survives both).
+func TestMGetBasic(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 4, Workers: 4, ExpectedKeys: 256})
+	cl := dialTest(t, s)
+	defer cl.Close()
+
+	for k := uint64(0); k < 10; k++ {
+		if _, _, err := cl.Put(k, 100+k); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+	}
+	res, err := cl.MGet(3, 77, 0, 9, 3)
+	if err != nil {
+		t.Fatalf("MGet: %v", err)
+	}
+	want := []Result{
+		{Val: 103, Found: true},
+		{},
+		{Val: 100, Found: true},
+		{Val: 109, Found: true},
+		{Val: 103, Found: true},
+	}
+	for i, w := range want {
+		if res[i] != w {
+			t.Fatalf("MGet result[%d] = %+v, want %+v", i, res[i], w)
+		}
+	}
+	if _, err := cl.roundTrip("MGET"); err == nil {
+		t.Fatal("MGET with no keys did not error")
+	}
+	if _, err := cl.roundTrip("MGET 1 2 3 4 5 6 7 8 9"); err == nil {
+		t.Fatal("MGET with 9 keys did not error")
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("Ping after -ERR: %v", err)
+	}
+	if got := s.ActiveLeases(); got != 0 {
+		t.Fatalf("ActiveLeases() = %d after replies, want 0", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if live := s.Live(); live != 0 {
+		t.Fatalf("Live() = %d after Close, want 0", live)
+	}
+}
+
+// TestMGetSnapScanConsistentUnderWrites is the point-in-time acceptance
+// bar. A writer bumps ka then kb (different shards) to the same version
+// in that order, so at every instant val(ka) ∈ {val(kb), val(kb)+1}.
+// A torn multi-key read can observe kb's new version with ka's old one;
+// a snapshot read never can.
+func TestMGetSnapScanConsistentUnderWrites(t *testing.T) {
+	const shards = 4
+	s := newTestServer(t, Config{Shards: shards, Workers: 4, ExpectedKeys: 256})
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if live := s.Live(); live != 0 {
+			t.Fatalf("Live() = %d after Close, want 0", live)
+		}
+	}()
+
+	ka := uint64(1)
+	kb := uint64(2)
+	for KeyShard(kb, shards) == KeyShard(ka, shards) {
+		kb++
+	}
+	w := dialTest(t, s)
+	defer w.Close()
+	if _, _, err := w.Put(ka, 0); err != nil {
+		t.Fatalf("Put(ka): %v", err)
+	}
+	if _, _, err := w.Put(kb, 0); err != nil {
+		t.Fatalf("Put(kb): %v", err)
+	}
+
+	stop := make(chan struct{})
+	var writerErr atomic.Value
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bo := Backoff{Seed: 9}
+		for v := uint64(1); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := w.DoPutRetry(ka, v, bo); err != nil {
+				writerErr.Store(err)
+				return
+			}
+			if _, _, err := w.DoPutRetry(kb, v, bo); err != nil {
+				writerErr.Store(err)
+				return
+			}
+		}
+	}()
+
+	check := func(kind string, va, vb uint64) {
+		if vb > va || va-vb > 1 {
+			t.Errorf("%s tore the snapshot: val(ka)=%d val(kb)=%d (want vb <= va <= vb+1)", kind, va, vb)
+		}
+	}
+	var rg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rg.Add(1)
+		go func(seed uint64) {
+			defer rg.Done()
+			cl := dialTest(t, s)
+			defer cl.Close()
+			bo := Backoff{Seed: seed}
+			for i := 0; i < 200; i++ {
+				var res []Result
+				if err := RetryBusy(bo, func() error {
+					var e error
+					res, e = cl.MGet(ka, kb)
+					return e
+				}); err != nil {
+					t.Errorf("MGet: %v", err)
+					return
+				}
+				if !res[0].Found || !res[1].Found {
+					t.Errorf("MGet lost a pre-seeded key: %+v", res)
+					return
+				}
+				check("MGET", res[0].Val, res[1].Val)
+
+				var ents [][2]uint64
+				if err := RetryBusy(bo, func() error {
+					var e error
+					ents, e = cl.SnapScan(1000)
+					return e
+				}); err != nil {
+					t.Errorf("SnapScan: %v", err)
+					return
+				}
+				va, vb := uint64(0), uint64(0)
+				var fa, fb bool
+				for _, e := range ents {
+					switch e[0] {
+					case ka:
+						va, fa = e[1], true
+					case kb:
+						vb, fb = e[1], true
+					}
+				}
+				if !fa || !fb {
+					t.Errorf("SnapScan lost a pre-seeded key: %v", ents)
+					return
+				}
+				check("SNAPSCAN", va, vb)
+			}
+		}(uint64(r) + 1)
+	}
+	rg.Wait()
+	close(stop)
+	wg.Wait()
+	if err := writerErr.Load(); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	if got := s.ActiveLeases(); got != 0 {
+		t.Fatalf("ActiveLeases() = %d at quiescence, want 0", got)
+	}
+}
+
+// TestSnapLeaseExhaustion pins the lease-pool shed path: with a single
+// lease and stalled workers, concurrent snapshot reads must split into
+// served + -BUSY with nothing lost, the shed must be accounted to
+// busy.lease, and the pool must drain back to zero.
+func TestSnapLeaseExhaustion(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	chaos.Enable(chaos.Config{
+		Seed: 5,
+		Faults: map[string]chaos.Fault{
+			"server.worker.op": {Every: 1, Sleep: 2 * time.Millisecond},
+		},
+	})
+	defer chaos.Disable()
+	s := newTestServer(t, Config{Shards: 2, Workers: 2, ExpectedKeys: 128, SnapLeases: 1})
+
+	seed := dialTest(t, s)
+	for k := uint64(0); k < 16; k++ {
+		if _, _, err := seed.Put(k, k); err != nil && err != ErrBusy {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+	}
+	seed.Close()
+
+	var ok, busy atomic.Int64
+	var wg sync.WaitGroup
+	const conns, per = 4, 20
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(s.Addr())
+			if err != nil {
+				t.Errorf("Dial: %v", err)
+				return
+			}
+			defer cl.Close()
+			for j := 0; j < per; j++ {
+				switch _, err := cl.SnapScan(100); err {
+				case nil:
+					ok.Add(1)
+				case ErrBusy:
+					busy.Add(1)
+				default:
+					t.Errorf("SnapScan: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ok.Load() + busy.Load(); got != conns*per {
+		t.Fatalf("ok(%d) + busy(%d) = %d, want %d", ok.Load(), busy.Load(), got, conns*per)
+	}
+	if busy.Load() == 0 {
+		t.Fatal("single-lease pool under stalled workers shed nothing; lease backpressure untested")
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no SNAPSCAN was served")
+	}
+	if got := s.ActiveLeases(); got != 0 {
+		t.Fatalf("ActiveLeases() = %d at quiescence, want 0", got)
+	}
+
+	// The shed must be visible as busy.lease in the stats report.
+	cl := dialTest(t, s)
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	cl.Close()
+	var rep struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(stats, &rep); err != nil {
+		t.Fatalf("Stats JSON: %v", err)
+	}
+	if rep.Counters["server.busy.lease"] == 0 {
+		t.Fatalf("server.busy.lease = 0 with %d client -BUSYs", busy.Load())
+	}
+	chaos.Disable()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if live := s.Live(); live != 0 {
+		t.Fatalf("Live() = %d after Close, want 0", live)
+	}
+}
+
+// TestCrashDuringSnapScanReleasesLease crashes a worker mid-SNAPSCAN at
+// the core.snapshot.acquired boundary (the dying thread holds only
+// announcements, never a counted reference) and requires the abandoned
+// request's lease back: the crash BUSYs the in-flight request, the
+// adoption path reclaims the worker's state, and the lease pool drains
+// to zero before the pid's successor serves the retry.
+func TestCrashDuringSnapScanReleasesLease(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, Workers: 2, ExpectedKeys: 128})
+	cl := dialTest(t, s)
+	defer cl.Close()
+	for k := uint64(0); k < 32; k++ {
+		if _, _, err := cl.Put(k, k+1); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+	}
+
+	chaos.Enable(chaos.Config{
+		Seed:        3,
+		CrashBudget: 1,
+		Faults: map[string]chaos.Fault{
+			"core.snapshot.acquired": {Prob: 1, Crash: true},
+		},
+	})
+	// The first snapshot acquisition inside a worker's ScanAt dies; the
+	// crashed share fails the slot, so the client sees -BUSY (or a full
+	// reply if the budget burned on another share's earlier op).
+	if _, err := cl.SnapScan(1000); err != nil && err != ErrBusy {
+		t.Fatalf("SnapScan under crash: %v", err)
+	}
+	if chaos.Crashes() == 0 {
+		chaos.Disable()
+		t.Fatal("no simulated crash fired; test exercised nothing")
+	}
+	if got := s.ActiveLeases(); got != 0 {
+		chaos.Disable()
+		t.Fatalf("ActiveLeases() = %d after crashed SNAPSCAN, want 0 (lease leaked)", got)
+	}
+	// Budget exhausted: the respawned worker must serve the retry.
+	ents, err := cl.SnapScan(1000)
+	if err != nil {
+		t.Fatalf("SnapScan retry after crash: %v", err)
+	}
+	if len(ents) != 32 {
+		t.Fatalf("SnapScan retry = %d rows, want 32", len(ents))
+	}
+	if got := s.ActiveLeases(); got != 0 {
+		chaos.Disable()
+		t.Fatalf("ActiveLeases() = %d after retry, want 0", got)
+	}
+	chaos.Disable() // teardown must run clean
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after crash: %v", err)
+	}
+	if live := s.Live(); live != 0 {
+		t.Fatalf("Live() = %d after Close, want 0", live)
+	}
+}
+
+// TestClusterScanCap checks the fanned-out cluster sweep: the row cap
+// is global across nodes and no key is reported twice.
+func TestClusterScanCap(t *testing.T) {
+	srvs := startTestCluster(t, 3, clusterTestConfig())
+	peers := peersOf(srvs)
+	shards := srvs[0].NumShards()
+	cc := NewClusterClient(peers, shards, Backoff{Seed: 2})
+	defer cc.Close()
+
+	const keys = 200
+	for k := uint64(0); k < keys; k++ {
+		if _, _, err := cc.Put(k, k*7); err != nil {
+			t.Fatalf("cluster Put(%d): %v", k, err)
+		}
+	}
+	for _, scan := range []struct {
+		name string
+		fn   func(int) ([][2]uint64, error)
+	}{{"Scan", cc.Scan}, {"SnapScan", cc.SnapScan}} {
+		ents, err := scan.fn(10)
+		if err != nil {
+			t.Fatalf("cluster %s(10): %v", scan.name, err)
+		}
+		if len(ents) != 10 {
+			t.Fatalf("cluster %s(10) = %d rows, want exactly 10", scan.name, len(ents))
+		}
+		full, err := scan.fn(1000)
+		if err != nil {
+			t.Fatalf("cluster %s(1000): %v", scan.name, err)
+		}
+		seen := make(map[uint64]uint64, len(full))
+		for _, e := range full {
+			if old, dup := seen[e[0]]; dup {
+				t.Fatalf("cluster %s reported key %d twice (%d, %d)", scan.name, e[0], old, e[1])
+			}
+			seen[e[0]] = e[1]
+		}
+		if len(full) != keys {
+			t.Fatalf("cluster %s(1000) = %d rows, want %d", scan.name, len(full), keys)
+		}
+	}
+	for i, s := range srvs {
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close node %d: %v", i, err)
+		}
+		if live := s.Live(); live != 0 {
+			t.Fatalf("node %d Live() = %d after Close, want 0", i, live)
+		}
+	}
+}

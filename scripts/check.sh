@@ -50,6 +50,20 @@ go run -race ./cmd/cdrc-load -duration 5s -conns 4 -pipeline 16 -json-out /tmp/c
 echo "==> pipelined loopback soak under chaos (5s, race, depth 16, 2 simulated worker crashes)"
 go run -race ./cmd/cdrc-load -duration 5s -conns 4 -pipeline 16 -chaos -chaos-seed 1 -crash-workers 2
 
+# Snapshot-read regression pass: the SCAN row-cap fix, pipelined
+# slot-reuse fix, MGET/SNAPSCAN point-in-time consistency, lease-pool
+# shed accounting, and the crash-releases-lease path, all under the
+# race detector (these are in the ./... sweep; the dedicated pass keeps
+# the regressions named and re-runnable).
+echo "==> snapshot-read regression pass (race: row caps, slot reuse, MGET, leases)"
+go test -race -count 1 -run 'ScanRowCap|SlotReuse|MGet|SnapScan|Lease|Versioned' ./internal/server ./collections
+
+# Scan-heavy soak: the snapshot-read mix (SNAPSCAN 512 + 4-key MGET at
+# the scan boundary) under race, with the same conservation, integrity,
+# lease-drain and leak gates as the plain soaks.
+echo "==> scan-heavy loopback soak (3s, race, SNAPSCAN + MGET mix)"
+go run -race ./cmd/cdrc-load -duration 3s -conns 4 -keys 1024 -scan-every 100 -scan-heavy
+
 # Cluster failover soak: a 3-node loopback cluster (DESIGN.md §9) under
 # ClusterClient load while the chaos injector fail-stops one whole node
 # (seeded, budgeted). Gates: zero lost acked writes (every key's last
@@ -79,6 +93,36 @@ awk -v d1="$d1" -v d16="$d16" 'BEGIN {
     if (d1 + 0 <= 0 || d16 + 0 <= 0) { print "    gate error: missing ops_per_sec"; exit 1 }
     if (d16 < 1.5 * d1) { printf "    FAIL: depth-16 only %.2fx depth-1, want >= 1.5x\n", d16/d1; exit 1 }
     printf "    OK: depth-16 is %.2fx depth-1\n", d16/d1
+}'
+
+# Snapshot-scan writer-latency gate: PUT p99 with periodic SNAPSCAN+MGET
+# must stay within 1.3x of the no-scan baseline — snapshot readers pin
+# version history but never block writers, so the only writer cost is
+# the O(1) version-cell work. Best of 2 per configuration because on a
+# small box the p99 tail is scheduler noise; a systematic snapshot cost
+# would survive the min. Workers exceed shards so a put is never stuck
+# behind a scanning worker by construction.
+echo "==> snapshot-scan PUT latency gate (p99 under SNAPSCAN vs no-scan, best of 2)"
+put_p99() {
+    awk -F'[:,]' '/"put"/ {f=1} f && /"p99"/ {gsub(/[ "]/, "", $2); print $2; exit}' "$1"
+}
+base=""
+snap=""
+for i in 1 2; do
+    go run ./cmd/cdrc-load -duration 3s -conns 4 -workers 16 -shards 4 -keys 1024 \
+        -reads 0.2 -puts 0.7 -scan-every 0 -json-out /tmp/cdrc-check-noscan.json >/dev/null
+    b=$(put_p99 /tmp/cdrc-check-noscan.json)
+    go run ./cmd/cdrc-load -duration 3s -conns 4 -workers 16 -shards 4 -keys 1024 \
+        -reads 0.2 -puts 0.7 -scan-every 1000 -scan-heavy -json-out /tmp/cdrc-check-snap.json >/dev/null
+    s=$(put_p99 /tmp/cdrc-check-snap.json)
+    base=$(awk -v cur="$base" -v new="$b" 'BEGIN {print (cur == "" || new + 0 < cur + 0) ? new : cur}')
+    snap=$(awk -v cur="$snap" -v new="$s" 'BEGIN {print (cur == "" || new + 0 < cur + 0) ? new : cur}')
+done
+echo "    no-scan put p99 ${base} ns, scan-heavy put p99 ${snap} ns"
+awk -v base="$base" -v snap="$snap" 'BEGIN {
+    if (base + 0 <= 0 || snap + 0 <= 0) { print "    gate error: missing put p99"; exit 1 }
+    if (snap > 1.3 * base) { printf "    FAIL: scan-heavy put p99 %.2fx no-scan, want <= 1.3x\n", snap/base; exit 1 }
+    printf "    OK: scan-heavy put p99 %.2fx no-scan\n", snap/base
 }'
 
 # Overhead gate: with observability compiled in but disabled, every
