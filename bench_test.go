@@ -189,4 +189,3 @@ func BenchmarkAblationEjectThreshold(b *testing.B) {
 		})
 	}
 }
-

@@ -112,6 +112,11 @@ func main() {
 
 		cluster   = flag.Int("cluster", 0, "run an N-node in-process replicated cluster (0 = single server)")
 		killNodes = flag.Int("kill-nodes", 0, "chaos kill budget (whole fail-stop nodes; needs -chaos and -cluster)")
+
+		cacheOn  = flag.Bool("cache", false, "cache scenario: Zipf cache-aside GETEX/SETEX with TTLs against a cache-mode server")
+		cacheTTL = flag.Duration("ttl", 100*time.Millisecond, "cache scenario: per-key TTL")
+		cacheWr  = flag.Float64("cache-writes", 0.25, "cache scenario: unconditional SETEX write fraction (the rest is GETEX, filling on miss)")
+		minHit   = flag.Float64("min-hit-ratio", 0, "cache scenario: fail when the client-observed hit ratio lands below this (0 = report only)")
 	)
 	flag.Parse()
 
@@ -119,6 +124,32 @@ func main() {
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "cdrc-load: FAIL: "+format+"\n", args...)
 		os.Exit(1)
+	}
+
+	if *cacheOn {
+		if *cluster > 1 {
+			fail("-cache is incompatible with -cluster (cache mode is single-node)")
+		}
+		runCache(fail, cacheParams{
+			addr:      *addr,
+			duration:  *duration,
+			conns:     *conns,
+			keys:      *keys,
+			zipfS:     *zipfS,
+			zipfV:     *zipfV,
+			writes:    *cacheWr,
+			ttl:       *cacheTTL,
+			minHit:    *minHit,
+			jsonOut:   *jsonOut,
+			shards:    *shards,
+			workers:   *workers,
+			arenaCap:  *arenaCap,
+			queue:     *queue,
+			chaosOn:   *chaosOn,
+			chaosSeed: *chaosSeed,
+			crashWk:   *crashWk,
+		})
+		return
 	}
 
 	if *cluster > 1 {

@@ -14,6 +14,13 @@
 // logs are replayed to the replicas. The process exits non-zero if the
 // storage engine fails to reach full reclamation (Live() != 0).
 //
+// Cache mode (DESIGN.md §11): -cache turns the store into a TTL cache —
+// SETEX/GETEX/EXPIRE/CACHESTATS come online, PUT means SETEX-forever,
+// and when -arena-cap is hit writes evict instead of replying -BUSY:
+//
+//	$ go run ./cmd/cdrc-serve -cache -arena-cap 4096 &
+//	$ printf 'SETEX 1 5000 100\nGETEX 1 5000\nCACHESTATS\n' | nc 127.0.0.1 7070
+//
 // Cluster mode (DESIGN.md §9): start one process per node with the same
 // -peers list and a distinct -node-id; each node's -addr must match its
 // own entry in -peers. For example, a two-node cluster:
@@ -49,6 +56,8 @@ func main() {
 		peers    = flag.String("peers", "", "comma-separated node addresses in node-id order (enables replicated cluster mode)")
 		nodeID   = flag.Int("node-id", 0, "this node's index into -peers")
 		idle     = flag.Duration("idle-timeout", 0, "close connections idle longer than this (0 = never)")
+		cacheOn  = flag.Bool("cache", false, "cache mode: SETEX/GETEX/EXPIRE with TTLs and eviction instead of -BUSY when -arena-cap is hit (DESIGN.md §11)")
+		sweep    = flag.Duration("sweep-interval", 0, "cache mode: background expiry sweep period (0 = default 5ms, negative = no sweeper)")
 	)
 	flag.Parse()
 
@@ -60,18 +69,20 @@ func main() {
 		peerList = strings.Split(*peers, ",")
 	}
 	srv, err := server.New(server.Config{
-		Addr:          *addr,
-		Shards:        *shards,
-		Workers:       *workers,
-		ExpectedKeys:  *keys,
-		ArenaCapacity: *arenaCap,
-		QueueDepth:    *queue,
-		MaxPipeline:   *pipe,
-		FlushBatch:    *flush,
-		DebugChecks:   *debug,
-		Peers:         peerList,
-		NodeID:        *nodeID,
-		IdleTimeout:   *idle,
+		Addr:               *addr,
+		Shards:             *shards,
+		Workers:            *workers,
+		ExpectedKeys:       *keys,
+		ArenaCapacity:      *arenaCap,
+		QueueDepth:         *queue,
+		MaxPipeline:        *pipe,
+		FlushBatch:         *flush,
+		DebugChecks:        *debug,
+		Peers:              peerList,
+		NodeID:             *nodeID,
+		IdleTimeout:        *idle,
+		CacheMode:          *cacheOn,
+		CacheSweepInterval: *sweep,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -89,6 +100,9 @@ func main() {
 		}
 		fmt.Printf("cdrc-serve: node %d/%d on %s (primary for %d shards, replica for %d)\n",
 			*nodeID, len(peerList), srv.Addr(), primaries, replicas)
+	} else if *cacheOn {
+		fmt.Printf("cdrc-serve: cache mode on %s (shards=%d workers=%d arena-cap=%d obs=%v)\n",
+			srv.Addr(), *shards, *workers, *arenaCap, *obsOn)
 	} else {
 		fmt.Printf("cdrc-serve: listening on %s (shards=%d workers=%d obs=%v)\n",
 			srv.Addr(), *shards, *workers, *obsOn)

@@ -1,0 +1,55 @@
+package collections
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCacheWrapperBasics(t *testing.T) {
+	c := NewCache(CacheConfig{ExpectedKeys: 64, DebugChecks: true})
+	h := c.Attach()
+	if _, existed, err := h.SetEx(1, 10, 0); err != nil || existed {
+		t.Fatalf("fresh SetEx: existed=%v err=%v", existed, err)
+	}
+	if v, ok := h.Get(1); !ok || v != 10 {
+		t.Fatalf("Get: %d %v", v, ok)
+	}
+	h.SetEx(2, 20, 2*time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	if _, ok := h.Get(2); ok {
+		t.Fatal("expired key still readable")
+	}
+	if !h.Del(1) {
+		t.Fatal("Del miss")
+	}
+	h.Close()
+	if err := c.CheckIdentity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheWrapperEvictsUnderCap(t *testing.T) {
+	c := NewCache(CacheConfig{ExpectedKeys: 256, Capacity: 64, DebugChecks: true})
+	h := c.Attach()
+	for k := uint64(0); k < 500; k++ {
+		if _, _, err := h.SetEx(k, k, 0); err != nil {
+			t.Fatalf("SetEx %d: %v", k, err)
+		}
+	}
+	if c.Stats().Evicts == 0 {
+		t.Fatal("no evictions despite a capped arena")
+	}
+	if got := c.Resident(); got > 64 {
+		t.Fatalf("resident %d exceeds cap 64", got)
+	}
+	h.Close()
+	if err := c.CheckIdentity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,169 +1,114 @@
-// weakcache: a memoizing cache built with the library's weak-pointer
-// extension (the cycle/non-owning-reference machinery of the paper's §9).
+// weakcache: a bounded memoizing cache on collections.Cache, the cache
+// personality built over the library's weak-pointer extension (the
+// paper's §9 machinery, DESIGN.md §11).
 //
-// The cache remembers expensive computed artifacts *without owning them*:
-// it holds WeakPtrs, clients hold RcPtrs. While any client still uses an
-// artifact, other clients get it from the cache for free (Upgrade); once
-// the last client releases it, the artifact reclaims itself and the cache
-// entry expires - no TTLs, no explicit invalidation, no leak.
+// The cache's eviction index holds only *weak* references to entries, so
+// nothing here takes a lock: readers pin payloads through their
+// snapshots, the evictor's Upgrade after a reader unlinked an entry
+// simply fails, and whoever drops the last weak unit frees the slot —
+// exactly once. The arena is capped far below the key space, so the
+// write path continuously absorbs backpressure by evicting, and every
+// entry also carries a TTL that the background sweeper enforces.
+//
+// Run it:
+//
+//	$ go run ./examples/weakcache
 package main
 
 import (
 	"fmt"
 	"sync"
+	"time"
 
-	"cdrc"
+	"cdrc/collections"
 )
 
-// artifact is the expensive-to-build object.
-type artifact struct {
-	key      uint64
-	payload  [64]uint64 // pretend this took real work
-	checksum uint64
-}
-
-// Cache maps keys to weak references. The map itself is mutex-guarded
-// (the point here is weak semantics, not a lock-free map); the artifacts
-// are cdrc-managed.
-type Cache struct {
-	dom *cdrc.Domain[artifact]
-
-	mu      sync.Mutex
-	entries map[uint64]cdrc.WeakPtr
-
-	hits, misses, expired int64
-}
-
-func NewCache(maxProcs int) *Cache {
-	return &Cache{
-		dom:     cdrc.NewDomain[artifact](cdrc.Config[artifact]{MaxProcs: maxProcs}),
-		entries: make(map[uint64]cdrc.WeakPtr),
+// compute is the expensive path being memoized; its result doubles as an
+// integrity check (a torn or stale-freed read won't match).
+func compute(key uint64) uint64 {
+	v := key ^ 0x9E3779B97F4A7C15
+	for i := 0; i < 64; i++ {
+		v = v*6364136223846793005 + key
 	}
-}
-
-// Client is a per-goroutine handle.
-type Client struct {
-	c *Cache
-	t *cdrc.Thread[artifact]
-}
-
-func (c *Cache) Open() *Client { return &Client{c: c, t: c.dom.Attach()} }
-func (cl *Client) Close()      { cl.t.Detach() }
-
-// build computes an artifact (the expensive path).
-func build(key uint64) artifact {
-	a := artifact{key: key}
-	sum := uint64(0)
-	for i := range a.payload {
-		a.payload[i] = key*uint64(i+1) + 0x9E3779B9
-		sum += a.payload[i]
-	}
-	a.checksum = sum
-	return a
-}
-
-// Get returns a strong reference to the artifact for key, computing it on
-// a miss or after expiry. The caller must Release it.
-func (cl *Client) Get(key uint64) cdrc.RcPtr {
-	c := cl.c
-	c.mu.Lock()
-	if w, ok := c.entries[key]; ok {
-		if p := cl.t.Upgrade(w); !p.IsNil() {
-			c.hits++
-			c.mu.Unlock()
-			return p
-		}
-		// Expired: the last strong holder released it. Drop the stale
-		// weak entry (releasing our weak unit frees the pinned slot).
-		c.expired++
-		cl.t.ReleaseWeak(w)
-		delete(c.entries, key)
-	}
-	c.misses++
-	c.mu.Unlock()
-
-	// Build outside the lock; racing builders are harmless (last one in
-	// wins the cache entry, all get valid artifacts).
-	v := build(key)
-	p := cl.t.NewRc(func(a *artifact) { *a = v })
-
-	c.mu.Lock()
-	if w, ok := c.entries[key]; ok {
-		if q := cl.t.Upgrade(w); !q.IsNil() {
-			// Someone else cached it first; use theirs.
-			c.mu.Unlock()
-			cl.t.Release(p)
-			return q
-		}
-		cl.t.ReleaseWeak(w)
-	}
-	c.entries[key] = cl.t.Downgrade(p)
-	c.mu.Unlock()
-	return p
-}
-
-// verify checks an artifact's integrity (catches use-after-free bugs).
-func verify(t *cdrc.Thread[artifact], p cdrc.RcPtr) bool {
-	a := t.Deref(p)
-	sum := uint64(0)
-	for _, v := range a.payload {
-		sum += v
-	}
-	return sum == a.checksum
+	return v | 1 // never zero
 }
 
 func main() {
-	const workers = 4
-	const keys = 32
-	const opsPerWorker = 20000
+	const (
+		workers      = 4
+		keys         = 4096
+		capacity     = 256 // arena slots: 1/16th of the key space
+		opsPerWorker = 50000
+		ttl          = 50 * time.Millisecond
+	)
 
-	cache := NewCache(workers + 1)
+	c := collections.NewCache(collections.CacheConfig{
+		ExpectedKeys:  keys,
+		MaxProcs:      workers + 1,
+		Capacity:      capacity,
+		SweepInterval: 2 * time.Millisecond,
+		DebugChecks:   true, // reads of freed slots panic
+	})
+	c.StartSweeper()
 
+	var hits, misses [workers]int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(seed uint64) {
+		go func(id int) {
 			defer wg.Done()
-			cl := cache.Open()
-			defer cl.Close()
-			// Each worker keeps a small working set of strong refs,
-			// releasing them in FIFO order - entries with no remaining
-			// holders expire from the cache automatically.
-			var held []cdrc.RcPtr
-			rng := seed
+			h := c.Attach()
+			defer h.Close()
+			rng := uint64(id + 1)
 			for i := 0; i < opsPerWorker; i++ {
 				rng = rng*6364136223846793005 + 1442695040888963407
-				p := cl.Get(rng >> 33 % keys)
-				if !verify(cl.t, p) {
-					panic("corrupt artifact from cache")
+				k := (rng >> 33) % keys
+				if rng&0xF != 0 {
+					// 15/16 of ops target a hot set that fits in the
+					// arena; the cold tail churns through eviction.
+					k %= capacity / 2
 				}
-				held = append(held, p)
-				if len(held) > 4 {
-					cl.t.Release(held[0])
-					held = held[1:]
+				// Cache-aside: GETEX touches the clock bit and refreshes
+				// the TTL; a miss computes and fills.
+				if v, ok := h.GetEx(k, ttl); ok {
+					if v != compute(k) {
+						panic("corrupt value from cache")
+					}
+					hits[id]++
+					continue
+				}
+				misses[id]++
+				if _, _, err := h.SetEx(k, compute(k), ttl); err != nil {
+					// Only a dry eviction index lets this through; with
+					// workers continuously inserting it means a real bug.
+					panic(err)
 				}
 			}
-			for _, p := range held {
-				cl.t.Release(p)
-			}
-		}(uint64(w + 1))
+		}(w)
 	}
 	wg.Wait()
 
-	// Teardown: drop all weak entries, drain deferred decrements.
-	cl := cache.Open()
-	for k, w := range cache.entries {
-		cl.t.ReleaseWeak(w)
-		delete(cache.entries, k)
+	var hit, miss int64
+	for i := 0; i < workers; i++ {
+		hit, miss = hit+hits[i], miss+misses[i]
 	}
-	cl.t.Flush()
-	cl.Close()
+	st := c.Stats()
+	fmt.Printf("%d workers x %d ops over %d keys in %d slots\n",
+		workers, opsPerWorker, keys, capacity)
+	fmt.Printf("hits=%d misses=%d (ratio %.3f)\n",
+		hit, miss, float64(hit)/float64(hit+miss))
+	fmt.Printf("inserts=%d evicts=%d expires=%d resident=%d\n",
+		st.Inserts, st.Evicts, st.Expires, c.Resident())
 
-	fmt.Printf("%d workers x %d gets over %d keys\n", workers, opsPerWorker, keys)
-	fmt.Printf("hits=%d misses=%d expired=%d\n", cache.hits, cache.misses, cache.expired)
-	fmt.Printf("live artifacts after teardown: %d\n", cache.dom.Live())
-	if cache.dom.Live() != 0 {
-		panic("leak!")
+	// Conservation at quiescence: every insert is still resident or was
+	// unlinked by exactly one counted eviction, expiry, or delete.
+	if err := c.CheckIdentity(); err != nil {
+		panic(err)
 	}
-	fmt.Println("cache never owned anything; expiry and reclamation were automatic")
+	// Close unlinks everything and verifies full reclamation (no leaks,
+	// no double frees — the weak units did the bookkeeping).
+	if err := c.Close(); err != nil {
+		panic(err)
+	}
+	fmt.Println("identity held and every slot reclaimed; eviction never took a lock")
 }

@@ -1,0 +1,690 @@
+// Package cache is the KV service's cache personality: a TTL-stamped
+// rcds hash table plus an eviction index that holds only WEAK references
+// to entries (DESIGN.md §11). The index can therefore be wrong for free —
+// a record whose entry was deleted, expired, or replaced resolves through
+// core.Upgrade, and the paper's machinery arbitrates every race with
+// readers: a reader's snapshot keeps the payload alive until it lets go,
+// and an Upgrade after the last strong reference ejects simply fails.
+// No locks anywhere on the put, get, evict, or sweep paths.
+//
+// Arena backpressure is rerouted here: when the table's arena is
+// exhausted, SetEx synchronously pops index records and evicts (bounded
+// attempts) instead of surfacing BUSY, so a capacity-capped cache churns
+// where a plain map sheds.
+//
+// Crash model: simulated thread crashes (chaos.CrashSignal) may fire only
+// at this package's named points — cache.index.push, cache.evict.step,
+// cache.sweep.op — plus the server's per-op boundary. At every such point
+// the handle holds no counted reference and every index record it has
+// popped but not yet consumed is parked in Handle.inflight, which Abandon
+// re-indexes before abandoning the pid state. That keeps the two
+// conservation properties crash-proof: each unlink is counted exactly
+// once (insert == evict + expire + del + resident), and each record's
+// weak unit is consumed exactly once (the slot-free decision point is
+// never doubled).
+package cache
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cdrc/internal/chaos"
+	"cdrc/internal/ds"
+	"cdrc/internal/ds/rcds"
+	"cdrc/internal/obs"
+)
+
+var (
+	obsHit       = obs.NewCounter("cache.hit")
+	obsMiss      = obs.NewCounter("cache.miss")
+	obsInsert    = obs.NewCounter("cache.insert")
+	obsEvict     = obs.NewCounter("cache.evict")
+	obsExpire    = obs.NewCounter("cache.expire")
+	obsDel       = obs.NewCounter("cache.del")
+	obsUnindexed = obs.NewCounter("cache.index.unindexed")
+	obsSweepDead = obs.NewCounter("cache.sweeper.dead")
+	obsEvictNs   = obs.NewHistogram("cache.evict.ns")
+)
+
+var (
+	chaosIndexPush = chaos.New("cache.index.push")
+	chaosEvictStep = chaos.New("cache.evict.step")
+	chaosSweepOp   = chaos.New("cache.sweep.op")
+)
+
+// clockStart anchors the cache's own monotonic clock: obs.NowNanos is a
+// constant under the obsoff build, and TTL arithmetic must not care.
+var clockStart = time.Now()
+
+// nowNanos returns monotonic nanos since process start, |1 so a deadline
+// of 0 can always mean "no TTL".
+func nowNanos() uint64 { return uint64(time.Since(clockStart)) | 1 }
+
+// Config sizes one cache shard.
+type Config struct {
+	// Name, when non-empty, prefixes the shard's obs gauges
+	// ("<name>.resident.entries", ".resident.bytes", ".evicted.bytes",
+	// ".index.records").
+	Name string
+
+	// ExpectedKeys sizes the hash table (load factor 1).
+	ExpectedKeys int
+
+	// MaxProcs bounds concurrent handles (0 = library default).
+	MaxProcs int
+
+	// Capacity caps the backing arena in slots (0 = uncapped). Beyond
+	// it, SetEx evicts instead of failing.
+	Capacity uint64
+
+	// IndexSize is the eviction ring's record capacity (0 derives
+	// 4 × max(ExpectedKeys, Capacity); always rounded up to a power of
+	// two). It needs headroom over the resident set because unlinked
+	// entries leave stale records behind until a pop cleans them.
+	IndexSize int
+
+	// SweepInterval is the background expiry sweeper's period
+	// (StartSweeper; 0 disables).
+	SweepInterval time.Duration
+
+	// SweepBatch is the number of index records examined per sweep tick
+	// (0 = 64).
+	SweepBatch int
+
+	// EvictRetries bounds SetEx's evict-then-retry attempts under arena
+	// backpressure (0 = 16).
+	EvictRetries int
+
+	// DebugChecks turns reads of freed slots into panics.
+	DebugChecks bool
+}
+
+// Stats is a point-in-time counter snapshot. At quiescence the identity
+// Inserts == Evicts + Expires + Dels + resident holds exactly
+// (CheckIdentity); under load it is approximate only because the fields
+// are read one by one.
+type Stats struct {
+	Inserts, Evicts, Expires, Dels uint64
+	Hits, Misses                   uint64
+	Attempts                       uint64 // EvictStep/SweepStep calls
+	Unindexed                      uint64 // records dropped on a full ring (entries stay resident)
+}
+
+// Cache is one cache shard. Safe for concurrent use through per-goroutine
+// Handles.
+type Cache struct {
+	t          *rcds.HashTable
+	idx        *ring
+	retries    int
+	evictBatch int
+	sweepBatch int
+	interval   time.Duration
+	closed     atomic.Bool
+	attachSeq  atomic.Int64
+
+	inserts, evicts, expires, dels atomic.Uint64
+	hits, misses                   atomic.Uint64
+	attempts, unindexed            atomic.Uint64
+
+	// starved is set by a handle whose Alloc keeps failing even though the
+	// ring ran dry: the missing slots are in limbo on OTHER threads —
+	// deferred decrements on their retired lists, freed slots parked in
+	// their private magazines. Every handle checks it at op boundaries and
+	// relieves by draining its own deferred work to the shared pool
+	// (Handle.relieve); the starved handle clears it once an Alloc lands.
+	starved atomic.Bool
+
+	sweepMu   sync.Mutex
+	sweepStop chan struct{}
+	swWG      sync.WaitGroup
+}
+
+// New creates a cache shard.
+func New(cfg Config) *Cache {
+	if cfg.ExpectedKeys < 16 {
+		cfg.ExpectedKeys = 16
+	}
+	if cfg.EvictRetries <= 0 {
+		cfg.EvictRetries = 16
+	}
+	if cfg.SweepBatch <= 0 {
+		cfg.SweepBatch = 64
+	}
+	if cfg.IndexSize <= 0 {
+		cfg.IndexSize = 4 * cfg.ExpectedKeys
+		if c := 4 * int(cfg.Capacity); c > cfg.IndexSize {
+			cfg.IndexSize = c
+		}
+	}
+	c := &Cache{
+		t:          rcds.NewHashTable(cfg.ExpectedKeys, cfg.MaxProcs, true),
+		idx:        newRing(cfg.IndexSize),
+		retries:    cfg.EvictRetries,
+		evictBatch: 32,
+		sweepBatch: cfg.SweepBatch,
+		interval:   cfg.SweepInterval,
+	}
+	if cfg.Capacity > 0 {
+		c.t.SetCapacity(cfg.Capacity)
+	}
+	if cfg.DebugChecks {
+		c.t.EnableDebugChecks()
+	}
+	if cfg.Name != "" {
+		eb := int64(rcds.EntryBytes())
+		obs.RegisterGauge(cfg.Name+".resident.entries", func() (int64, bool) {
+			if c.closed.Load() {
+				return 0, false
+			}
+			return c.resident(), true
+		})
+		obs.RegisterGauge(cfg.Name+".resident.bytes", func() (int64, bool) {
+			if c.closed.Load() {
+				return 0, false
+			}
+			return c.resident() * eb, true
+		})
+		obs.RegisterGauge(cfg.Name+".evicted.bytes", func() (int64, bool) {
+			if c.closed.Load() {
+				return 0, false
+			}
+			return int64(c.evicts.Load()) * eb, true
+		})
+		obs.RegisterGauge(cfg.Name+".index.records", func() (int64, bool) {
+			if c.closed.Load() {
+				return 0, false
+			}
+			return int64(c.idx.len()), true
+		})
+	}
+	return c
+}
+
+// resident is the counter-derived resident entry count (clamped; exact at
+// quiescence, where CheckIdentity cross-checks it against a real scan).
+func (c *Cache) resident() int64 {
+	n := int64(c.inserts.Load()) - int64(c.evicts.Load()) -
+		int64(c.expires.Load()) - int64(c.dels.Load())
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Stats snapshots the shard's counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Inserts:   c.inserts.Load(),
+		Evicts:    c.evicts.Load(),
+		Expires:   c.expires.Load(),
+		Dels:      c.dels.Load(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Attempts:  c.attempts.Load(),
+		Unindexed: c.unindexed.Load(),
+	}
+}
+
+// Resident is the counter-derived resident entry count.
+func (c *Cache) Resident() int64 { return c.resident() }
+
+// LiveNodes reports currently allocated nodes (diagnostics).
+func (c *Cache) LiveNodes() int64 { return c.t.LiveNodes() }
+
+// Unreclaimed reports removed-but-not-freed nodes (diagnostics).
+func (c *Cache) Unreclaimed() int64 { return c.t.Unreclaimed() }
+
+// Attach registers the calling goroutine.
+func (c *Cache) Attach() *Handle {
+	return &Handle{
+		c:  c,
+		th: c.t.AttachCache(),
+		id: int(c.attachSeq.Add(1)),
+	}
+}
+
+// CheckIdentity verifies the conservation identity at quiescence: every
+// insert is either still linked (resident, expired-but-unreaped included)
+// or was unlinked by exactly one counted path.
+func (c *Cache) CheckIdentity() error {
+	h := c.Attach()
+	defer h.Close()
+	resident := uint64(h.th.Scan(-1, func(_, _ uint64) bool { return true }))
+	s := c.Stats()
+	if s.Inserts != s.Evicts+s.Expires+s.Dels+resident {
+		return fmt.Errorf(
+			"cache identity violated: inserts %d != evicts %d + expires %d + dels %d + resident %d",
+			s.Inserts, s.Evicts, s.Expires, s.Dels, resident)
+	}
+	return nil
+}
+
+// StartSweeper launches the shard's background expiry sweeper (no-op if
+// SweepInterval is zero or one is already running). The sweeper owns its
+// own handle — worker–shard affinity is inherent, one Cache is one shard
+// — and follows the abandonment protocol on simulated crashes: inflight
+// records are re-indexed, pid state is adopted, and the sweeper respawns.
+func (c *Cache) StartSweeper() {
+	c.sweepMu.Lock()
+	defer c.sweepMu.Unlock()
+	if c.interval <= 0 || c.sweepStop != nil || c.closed.Load() {
+		return
+	}
+	c.sweepStop = make(chan struct{})
+	c.swWG.Add(1)
+	go c.sweeperLoop()
+}
+
+func (c *Cache) stopSweeper() {
+	c.sweepMu.Lock()
+	stop := c.sweepStop
+	c.sweepStop = nil
+	c.sweepMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	c.swWG.Wait()
+}
+
+func (c *Cache) sweeperLoop() {
+	c.sweepMu.Lock()
+	stop := c.sweepStop
+	c.sweepMu.Unlock()
+	if stop == nil { // stopped before the respawn got scheduled
+		c.swWG.Done()
+		return
+	}
+	h := c.Attach()
+	defer func() {
+		r := recover()
+		if r == nil {
+			h.Close()
+			c.swWG.Done()
+			return
+		}
+		if _, ok := r.(chaos.CrashSignal); !ok {
+			c.swWG.Done()
+			panic(r)
+		}
+		// Simulated sweeper death mid-tick: adopt and respawn, exactly
+		// like a server worker.
+		obsSweepDead.Inc(0)
+		h.Abandon()
+		c.swWG.Add(1)
+		go c.sweeperLoop()
+		c.swWG.Done()
+	}()
+	tick := time.NewTicker(c.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			chaosSweepOp.Fire()
+			h.SweepPass(c.sweepBatch)
+		}
+	}
+}
+
+// Close stops the sweeper, drops every index record, unlinks every entry,
+// and verifies full reclamation. Callers must have closed all handles.
+func (c *Cache) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.stopSweeper()
+	h := c.Attach()
+	for {
+		ref, ok := c.idx.pop()
+		if !ok {
+			break
+		}
+		h.th.DropRef(ref)
+	}
+	h.th.Clear()
+	h.Close()
+	for i := 0; i < 16 && c.t.LiveNodes() != 0; i++ {
+		h := c.Attach()
+		h.th.Clear()
+		h.Close()
+	}
+	if n := c.t.LiveNodes(); n != 0 {
+		return fmt.Errorf("cache: %d nodes leaked at close", n)
+	}
+	return nil
+}
+
+// Handle is a per-goroutine view of a Cache. Not safe for concurrent use.
+type Handle struct {
+	c  *Cache
+	th ds.CacheThread
+	id int // obs counter shard
+
+	// inflight parks every index record this handle has popped or minted
+	// but not yet consumed or pushed. On a simulated crash, Abandon
+	// re-indexes them so survivors can still evict those entries and no
+	// weak unit is lost or doubled.
+	inflight []ds.CacheRef
+}
+
+func (h *Handle) park(ref ds.CacheRef) { h.inflight = append(h.inflight, ref) }
+
+func (h *Handle) unpark(ref ds.CacheRef) {
+	for i := range h.inflight {
+		if h.inflight[i] == ref {
+			h.inflight[i] = h.inflight[len(h.inflight)-1]
+			h.inflight = h.inflight[:len(h.inflight)-1]
+			return
+		}
+	}
+	panic("cache: unpark of a record that was never parked")
+}
+
+// account attributes lazily-reaped expiries discovered by a read/write op.
+func (h *Handle) account(reaped int) {
+	if reaped > 0 {
+		h.c.expires.Add(uint64(reaped))
+		obsExpire.Add(h.id, uint64(reaped))
+	}
+}
+
+func deadline(now uint64, ttl time.Duration) uint64 {
+	if ttl <= 0 {
+		return 0
+	}
+	return (now + uint64(ttl.Nanoseconds())) & rcds.ExpDeadlineMask
+}
+
+// SetEx binds key to val with a TTL (0 = no expiry). Under arena
+// backpressure it synchronously evicts index victims and retries, bounded
+// by EvictRetries; only if the index runs dry and the arena still refuses
+// does the error surface.
+func (h *Handle) SetEx(key, val uint64, ttl time.Duration) (old uint64, existed bool, err error) {
+	h.relieve()
+	now := nowNanos()
+	exp := deadline(now, ttl)
+	for attempt := 0; ; attempt++ {
+		o, ex, ref, reaped, perr := h.th.PutEx(key, val, exp, now)
+		h.account(reaped)
+		if perr == nil {
+			if attempt > 0 {
+				h.c.starved.Store(false)
+			}
+			if ex {
+				return o, true, nil
+			}
+			h.c.inserts.Add(1)
+			obsInsert.Inc(h.id)
+			h.park(ref)
+			h.place(now, ref)
+			return 0, false, nil
+		}
+		if attempt >= h.c.retries {
+			return 0, false, perr
+		}
+		// Backpressure: unlink victims, flush, retry. The victim count
+		// escalates per attempt because one unlink is not always one
+		// free slot — a victim can be held alive by a dying predecessor
+		// on another thread's retired list, and a whole clock rotation
+		// may be needed before referenced bits run out.
+		target := 1 << uint(attempt)
+		if target > 64 {
+			target = 64
+		}
+		budget := 4*h.c.idx.len() + h.c.evictBatch
+		unlinked := 0
+		for i := 0; i < budget && unlinked < target; i++ {
+			out := h.step(now)
+			if out == evictNone {
+				break
+			}
+			if out == ds.EvictEvicted || out == ds.EvictExpired {
+				unlinked++
+			}
+		}
+		// Publish own reclamation (flush + magazines to the shared stack)
+		// and, when even the ring ran dry, flag the shard starved: the
+		// missing slots are in limbo on peers, and only their own op
+		// boundaries (relieve) can hand them back. Yield so they run.
+		h.th.Drain()
+		if unlinked == 0 {
+			h.c.starved.Store(true)
+			runtime.Gosched()
+		}
+	}
+}
+
+// relieve hands this thread's limbo slots back to the shared pool when
+// some other handle is starving: applies deferred decrements and drains
+// the private free-slot magazines to the global stack. One atomic load
+// when nobody is starved.
+func (h *Handle) relieve() {
+	if h.c.starved.Load() {
+		h.th.Drain()
+	}
+}
+
+// GetEx returns key's value if present and unexpired, marking it recently
+// used; a non-zero ttl also replaces the deadline (the GETEX touch).
+func (h *Handle) GetEx(key uint64, ttl time.Duration) (uint64, bool) {
+	h.relieve()
+	now := nowNanos()
+	v, hit, reaped := h.th.GetEx(key, deadline(now, ttl), now)
+	h.account(reaped)
+	if hit {
+		h.c.hits.Add(1)
+		obsHit.Inc(h.id)
+	} else {
+		h.c.misses.Add(1)
+		obsMiss.Inc(h.id)
+	}
+	return v, hit
+}
+
+// Get is GetEx without a TTL touch.
+func (h *Handle) Get(key uint64) (uint64, bool) { return h.GetEx(key, 0) }
+
+// Expire replaces key's deadline (ttl <= 0 expires it immediately),
+// reporting whether the key was present and live.
+func (h *Handle) Expire(key uint64, ttl time.Duration) bool {
+	h.relieve()
+	now := nowNanos()
+	exp := deadline(now, ttl)
+	if exp == 0 {
+		exp = 1 // immediate: 1 is already in the past (nowNanos() >= 1)
+	}
+	ok, reaped := h.th.ExpireAt(key, exp, now)
+	h.account(reaped)
+	return ok
+}
+
+// Del removes key, reporting whether it was present and live.
+func (h *Handle) Del(key uint64) bool {
+	h.relieve()
+	now := nowNanos()
+	ok, reaped := h.th.DelEx(key, now)
+	h.account(reaped)
+	if ok {
+		h.c.dels.Add(1)
+		obsDel.Inc(h.id)
+	}
+	return ok
+}
+
+// Scan visits up to limit live (unexpired) entries; weakly consistent.
+func (h *Handle) Scan(limit int, fn func(key, val uint64) bool) int {
+	return h.th.ScanLive(nowNanos(), limit, fn)
+}
+
+// evictNone reports an empty index from step.
+const evictNone = ds.EvictOutcome(-1)
+
+// step pops one index record and resolves it for capacity: expired and
+// stale records are cleaned, recently-used entries get their second
+// chance, and a cold live entry is evicted. Returns evictNone on an empty
+// index.
+func (h *Handle) step(now uint64) ds.EvictOutcome {
+	ref, ok := h.c.idx.pop()
+	if !ok {
+		return evictNone
+	}
+	h.park(ref)
+	chaosEvictStep.Fire()
+	var t0 uint64
+	if obs.Enabled() {
+		t0 = nowNanos()
+	}
+	out := h.th.EvictStep(ref, now)
+	h.c.attempts.Add(1)
+	h.finish(ref, out, now, t0)
+	return out
+}
+
+// SweepPass examines up to batch index records for expiry only, rotating
+// live ones back to the tail (the clock hand). Returns expired count.
+func (h *Handle) SweepPass(batch int) int {
+	now := nowNanos()
+	expired := 0
+	for i := 0; i < batch; i++ {
+		ref, ok := h.c.idx.pop()
+		if !ok {
+			break
+		}
+		h.park(ref)
+		chaosEvictStep.Fire()
+		out := h.th.SweepStep(ref, now)
+		h.c.attempts.Add(1)
+		h.finish(ref, out, now, 0)
+		if out == ds.EvictExpired {
+			expired++
+		}
+	}
+	// The sweeper frees but never allocates: drain its reclaimed slots
+	// back to the shared pool or a capacity-capped arena strands them in
+	// magazines no allocation ever reaches.
+	h.th.Drain()
+	return expired
+}
+
+// finish applies a step outcome: accounting, physical unlink, spare
+// re-placement. No chaos point separates the outcome from its counter, so
+// a simulated crash can never lose or double an attribution.
+func (h *Handle) finish(ref ds.CacheRef, out ds.EvictOutcome, now, t0 uint64) {
+	switch out {
+	case ds.EvictGone:
+		h.unpark(ref)
+	case ds.EvictSpare:
+		h.place(now, ref) // still parked until placed
+	case ds.EvictExpired:
+		h.c.expires.Add(1)
+		obsExpire.Inc(h.id)
+		h.unpark(ref)
+		h.th.Reap(ref.Key)
+	case ds.EvictEvicted:
+		h.c.evicts.Add(1)
+		obsEvict.Inc(h.id)
+		if t0 != 0 {
+			obsEvictNs.Observe(nowNanos() - t0)
+		}
+		h.unpark(ref)
+		h.th.Reap(ref.Key)
+	}
+}
+
+// place returns parked records to the ring. A full ring evicts victims to
+// make room (the clock guarantees termination: every spare rotation
+// clears a referenced bit); a pathological race budget-exhausts into
+// DropRef, leaving the entry resident but unindexed until Clear.
+func (h *Handle) place(now uint64, ref ds.CacheRef) {
+	pending := []ds.CacheRef{ref}
+	budget := 2 * h.c.idx.cap()
+	for len(pending) > 0 {
+		r := pending[len(pending)-1]
+		if h.c.idx.push(r) {
+			pending = pending[:len(pending)-1]
+			h.unpark(r)
+			chaosIndexPush.Fire()
+			continue
+		}
+		if budget--; budget < 0 {
+			for _, r := range pending {
+				h.unpark(r)
+				h.th.DropRef(r)
+				h.c.unindexed.Add(1)
+				obsUnindexed.Inc(h.id)
+			}
+			return
+		}
+		victim, ok := h.c.idx.pop()
+		if !ok {
+			continue
+		}
+		h.park(victim)
+		chaosEvictStep.Fire()
+		out := h.th.EvictStep(victim, now)
+		h.c.attempts.Add(1)
+		switch out {
+		case ds.EvictGone:
+			h.unpark(victim)
+		case ds.EvictSpare:
+			pending = append(pending, victim)
+		case ds.EvictExpired:
+			h.c.expires.Add(1)
+			obsExpire.Inc(h.id)
+			h.unpark(victim)
+			h.th.Reap(victim.Key)
+		case ds.EvictEvicted:
+			h.c.evicts.Add(1)
+			obsEvict.Inc(h.id)
+			h.unpark(victim)
+			h.th.Reap(victim.Key)
+		}
+	}
+}
+
+// Close detaches the handle. Idempotent.
+func (h *Handle) Close() {
+	if h.th == nil {
+		return
+	}
+	h.reindexInflight()
+	h.th.Detach()
+	h.th = nil
+}
+
+// Abandon marks the handle's per-processor state as died-without-Close:
+// in-flight evictions are re-indexed for survivors (never consumed twice
+// — the records' weak units travel with them), then the pid state is
+// abandoned for adoption. Call from a CrashSignal recover only.
+func (h *Handle) Abandon() {
+	if h.th == nil {
+		return
+	}
+	h.reindexInflight()
+	if a, ok := h.th.(interface{ Abandon() }); ok {
+		a.Abandon()
+	}
+	h.th = nil
+}
+
+func (h *Handle) reindexInflight() {
+	for _, ref := range h.inflight {
+		for !h.c.idx.push(ref) {
+			victim, ok := h.c.idx.pop()
+			if !ok {
+				continue
+			}
+			// Full ring during adoption: sacrifice the victim's index
+			// record; its entry stays resident until Clear.
+			h.th.DropRef(victim)
+			h.c.unindexed.Add(1)
+			obsUnindexed.Inc(h.id)
+		}
+	}
+	h.inflight = nil
+}

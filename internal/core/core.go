@@ -307,6 +307,14 @@ func (t *Thread[T]) drainLocal() {
 // including orphans. Useful in tests and at teardown barriers.
 func (t *Thread[T]) Flush() { t.drainLocal() }
 
+// DrainArena pushes this processor's private free-slot magazines onto the
+// arena's global block stack, making them allocatable from any processor.
+// Only the owning thread may call it. Threads that free far more than
+// they allocate (a cache shard's expiry sweeper) call it periodically so
+// a capacity-capped pool's slots do not strand in magazines no allocation
+// ever reaches.
+func (t *Thread[T]) DrainArena() { t.d.pool.DrainLocal(t.pid) }
+
 // --- internal count plumbing -------------------------------------------
 
 func (t *Thread[T]) increment(h arena.Handle) {

@@ -111,6 +111,17 @@ func (t *Thread[T]) Upgrade(w WeakPtr) RcPtr {
 	}
 }
 
+// Word flattens a weak reference to a plain uint64 so index structures
+// (eviction rings, timer wheels) can store it in atomic cells or plain
+// arrays. The word still carries the weak-count unit: whoever reconstructs
+// it with WeakFromWord owns that unit and must ReleaseWeak (or Upgrade and
+// Release) it exactly once.
+func (w WeakPtr) Word() uint64 { return uint64(w.h) }
+
+// WeakFromWord reconstitutes a weak reference flattened by Word. The
+// caller takes ownership of the weak-count unit the word carries.
+func WeakFromWord(x uint64) WeakPtr { return WeakPtr{arena.Handle(x)} }
+
 // Expired reports whether the object w refers to has been destroyed. Like
 // weak_ptr::expired, a false result is advisory under concurrency; use
 // Upgrade to actually access the object.

@@ -1,0 +1,373 @@
+package rcds
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"cdrc/internal/core"
+	"cdrc/internal/ds"
+)
+
+// EntryBytes is the in-arena payload size of one cache entry node, for
+// byte-denominated resident/evicted gauges (excludes the slot header).
+func EntryBytes() uint64 { return uint64(unsafe.Sizeof(listNode{})) }
+
+// Cache-table operations: the hash table doubles as a TTL cache by
+// stamping each node's Exp word (bit 63 = clock referenced bit, bits
+// 0..62 = absolute deadline in monotonic nanos, 0 = no TTL) and by
+// handing every freshly-linked node's weak reference to an external
+// eviction index. The index holds ONLY weak references, so an evictor
+// racing a reader needs no locks: the reader's snapshot keeps the payload
+// safe until it lets go, and an Upgrade after the last strong reference
+// ejects simply fails (weak.go's sticky CAS).
+//
+// Update discipline (load-bearing for linearizability, see the lincheck
+// TTL model): while a node is linked, Val may change only between two
+// LIVE states (PutEx replaces an expired node by unlink+fresh-insert, it
+// never writes Val on a dead node), and Exp alone may change at any time.
+// A reader that observes a torn (Exp, Val) pair therefore still returns a
+// linearizable result: any Val it can read was bound while live.
+
+// ExpRefBit is the clock "referenced" bit in a node's Exp word, set on
+// every hit and cleared (second chance) by EvictStep.
+const ExpRefBit uint64 = 1 << 63
+
+// ExpDeadlineMask extracts the deadline from an Exp word.
+const ExpDeadlineMask = ExpRefBit - 1
+
+// ExpLive reports whether an Exp word is not past its deadline at now.
+func ExpLive(exp, now uint64) bool {
+	d := exp & ExpDeadlineMask
+	return d == 0 || d > now
+}
+
+// AttachCache registers the calling goroutine for cache operations. Any
+// hash table supports them; the caller is responsible for routing every
+// fresh-link CacheRef into its eviction index.
+func (h *HashTable) AttachCache() ds.CacheThread {
+	return h.Attach().(*hashThread)
+}
+
+// tryLinkCache is tryLink plus an Exp stamp and a weak reference to the
+// new node, minted under the pre-CAS strong reference so the index can
+// track the entry without keeping it alive.
+func (t *listThread) tryLinkCache(pos *position, key, val, exp uint64) (bool, core.WeakPtr, error) {
+	th := t.th
+	var curOwned core.RcPtr
+	if !pos.curSnap.IsNil() {
+		curOwned = th.RcFromSnapshot(pos.curSnap)
+	} else if !pos.curRc.IsNil() {
+		curOwned = th.Clone(pos.curRc)
+	}
+	init := func(nd *listNode) {
+		nd.Key = key
+		atomic.StoreUint64(&nd.Val, val)
+		// No referenced bit on a fresh insert: only reads stamp it, so
+		// write-once churn stays immediately evictable (scan-resistant
+		// clock) while read keys earn their second chance.
+		atomic.StoreUint64(&nd.Exp, exp)
+		nd.next.Init(curOwned)
+		nd.Vers.Init(core.NilRcPtr) // recycled slots carry arena poison
+	}
+	n, err := th.TryNewRc(init)
+	if err != nil {
+		th.Flush()
+		if n, err = th.TryNewRc(init); err != nil {
+			obsAllocDrop.Inc(th.ProcID())
+			th.Release(curOwned)
+			return false, core.NilWeakPtr, err
+		}
+	}
+	w := th.Downgrade(n)
+	if th.CompareAndSwapMove(pos.prevLink, pos.cur(), n) {
+		return true, w, nil
+	}
+	th.ReleaseWeak(w)
+	th.Release(n) // finalizer releases curOwned
+	return false, core.NilWeakPtr, nil
+}
+
+// reapAt marks-and-unlinks the expired node at pos. Returns true when
+// this call won the mark (the caller attributes one expiry); a lost race
+// means another op owns the unlink and will count it.
+func (t *listThread) reapAt(pos *position, nextW core.RcPtr) bool {
+	th := t.th
+	curN := t.deref(pos.curSnap, pos.curRc)
+	if !th.CompareAndSetMark(&curN.next, nextW, deletedMark) {
+		return false
+	}
+	nextRc := th.Load(&curN.next)
+	if !th.CompareAndSwapMove(pos.prevLink, pos.cur(), nextRc.Unmarked()) {
+		th.Release(nextRc)
+		// A later search will finish the unlink.
+	}
+	return true
+}
+
+// PutEx implements ds.CacheThread.
+func (t *hashThread) PutEx(key, val, exp, now uint64) (old uint64, existed bool, ref ds.CacheRef, reaped int, err error) {
+	head := t.t.bucket(key)
+	for {
+		pos := t.search(head, key)
+		if pos.found {
+			curN := t.deref(pos.curSnap, pos.curRc)
+			nextW := curN.next.LoadRaw()
+			if nextW.HasMark(deletedMark) {
+				t.releasePos(&pos)
+				continue
+			}
+			oldExp := atomic.LoadUint64(&curN.Exp)
+			if !ExpLive(oldExp, now) {
+				// Expired in place: never rebind a dead node's Val (see
+				// the update discipline above) — unlink it and insert
+				// fresh on the next pass.
+				if t.reapAt(&pos, nextW) {
+					reaped++
+				}
+				t.releasePos(&pos)
+				continue
+			}
+			atomic.StoreUint64(&curN.Exp, exp|ExpRefBit)
+			old = atomic.SwapUint64(&curN.Val, val)
+			t.releasePos(&pos)
+			return old, true, ds.CacheRef{}, reaped, nil
+		}
+		linked, w, lerr := t.tryLinkCache(&pos, key, val, exp)
+		t.releasePos(&pos)
+		if lerr != nil {
+			return 0, false, ds.CacheRef{}, reaped, lerr
+		}
+		if linked {
+			return 0, false, ds.CacheRef{Key: key, Word: w.Word()}, reaped, nil
+		}
+	}
+}
+
+// GetEx implements ds.CacheThread.
+func (t *hashThread) GetEx(key, newExp, now uint64) (uint64, bool, int) {
+	head := t.t.bucket(key)
+	reaped := 0
+	for {
+		pos := t.search(head, key)
+		if !pos.found {
+			t.releasePos(&pos)
+			return 0, false, reaped
+		}
+		curN := t.deref(pos.curSnap, pos.curRc)
+		nextW := curN.next.LoadRaw()
+		if nextW.HasMark(deletedMark) {
+			t.releasePos(&pos)
+			continue
+		}
+		exp := atomic.LoadUint64(&curN.Exp)
+		if !ExpLive(exp, now) {
+			// Lazy expiry: the read that finds a dead entry reaps it.
+			if t.reapAt(&pos, nextW) {
+				reaped++
+			}
+			t.releasePos(&pos)
+			return 0, false, reaped
+		}
+		if newExp != 0 {
+			atomic.StoreUint64(&curN.Exp, newExp|ExpRefBit)
+		} else {
+			atomic.OrUint64(&curN.Exp, ExpRefBit)
+		}
+		v := atomic.LoadUint64(&curN.Val)
+		t.releasePos(&pos)
+		return v, true, reaped
+	}
+}
+
+// ExpireAt implements ds.CacheThread.
+func (t *hashThread) ExpireAt(key, exp, now uint64) (bool, int) {
+	head := t.t.bucket(key)
+	reaped := 0
+	for {
+		pos := t.search(head, key)
+		if !pos.found {
+			t.releasePos(&pos)
+			return false, reaped
+		}
+		curN := t.deref(pos.curSnap, pos.curRc)
+		nextW := curN.next.LoadRaw()
+		if nextW.HasMark(deletedMark) {
+			t.releasePos(&pos)
+			continue
+		}
+		old := atomic.LoadUint64(&curN.Exp)
+		if !ExpLive(old, now) {
+			if t.reapAt(&pos, nextW) {
+				reaped++
+			}
+			t.releasePos(&pos)
+			return false, reaped
+		}
+		atomic.StoreUint64(&curN.Exp, exp|(old&ExpRefBit))
+		t.releasePos(&pos)
+		return true, reaped
+	}
+}
+
+// DelEx implements ds.CacheThread: Delete with TTL semantics — deleting
+// an expired-but-linked entry reports absent (the unlink is an expiry,
+// not a delete).
+func (t *hashThread) DelEx(key, now uint64) (bool, int) {
+	head := t.t.bucket(key)
+	reaped := 0
+	for {
+		pos := t.search(head, key)
+		if !pos.found {
+			t.releasePos(&pos)
+			return false, reaped
+		}
+		curN := t.deref(pos.curSnap, pos.curRc)
+		nextW := curN.next.LoadRaw()
+		if nextW.HasMark(deletedMark) {
+			t.releasePos(&pos)
+			continue
+		}
+		expired := !ExpLive(atomic.LoadUint64(&curN.Exp), now)
+		if !t.reapAt(&pos, nextW) {
+			t.releasePos(&pos)
+			continue
+		}
+		t.releasePos(&pos)
+		if expired {
+			reaped++
+			return false, reaped
+		}
+		return true, reaped
+	}
+}
+
+// EvictStep implements ds.CacheThread. It deliberately performs no
+// snapshot acquisition and no physical unlink: every path the simulated
+// crash injector can interrupt sits outside this call, so the caller's
+// sequence is pop → (count by outcome) → Reap, with the record parked in
+// crash-adoptable storage across the whole step (internal/cache.Handle).
+func (t *hashThread) EvictStep(ref ds.CacheRef, now uint64) ds.EvictOutcome {
+	th := t.th
+	w := core.WeakFromWord(ref.Word)
+	p := th.Upgrade(w)
+	if p.IsNil() {
+		// Upgrade-after-destroy loses: the entry is gone and whoever
+		// unlinked it counted it. Drop the index's weak unit (the last
+		// one frees the slot — the single decision point).
+		th.ReleaseWeak(w)
+		return ds.EvictGone
+	}
+	nd := th.Deref(p)
+	for {
+		nextW := nd.next.LoadRaw()
+		if nextW.HasMark(deletedMark) {
+			th.Release(p)
+			th.ReleaseWeak(w)
+			return ds.EvictGone
+		}
+		exp := atomic.LoadUint64(&nd.Exp)
+		live := ExpLive(exp, now)
+		if live && exp&ExpRefBit != 0 {
+			// Second chance: recently referenced. Clear the bit; the
+			// caller keeps the ref and pushes it back.
+			atomic.AndUint64(&nd.Exp, ^ExpRefBit)
+			th.Release(p)
+			return ds.EvictSpare
+		}
+		if th.CompareAndSetMark(&nd.next, nextW, deletedMark) {
+			th.Release(p)
+			th.ReleaseWeak(w)
+			if live {
+				return ds.EvictEvicted
+			}
+			return ds.EvictExpired
+		}
+		// The successor word moved (an insert landed after this node, or
+		// a racing deleter marked it); re-read and decide again.
+	}
+}
+
+// SweepStep implements ds.CacheThread: EvictStep without the capacity
+// half — only expired entries are unlinked, live ones keep their
+// referenced bit and stay in the index.
+func (t *hashThread) SweepStep(ref ds.CacheRef, now uint64) ds.EvictOutcome {
+	th := t.th
+	w := core.WeakFromWord(ref.Word)
+	p := th.Upgrade(w)
+	if p.IsNil() {
+		th.ReleaseWeak(w)
+		return ds.EvictGone
+	}
+	nd := th.Deref(p)
+	for {
+		nextW := nd.next.LoadRaw()
+		if nextW.HasMark(deletedMark) {
+			th.Release(p)
+			th.ReleaseWeak(w)
+			return ds.EvictGone
+		}
+		if ExpLive(atomic.LoadUint64(&nd.Exp), now) {
+			th.Release(p)
+			return ds.EvictSpare
+		}
+		if th.CompareAndSetMark(&nd.next, nextW, deletedMark) {
+			th.Release(p)
+			th.ReleaseWeak(w)
+			return ds.EvictExpired
+		}
+	}
+}
+
+// Reap implements ds.CacheThread: a plain helping search, so the
+// logically-deleted node EvictStep left behind is physically unlinked and
+// its slot can recycle on the very next Flush.
+func (t *hashThread) Reap(key uint64) {
+	pos := t.search(t.t.bucket(key), key)
+	t.releasePos(&pos)
+}
+
+// DropRef implements ds.CacheThread.
+func (t *hashThread) DropRef(ref ds.CacheRef) {
+	t.th.ReleaseWeak(core.WeakFromWord(ref.Word))
+}
+
+// Flush implements ds.CacheThread.
+func (t *hashThread) Flush() { t.th.Flush() }
+
+// Drain implements ds.CacheThread.
+func (t *hashThread) Drain() {
+	t.th.Flush()
+	t.th.DrainArena()
+}
+
+// ScanLive implements ds.CacheThread: Scan restricted to unexpired
+// entries (same weak consistency, same two-snapshot discipline).
+func (t *hashThread) ScanLive(now uint64, limit int, fn func(key, val uint64) bool) int {
+	th := t.th
+	n := 0
+	for i := range t.t.buckets {
+		if limit >= 0 && n >= limit {
+			break
+		}
+		cur := th.GetSnapshot(&t.t.buckets[i])
+		for !cur.IsNil() {
+			nd := th.DerefSnapshot(cur)
+			if !nd.next.LoadRaw().HasMark(deletedMark) &&
+				ExpLive(atomic.LoadUint64(&nd.Exp), now) {
+				if limit >= 0 && n >= limit {
+					break
+				}
+				if !fn(nd.Key, atomic.LoadUint64(&nd.Val)) {
+					th.ReleaseSnapshot(&cur)
+					return n
+				}
+				n++
+			}
+			next := th.GetSnapshot(&nd.next)
+			th.ReleaseSnapshot(&cur)
+			cur = next
+		}
+		th.ReleaseSnapshot(&cur)
+	}
+	return n
+}

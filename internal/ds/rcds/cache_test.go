@@ -1,0 +1,188 @@
+package rcds
+
+import (
+	"sync"
+	"testing"
+
+	"cdrc/internal/ds"
+)
+
+// now values for the tests: deadlines are plain numbers on a logical
+// clock, nothing here sleeps.
+const (
+	t0 = uint64(100)
+	t1 = uint64(200)
+)
+
+func newCacheTable(t *testing.T) (*HashTable, ds.CacheThread) {
+	t.Helper()
+	h := NewHashTable(64, 8, true)
+	h.EnableDebugChecks()
+	return h, h.AttachCache()
+}
+
+func quiesce(t *testing.T, h *HashTable, th ds.CacheThread) {
+	t.Helper()
+	th.Clear()
+	th.Detach()
+	for i := 0; i < 4 && h.LiveNodes() != 0; i++ {
+		x := h.AttachCache()
+		x.Clear()
+		x.Detach()
+	}
+	if n := h.LiveNodes(); n != 0 {
+		t.Fatalf("%d nodes leaked", n)
+	}
+}
+
+func TestCachePutExFreshLinkYieldsRef(t *testing.T) {
+	h, th := newCacheTable(t)
+	old, existed, ref, reaped, err := th.PutEx(1, 10, 0, t0)
+	if err != nil || existed || old != 0 || reaped != 0 {
+		t.Fatalf("fresh PutEx: %d %v %d %v", old, existed, reaped, err)
+	}
+	if ref.Word == 0 || ref.Key != 1 {
+		t.Fatalf("fresh PutEx ref = %+v, want weak ref for key 1", ref)
+	}
+	// Replace in place: no new ref.
+	old, existed, ref2, _, _ := th.PutEx(1, 20, 0, t0)
+	if !existed || old != 10 || ref2.Word != 0 {
+		t.Fatalf("replace PutEx: %d %v %+v", old, existed, ref2)
+	}
+	th.DropRef(ref)
+	quiesce(t, h, th)
+}
+
+func TestCacheExpiredReadReaps(t *testing.T) {
+	h, th := newCacheTable(t)
+	_, _, ref, _, _ := th.PutEx(1, 10, t0+50, t0)
+	if v, hit, _ := th.GetEx(1, 0, t0); !hit || v != 10 {
+		t.Fatalf("live GetEx: %d %v", v, hit)
+	}
+	// Past the deadline the read must miss AND unlink (count one expiry).
+	if _, hit, reaped := th.GetEx(1, 0, t1); hit || reaped != 1 {
+		t.Fatalf("expired GetEx: hit=%v reaped=%d", hit, reaped)
+	}
+	// The index record now resolves to a dead entry.
+	if out := th.EvictStep(ref, t1); out != ds.EvictGone {
+		t.Fatalf("EvictStep after expiry reap = %v, want EvictGone", out)
+	}
+	quiesce(t, h, th)
+}
+
+func TestCacheEvictStepSecondChance(t *testing.T) {
+	h, th := newCacheTable(t)
+	_, _, ref, _, _ := th.PutEx(1, 10, 0, t0)
+	// A read stamps the referenced bit: the next step spares.
+	if _, hit, _ := th.GetEx(1, 0, t0); !hit {
+		t.Fatal("GetEx missed a live key")
+	}
+	if out := th.EvictStep(ref, t0); out != ds.EvictSpare {
+		t.Fatalf("first EvictStep = %v, want EvictSpare", out)
+	}
+	// Bit now clear, entry cold: second step evicts.
+	if out := th.EvictStep(ref, t0); out != ds.EvictEvicted {
+		t.Fatalf("second EvictStep = %v, want EvictEvicted", out)
+	}
+	th.Reap(1)
+	if _, hit, _ := th.GetEx(1, 0, t0); hit {
+		t.Fatal("evicted key still readable")
+	}
+	quiesce(t, h, th)
+}
+
+func TestCacheEvictStepExpired(t *testing.T) {
+	h, th := newCacheTable(t)
+	_, _, ref, _, _ := th.PutEx(1, 10, t0+50, t0)
+	if out := th.EvictStep(ref, t1); out != ds.EvictExpired {
+		t.Fatalf("EvictStep past deadline = %v, want EvictExpired", out)
+	}
+	th.Reap(1)
+	quiesce(t, h, th)
+}
+
+func TestCacheDelExOnExpiredReportsAbsent(t *testing.T) {
+	h, th := newCacheTable(t)
+	_, _, ref, _, _ := th.PutEx(1, 10, t0+50, t0)
+	ok, reaped := th.DelEx(1, t1)
+	if ok || reaped != 1 {
+		t.Fatalf("DelEx on expired: ok=%v reaped=%d, want miss + 1 expiry", ok, reaped)
+	}
+	th.DropRef(ref)
+	quiesce(t, h, th)
+}
+
+func TestCacheExpireAtShortensAndReaps(t *testing.T) {
+	h, th := newCacheTable(t)
+	_, _, ref, _, _ := th.PutEx(1, 10, 0, t0)
+	if ok, _ := th.ExpireAt(1, t0+10, t0); !ok {
+		t.Fatal("ExpireAt on live key reported absent")
+	}
+	if ok, reaped := th.ExpireAt(1, t1+10, t1); ok || reaped != 1 {
+		t.Fatalf("ExpireAt on expired key: ok=%v reaped=%d", ok, reaped)
+	}
+	th.DropRef(ref)
+	quiesce(t, h, th)
+}
+
+// TestCacheEvictRacesReaders is the tentpole property at the primitive
+// level: concurrent readers against an evictor, resolved only by the
+// paper's machinery. DebugChecks turns any read of a freed slot into a
+// panic, so surviving this loop means no reader ever lost the race.
+func TestCacheEvictRacesReaders(t *testing.T) {
+	h := NewHashTable(256, 16, true)
+	h.EnableDebugChecks()
+	wr := h.AttachCache()
+	refs := make(chan ds.CacheRef, 4096)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			th := h.AttachCache()
+			defer th.Detach()
+			x := uint64(r + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				x = x*6364136223846793005 + 1
+				th.GetEx((x>>33)%128, 0, t0)
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() { // evictor
+		defer wg.Done()
+		th := h.AttachCache()
+		defer th.Detach()
+		for ref := range refs {
+			switch th.EvictStep(ref, t0) {
+			case ds.EvictSpare:
+				// Cold it down and finish it now.
+				if out := th.EvictStep(ref, t0); out == ds.EvictEvicted {
+					th.Reap(ref.Key)
+				}
+			case ds.EvictEvicted, ds.EvictExpired:
+				th.Reap(ref.Key)
+			}
+		}
+	}()
+	for i := 0; i < 20000; i++ {
+		k := uint64(i) % 128
+		_, _, ref, _, err := wr.PutEx(k, k, 0, t0)
+		if err != nil {
+			t.Fatalf("PutEx %d: %v", k, err)
+		}
+		if ref.Word != 0 {
+			refs <- ref
+		}
+	}
+	close(refs)
+	close(stop)
+	wg.Wait()
+	quiesce(t, h, wr)
+}

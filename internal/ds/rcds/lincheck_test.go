@@ -106,6 +106,84 @@ func TestListSetLinearizable(t *testing.T) {
 	}
 }
 
+// TestCacheTTLLinearizable records real concurrent histories of the
+// cache ops — SetEx, GetEx-with-touch, Expire — against the TTL-aware
+// sequential model. Time is the history's own logical clock: each op
+// passes its invocation timestamp as `now` and absolute deadlines drawn
+// a few ticks ahead, so expire-vs-get races (one op re-stamping a
+// deadline while another reads or lazily reaps) must still admit a
+// legal total order.
+func TestCacheTTLLinearizable(t *testing.T) {
+	const rounds = 300
+	const workers = 3
+	const opsPerWorker = 5
+
+	for r := 0; r < rounds; r++ {
+		h := NewHashTable(64, workers+1, true)
+		h.EnableDebugChecks()
+		var clock atomic.Int64
+		hist := make([][]lincheck.Op, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int, seed int64) {
+				defer wg.Done()
+				th := h.AttachCache()
+				defer th.Detach()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < opsPerWorker; i++ {
+					k := uint64(rng.Intn(lincheck.CacheModelKeys))
+					op := lincheck.Op{Start: clock.Add(1)}
+					now := uint64(op.Start)
+					var exp uint64
+					if rng.Intn(2) == 0 {
+						exp = now + uint64(rng.Intn(4)+1)
+					}
+					switch rng.Intn(4) {
+					case 0:
+						val := uint64(rng.Intn(200) + 1)
+						op.Kind = lincheck.OpSetEx
+						op.Arg = exp<<16 | k<<8 | val
+						old, existed, ref, _, err := th.PutEx(k, val, exp, now)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						op.Ret, op.RetOK = old, existed
+						if ref.Word != 0 {
+							th.DropRef(ref)
+						}
+					case 1:
+						if exp == 0 {
+							exp = now // immediate: already <= every later now
+						}
+						op.Kind = lincheck.OpExpire
+						op.Arg = exp<<16 | k<<8
+						op.RetOK, _ = th.ExpireAt(k, exp, now)
+					default:
+						op.Kind = lincheck.OpGetEx
+						op.Arg = exp<<16 | k<<8
+						v, hit, _ := th.GetEx(k, exp, now)
+						op.Ret, op.RetOK = v, hit
+					}
+					op.End = clock.Add(1)
+					hist[id] = append(hist[id], op)
+				}
+			}(w, int64(r*workers+w+71))
+		}
+		wg.Wait()
+		var all []lincheck.Op
+		for _, h := range hist {
+			all = append(all, h...)
+		}
+		if !lincheck.Check[lincheck.CacheState](lincheck.CacheModel{}, all) {
+			t.Fatalf("round %d: cache history not linearizable: %+v", r, all)
+		}
+		th := h.AttachCache()
+		quiesce(t, h, th)
+	}
+}
+
 func TestBSTSetLinearizable(t *testing.T) {
 	const rounds = 200
 	const workers = 3

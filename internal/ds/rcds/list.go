@@ -37,9 +37,15 @@ const deletedMark = 0
 // heads the key's version chain; on a version cell it is nil and Key is
 // reinterpreted as the cell's stamp word. Plain tables keep it nil, so
 // the only cost they pay is one extra Init per insert.
+//
+// Exp is used only by cache tables (cache.go): bit 63 is the clock
+// "referenced" bit and bits 0..62 hold the entry's expiry deadline in
+// monotonic nanoseconds (0 = no TTL). Plain and versioned tables leave it
+// zero; it is read and written with sync/atomic like Val.
 type listNode struct {
 	Key  uint64
 	Val  uint64
+	Exp  uint64
 	next core.AtomicRcPtr
 	Vers core.AtomicRcPtr
 }
@@ -234,6 +240,7 @@ func (t *listThread) tryLink(pos *position, key, val uint64) (bool, error) {
 	init := func(nd *listNode) {
 		nd.Key = key
 		atomic.StoreUint64(&nd.Val, val)
+		atomic.StoreUint64(&nd.Exp, 0) // recycled slots carry arena poison
 		nd.next.Init(curOwned)
 		nd.Vers.Init(core.NilRcPtr) // recycled slots carry arena poison
 	}

@@ -131,9 +131,12 @@ const (
 	OpInsert
 	OpDelete
 	OpContains
-	OpGet  // map get: Arg = key<<8, Ret = value, RetOK = present
-	OpPut  // map put: Arg = key<<8|val, Ret = old value, RetOK = existed
-	OpMGet // map multi-get: Ret packs key i's value into byte i (0 = absent)
+	OpGet    // map get: Arg = key<<8, Ret = value, RetOK = present
+	OpPut    // map put: Arg = key<<8|val, Ret = old value, RetOK = existed
+	OpMGet   // map multi-get: Ret packs key i's value into byte i (0 = absent)
+	OpSetEx  // cache set: Arg = exp<<16|key<<8|val, Ret/RetOK like OpPut
+	OpGetEx  // cache get+touch: Arg = exp<<16|key<<8, Ret/RetOK like OpGet
+	OpExpire // cache re-deadline: Arg = exp<<16|key<<8, RetOK = was live
 )
 
 // StackModel is the sequential LIFO stack specification.
@@ -260,6 +263,85 @@ func (MapModel) Apply(s string, op Op) (string, bool) {
 			}
 		}
 		return s, op.RetOK && op.Ret == want
+	}
+	return s, false
+}
+
+// CacheModelKeys is the CacheModel key-space bound.
+const CacheModelKeys = 4
+
+// CacheState is CacheModel's sequential state: per key a binding (0 =
+// absent, else value+1) and an absolute logical deadline (0 = none).
+type CacheState struct {
+	Val [CacheModelKeys]byte
+	Exp [CacheModelKeys]int64
+}
+
+// CacheModel is the sequential TTL-cache specification for histories of
+// OpSetEx, OpGetEx, and OpExpire. Time is the history's own logical
+// clock: each operation evaluates expiry against its OWN invocation
+// timestamp (Op.Start), which is exactly the `now` the concurrent driver
+// passed to the implementation, and deadlines in Arg are absolute values
+// of the same clock. An entry is live for an op iff its deadline is 0 or
+// strictly later than the op's now. Reads and writes that observe an
+// expired entry reap it (it transitions to absent), matching the
+// implementation's lazy reaping; OpGetEx and OpExpire with a non-zero
+// deadline re-stamp a live entry. Keys < CacheModelKeys, 0 < val < 255.
+type CacheModel struct{}
+
+// Init implements Model.
+func (CacheModel) Init() CacheState { return CacheState{} }
+
+// Key implements Model.
+func (CacheModel) Key(s CacheState) string { return fmt.Sprintf("%v%v", s.Val, s.Exp) }
+
+// Apply implements Model.
+func (CacheModel) Apply(s CacheState, op Op) (CacheState, bool) {
+	k := int(op.Arg>>8) & 0xFF
+	v := byte(op.Arg)
+	exp := int64(op.Arg >> 16)
+	now := op.Start
+	if k >= CacheModelKeys {
+		return s, false
+	}
+	cur := s.Val[k]
+	live := cur != 0 && (s.Exp[k] == 0 || s.Exp[k] > now)
+	if cur != 0 && !live {
+		// Lazy reap: the op observed the entry expired.
+		s.Val[k], s.Exp[k] = 0, 0
+		cur = 0
+	}
+	switch op.Kind {
+	case OpSetEx:
+		next := s
+		next.Val[k], next.Exp[k] = v+1, exp
+		if cur == 0 {
+			return next, !op.RetOK
+		}
+		if !op.RetOK || op.Ret != uint64(cur-1) {
+			return s, false
+		}
+		return next, true
+	case OpGetEx:
+		if cur == 0 {
+			return s, !op.RetOK
+		}
+		if !op.RetOK || op.Ret != uint64(cur-1) {
+			return s, false
+		}
+		if exp != 0 {
+			s.Exp[k] = exp // the GETEX touch
+		}
+		return s, true
+	case OpExpire:
+		if cur == 0 {
+			return s, !op.RetOK
+		}
+		if !op.RetOK {
+			return s, false
+		}
+		s.Exp[k] = exp
+		return s, true
 	}
 	return s, false
 }

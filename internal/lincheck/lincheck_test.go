@@ -177,6 +177,51 @@ func TestMapSequential(t *testing.T) {
 	}
 }
 
+func TestCacheSequential(t *testing.T) {
+	arg := func(exp, k, v uint64) uint64 { return exp<<16 | k<<8 | v }
+	// seq assigns op i the Start timestamp 2i+1; deadlines below are
+	// absolute values of that clock.
+	ok := seq(
+		htuple{OpSetEx, arg(6, 1, 5), 0, false}, // Start 1, dies at 6
+		htuple{OpGetEx, arg(0, 1, 0), 5, true},  // Start 3: live
+		htuple{OpGetEx, arg(20, 1, 0), 5, true}, // Start 5: touch to 20
+		htuple{OpGetEx, arg(0, 1, 0), 5, true},  // Start 7: live past 6 — the touch held
+		htuple{OpExpire, arg(9, 1, 0), 0, true}, // Start 9: shorten to 9
+		htuple{OpGetEx, arg(0, 1, 0), 0, false}, // Start 11: expired, lazily reaped
+		htuple{OpSetEx, arg(0, 1, 7), 0, false}, // Start 13: fresh again (reaped)
+		htuple{OpGetEx, arg(0, 1, 0), 7, true},
+		htuple{OpExpire, arg(0, 2, 0), 0, false}, // absent key
+	)
+	if !Check[CacheState](CacheModel{}, ok) {
+		t.Fatal("legal cache history rejected")
+	}
+	// A read past the deadline claiming a hit: not linearizable.
+	bad := seq(
+		htuple{OpSetEx, arg(2, 2, 5), 0, false}, // dies at 2
+		htuple{OpGetEx, arg(0, 2, 0), 5, true},  // Start 3: must be a miss
+	)
+	if Check[CacheState](CacheModel{}, bad) {
+		t.Fatal("cache history reading an expired entry accepted")
+	}
+	// An Expire that took effect but a later read ignores it.
+	bad2 := seq(
+		htuple{OpSetEx, arg(0, 1, 5), 0, false},
+		htuple{OpExpire, arg(3, 1, 0), 0, true}, // deadline 3, in the past by op 3
+		htuple{OpGetEx, arg(0, 1, 0), 5, true},  // Start 5: must be a miss
+	)
+	if Check[CacheState](CacheModel{}, bad2) {
+		t.Fatal("cache history ignoring an Expire accepted")
+	}
+	// A SetEx over a live entry must observe the old value.
+	bad3 := seq(
+		htuple{OpSetEx, arg(0, 1, 5), 0, false},
+		htuple{OpSetEx, arg(0, 1, 6), 9, true}, // claims it replaced 9
+	)
+	if Check[CacheState](CacheModel{}, bad3) {
+		t.Fatal("cache history with phantom replaced value accepted")
+	}
+}
+
 // The swap-vs-delete interleaving internal/ds/rcds/map.go argues about:
 // a Put overlapping a Delete may land "just before" it, so a concurrent
 // reader seeing the old value, the Delete succeeding, and the Put

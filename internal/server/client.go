@@ -239,6 +239,79 @@ func (cl *Client) MGet(keys ...uint64) ([]Result, error) {
 	return res, nil
 }
 
+// ttlMillis renders a TTL for the wire (decimal milliseconds; non
+// positive → 0).
+func ttlMillis(ttl time.Duration) string {
+	if ttl <= 0 {
+		return "0"
+	}
+	return strconv.FormatUint(uint64(ttl/time.Millisecond), 10)
+}
+
+// SetEx maps key to val with an expiry TTL (0 = no expiry). Cache mode
+// only. The reply shape matches Put; the server evicts under arena
+// pressure instead of replying -BUSY.
+func (cl *Client) SetEx(key, val uint64, ttl time.Duration) (old uint64, existed bool, err error) {
+	line, err := cl.roundTrip("SETEX " + strconv.FormatUint(key, 10) + " " +
+		ttlMillis(ttl) + " " + strconv.FormatUint(val, 10))
+	if err != nil {
+		return 0, false, err
+	}
+	if line == "+NEW" {
+		return 0, false, nil
+	}
+	old, err = parseTagged(line, "+OLD")
+	return old, err == nil, err
+}
+
+// GetEx fetches key's value, marking it recently used; a non-zero ttl
+// also replaces its expiry deadline. Cache mode only.
+func (cl *Client) GetEx(key uint64, ttl time.Duration) (v uint64, ok bool, err error) {
+	line, err := cl.roundTrip("GETEX " + strconv.FormatUint(key, 10) + " " + ttlMillis(ttl))
+	if err != nil {
+		return 0, false, err
+	}
+	if line == "+NIL" {
+		return 0, false, nil
+	}
+	v, err = parseTagged(line, "+VAL")
+	return v, err == nil, err
+}
+
+// Expire replaces key's expiry deadline (ttl <= 0 expires it
+// immediately), reporting whether the key was present and live. Cache
+// mode only.
+func (cl *Client) Expire(key uint64, ttl time.Duration) (bool, error) {
+	line, err := cl.roundTrip("EXPIRE " + strconv.FormatUint(key, 10) + " " + ttlMillis(ttl))
+	if err != nil {
+		return false, err
+	}
+	n, err := parseTagged(line, "+EXP")
+	return n == 1, err
+}
+
+// CacheStats fetches the server's aggregated cache counters as JSON.
+// Cache mode only.
+func (cl *Client) CacheStats() ([]byte, error) {
+	line, err := cl.roundTrip("CACHESTATS")
+	if err != nil {
+		return nil, err
+	}
+	rest, ok := strings.CutPrefix(line, "$")
+	if !ok {
+		return nil, fmt.Errorf("server: unexpected reply %q to CACHESTATS", line)
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("server: bad CACHESTATS length %q", rest)
+	}
+	body := make([]byte, n+1) // payload plus trailing LF
+	if _, err := io.ReadFull(cl.br, body); err != nil {
+		return nil, err
+	}
+	return body[:n], nil
+}
+
 // Promote asks the node to take primary ownership of shard (replica
 // promotion after its primary died; idempotent if the node is already
 // primary). The call blocks until the node has drained its copy of the
@@ -403,6 +476,49 @@ func (b *Batch) Del(key uint64) {
 	b.ops = append(b.ops, 'D')
 }
 
+// SetEx queues a SETEX (cache mode). The reply shape matches Put, so
+// its Result reads the same: Found reports the key existed, Val the
+// replaced value.
+func (b *Batch) SetEx(key, val uint64, ttl time.Duration) {
+	b.buf = append(b.buf, "SETEX "...)
+	b.buf = strconv.AppendUint(b.buf, key, 10)
+	b.buf = append(b.buf, ' ')
+	b.buf = appendTTLMillis(b.buf, ttl)
+	b.buf = append(b.buf, ' ')
+	b.buf = strconv.AppendUint(b.buf, val, 10)
+	b.buf = append(b.buf, '\n')
+	b.ops = append(b.ops, 'P')
+}
+
+// GetEx queues a GETEX (cache mode); its Result reads like Get's.
+func (b *Batch) GetEx(key uint64, ttl time.Duration) {
+	b.buf = append(b.buf, "GETEX "...)
+	b.buf = strconv.AppendUint(b.buf, key, 10)
+	b.buf = append(b.buf, ' ')
+	b.buf = appendTTLMillis(b.buf, ttl)
+	b.buf = append(b.buf, '\n')
+	b.ops = append(b.ops, 'G')
+}
+
+// Expire queues an EXPIRE (cache mode); Found reports the key was
+// present and live.
+func (b *Batch) Expire(key uint64, ttl time.Duration) {
+	b.buf = append(b.buf, "EXPIRE "...)
+	b.buf = strconv.AppendUint(b.buf, key, 10)
+	b.buf = append(b.buf, ' ')
+	b.buf = appendTTLMillis(b.buf, ttl)
+	b.buf = append(b.buf, '\n')
+	b.ops = append(b.ops, 'E')
+}
+
+// appendTTLMillis renders a TTL into buf (decimal milliseconds).
+func appendTTLMillis(buf []byte, ttl time.Duration) []byte {
+	if ttl <= 0 {
+		return append(buf, '0')
+	}
+	return strconv.AppendUint(buf, uint64(ttl/time.Millisecond), 10)
+}
+
 // Result classifies one pipelined reply. For a GET, Found reports a hit
 // and Val the value; for a PUT, Found reports that the key existed and
 // Val the replaced value; for a DEL, Found reports that the key was
@@ -481,6 +597,9 @@ func parseBatchReply(kind byte, line []byte) (Result, error) {
 		return Result{Val: v, Found: true}, err
 	case 'D':
 		v, err := tagged("+DEL")
+		return Result{Found: v == 1}, err
+	case 'E':
+		v, err := tagged("+EXP")
 		return Result{Found: v == 1}, err
 	}
 	return Result{}, fmt.Errorf("client: unknown batch op %q", kind)

@@ -37,6 +37,24 @@ import (
 //	PROMOTE <shard>                  make this node primary for shard,
 //	                                 after draining its replication log
 //
+// Cache requests (cache mode, DESIGN.md §11; TTLs are decimal
+// milliseconds):
+//
+//	SETEX <key> <ttl> <val>   PUT with an expiry deadline (ttl 0 = none)
+//	GETEX <key> <ttl>         GET that marks the key recently used and,
+//	                          with ttl > 0, replaces its deadline
+//	EXPIRE <key> <ttl>        replace the deadline (ttl 0 expires now)
+//	CACHESTATS                aggregated cache counters (JSON)
+//
+// In cache mode GET/PUT/DEL remain valid (PUT is SETEX with ttl 0, GET
+// does not touch the clock bit) and SCAN visits live entries only, but
+// the versioned verbs MGET and SNAPSCAN answer -ERR: cache shards trade
+// multi-versioning for TTL words. PUT and SETEX never answer -BUSY for
+// an exhausted arena — the serving worker synchronously evicts and
+// retries instead (backpressure-driven eviction); only a fully dry
+// eviction index surfaces the arena error as -ERR. Outside cache mode
+// the four cache verbs answer -ERR.
+//
 // Replies (first byte classifies):
 //
 //	+PONG
@@ -77,6 +95,9 @@ const (
 	opRDel // replication apply of a DEL (replica side)
 	opMGet // leased multi-key read, fanned to every shard
 	opSnapScan
+	opSetEx  // cache write with TTL (sl.ts carries the TTL in ms)
+	opGetEx  // cache read with clock touch (sl.ts carries the TTL in ms)
+	opExpire // cache deadline replacement (sl.ts carries the TTL in ms)
 )
 
 // Completion causes. A slot completes with exactly one cause; the first
@@ -129,7 +150,9 @@ type slot struct {
 	// MGET state: keys holds the requested keys (request order); worker i
 	// fills mvals/mhits for the keys its shard owns. ts and lease carry
 	// the snapshot lease for MGET/SNAPSCAN — complete releases the lease
-	// exactly once, whatever the outcome (reply, shed, or crash).
+	// exactly once, whatever the outcome (reply, shed, or crash). In
+	// cache mode, where leases are never drawn, ts instead carries the
+	// SETEX/GETEX/EXPIRE TTL in milliseconds.
 	keys  []uint64
 	mvals []uint64
 	mhits []bool
@@ -323,6 +346,8 @@ var (
 	lineNew     = []byte("+NEW\n")
 	lineDel1    = []byte("+DEL 1\n")
 	lineDel0    = []byte("+DEL 0\n")
+	lineExp1    = []byte("+EXP 1\n")
+	lineExp0    = []byte("+EXP 0\n")
 	lineTooLong = []byte("-ERR line too long\n")
 )
 
@@ -374,6 +399,10 @@ const (
 	vPromote
 	vMGet
 	vSnapScan
+	vSetEx
+	vGetEx
+	vExpire
+	vCacheStats
 )
 
 // verbOf classifies an ASCII verb case-insensitively without allocating.
@@ -421,6 +450,20 @@ func verbOf(b []byte) int {
 			b[3]&^0x20 == 'T' && b[4]&^0x20 == 'S' {
 			return vStats
 		}
+		if b[2]&^0x20 == 'T' && b[3]&^0x20 == 'E' && b[4]&^0x20 == 'X' &&
+			b[1]&^0x20 == 'E' {
+			switch b[0] &^ 0x20 {
+			case 'S':
+				return vSetEx
+			case 'G':
+				return vGetEx
+			}
+		}
+	case 6:
+		if b[0]&^0x20 == 'E' && b[1]&^0x20 == 'X' && b[2]&^0x20 == 'P' &&
+			b[3]&^0x20 == 'I' && b[4]&^0x20 == 'R' && b[5]&^0x20 == 'E' {
+			return vExpire
+		}
 	case 7:
 		if b[0]&^0x20 == 'P' && b[1]&^0x20 == 'R' && b[2]&^0x20 == 'O' &&
 			b[3]&^0x20 == 'M' && b[4]&^0x20 == 'O' && b[5]&^0x20 == 'T' &&
@@ -433,6 +476,14 @@ func verbOf(b []byte) int {
 			b[6]&^0x20 == 'A' && b[7]&^0x20 == 'N' {
 			return vSnapScan
 		}
+	case 10:
+		const want = "CACHESTATS"
+		for i := 0; i < 10; i++ {
+			if b[i]&^0x20 != want[i] {
+				return vUnknown
+			}
+		}
+		return vCacheStats
 	}
 	return vUnknown
 }

@@ -137,6 +137,18 @@ type Config struct {
 	// tests and soak harnesses.
 	DebugChecks bool
 
+	// CacheMode switches the storage engine from versioned maps to
+	// collections.Cache shards (DESIGN.md §11): SETEX/GETEX/EXPIRE/
+	// CACHESTATS become available, TTLs are enforced, and an exhausted
+	// arena makes PUT/SETEX evict synchronously instead of replying
+	// -BUSY. The versioned verbs MGET and SNAPSCAN answer -ERR, and
+	// cache mode is incompatible with cluster mode (Peers).
+	CacheMode bool
+
+	// CacheSweepInterval is each cache shard's background expiry sweeper
+	// period (cache mode only; default 5ms, negative disables).
+	CacheSweepInterval time.Duration
+
 	// Peers, when non-empty, switches the server into cluster mode
 	// (DESIGN.md §9): Peers lists every node's client-visible address in
 	// node-id order and NodeID is this node's index into it. Shard s is
@@ -244,6 +256,9 @@ func (c *Config) withDefaults() Config {
 	if cfg.ReplPeerPatience <= 0 {
 		cfg.ReplPeerPatience = 2 * time.Second
 	}
+	if cfg.CacheMode && cfg.CacheSweepInterval == 0 {
+		cfg.CacheSweepInterval = 5 * time.Millisecond
+	}
 	return cfg
 }
 
@@ -253,6 +268,7 @@ func (c *Config) withDefaults() Config {
 type Server struct {
 	cfg    Config
 	shards []*collections.Map
+	caches []*collections.Cache // cache mode only; shards stays nil-filled
 	queues []chan *slot
 	leases *snaplease.Pool // snapshot leases + version clock for all shards
 	ln     net.Listener
@@ -287,9 +303,13 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Peers) > 0 && (cfg.NodeID < 0 || cfg.NodeID >= len(cfg.Peers)) {
 		return nil, fmt.Errorf("server: node id %d outside peer list of %d", cfg.NodeID, len(cfg.Peers))
 	}
+	if cfg.CacheMode && len(cfg.Peers) > 0 {
+		return nil, fmt.Errorf("server: cache mode is incompatible with cluster mode")
+	}
 	s := &Server{
 		cfg:        cfg,
 		shards:     make([]*collections.Map, cfg.Shards),
+		caches:     make([]*collections.Cache, cfg.Shards),
 		queues:     make([]chan *slot, cfg.Shards),
 		role:       make([]atomic.Uint32, cfg.Shards),
 		replLogs:   make([]*replLog, cfg.Shards),
@@ -312,14 +332,31 @@ func New(cfg Config) (*Server, error) {
 	})
 	perShard := cfg.ExpectedKeys / cfg.Shards
 	for i := range s.shards {
-		m := collections.NewVersionedMap(perShard, cfg.MaxProcs, s.leases)
-		if cfg.ArenaCapacity != 0 {
-			m.SetArenaCapacity(cfg.ArenaCapacity)
+		if cfg.CacheMode {
+			sweep := cfg.CacheSweepInterval
+			if sweep < 0 {
+				sweep = 0
+			}
+			c := collections.NewCache(collections.CacheConfig{
+				Name:          s.gaugeName(fmt.Sprintf("cache%d", i)),
+				ExpectedKeys:  perShard,
+				MaxProcs:      cfg.MaxProcs,
+				Capacity:      cfg.ArenaCapacity,
+				SweepInterval: sweep,
+				DebugChecks:   cfg.DebugChecks,
+			})
+			c.StartSweeper()
+			s.caches[i] = c
+		} else {
+			m := collections.NewVersionedMap(perShard, cfg.MaxProcs, s.leases)
+			if cfg.ArenaCapacity != 0 {
+				m.SetArenaCapacity(cfg.ArenaCapacity)
+			}
+			if cfg.DebugChecks {
+				m.EnableDebugChecks()
+			}
+			s.shards[i] = m
 		}
-		if cfg.DebugChecks {
-			m.EnableDebugChecks()
-		}
-		s.shards[i] = m
 		s.queues[i] = make(chan *slot, cfg.QueueDepth)
 		q := s.queues[i]
 		obs.RegisterGauge(s.gaugeName(fmt.Sprintf("queue.%d", i)), func() (int64, bool) {
@@ -411,6 +448,12 @@ func (s *Server) ActiveLeases() int { return s.leases.Active() }
 // closed server must report 0.
 func (s *Server) Live() int64 {
 	var n int64
+	if s.cfg.CacheMode {
+		for _, c := range s.caches {
+			n += c.LiveNodes()
+		}
+		return n
+	}
 	for _, m := range s.shards {
 		n += m.LiveNodes()
 	}
@@ -760,6 +803,53 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 			sl.buf = appendErr(sl.buf[:0], "shard %d is not hosted here", shard)
 		}
 		localReply(sl, issued)
+	case vSetEx, vGetEx, vExpire:
+		if !s.cfg.CacheMode {
+			sl.buf = appendErr(sl.buf[:0], "%s requires cache mode", fields[0])
+			localReply(sl, issued)
+			return
+		}
+		want := 2
+		if verb == vSetEx {
+			want = 3
+		}
+		if badArity(want) {
+			return
+		}
+		key, ok1 := parseUintBytes(fields[1])
+		ttl, ok2 := parseUintBytes(fields[2])
+		if !ok1 || !ok2 {
+			sl.buf = appendErr(sl.buf[:0], "bad number")
+			localReply(sl, issued)
+			return
+		}
+		switch verb {
+		case vSetEx:
+			val, ok := parseUintBytes(fields[3])
+			if !ok {
+				sl.buf = appendErr(sl.buf[:0], "bad number %q", fields[3])
+				localReply(sl, issued)
+				return
+			}
+			sl.op, sl.val = opSetEx, val
+		case vGetEx:
+			sl.op = opGetEx
+		case vExpire:
+			sl.op = opExpire
+		}
+		// The TTL (milliseconds) rides the slot's ts field: cache mode
+		// never draws snapshot leases, so the field is otherwise idle.
+		sl.key, sl.shard, sl.ts = key, s.shardOf(key), ttl
+		sl.pending.Store(1)
+		issued <- sl
+		enqueue(s.queues[sl.shard], sl)
+	case vCacheStats:
+		if !s.cfg.CacheMode {
+			sl.buf = appendErr(sl.buf[:0], "CACHESTATS requires cache mode")
+		} else {
+			sl.buf = s.appendCacheStats(sl.buf[:0])
+		}
+		localReply(sl, issued)
 	case vScan:
 		if badArity(1) {
 			return
@@ -785,6 +875,11 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 			enqueue(s.queues[i], sl)
 		}
 	case vSnapScan:
+		if s.cfg.CacheMode {
+			sl.buf = appendErr(sl.buf[:0], "SNAPSCAN is not available in cache mode")
+			localReply(sl, issued)
+			return
+		}
 		if badArity(1) {
 			return
 		}
@@ -815,6 +910,11 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 			enqueue(s.queues[i], sl)
 		}
 	case vMGet:
+		if s.cfg.CacheMode {
+			sl.buf = appendErr(sl.buf[:0], "MGET is not available in cache mode")
+			localReply(sl, issued)
+			return
+		}
 		if nf < 2 || nf-1 > maxMGetKeys {
 			sl.buf = appendErr(sl.buf[:0], "MGET takes 1..%d keys", maxMGetKeys)
 			localReply(sl, issued)
@@ -945,6 +1045,9 @@ func (s *Server) runWorker(id, shard int) {
 // the pid is reissued. Only this shard's registry is involved: a crash
 // never perturbs the other shards.
 func (s *Server) workerSession(id, shard int) (respawn bool) {
+	if s.cfg.CacheMode {
+		return s.cacheWorkerSession(id, shard)
+	}
 	h := s.shards[shard].Attach()
 	var cur *slot
 	defer func() {
@@ -1143,6 +1246,16 @@ func (s *Server) shutdown(graceful bool) error {
 		}
 		s.shipperWg.Wait()
 		s.closed.Store(true) // prunes this node's gauges
+		if s.cfg.CacheMode {
+			// Cache shards own their teardown: stop the sweeper, drop the
+			// eviction index, clear, and leak-check (collections.Cache.Close).
+			for i, c := range s.caches {
+				if err := c.Close(); err != nil && s.closeErr == nil {
+					s.closeErr = fmt.Errorf("server: cache shard %d: %w", i, err)
+				}
+			}
+			return
+		}
 		const rounds = 16
 		for round := 0; round < rounds; round++ {
 			for _, m := range s.shards {

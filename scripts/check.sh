@@ -64,6 +64,29 @@ go test -race -count 1 -run 'ScanRowCap|SlotReuse|MGet|SnapScan|Lease|Versioned'
 echo "==> scan-heavy loopback soak (3s, race, SNAPSCAN + MGET mix)"
 go run -race ./cmd/cdrc-load -duration 3s -conns 4 -keys 1024 -scan-every 100 -scan-heavy
 
+# Cache-mode regression pass (DESIGN.md §11): the weak-ref crash-point
+# tests (a simulated death between pop and consume, or right after a
+# fresh record's push, must never lose or double a record's weak unit),
+# the TTL-aware lincheck histories (expire-vs-get races), the eviction
+# clock and backpressure suites, and the server cache verbs — named and
+# re-runnable, all under the race detector.
+echo "==> cache regression pass (race: weak-ref crashes, TTL lincheck, eviction)"
+go test -race -count 1 -run Cache \
+    ./internal/cache ./internal/ds/rcds ./internal/server ./collections ./internal/lincheck
+
+# Cache loopback soaks: the Zipf cache-aside scenario against a capped
+# arena. Gates: zero -BUSY from arena exhaustion (eviction must absorb
+# backpressure), reply conservation, value integrity, the identity
+# inserts == evicts + expires + dels + resident at quiescence, a
+# hit-ratio floor, and zero leaks at Close. The chaos pass adds seeded
+# crashes at the cache's weak-ref points plus worker-op deaths.
+echo "==> cache loopback soak (5s, race, capped arena, hit-ratio floor)"
+go run -race ./cmd/cdrc-load -cache -duration 5s -conns 4 -arena-cap 512 -min-hit-ratio 0.5
+
+echo "==> cache loopback soak under chaos (5s, race, crashes at weak-ref points)"
+go run -race ./cmd/cdrc-load -cache -duration 5s -conns 4 -arena-cap 512 \
+    -chaos -chaos-seed 1 -crash-workers 2
+
 # Cluster failover soak: a 3-node loopback cluster (DESIGN.md §9) under
 # ClusterClient load while the chaos injector fail-stops one whole node
 # (seeded, budgeted). Gates: zero lost acked writes (every key's last
@@ -123,6 +146,35 @@ awk -v base="$base" -v snap="$snap" 'BEGIN {
     if (base + 0 <= 0 || snap + 0 <= 0) { print "    gate error: missing put p99"; exit 1 }
     if (snap > 1.3 * base) { printf "    FAIL: scan-heavy put p99 %.2fx no-scan, want <= 1.3x\n", snap/base; exit 1 }
     printf "    OK: scan-heavy put p99 %.2fx no-scan\n", snap/base
+}'
+
+# Cache backpressure latency gate (DESIGN.md §11): with the arena capped
+# far below the key space, every SETEX that hits ErrExhausted evicts
+# synchronously and retries — that work must cost at most 1.5x the
+# uncapped baseline's SETEX p99 (and the harness itself fails on any
+# arena -BUSY). Best of 2 per configuration for scheduler noise; the
+# recorded run lives in results/BENCH_cache.json.
+echo "==> cache eviction latency gate (SETEX p99 capped vs uncapped, best of 2)"
+setex_p99() {
+    awk -F'[:,]' '/"setex"/ {f=1} f && /"p99"/ {gsub(/[ "]/, "", $2); print $2; exit}' "$1"
+}
+base=""
+capped=""
+for i in 1 2; do
+    go run ./cmd/cdrc-load -cache -duration 3s -conns 4 \
+        -json-out /tmp/cdrc-check-cache-uncapped.json >/dev/null
+    b=$(setex_p99 /tmp/cdrc-check-cache-uncapped.json)
+    go run ./cmd/cdrc-load -cache -duration 3s -conns 4 -arena-cap 512 \
+        -json-out /tmp/cdrc-check-cache-capped.json >/dev/null
+    s=$(setex_p99 /tmp/cdrc-check-cache-capped.json)
+    base=$(awk -v cur="$base" -v new="$b" 'BEGIN {print (cur == "" || new + 0 < cur + 0) ? new : cur}')
+    capped=$(awk -v cur="$capped" -v new="$s" 'BEGIN {print (cur == "" || new + 0 < cur + 0) ? new : cur}')
+done
+echo "    uncapped setex p99 ${base} ns, capped setex p99 ${capped} ns"
+awk -v base="$base" -v capped="$capped" 'BEGIN {
+    if (base + 0 <= 0 || capped + 0 <= 0) { print "    gate error: missing setex p99"; exit 1 }
+    if (capped > 1.5 * base) { printf "    FAIL: capped setex p99 %.2fx uncapped, want <= 1.5x\n", capped/base; exit 1 }
+    printf "    OK: capped setex p99 %.2fx uncapped\n", capped/base
 }'
 
 # Overhead gate: with observability compiled in but disabled, every
