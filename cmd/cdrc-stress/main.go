@@ -22,6 +22,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"os"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -307,7 +308,7 @@ func stressScheme(name string, s rcscheme.StackScheme, workers int, dur time.Dur
 					sc.Abandon()
 					return
 				}
-				fe.set(fmt.Errorf("%s: worker panic: %v", name, r))
+				fe.set(fmt.Errorf("%s: worker panic: %v\n%s", name, r, debug.Stack()))
 				releaseStrays(lt)
 				releaseStrays(st)
 				safeDetach(name, lt, &fe)

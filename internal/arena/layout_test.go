@@ -1,0 +1,65 @@
+package arena
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The biased-count protocol (DESIGN.md §12) splits an object's count
+// across two header words: the single-writer Owner word and the shared
+// atomic RefCount word. Both are touched on every count operation, so
+// they must share one cache line within an object — and the header must
+// total exactly 64 bytes so that, whenever slots land line-aligned, one
+// slot's count words never share a line with its neighbour's. The
+// ArenaChurn gate in check.sh guards the behavioural half; this test
+// pins the layout itself so an innocent-looking field addition cannot
+// silently split or collide the words.
+func TestHeaderLayout(t *testing.T) {
+	var h Header
+	if got := unsafe.Sizeof(h); got != 64 {
+		t.Fatalf("Header size = %d bytes, want exactly 64 (one cache line)", got)
+	}
+	refOff := unsafe.Offsetof(h.RefCount)
+	ownOff := unsafe.Offsetof(h.Owner)
+	if ownOff != refOff+8 {
+		t.Fatalf("Owner at offset %d, RefCount at %d: the two count words must be adjacent", ownOff, refOff)
+	}
+	if refOff%8 != 0 || ownOff%8 != 0 {
+		t.Fatalf("count words misaligned: RefCount at %d, Owner at %d", refOff, ownOff)
+	}
+}
+
+// A freshly allocated slot must come back unbiased even when its
+// previous life left a stale owner word (that would be a lost-count bug
+// elsewhere, but the arena's zeroing is the backstop DebugChecks relies
+// on).
+func TestAllocResetsOwnerWord(t *testing.T) {
+	p := NewPool[int](2)
+	h := p.Alloc(0)
+	hdr := p.Hdr(h)
+	if hdr.Owner.Load() != 0 {
+		t.Fatal("fresh slot has nonzero owner word")
+	}
+	hdr.Owner.Store(0) // unbias before Free, as the core scheme must
+	p.Free(0, h)
+	h2 := p.Alloc(0)
+	if p.Hdr(h2).Owner.Load() != 0 {
+		t.Fatal("recycled slot has nonzero owner word")
+	}
+	p.Free(0, h2)
+}
+
+// Freeing a still-biased slot under DebugChecks must panic: destruction
+// is only legal on unbiased objects.
+func TestFreeBiasedSlotPanics(t *testing.T) {
+	p := NewPool[int](2)
+	p.DebugChecks = true
+	h := p.Alloc(0)
+	p.Hdr(h).Owner.Store(1<<32 | 1) // biased to pid 0, local count 1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free of a biased slot did not panic")
+		}
+	}()
+	p.Free(0, h)
+}

@@ -78,7 +78,20 @@ type Header struct {
 
 	// RefCount is the object's reference count. The arena zeroes it on
 	// Alloc; its semantics belong entirely to the scheme using the pool.
+	// The core scheme uses it as the *shared* word of a biased count
+	// (count in the bits above its two flag bits; see DESIGN.md §12).
 	RefCount atomic.Int64
+
+	// Owner is the biased-count owner word (DESIGN.md §12): the owning
+	// pid+1 in the high 32 bits, that pid's local count in the low 32;
+	// 0 means unbiased. It is single-writer — only the thread currently
+	// holding the named pid (or an exclusive reserver/adopter of that
+	// pid) may store to it. Keeping it adjacent to RefCount puts both
+	// halves of one object's count in the same cache line, and the
+	// 64-byte Header total keeps them out of the neighbouring slot's
+	// line whenever slots are line-aligned. Zeroed on Alloc; ignored by
+	// schemes that do not bias.
+	Owner atomic.Uint64
 
 	// WeakCount is a second counter for schemes that support weak
 	// references (the core library's cycle-breaking extension). Zeroed on
@@ -350,6 +363,9 @@ func (p *Pool[T]) takeSlot(procID int) (uint64, bool) {
 	if hdr.RefCount.Load() != 0 {
 		hdr.RefCount.Store(0)
 	}
+	if hdr.Owner.Load() != 0 {
+		hdr.Owner.Store(0)
+	}
 	if hdr.WeakCount.Load() != 0 {
 		hdr.WeakCount.Store(0)
 	}
@@ -389,6 +405,13 @@ func (p *Pool[T]) Free(procID int, h Handle) {
 	}
 	chaosFree.Fire()
 	s := p.slotFor(idx)
+	if p.DebugChecks {
+		// A biased slot must be unbiased (owner word folded and cleared)
+		// before its object can die; freeing one means a count was lost.
+		if ow := s.hdr.Owner.Load(); ow != 0 {
+			panic(fmt.Sprintf("arena: free of biased slot %#x (owner word %#x)", uint64(h), ow))
+		}
+	}
 	if !s.hdr.state.CompareAndSwap(stateLive, stateFree) {
 		panic(fmt.Sprintf("arena: double free of handle %#x (state %#x)", uint64(h), s.hdr.state.Load()))
 	}

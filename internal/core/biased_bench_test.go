@@ -1,0 +1,52 @@
+package core
+
+import "testing"
+
+// BenchmarkCountChurnOwner measures Clone/Release churn performed by the
+// thread that allocated the object — the shard-affine common case the
+// KV service hits on every operation (PR 4 pinned workers to shards, so
+// almost every count touch is by the allocating pid). This is the
+// workload the biased fast path targets; check.sh gates it against the
+// recorded pre-bias seed in results/BENCH_biased.json.
+func BenchmarkCountChurnOwner(b *testing.B) {
+	d := NewDomain[node](Config[node]{MaxProcs: 8})
+	th := d.Attach()
+	p := th.NewRc(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := th.Clone(p)
+		th.Release(q)
+	}
+	b.StopTimer()
+	th.Release(p)
+	drain(th)
+	th.Detach()
+	if live := d.Live(); live != 0 {
+		b.Fatalf("Live = %d after churn", live)
+	}
+}
+
+// BenchmarkCountChurnCross is the same churn performed by a thread that
+// did NOT allocate the object: every touch takes the shared-word path.
+// check.sh gates this within 10% of the recorded seed — the biased
+// layout must not tax cross-thread traffic.
+func BenchmarkCountChurnCross(b *testing.B) {
+	d := NewDomain[node](Config[node]{MaxProcs: 8})
+	owner := d.Attach()
+	other := d.Attach()
+	p := owner.NewRc(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := other.Clone(p)
+		other.Release(q)
+	}
+	b.StopTimer()
+	owner.Release(p)
+	drain(other)
+	drain(owner)
+	other.Detach()
+	owner.Detach()
+	if live := d.Live(); live != 0 {
+		b.Fatalf("Live = %d after churn", live)
+	}
+}

@@ -18,8 +18,6 @@
 package core
 
 import (
-	"fmt"
-
 	"cdrc/internal/acqret"
 	"cdrc/internal/arena"
 	"cdrc/internal/chaos"
@@ -163,6 +161,10 @@ type Domain[T any] struct {
 	ar    *acqret.Domain
 	cfg   Config[T]
 	procs int
+
+	// inboxes holds one merge inbox per pid (biased.go). An inbox is
+	// open exactly while its pid is registered.
+	inboxes []mergeInbox
 }
 
 // NewDomain creates a Domain with the given configuration.
@@ -185,17 +187,30 @@ func NewDomain[T any](cfg Config[T]) *Domain[T] {
 		// processor's private arena magazines (active and spare) onto the
 		// global block stack before the id can be reissued (the
 		// one-id-space invariant: a reissued id must start with empty
-		// magazines).
+		// magazines), and close + fold the dead pid's merge inbox so no
+		// queued biased count is stranded: each folded request either
+		// settles the object's count or re-defers its final unit to the
+		// orphan pool (via RetireOrphan, the one re-entrant call the
+		// adopt hook is allowed).
 		acqret.WithAdoptHook(func(procID int) {
 			d.pool.DrainLocal(procID)
+			for _, h := range d.inboxes[procID].closeAndTake() {
+				d.mergeOwned(procID, h, nil)
+			}
 		}))
 	d.pool.DebugChecks = cfg.DebugChecks
+	d.inboxes = make([]mergeInbox, procs)
+	for i := range d.inboxes {
+		d.inboxes[i].closed = true // opened by Attach
+	}
 	return d
 }
 
 // Attach registers the calling worker and returns its Thread.
 func (d *Domain[T]) Attach() *Thread[T] {
-	return &Thread[T]{d: d, pid: d.ar.Register()}
+	id := d.ar.Register()
+	d.inboxes[id].open()
+	return &Thread[T]{d: d, pid: id}
 }
 
 // Live returns the number of currently allocated objects (the "allocated
@@ -225,6 +240,20 @@ type Thread[T any] struct {
 	d        *Domain[T]
 	pid      int
 	snapNext int // round-robin victim for snapshot-slot takeover
+
+	// rights is the stack of pids this thread currently holds registry
+	// reservations for (biased.go): a merge performed under a
+	// reservation can itself apply decrements that queue merges for the
+	// same pid, and those must fold directly rather than re-reserve.
+	rights []int
+
+	// Count-touch tallies, published to the obs counters by
+	// flushRcTally at drain points (biased.go). Plain single-writer
+	// fields so the per-touch hot paths pay no atomic — not even obs's
+	// disabled nil-load.
+	nBiased uint64
+	nShared uint64
+	nUnbias uint64
 }
 
 // Domain returns the thread's domain.
@@ -243,6 +272,17 @@ func (t *Thread[T]) Detach() {
 		}
 	}
 	t.drainLocal()
+	// Close the merge inbox and fold anything that raced past the drain,
+	// then drain again to apply whatever the folds retired. After the
+	// close no new request can land (push fails on a closed inbox);
+	// later cross-pid notifiers fold on our behalf under a registry
+	// reservation instead. Objects still biased to this pid — their
+	// units parked in shared cells — are inherited by the id's next
+	// holder or folded lazily through that same path.
+	for _, h := range t.d.inboxes[t.pid].closeAndTake() {
+		t.d.mergeOwned(t.pid, h, t)
+	}
+	t.drainLocal()
 	t.d.ar.Unregister(t.pid)
 }
 
@@ -259,6 +299,7 @@ func (t *Thread[T]) Detach() {
 // permanent leak. Crash-style fault injection is therefore restricted to
 // points where the dying thread holds no counted references.
 func (t *Thread[T]) Abandon() {
+	t.flushRcTally()
 	t.d.ar.Abandon(t.pid)
 }
 
@@ -289,12 +330,22 @@ func (t *Thread[T]) ReleaseStraySnapshots() {
 	}
 }
 
-// drainLocal synchronously ejects and applies everything currently safe.
+// drainLocal synchronously ejects and applies everything currently
+// safe, folding queued merge requests as it goes (a fold can retire a
+// synthetic unit, and an applied decrement can queue a merge, so the
+// loop runs both to a joint fixed point).
 func (t *Thread[T]) drainLocal() {
+	defer t.flushRcTally()
 	for {
+		if t.d.inboxes[t.pid].n.Load() != 0 {
+			t.drainMergeInbox()
+		}
 		out := t.d.ar.EjectAllLocal(t.pid)
 		if len(out) == 0 {
-			return
+			if t.d.inboxes[t.pid].n.Load() == 0 {
+				return
+			}
+			continue
 		}
 		obsDecrApplied.Add(t.pid, uint64(len(out)))
 		for _, w := range out {
@@ -317,18 +368,40 @@ func (t *Thread[T]) DrainArena() { t.d.pool.DrainLocal(t.pid) }
 
 // --- internal count plumbing -------------------------------------------
 
+// increment adds one count unit. The owner of the bias updates its
+// local count with a plain load + store on the single-writer owner
+// word; everyone else adds to the shared word (safe blindly: every
+// increment is protected by a held unit or an announcement, so the
+// object cannot die underneath it). See biased.go for the protocol.
 func (t *Thread[T]) increment(h arena.Handle) {
-	t.d.pool.Hdr(h).RefCount.Add(1)
+	hdr := t.d.pool.Hdr(h)
+	if ow := hdr.Owner.Load(); ow != 0 && biasPid(ow) == t.pid {
+		hdr.Owner.Store(ow + 1)
+		t.nBiased++
+		return
+	}
+	hdr.RefCount.Add(1 << rcShift)
+	t.nShared++
 }
 
+// decrement applies one safe-to-apply count unit removal (the handle
+// was ejected, or the domain destructs eagerly). The bias owner pays a
+// load + store while local units remain and unbiases on the last one;
+// other pids go through the shared word (biased.go).
 func (t *Thread[T]) decrement(h arena.Handle) {
 	h = h.Unmarked()
-	if c := t.d.pool.Hdr(h).RefCount.Add(-1); c == 0 {
-		chaosDecrementZero.Fire()
-		t.deleteObj(h)
-	} else if c < 0 {
-		panic(fmt.Sprintf("core: reference count of %#x went negative (%d)", uint64(h), c))
+	hdr := t.d.pool.Hdr(h)
+	if ow := hdr.Owner.Load(); ow != 0 && biasPid(ow) == t.pid {
+		t.nBiased++
+		if biasLocal(ow) > 1 {
+			hdr.Owner.Store(ow - 1)
+			return
+		}
+		t.unbiasOnLastLocal(h, hdr)
+		return
 	}
+	t.nShared++
+	t.sharedDecrement(h, hdr)
 }
 
 // deleteObj destroys the object: runs the finalizer (which releases child
@@ -357,6 +430,11 @@ func (t *Thread[T]) deleteObj(h arena.Handle) {
 // step (Fig. 3's retire_and_eject), applying at most one now-safe deferred
 // decrement.
 func (t *Thread[T]) retireAndEject(h arena.Handle) {
+	// Merge point: fold any queued biased counts before deferring more
+	// work (one atomic load when the inbox is empty, the common case).
+	if t.d.inboxes[t.pid].n.Load() != 0 {
+		t.drainMergeInbox()
+	}
 	obsDecrDeferred.Inc(t.pid)
 	if obs.Enabled() {
 		t.d.pool.Hdr(h.Unmarked()).RetireEra.Store(obs.NowNanos())
@@ -374,10 +452,13 @@ func (t *Thread[T]) retireAndEject(h arena.Handle) {
 // owning reference together with a pointer for initialization. The object
 // must be fully initialized before its reference is shared. The weak
 // count starts at 1: the unit all strong references collectively hold.
+// The object is born biased to the allocating pid with one local unit
+// (the shared word stays at the zero the arena guarantees), so the
+// shard-affine common case never touches a contended counter.
 func (t *Thread[T]) AllocRc() (RcPtr, *T) {
 	h := t.d.pool.Alloc(t.pid)
 	hdr := t.d.pool.Hdr(h)
-	hdr.RefCount.Store(1)
+	hdr.Owner.Store(packBias(t.pid, 1))
 	hdr.WeakCount.Store(1)
 	return RcPtr{h}, t.d.pool.Get(h)
 }
@@ -403,7 +484,7 @@ func (t *Thread[T]) TryAllocRc() (RcPtr, *T, error) {
 		return NilRcPtr, nil, err
 	}
 	hdr := t.d.pool.Hdr(h)
-	hdr.RefCount.Store(1)
+	hdr.Owner.Store(packBias(t.pid, 1))
 	hdr.WeakCount.Store(1)
 	return RcPtr{h}, t.d.pool.Get(h), nil
 }
@@ -434,10 +515,16 @@ func (t *Thread[T]) DerefSnapshot(s Snapshot) *T {
 	return t.d.pool.Get(s.h)
 }
 
-// RefCount returns the current reference count of p's object (diagnostics;
-// inherently racy).
+// RefCount returns the current reference count of p's object
+// (diagnostics; inherently racy): the merged sum of the owner-local and
+// shared words, never a misleading partial value.
 func (t *Thread[T]) RefCount(p RcPtr) int64 {
-	return t.d.pool.Hdr(p.h).RefCount.Load()
+	hdr := t.d.pool.Hdr(p.h)
+	c := sharedCount(hdr.RefCount.Load())
+	if ow := hdr.Owner.Load(); ow != 0 {
+		c += int64(biasLocal(ow))
+	}
+	return c
 }
 
 // Clone returns a new counted reference to p's object. Safe because the
@@ -462,7 +549,7 @@ func (t *Thread[T]) Release(p RcPtr) {
 		t.decrement(p.h)
 		return
 	}
-	t.retireAndEject(p.h)
+	t.releaseOwned(p.h)
 }
 
 // --- atomic cells ---------------------------------------------------------
@@ -484,6 +571,17 @@ func (t *Thread[T]) Load(a *AtomicRcPtr) RcPtr {
 // Store atomically replaces the reference in a with a counted copy of v
 // (Fig. 3 store, copy semantics). The overwritten reference's decrement is
 // deferred via retire_and_eject. O(1) expected steps.
+//
+// Overwrite discipline: the old occupant's unit must retire
+// unconditionally — never the biased inline fast path — in every cell
+// overwrite below (Store, StoreMove, StoreSnapshot, the CAS family). A
+// concurrent Fig. 3 loader that announced and validated the old handle
+// but has not yet incremented is protected only by the retire scan
+// honoring its announcement; it is exactly the cell's unit that backs
+// that protection. Folding it into the owner word inline would let a
+// later release of the owner's remaining units reach the zero decision
+// without consulting announcements and destroy the object under the
+// loader (caught by TestEagerOverwriteReleaseVsLoadWindow).
 func (t *Thread[T]) Store(a *AtomicRcPtr, v RcPtr) {
 	if !v.IsNil() {
 		// The caller's reference keeps the count positive, so this

@@ -103,7 +103,7 @@ func TestLoadProtectionWindow(t *testing.T) {
 	if d.Live() == 0 {
 		t.Fatal("object freed under an active acquire")
 	}
-	if got := t1.d.pool.Hdr(h).RefCount.Load(); got != 1 {
+	if got := t1.RefCount(RcPtr{h}); got != 1 {
 		t.Fatalf("count = %d during window, want 1", got)
 	}
 
@@ -113,7 +113,7 @@ func TestLoadProtectionWindow(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		t1.Flush()
 	}
-	if got := t1.d.pool.Hdr(h).RefCount.Load(); got != 1 {
+	if got := t1.RefCount(RcPtr{h}); got != 1 {
 		t.Fatalf("count = %d after window, want 1 (t2's)", got)
 	}
 	t2.Release(RcPtr{h})

@@ -12,6 +12,7 @@ package pid
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultMaxProcs is the registry capacity used when a component is created
@@ -23,11 +24,13 @@ const DefaultMaxProcs = 256
 // usable; create one with NewRegistry.
 type Registry struct {
 	mu        sync.Mutex
-	free      []int // stack of released ids
-	next      int   // next never-used id
+	free      []int        // stack of released ids
+	next      int          // next never-used id
+	hw        atomic.Int64 // mirrors next so HighWater skips the lock
 	cap       int
 	inUse     int
 	abandoned map[int]bool // ids whose owner died without Release
+	reserved  map[int]bool // ids held out of circulation by TryReserve
 }
 
 // NewRegistry returns a registry that can have at most maxProcs ids
@@ -63,6 +66,7 @@ func (r *Registry) Register() int {
 	case r.next < r.cap:
 		id = r.next
 		r.next++
+		r.hw.Store(int64(r.next))
 	default:
 		panic(fmt.Sprintf("pid: registry full (maxProcs=%d)", r.cap))
 	}
@@ -83,6 +87,7 @@ func (r *Registry) TryRegister() (int, bool) {
 	case r.next < r.cap:
 		id = r.next
 		r.next++
+		r.hw.Store(int64(r.next))
 	default:
 		return 0, false
 	}
@@ -107,6 +112,42 @@ func (r *Registry) Release(id int) {
 	}
 	r.free = append(r.free, id)
 	r.inUse--
+}
+
+// TryReserve takes id out of circulation if and only if it is currently
+// unowned (on the free stack: previously released, neither registered,
+// abandoned, nor already reserved). While reserved the id cannot be
+// handed out by Register, so the reserver holds the same exclusivity
+// over the id's per-processor state that a registered owner would —
+// the biased-count layer uses this to fold a detached pid's owner words
+// on its behalf. Pair with Unreserve.
+func (r *Registry) TryReserve(id int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, f := range r.free {
+		if f != id {
+			continue
+		}
+		r.free = append(r.free[:i], r.free[i+1:]...)
+		if r.reserved == nil {
+			r.reserved = make(map[int]bool)
+		}
+		r.reserved[id] = true
+		return true
+	}
+	return false
+}
+
+// Unreserve returns an id taken by TryReserve to the free stack.
+// Unreserving an id that is not currently reserved panics.
+func (r *Registry) Unreserve(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.reserved[id] {
+		panic(fmt.Sprintf("pid: unreserve of non-reserved id %d", id))
+	}
+	delete(r.reserved, id)
+	r.free = append(r.free, id)
 }
 
 // Abandon marks a registered id as abandoned: its owner died (or was
@@ -154,9 +195,9 @@ func (r *Registry) Abandoned() []int {
 }
 
 // HighWater returns the number of distinct ids ever handed out. Scans over
-// announcement slots only need to cover [0, HighWater()).
+// announcement slots only need to cover [0, HighWater()). Lock-free: the
+// value is monotone and mirrored atomically by Register, so it is called
+// on every incremental scan step without touching the registry lock.
 func (r *Registry) HighWater() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.next
+	return int(r.hw.Load())
 }

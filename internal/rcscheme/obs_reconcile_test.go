@@ -78,5 +78,17 @@ func TestObsQuiescenceReconciliation(t *testing.T) {
 		if d, ap := r.Counter("core.decr.deferred"), r.Counter("core.decr.applied"); d != ap {
 			t.Fatalf("after teardown: core.decr.deferred = %d, core.decr.applied = %d", d, ap)
 		}
+		// Biased-count identities, for the scheme families built on
+		// internal/core: every allocated lifetime is born biased and
+		// must unbias exactly once before its slot is freed, and a
+		// merge is one kind of unbias (trivially 0 == 0 elsewhere).
+		if r.Counter("core.rc.biased")+r.Counter("core.rc.shared") > 0 {
+			if u, a := r.Counter("core.rc.unbias"), r.Counter("arena.alloc"); u != a {
+				t.Fatalf("after teardown: core.rc.unbias = %d, arena.alloc = %d", u, a)
+			}
+		}
+		if m, u := r.Counter("core.rc.merge"), r.Counter("core.rc.unbias"); m > u {
+			t.Fatalf("after teardown: core.rc.merge = %d > core.rc.unbias = %d", m, u)
+		}
 	})
 }

@@ -12,6 +12,19 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+# Biased-count encapsulation lint: under the split count (DESIGN.md §12)
+# the shared word alone is NOT the reference count — the owner word may
+# hold more units — so only internal/core may read or write it through
+# the arena header. internal/arena defines the word and the baseline
+# schemes in internal/rcscheme implement their own counting over raw
+# headers (they never bias), so those stay exempt.
+echo "==> biased-count lint (Hdr().RefCount outside internal/core)"
+if grep -rn 'Hdr(.*)\.RefCount' --include='*.go' . \
+    | grep -v -e '^\./internal/core/' -e '^\./internal/arena/' -e '^\./internal/rcscheme/'; then
+    echo "    FAIL: raw shared-word access outside internal/core (use Thread.RefCount)"
+    exit 1
+fi
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -215,6 +228,25 @@ awk -v new1="$new1" -v new8="$new8" -v seed1="$seed1" -v seed8="$seed8" 'BEGIN {
     if (new8 > seed8 / 1.5) { printf "    FAIL: 8-proc churn only %.2fx seed, want >= 1.5x\n", seed8/new8; exit 1 }
     if (new1 > seed1 * 1.1) { printf "    FAIL: 1-proc churn %.1f%% slower than seed, want within 10%%\n", (new1/seed1 - 1) * 100; exit 1 }
     printf "    OK: 8-proc %.2fx seed, 1-proc %.2fx seed\n", seed8/new8, seed1/new1
+}'
+
+# Biased-count gate: single-owner Clone/Release churn must beat the
+# recorded pre-bias seed (results/BENCH_biased.json: 66.11 ns/op) by
+# >= 1.3x — the owner word turns the two atomic RMWs into plain
+# load/stores — while cross-thread churn (every touch on the shared
+# word) stays within 10% of its seed (64.89 ns/op). Best of 3.
+echo "==> biased count gate (BenchmarkCountChurn vs recorded seed, best of 3)"
+seed_owner=66.11
+seed_cross=64.89
+churn_out=$(go test -run '^$' -bench BenchmarkCountChurn -benchtime 2000000x -count 3 ./internal/core)
+new_owner=$(printf '%s\n' "$churn_out" | best_ns_op 'CountChurnOwner')
+new_cross=$(printf '%s\n' "$churn_out" | best_ns_op 'CountChurnCross')
+echo "    owner ${new_owner} ns/op (seed ${seed_owner}), cross ${new_cross} ns/op (seed ${seed_cross})"
+awk -v no="$new_owner" -v nc="$new_cross" -v so="$seed_owner" -v sc="$seed_cross" 'BEGIN {
+    if (no + 0 <= 0 || nc + 0 <= 0) { print "    gate error: missing ns/op"; exit 1 }
+    if (no > so / 1.3) { printf "    FAIL: owner churn only %.2fx seed, want >= 1.3x\n", so/no; exit 1 }
+    if (nc > sc * 1.1) { printf "    FAIL: cross churn %.1f%% slower than seed, want within 10%%\n", (nc/sc - 1) * 100; exit 1 }
+    printf "    OK: owner %.2fx seed, cross %.2fx seed\n", so/no, sc/nc
 }'
 
 echo "==> all checks passed"
