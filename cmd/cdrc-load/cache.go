@@ -40,6 +40,7 @@ type cacheParams struct {
 	chaosOn   bool
 	chaosSeed uint64
 	crashWk   int
+	valSize   valSizer
 }
 
 // cacheTally extends the base tally with cache-aside outcomes.
@@ -120,6 +121,7 @@ func runCache(fail func(string, ...any), p cacheParams) {
 			defer cl.Close()
 			rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
 			zipf := rand.NewZipf(rng, p.zipfS, p.zipfV, uint64(p.keys-1))
+			var vbuf []byte
 			classify := func(err error) bool {
 				switch err {
 				case nil:
@@ -140,7 +142,8 @@ func runCache(fail func(string, ...any), p cacheParams) {
 				switch {
 				case pr < p.writes:
 					// Write-through churn: sustained insert pressure.
-					_, _, err := cl.SetEx(k, valTag(k)|uint64(op&0xFFFF), p.ttl)
+					vbuf = fillVal(vbuf, k, op, p.valSize.draw(rng.Intn))
+					_, _, err := cl.SetEx(k, vbuf, p.ttl)
 					tl.sends++
 					obsCacheSetNs.Observe(uint64(time.Since(t0)))
 					if !classify(err) {
@@ -167,7 +170,7 @@ func runCache(fail func(string, ...any), p cacheParams) {
 					}
 					if ok {
 						tl.hits++
-						if v&^0xFFFF != valTag(k) {
+						if !valOK(v, k) {
 							tl.integrity++
 							return
 						}
@@ -175,7 +178,8 @@ func runCache(fail func(string, ...any), p cacheParams) {
 					}
 					tl.misses++
 					t0 = time.Now()
-					_, _, err = cl.SetEx(k, valTag(k)|uint64(op&0xFFFF), p.ttl)
+					vbuf = fillVal(vbuf, k, op, p.valSize.draw(rng.Intn))
+					_, _, err = cl.SetEx(k, vbuf, p.ttl)
 					tl.sends++
 					obsCacheSetNs.Observe(uint64(time.Since(t0)))
 					if !classify(err) {

@@ -122,7 +122,7 @@ func runCluster(fail func(string, ...any), p clusterParams) {
 					}
 					tl.oks++
 					if want, tracked := acked[key]; tracked {
-						if ok != want.present || (ok && v != want.val) {
+						if ok != want.present || (ok && vU64(v) != want.val) {
 							tl.integrity++
 							return
 						}
@@ -130,7 +130,7 @@ func runCluster(fail func(string, ...any), p clusterParams) {
 				case pr < p.reads+p.puts:
 					val := valTag(key) | uint64(op&0xFFFF)
 					if !ackWrite(tl, deadline, func() error {
-						_, _, err := cc.Put(key, val)
+						_, _, err := cc.Put(key, u64v(val))
 						return err
 					}) {
 						return
@@ -175,9 +175,9 @@ func runCluster(fail func(string, ...any), p clusterParams) {
 			if err != nil {
 				fail("verify Get(%d): %v", key, err)
 			}
-			if ok != want.present || (ok && v != want.val) {
+			if ok != want.present || (ok && vU64(v) != want.val) {
 				fmt.Printf("cdrc-load: LOST acked write: conn %d key %d got (%d,%v) want (%d,%v)\n",
-					id, key, v, ok, want.val, want.present)
+					id, key, vU64(v), ok, want.val, want.present)
 				lost++
 			}
 		}

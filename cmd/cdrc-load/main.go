@@ -99,6 +99,7 @@ func main() {
 		scanEvry = flag.Int("scan-every", 200, "issue SCAN 16 every Nth op per connection (0 = never)")
 		scanHvy  = flag.Bool("scan-heavy", false, "snapshot-read mix: the scan-every boundary issues SNAPSCAN 512 plus a 4-key MGET instead of SCAN 16")
 		pipeline = flag.Int("pipeline", 1, "requests in flight per connection (1 = lock-step round trips)")
+		valSize  = flag.String("val-size", "8", "value size in bytes: fixed (\"64\") or uniform range (\"64:1024\"); floor 8")
 		jsonOut  = flag.String("json-out", "", "write a machine-readable run summary (throughput + latency quantiles) to this file")
 
 		shards   = flag.Int("shards", 4, "in-process server: shards")
@@ -125,6 +126,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cdrc-load: FAIL: "+format+"\n", args...)
 		os.Exit(1)
 	}
+	vs, err := parseValSize(*valSize)
+	if err != nil {
+		fail("%v", err)
+	}
 
 	if *cacheOn {
 		if *cluster > 1 {
@@ -132,6 +137,7 @@ func main() {
 		}
 		runCache(fail, cacheParams{
 			addr:      *addr,
+			valSize:   vs,
 			duration:  *duration,
 			conns:     *conns,
 			keys:      *keys,
@@ -207,9 +213,9 @@ func main() {
 		target = srv.Addr()
 	}
 
-	fmt.Printf("cdrc-load: %v against %s (conns=%d keys=%d zipf=%.2f mix=%.0f/%.0f/%.0f pipeline=%d chaos=%v)\n",
+	fmt.Printf("cdrc-load: %v against %s (conns=%d keys=%d zipf=%.2f mix=%.0f/%.0f/%.0f pipeline=%d val-size=%s chaos=%v)\n",
 		*duration, target, *conns, *keys, *zipfS,
-		*reads*100, *puts*100, (1-*reads-*puts)*100, *pipeline, *chaosOn)
+		*reads*100, *puts*100, (1-*reads-*puts)*100, *pipeline, *valSize, *chaosOn)
 
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
@@ -248,6 +254,7 @@ func main() {
 				// integrity are still checked per request.
 				depth := *pipeline
 				var b server.Batch
+				var vbuf []byte
 				results := make([]server.Result, 0, depth)
 				keys := make([]uint64, 0, depth)
 				kinds := make([]byte, 0, depth)
@@ -262,7 +269,8 @@ func main() {
 							b.Get(k)
 							kinds = append(kinds, 'G')
 						case p < *reads+*puts:
-							b.Put(k, valTag(k)|uint64((op+j)&0xFFFF))
+							vbuf = fillVal(vbuf, k, op+j, vs.draw(rng.Intn))
+							b.Put(k, vbuf)
 							kinds = append(kinds, 'P')
 						default:
 							b.Del(k)
@@ -285,7 +293,7 @@ func main() {
 							continue
 						}
 						tl.oks++
-						if kinds[i] == 'G' && res.Found && res.Val&^0xFFFF != valTag(keys[i]) {
+						if kinds[i] == 'G' && res.Found && !valOK(res.Bytes, keys[i]) {
 							tl.integrity++
 							return
 						}
@@ -312,6 +320,7 @@ func main() {
 				}
 				return
 			}
+			var vbuf []byte
 			for op := 0; !stop.Load() && time.Now().Before(deadline); op++ {
 				k := zipf.Uint64()
 				p := rng.Float64()
@@ -339,7 +348,7 @@ func main() {
 					}
 					if err == nil {
 						for i, r := range res {
-							if r.Found && r.Val&^0xFFFF != valTag(mk[i]) {
+							if r.Found && !valOK(r.Bytes, mk[i]) {
 								tl.integrity++
 								return
 							}
@@ -359,12 +368,13 @@ func main() {
 					if !classify(err) {
 						return
 					}
-					if err == nil && ok && v&^0xFFFF != valTag(k) {
+					if err == nil && ok && !valOK(v, k) {
 						tl.integrity++
 						return
 					}
 				case p < *reads+*puts:
-					_, _, err := cl.Put(k, valTag(k)|uint64(op&0xFFFF))
+					vbuf = fillVal(vbuf, k, op, vs.draw(rng.Intn))
+					_, _, err := cl.Put(k, vbuf)
 					tl.sends++
 					obsPutNs.Observe(uint64(time.Since(t0)))
 					if !classify(err) {
@@ -405,6 +415,7 @@ func main() {
 	opsPerSec := float64(total.sends) / secs
 	fmt.Printf("cdrc-load: %d ops (%.0f/s): ok=%d busy=%d err=%d integrity-violations=%d crashes=%d\n",
 		total.sends, opsPerSec, total.oks, total.busys, total.errs, total.integrity, crashes)
+	reportValClasses(r)
 	biasHit := 0.0
 	if b, s := r.Counter("core.rc.biased"), r.Counter("core.rc.shared"); b+s > 0 {
 		biasHit = float64(b) / float64(b+s)

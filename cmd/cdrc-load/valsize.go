@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cdrc/internal/obs"
+	"cdrc/internal/vals"
+)
+
+// Value sizing (-val-size). The spec is either a fixed byte count ("64")
+// or an inclusive range ("64:1024") drawn uniformly per write. The floor
+// is 8 bytes: every value leads with its 8-byte integrity tag
+// (valTag(key) | sequence), so a GET can detect torn, stale-freed, or
+// misdirected values whatever its length. Every generated value is also
+// counted per arena size class (load.val.class.<bytes>, plus
+// load.val.class.chain for overflow-chained values), so a sweep across
+// -val-size settings shows exactly which classes the traffic hit.
+
+// obsValClass counts values generated per size class, indexed like
+// vals.ClassOf (the last slot is the overflow chain).
+var obsValClass = func() []*obs.Counter {
+	cs := make([]*obs.Counter, vals.NumClasses+1)
+	for c := 0; c < vals.NumClasses; c++ {
+		cs[c] = obs.NewCounter(fmt.Sprintf("load.val.class.%d", vals.ClassSize(c)))
+	}
+	cs[vals.NumClasses] = obs.NewCounter("load.val.class.chain")
+	return cs
+}()
+
+// valSizer draws per-write value lengths from the parsed spec.
+type valSizer struct {
+	min, max int
+}
+
+// parseValSize parses "N" or "min:max" (bytes).
+func parseValSize(spec string) (valSizer, error) {
+	lo, hi, ranged := strings.Cut(spec, ":")
+	vmin, err := strconv.Atoi(lo)
+	if err != nil {
+		return valSizer{}, fmt.Errorf("bad -val-size %q: %v", spec, err)
+	}
+	vmax := vmin
+	if ranged {
+		if vmax, err = strconv.Atoi(hi); err != nil {
+			return valSizer{}, fmt.Errorf("bad -val-size %q: %v", spec, err)
+		}
+	}
+	if vmin < 8 {
+		vmin = 8 // room for the integrity tag
+	}
+	if vmax < vmin {
+		return valSizer{}, fmt.Errorf("bad -val-size %q: max below min", spec)
+	}
+	if vmax > vals.MaxLen {
+		return valSizer{}, fmt.Errorf("bad -val-size %q: above the %d-byte value cap", spec, vals.MaxLen)
+	}
+	return valSizer{min: vmin, max: vmax}, nil
+}
+
+// draw picks this write's length; r is any uniform source (rand.Intn
+// signature) so each connection can use its own seeded rng.
+func (vs valSizer) draw(intn func(int) int) int {
+	if vs.max == vs.min {
+		return vs.min
+	}
+	return vs.min + intn(vs.max-vs.min+1)
+}
+
+// fillVal renders an n-byte value for key into buf (reusing capacity):
+// the leading 8 bytes carry valTag(key)|seq, the tail is a deterministic
+// key-derived pad. The value's size class is counted.
+func fillVal(buf []byte, key uint64, seq, n int) []byte {
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	binary.LittleEndian.PutUint64(buf, valTag(key)|uint64(seq&0xFFFF))
+	for i := 8; i < n; i++ {
+		buf[i] = byte(key) ^ byte(i)
+	}
+	obsValClass[vals.ClassOf(n)].Inc(0)
+	return buf
+}
+
+// valOK verifies a fetched value's integrity tag.
+func valOK(v []byte, key uint64) bool {
+	if len(v) < 8 {
+		return false
+	}
+	return binary.LittleEndian.Uint64(v)&^0xFFFF == valTag(key)
+}
+
+// vU64 decodes a value's leading word (0 for short values) — used by the
+// cluster soak, whose acked-state record tracks the tag word.
+func vU64(v []byte) uint64 {
+	if len(v) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+
+// u64v renders a bare tag word as an 8-byte value.
+func u64v(x uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], x)
+	return b[:]
+}
+
+// reportValClasses prints the non-zero per-class hit counters.
+func reportValClasses(r *obs.Report) {
+	var parts []string
+	for c := 0; c < vals.NumClasses; c++ {
+		if n := r.Counter(fmt.Sprintf("load.val.class.%d", vals.ClassSize(c))); n > 0 {
+			parts = append(parts, fmt.Sprintf("%d:%d", vals.ClassSize(c), n))
+		}
+	}
+	if n := r.Counter("load.val.class.chain"); n > 0 {
+		parts = append(parts, fmt.Sprintf("chain:%d", n))
+	}
+	if len(parts) > 0 {
+		fmt.Printf("cdrc-load: value size-class hits (bytes:count): %s\n", strings.Join(parts, " "))
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"cdrc/internal/cache"
 )
 
-// Cache is a lock-free TTL cache from uint64 keys to uint64 values: the
-// same Michael-hash-table-over-DRC nodes as Map, plus an eviction index
-// that holds only weak references to entries (DESIGN.md §11). Every race
+// Cache is a lock-free TTL cache from uint64 keys to variable-length
+// byte values: the same Michael-hash-table-over-DRC nodes as Map (value
+// bytes inline in size-class arena slabs, DESIGN.md §13), plus an
+// eviction index that holds only weak references to entries
+// (DESIGN.md §11). Every race
 // between an evictor and a reader is arbitrated by the reference-counting
 // machinery — the reader's snapshot keeps the payload alive, an Upgrade
 // after destruction fails — so the get, set, evict, and sweep paths take
@@ -33,6 +35,10 @@ type CacheConfig struct {
 	// Capacity caps the backing arena in entry slots (0 = uncapped).
 	// Beyond it, Set evicts instead of failing.
 	Capacity uint64
+
+	// ValueCapacity caps each value size class in slab slots (0 =
+	// uncapped). Like Capacity, exhaustion triggers evict-then-retry.
+	ValueCapacity uint64
 
 	// IndexSize is the eviction ring's record capacity (0 derives
 	// 4 × max(ExpectedKeys, Capacity)).
@@ -65,6 +71,8 @@ func NewCache(cfg CacheConfig) *Cache {
 		ExpectedKeys:  cfg.ExpectedKeys,
 		MaxProcs:      cfg.MaxProcs,
 		Capacity:      cfg.Capacity,
+		ByteValues:    true,
+		ValueCapacity: cfg.ValueCapacity,
 		IndexSize:     cfg.IndexSize,
 		SweepInterval: cfg.SweepInterval,
 		SweepBatch:    cfg.SweepBatch,
@@ -107,22 +115,24 @@ type CacheHandle struct {
 	h *cache.Handle
 }
 
-// SetEx binds key to val with a TTL (0 = no expiry). Under arena
-// backpressure it synchronously evicts victims and retries; only if the
-// eviction index runs dry and peers hold no reclaimable slots does the
-// arena error surface.
-func (h *CacheHandle) SetEx(key, val uint64, ttl time.Duration) (old uint64, existed bool, err error) {
-	return h.h.SetEx(key, val, ttl)
+// SetEx binds key to val's bytes with a TTL (0 = no expiry), appending
+// any displaced live value to dst. Under arena backpressure — node
+// slots or value slabs — it synchronously evicts victims and retries;
+// only if the eviction index runs dry and peers hold no reclaimable
+// slots does the arena error surface.
+func (h *CacheHandle) SetEx(key uint64, val []byte, ttl time.Duration, dst []byte) (old []byte, existed bool, err error) {
+	return h.h.SetExB(key, val, ttl, dst)
 }
 
-// GetEx returns key's value if present and unexpired, marking it recently
-// used; a non-zero ttl also replaces the deadline (the GETEX touch).
-func (h *CacheHandle) GetEx(key uint64, ttl time.Duration) (uint64, bool) {
-	return h.h.GetEx(key, ttl)
+// GetEx appends key's value to dst if present and unexpired, marking it
+// recently used; a non-zero ttl also replaces the deadline (the GETEX
+// touch).
+func (h *CacheHandle) GetEx(key uint64, ttl time.Duration, dst []byte) ([]byte, bool) {
+	return h.h.GetExB(key, ttl, dst)
 }
 
 // Get is GetEx without a TTL touch.
-func (h *CacheHandle) Get(key uint64) (uint64, bool) { return h.h.Get(key) }
+func (h *CacheHandle) Get(key uint64, dst []byte) ([]byte, bool) { return h.h.GetB(key, dst) }
 
 // Expire replaces key's deadline (ttl <= 0 expires it immediately),
 // reporting whether the key was present and live.
@@ -132,10 +142,11 @@ func (h *CacheHandle) Expire(key uint64, ttl time.Duration) bool { return h.h.Ex
 func (h *CacheHandle) Del(key uint64) bool { return h.h.Del(key) }
 
 // Scan visits up to limit live (unexpired) entries (limit < 0 for all),
-// stopping early when fn returns false. Weakly consistent; never observes
-// freed memory.
-func (h *CacheHandle) Scan(limit int, fn func(key, val uint64) bool) int {
-	return h.h.Scan(limit, fn)
+// stopping early when fn returns false. Weakly consistent; never
+// observes freed memory. val is handle-owned scratch, valid only until
+// fn returns — copy to retain.
+func (h *CacheHandle) Scan(limit int, fn func(key uint64, val []byte) bool) int {
+	return h.h.ScanB(limit, fn)
 }
 
 // Close detaches the handle. Idempotent.

@@ -1,6 +1,7 @@
 package collections
 
 import (
+	"bytes"
 	"testing"
 	"time"
 )
@@ -8,19 +9,35 @@ import (
 func TestCacheWrapperBasics(t *testing.T) {
 	c := NewCache(CacheConfig{ExpectedKeys: 64, DebugChecks: true})
 	h := c.Attach()
-	if _, existed, err := h.SetEx(1, 10, 0); err != nil || existed {
+	if _, existed, err := h.SetEx(1, u64b(10), 0, nil); err != nil || existed {
 		t.Fatalf("fresh SetEx: existed=%v err=%v", existed, err)
 	}
-	if v, ok := h.Get(1); !ok || v != 10 {
-		t.Fatalf("Get: %d %v", v, ok)
+	if v, ok := h.Get(1, nil); !ok || bu64(v) != 10 {
+		t.Fatalf("Get: %d %v", bu64(v), ok)
 	}
-	h.SetEx(2, 20, 2*time.Millisecond)
+	// Variable-length values live in slabs; a replace hands back the old
+	// bytes appended to dst.
+	long := bytes.Repeat([]byte{0xA5}, 600)
+	if _, _, err := h.SetEx(3, long, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	old, existed, err := h.SetEx(3, []byte("short"), 0, nil)
+	if err != nil || !existed || !bytes.Equal(old, long) {
+		t.Fatalf("replace SetEx: existed=%v err=%v oldlen=%d", existed, err, len(old))
+	}
+	if v, ok := h.Get(3, nil); !ok || string(v) != "short" {
+		t.Fatalf("Get(3): %q %v", v, ok)
+	}
+	h.SetEx(2, u64b(20), 2*time.Millisecond, nil)
 	time.Sleep(5 * time.Millisecond)
-	if _, ok := h.Get(2); ok {
+	if _, ok := h.Get(2, nil); ok {
 		t.Fatal("expired key still readable")
 	}
 	if !h.Del(1) {
 		t.Fatal("Del miss")
+	}
+	if !h.Del(3) {
+		t.Fatal("Del(3) miss")
 	}
 	h.Close()
 	if err := c.CheckIdentity(); err != nil {
@@ -35,7 +52,7 @@ func TestCacheWrapperEvictsUnderCap(t *testing.T) {
 	c := NewCache(CacheConfig{ExpectedKeys: 256, Capacity: 64, DebugChecks: true})
 	h := c.Attach()
 	for k := uint64(0); k < 500; k++ {
-		if _, _, err := h.SetEx(k, k, 0); err != nil {
+		if _, _, err := h.SetEx(k, u64b(k), 0, nil); err != nil {
 			t.Fatalf("SetEx %d: %v", k, err)
 		}
 	}
@@ -44,6 +61,30 @@ func TestCacheWrapperEvictsUnderCap(t *testing.T) {
 	}
 	if got := c.Resident(); got > 64 {
 		t.Fatalf("resident %d exceeds cap 64", got)
+	}
+	h.Close()
+	if err := c.CheckIdentity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheWrapperValueCapEvicts caps the value slabs (not the node
+// arena) and checks backpressure from the value plane also converts into
+// evictions rather than errors.
+func TestCacheWrapperValueCapEvicts(t *testing.T) {
+	c := NewCache(CacheConfig{ExpectedKeys: 256, ValueCapacity: 32, DebugChecks: true})
+	h := c.Attach()
+	val := bytes.Repeat([]byte{7}, 120) // class 128, ≤32 resident slabs
+	for k := uint64(0); k < 300; k++ {
+		if _, _, err := h.SetEx(k, val, 0, nil); err != nil {
+			t.Fatalf("SetEx %d: %v", k, err)
+		}
+	}
+	if c.Stats().Evicts == 0 {
+		t.Fatal("no evictions despite capped value slabs")
 	}
 	h.Close()
 	if err := c.CheckIdentity(); err != nil {

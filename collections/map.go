@@ -5,11 +5,15 @@ import (
 	"cdrc/internal/ds/rcds"
 )
 
-// Map is a lock-free hash map from uint64 keys to uint64 values, built on
-// the same Michael-hash-table-over-DRC nodes as HashSet: lookups acquire
-// a single snapshot pointer on average and touch no shared counter, and a
-// replaced or deleted entry frees itself once the last in-flight reader
-// lets go. It is the storage engine behind internal/server and
+// Map is a lock-free hash map from uint64 keys to variable-length byte
+// values, built on the same Michael-hash-table-over-DRC nodes as
+// HashSet: lookups acquire a single snapshot pointer on average and
+// touch no shared counter, and a replaced or deleted entry frees itself
+// once the last in-flight reader lets go. Value bytes live inline in
+// size-class arena slabs (DESIGN.md §13), never on the Go heap, so the
+// data plane stays invisible to the garbage collector; values longer
+// than 4 KiB chain overflow chunks and may be up to vals.MaxLen (~4 MiB)
+// long. It is the storage engine behind internal/server and
 // cmd/cdrc-serve.
 type Map struct {
 	t *rcds.HashTable
@@ -22,7 +26,9 @@ func NewMap(expectedKeys, maxProcs int) *Map {
 	if expectedKeys < 16 {
 		expectedKeys = 16
 	}
-	return &Map{t: rcds.NewHashTable(expectedKeys, maxProcs, true)}
+	t := rcds.NewHashTable(expectedKeys, maxProcs, true)
+	t.EnableByteValues("")
+	return &Map{t: t}
 }
 
 // VersionSource is the clock and retention oracle a versioned map trims
@@ -38,7 +44,9 @@ func NewVersionedMap(expectedKeys, maxProcs int, vs VersionSource) *Map {
 	if expectedKeys < 16 {
 		expectedKeys = 16
 	}
-	return &Map{t: rcds.NewVersionedHashTable(expectedKeys, maxProcs, vs)}
+	t := rcds.NewVersionedHashTable(expectedKeys, maxProcs, vs)
+	t.EnableByteValues("")
+	return &Map{t: t}
 }
 
 // Attach registers the calling goroutine.
@@ -65,6 +73,14 @@ func (m *Map) Unreclaimed() int64 { return m.t.Unreclaimed() }
 // backpressure instead of allocating; see MapHandle.Put.
 func (m *Map) SetArenaCapacity(slots uint64) { m.t.SetCapacity(slots) }
 
+// SetValueCapacity caps each value size class at the given slab count (0
+// removes the cap). Beyond it Put reports the same backpressure as an
+// exhausted node arena.
+func (m *Map) SetValueCapacity(slots uint64) { m.t.ByteValues().SetCapacity(slots) }
+
+// ValueSlabsLive reports currently allocated value slabs (diagnostics).
+func (m *Map) ValueSlabsLive() int64 { return m.t.ByteValues().Live() }
+
 // EnableDebugChecks turns reads of freed slots into panics. Set before
 // the map is shared; intended for tests and soak harnesses.
 func (m *Map) EnableDebugChecks() { m.t.EnableDebugChecks() }
@@ -76,15 +92,21 @@ type MapHandle struct {
 	vth ds.VersionedMapThread // non-nil on versioned maps
 }
 
-// Get returns key's current value.
-func (h *MapHandle) Get(key uint64) (uint64, bool) { return h.th.Get(key) }
+// Get appends key's current value to dst (which may be nil) and returns
+// the extended slice. Passing a reused buffer keeps the read
+// allocation-free: the bytes are copied straight out of the arena slab.
+func (h *MapHandle) Get(key uint64, dst []byte) ([]byte, bool) {
+	return h.th.GetB(key, dst)
+}
 
-// Put maps key to val. When the key was present the previous value is
-// returned with existed == true. A non-nil error means the backing arena
-// is exhausted and the value was NOT stored - the caller should shed or
+// Put maps key to val's bytes (copied into an arena slab; val may be
+// reused immediately). When the key was present the previous value is
+// appended to dst and returned with existed == true. A non-nil error
+// means a backing arena — node slots or a value size class — is
+// exhausted and the value was NOT stored; the caller should shed or
 // retry the request (internal/server maps it to a BUSY reply).
-func (h *MapHandle) Put(key, val uint64) (old uint64, existed bool, err error) {
-	return h.th.Put(key, val)
+func (h *MapHandle) Put(key uint64, val, dst []byte) (old []byte, existed bool, err error) {
+	return h.th.PutB(key, val, dst)
 }
 
 // Delete removes key, reporting whether it was present. A non-nil error
@@ -97,23 +119,28 @@ func (h *MapHandle) Delete(key uint64) (bool, error) {
 	return h.th.Delete(key), nil
 }
 
-// GetAt returns key's value as of version timestamp ts; the caller must
-// hold a snaplease lease with TS ≥ ts. Panics on an unversioned map.
-func (h *MapHandle) GetAt(ts, key uint64) (uint64, bool) { return h.vth.GetAt(ts, key) }
+// GetAt appends key's value as of version timestamp ts to dst; the
+// caller must hold a snaplease lease with TS ≥ ts. Panics on an
+// unversioned map.
+func (h *MapHandle) GetAt(ts, key uint64, dst []byte) ([]byte, bool) {
+	return h.vth.GetAtB(ts, key, dst)
+}
 
 // ScanAt visits up to limit entries as of ts (limit < 0 for all),
 // stopping early when fn returns false. Unlike Scan, the rows form one
-// atomic point-in-time snapshot across all keys. Panics on an
+// atomic point-in-time snapshot across all keys. val is handle-owned
+// scratch, valid only until fn returns — copy to retain. Panics on an
 // unversioned map.
-func (h *MapHandle) ScanAt(ts uint64, limit int, fn func(key, val uint64) bool) int {
-	return h.vth.ScanAt(ts, limit, fn)
+func (h *MapHandle) ScanAt(ts uint64, limit int, fn func(key uint64, val []byte) bool) int {
+	return h.vth.ScanAtB(ts, limit, fn)
 }
 
 // Scan visits up to limit live entries (limit < 0 for all), stopping
 // early when fn returns false, and returns the number visited. Weakly
-// consistent under concurrent updates; never observes freed memory.
-func (h *MapHandle) Scan(limit int, fn func(key, val uint64) bool) int {
-	return h.th.Scan(limit, fn)
+// consistent under concurrent updates; never observes freed memory. val
+// is handle-owned scratch, valid only until fn returns.
+func (h *MapHandle) Scan(limit int, fn func(key uint64, val []byte) bool) int {
+	return h.th.ScanB(limit, fn)
 }
 
 // Clear unlinks every entry and flushes this handle's deferred work.

@@ -1,0 +1,174 @@
+package collections
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// This file is the zero-GC data-plane acceptance suite (DESIGN.md §13,
+// gated by scripts/check.sh): large-value PUT/GET traffic must allocate
+// nothing on the Go heap at steady state — the value bytes live in
+// size-class arena slabs and recycle through magazines — and a churn
+// run must put no pressure on the collector compared to a Go-heap
+// control holding the same data in heap-allocated []byte values.
+
+// TestLargeValueSweepZeroAlloc sweeps value sizes across the size
+// classes (including the chunk-chain overflow path) and pins
+// allocs/op == 0 for warmed PUT-replace/GET traffic at every size.
+func TestLargeValueSweepZeroAlloc(t *testing.T) {
+	for _, size := range []int{256, 1024, 4096, 16384} {
+		t.Run(fmt.Sprintf("size=%d", size), func(t *testing.T) {
+			const keys = 32
+			m := NewMap(keys*4, 2)
+			defer func() {
+				h := m.Attach()
+				h.Clear()
+				h.Close()
+				if live := m.ValueSlabsLive(); live != 0 {
+					t.Fatalf("%d value slabs live after Clear", live)
+				}
+			}()
+			h := m.Attach()
+			defer h.Close()
+			val := make([]byte, size)
+			for i := range val {
+				val[i] = byte(i)
+			}
+			var dst []byte
+			round := func() {
+				for k := uint64(0); k < keys; k++ {
+					var err error
+					if dst, _, err = h.Put(k, val, dst[:0]); err != nil {
+						t.Fatalf("Put(%d): %v", k, err)
+					}
+					var ok bool
+					if dst, ok = h.Get(k, dst[:0]); !ok || len(dst) != size {
+						t.Fatalf("Get(%d) = %d bytes, %v", k, len(dst), ok)
+					}
+				}
+			}
+			// Warm: slabs churn through the retire pipeline and back into
+			// the magazines; scratch and retire-list capacity stabilize.
+			for i := 0; i < 30; i++ {
+				round()
+			}
+			allocs := testing.AllocsPerRun(100, round)
+			if allocs != 0 {
+				t.Fatalf("%dB PUT/GET steady state allocates %.2f per round, want 0", size, allocs)
+			}
+		})
+	}
+}
+
+// TestValueGCPressureVsControl churns ~50MiB of 1KiB value replacements
+// through (a) the arena-backed Map and (b) a Go-heap control storing
+// each value as a fresh heap []byte, and requires the arena plane's
+// measured heap allocation to be a small fraction of the control's.
+// TotalAlloc is monotonic and scheduler-independent, so the gate is
+// stable; GC cycle and pause deltas are reported for the record
+// (results/BENCH_values.json).
+func TestValueGCPressureVsControl(t *testing.T) {
+	const (
+		keys   = 256
+		size   = 1024
+		rounds = 200
+	)
+	val := make([]byte, size)
+	for i := range val {
+		val[i] = byte(i * 7)
+	}
+
+	measure := func(churn func()) (totalAlloc, pauseNs uint64, numGC uint32) {
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		churn()
+		runtime.ReadMemStats(&m1)
+		return m1.TotalAlloc - m0.TotalAlloc, m1.PauseTotalNs - m0.PauseTotalNs, m1.NumGC - m0.NumGC
+	}
+
+	// Arena plane: warm everything first so the measured churn is the
+	// steady state the zero-alloc sweep pins.
+	m := NewMap(keys*4, 2)
+	h := m.Attach()
+	var dst []byte
+	arenaRound := func() {
+		for k := uint64(0); k < keys; k++ {
+			var err error
+			if dst, _, err = h.Put(k, val, dst[:0]); err != nil {
+				t.Fatalf("Put(%d): %v", k, err)
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		arenaRound()
+	}
+	arenaAlloc, arenaPause, arenaGC := measure(func() {
+		for i := 0; i < rounds; i++ {
+			arenaRound()
+		}
+	})
+	h.Clear()
+	h.Close()
+
+	// Go-heap control: the natural implementation the arena replaces — a
+	// map of heap-copied values, every replacement a fresh allocation.
+	ctl := make(map[uint64][]byte, keys)
+	ctlAlloc, ctlPause, ctlGC := measure(func() {
+		for i := 0; i < rounds; i++ {
+			for k := uint64(0); k < keys; k++ {
+				v := make([]byte, size)
+				copy(v, val)
+				ctl[k] = v
+			}
+		}
+	})
+	if len(ctl) != keys {
+		t.Fatalf("control map lost keys: %d", len(ctl))
+	}
+
+	t.Logf("heap churn over %d x %d x %dB replacements:", rounds, keys, size)
+	t.Logf("  arena:   %8d B allocated, %d GC cycles, %v pause", arenaAlloc, arenaGC, arenaPause)
+	t.Logf("  control: %8d B allocated, %d GC cycles, %v pause", ctlAlloc, ctlGC, ctlPause)
+	if arenaAlloc*10 > ctlAlloc {
+		t.Fatalf("arena plane allocated %d B vs control %d B; want < 10%% of control",
+			arenaAlloc, ctlAlloc)
+	}
+}
+
+// BenchmarkValuePutGet is the recorded large-value sweep
+// (results/BENCH_values.json): one PUT-replace + GET pair per op at
+// each size, -benchmem confirming the AllocsPerRun pins at benchmark
+// scale.
+func BenchmarkValuePutGet(b *testing.B) {
+	for _, size := range []int{64, 256, 1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			const keys = 64
+			m := NewMap(keys*4, 2)
+			h := m.Attach()
+			defer h.Close()
+			val := make([]byte, size)
+			var dst []byte
+			for k := uint64(0); k < keys; k++ {
+				if _, _, err := h.Put(k, val, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := uint64(i) % keys
+				var err error
+				if dst, _, err = h.Put(k, val, dst[:0]); err != nil {
+					b.Fatal(err)
+				}
+				var ok bool
+				if dst, ok = h.Get(k, dst[:0]); !ok {
+					b.Fatal("miss")
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package collections
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,9 @@ func drainMap(t *testing.T, m *Map) {
 	if live := m.LiveNodes(); live != 0 {
 		t.Fatalf("LiveNodes = %d at quiescence, want 0", live)
 	}
+	if vl := m.ValueSlabsLive(); vl != 0 {
+		t.Fatalf("ValueSlabsLive = %d at quiescence, want 0", vl)
+	}
 }
 
 // TestVersionedMapBasics exercises the versioned map single-threaded:
@@ -38,69 +42,69 @@ func TestVersionedMapBasics(t *testing.T) {
 	}
 	h := m.Attach()
 
-	if _, existed, err := h.Put(1, 10); existed || err != nil {
+	if _, existed, err := h.Put(1, u64b(10), nil); existed || err != nil {
 		t.Fatalf("fresh Put: existed=%v err=%v", existed, err)
 	}
 	l1, ok := p.Acquire(0) // sees 1→10, 2 absent
 	if !ok {
 		t.Fatal("Acquire failed")
 	}
-	if old, existed, err := h.Put(1, 11); !existed || old != 10 || err != nil {
-		t.Fatalf("replace Put: old=%d existed=%v err=%v", old, existed, err)
+	if old, existed, err := h.Put(1, u64b(11), nil); !existed || bu64(old) != 10 || err != nil {
+		t.Fatalf("replace Put: old=%d existed=%v err=%v", bu64(old), existed, err)
 	}
-	if _, _, err := h.Put(2, 20); err != nil {
+	if _, _, err := h.Put(2, u64b(20), nil); err != nil {
 		t.Fatal(err)
 	}
 	l2, ok := p.Acquire(0) // sees 1→11, 2→20
 	if !ok {
 		t.Fatal("Acquire failed")
 	}
-	if v, ok := h.Get(1); !ok || v != 11 {
-		t.Fatalf("Get(1) = %d,%v want 11,true", v, ok)
+	if v, ok := h.Get(1, nil); !ok || bu64(v) != 11 {
+		t.Fatalf("Get(1) = %d,%v want 11,true", bu64(v), ok)
 	}
-	if v, ok := h.GetAt(l1.TS(), 1); !ok || v != 10 {
-		t.Fatalf("GetAt(l1, 1) = %d,%v want 10,true", v, ok)
+	if v, ok := h.GetAt(l1.TS(), 1, nil); !ok || bu64(v) != 10 {
+		t.Fatalf("GetAt(l1, 1) = %d,%v want 10,true", bu64(v), ok)
 	}
-	if _, ok := h.GetAt(l1.TS(), 2); ok {
+	if _, ok := h.GetAt(l1.TS(), 2, nil); ok {
 		t.Fatal("GetAt(l1, 2) found a key born after the lease")
 	}
-	if v, ok := h.GetAt(l2.TS(), 2); !ok || v != 20 {
-		t.Fatalf("GetAt(l2, 2) = %d,%v want 20,true", v, ok)
+	if v, ok := h.GetAt(l2.TS(), 2, nil); !ok || bu64(v) != 20 {
+		t.Fatalf("GetAt(l2, 2) = %d,%v want 20,true", bu64(v), ok)
 	}
 
 	// Delete appends a tombstone: current reads miss, l2 still hits.
 	if hit, err := h.Delete(2); !hit || err != nil {
 		t.Fatalf("Delete(2) = %v,%v", hit, err)
 	}
-	if _, ok := h.Get(2); ok {
+	if _, ok := h.Get(2, nil); ok {
 		t.Fatal("Get(2) after Delete reported a hit")
 	}
-	if v, ok := h.GetAt(l2.TS(), 2); !ok || v != 20 {
-		t.Fatalf("GetAt(l2, 2) after Delete = %d,%v want 20,true", v, ok)
+	if v, ok := h.GetAt(l2.TS(), 2, nil); !ok || bu64(v) != 20 {
+		t.Fatalf("GetAt(l2, 2) after Delete = %d,%v want 20,true", bu64(v), ok)
 	}
 	if hit, err := h.Delete(2); hit || err != nil {
 		t.Fatalf("second Delete(2) = %v,%v", hit, err)
 	}
 
 	// Resurrect: the new binding is newer than both leases.
-	if _, existed, err := h.Put(2, 21); existed || err != nil {
+	if _, existed, err := h.Put(2, u64b(21), nil); existed || err != nil {
 		t.Fatalf("resurrect Put: existed=%v err=%v", existed, err)
 	}
-	if v, ok := h.Get(2); !ok || v != 21 {
-		t.Fatalf("Get(2) after resurrect = %d,%v want 21,true", v, ok)
+	if v, ok := h.Get(2, nil); !ok || bu64(v) != 21 {
+		t.Fatalf("Get(2) after resurrect = %d,%v want 21,true", bu64(v), ok)
 	}
-	if v, ok := h.GetAt(l2.TS(), 2); !ok || v != 20 {
-		t.Fatalf("GetAt(l2, 2) after resurrect = %d,%v want 20,true", v, ok)
+	if v, ok := h.GetAt(l2.TS(), 2, nil); !ok || bu64(v) != 20 {
+		t.Fatalf("GetAt(l2, 2) after resurrect = %d,%v want 20,true", bu64(v), ok)
 	}
 
 	// ScanAt at l2 is the pre-delete world; plain Scan is the present.
 	rows := map[uint64]uint64{}
-	h.ScanAt(l2.TS(), -1, func(k, v uint64) bool { rows[k] = v; return true })
+	h.ScanAt(l2.TS(), -1, func(k uint64, v []byte) bool { rows[k] = bu64(v); return true })
 	if len(rows) != 2 || rows[1] != 11 || rows[2] != 20 {
 		t.Fatalf("ScanAt(l2) = %v, want {1:11 2:20}", rows)
 	}
 	rows = map[uint64]uint64{}
-	if n := h.Scan(-1, func(k, v uint64) bool { rows[k] = v; return true }); n != 2 {
+	if n := h.Scan(-1, func(k uint64, v []byte) bool { rows[k] = bu64(v); return true }); n != 2 {
 		t.Fatalf("Scan visited %d, want 2", n)
 	}
 	if rows[1] != 11 || rows[2] != 21 {
@@ -123,18 +127,18 @@ func TestVersionedTrimBounds(t *testing.T) {
 	m.EnableDebugChecks()
 	h := m.Attach()
 
-	h.Put(7, 1)
+	h.Put(7, u64b(1), nil)
 	l, ok := p.Acquire(0)
 	if !ok {
 		t.Fatal("Acquire failed")
 	}
 	for i := uint64(2); i <= 64; i++ {
-		if _, _, err := h.Put(7, i); err != nil {
+		if _, _, err := h.Put(7, u64b(i), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if v, ok := h.GetAt(l.TS(), 7); !ok || v != 1 {
-		t.Fatalf("GetAt under lease = %d,%v want 1,true", v, ok)
+	if v, ok := h.GetAt(l.TS(), 7, nil); !ok || bu64(v) != 1 {
+		t.Fatalf("GetAt under lease = %d,%v want 1,true", bu64(v), ok)
 	}
 	held := m.LiveNodes()
 	if held < 10 {
@@ -143,7 +147,7 @@ func TestVersionedTrimBounds(t *testing.T) {
 	l.Release(0)
 	// Maintenance is best-effort and depth-capped: drive it with writes.
 	for i := 0; i < 32; i++ {
-		if _, _, err := h.Put(7, 100+uint64(i)); err != nil {
+		if _, _, err := h.Put(7, u64b(100+uint64(i)), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -151,7 +155,7 @@ func TestVersionedTrimBounds(t *testing.T) {
 	// Entry + head cell (plus a not-yet-cascaded tail) is the steady
 	// state; anything near the 64 retained versions means no trim.
 	hh := m.Attach()
-	hh.Put(7, 999) // one more maintenance pass at the head
+	hh.Put(7, u64b(999), nil) // one more maintenance pass at the head
 	hh.Close()
 	if live := m.LiveNodes(); live > 16 {
 		t.Fatalf("LiveNodes = %d after release+writes, want trimmed (≤16)", live)
@@ -177,12 +181,14 @@ func TestVersionedSnapshotAtomicity(t *testing.T) {
 		defer wg.Done()
 		h := m.Attach()
 		defer h.Close()
+		var vbuf [8]byte
 		for v := uint64(1); !stop.Load(); v++ {
-			if _, _, err := h.Put(1, v); err != nil {
+			binary.LittleEndian.PutUint64(vbuf[:], v)
+			if _, _, err := h.Put(1, vbuf[:], nil); err != nil {
 				t.Errorf("Put(1): %v", err)
 				return
 			}
-			if _, _, err := h.Put(2, v); err != nil {
+			if _, _, err := h.Put(2, vbuf[:], nil); err != nil {
 				t.Errorf("Put(2): %v", err)
 				return
 			}
@@ -194,14 +200,17 @@ func TestVersionedSnapshotAtomicity(t *testing.T) {
 			defer wg.Done()
 			h := m.Attach()
 			defer h.Close()
+			var dst []byte
 			for i := 0; i < rounds; i++ {
 				l, ok := p.Acquire(id)
 				if !ok {
 					continue
 				}
 				// Read k2 first so any torn visibility shows up as v2 > v1.
-				v2, _ := h.GetAt(l.TS(), 2)
-				v1, _ := h.GetAt(l.TS(), 1)
+				dst, _ = h.GetAt(l.TS(), 2, dst[:0])
+				v2 := bu64(dst)
+				dst, _ = h.GetAt(l.TS(), 1, dst[:0])
+				v1 := bu64(dst)
 				if v1 != v2 && v1 != v2+1 {
 					t.Errorf("snapshot torn at ts %d: k1=%d k2=%d", l.TS(), v1, v2)
 					l.Release(id)
@@ -209,11 +218,11 @@ func TestVersionedSnapshotAtomicity(t *testing.T) {
 				}
 				// ScanAt must agree with per-key resolution at the same ts.
 				var s1, s2 uint64
-				h.ScanAt(l.TS(), -1, func(k, v uint64) bool {
+				h.ScanAt(l.TS(), -1, func(k uint64, v []byte) bool {
 					if k == 1 {
-						s1 = v
+						s1 = bu64(v)
 					} else if k == 2 {
-						s2 = v
+						s2 = bu64(v)
 					}
 					return true
 				})
@@ -243,8 +252,9 @@ func TestVersionedSnapshotAtomicity(t *testing.T) {
 }
 
 // TestVersionedMapConcurrent hammers the full versioned API from many
-// goroutines with value tagging (integrity) and checks quiescent
-// reclamation — the versioned analogue of TestMapConservation.
+// goroutines with value tagging (integrity) and variable lengths across
+// size classes, and checks quiescent reclamation — the versioned
+// analogue of TestMapConservation.
 func TestVersionedMapConcurrent(t *testing.T) {
 	const workers = 4
 	const keys = 64
@@ -261,17 +271,23 @@ func TestVersionedMapConcurrent(t *testing.T) {
 			h := m.Attach()
 			defer h.Close()
 			rng := rand.New(rand.NewSource(seed))
+			vbuf := make([]byte, 200)
+			var dst []byte
 			for i := 0; i < opsPerWorker; i++ {
 				k := uint64(rng.Intn(keys))
 				switch rng.Intn(8) {
 				case 0, 1, 2:
-					if _, _, err := h.Put(k, k<<32|uint64(i)); err != nil {
+					n := 8 + rng.Intn(193)
+					binary.LittleEndian.PutUint64(vbuf, k<<32|uint64(i))
+					var err error
+					if dst, _, err = h.Put(k, vbuf[:n], dst[:0]); err != nil {
 						t.Errorf("Put: %v", err)
 						return
 					}
 				case 3, 4:
-					if v, ok := h.Get(k); ok && v>>32 != k {
-						t.Errorf("Get(%d) returned value tagged for key %d", k, v>>32)
+					var ok bool
+					if dst, ok = h.Get(k, dst[:0]); ok && bu64(dst)>>32 != k {
+						t.Errorf("Get(%d) returned value tagged for key %d", k, bu64(dst)>>32)
 						return
 					}
 				case 5:
@@ -285,16 +301,16 @@ func TestVersionedMapConcurrent(t *testing.T) {
 						continue
 					}
 					bad := false
-					h.ScanAt(l.TS(), 16, func(sk, sv uint64) bool {
-						if sv>>32 != sk {
-							t.Errorf("ScanAt row %d tagged for key %d", sk, sv>>32)
+					h.ScanAt(l.TS(), 16, func(sk uint64, sv []byte) bool {
+						if bu64(sv)>>32 != sk {
+							t.Errorf("ScanAt row %d tagged for key %d", sk, bu64(sv)>>32)
 							bad = true
 							return false
 						}
 						return true
 					})
-					if v, ok := h.GetAt(l.TS(), k); ok && v>>32 != k {
-						t.Errorf("GetAt(%d) returned value tagged for key %d", k, v>>32)
+					if dst, ok = h.GetAt(l.TS(), k, dst[:0]); ok && bu64(dst)>>32 != k {
+						t.Errorf("GetAt(%d) returned value tagged for key %d", k, bu64(dst)>>32)
 						bad = true
 					}
 					l.Release(id)
@@ -347,16 +363,17 @@ func TestVersionedMapLinearizable(t *testing.T) {
 					case 0:
 						op.Kind = lincheck.OpPut
 						op.Arg = k<<8 | v
-						old, existed, err := h.Put(k, v)
+						old, existed, err := h.Put(k, u64b(v), nil)
 						if err != nil {
 							t.Errorf("Put: %v", err)
 							return
 						}
-						op.Ret, op.RetOK = old, existed
+						op.Ret, op.RetOK = bu64(old), existed
 					case 1:
 						op.Kind = lincheck.OpGet
 						op.Arg = k << 8
-						op.Ret, op.RetOK = h.Get(k)
+						b, ok := h.Get(k, nil)
+						op.Ret, op.RetOK = bu64(b), ok
 					case 2:
 						op.Kind = lincheck.OpDelete
 						op.Arg = k << 8
@@ -375,8 +392,8 @@ func TestVersionedMapLinearizable(t *testing.T) {
 						}
 						var packed uint64
 						for key := 0; key < lincheck.MapModelKeys; key++ {
-							if vv, ok := h.GetAt(l.TS(), uint64(key)); ok {
-								packed |= (vv & 0xff) << (8 * key)
+							if b, ok := h.GetAt(l.TS(), uint64(key), nil); ok {
+								packed |= (bu64(b) & 0xff) << (8 * key)
 							}
 						}
 						l.Release(id)

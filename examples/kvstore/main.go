@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -33,14 +34,19 @@ func main() {
 			h := m.Attach()
 			defer h.Close()
 			rng := uint64(id + 1)
+			var vbuf [8]byte
+			var dst []byte
 			for i := 0; i < opsPerWorker; i++ {
 				rng = rng*6364136223846793005 + 1442695040888963407
 				k := rng >> 33 % keys
 				switch rng >> 62 {
 				case 0:
 					// Tag values with their key so readers can detect
-					// corruption; Put replaces in place with an atomic swap.
-					if _, _, err := h.Put(k, k<<32|uint64(i)); err != nil {
+					// corruption; Put replaces the value slab in place with
+					// an atomic swap of the handle word.
+					binary.LittleEndian.PutUint64(vbuf[:], k<<32|uint64(i))
+					var err error
+					if dst, _, err = h.Put(k, vbuf[:], dst[:0]); err != nil {
 						panic(err) // only possible with a capped arena
 					}
 				case 1:
@@ -48,7 +54,9 @@ func main() {
 						panic(err) // only possible with a capped arena
 					}
 				default:
-					if v, ok := h.Get(k); ok && v>>32 != k {
+					var ok bool
+					if dst, ok = h.Get(k, dst[:0]); ok &&
+						binary.LittleEndian.Uint64(dst)>>32 != k {
 						panic("corrupt value")
 					}
 				}
@@ -58,7 +66,7 @@ func main() {
 	wg.Wait()
 
 	h := m.Attach()
-	present := h.Scan(-1, func(k, v uint64) bool { return true })
+	present := h.Scan(-1, func(k uint64, v []byte) bool { return true })
 	h.Clear()
 	h.Close()
 

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"time"
@@ -60,6 +61,8 @@ func main() {
 			h := c.Attach()
 			defer h.Close()
 			rng := uint64(id + 1)
+			var vbuf [8]byte
+			var dst []byte
 			for i := 0; i < opsPerWorker; i++ {
 				rng = rng*6364136223846793005 + 1442695040888963407
 				k := (rng >> 33) % keys
@@ -70,15 +73,18 @@ func main() {
 				}
 				// Cache-aside: GETEX touches the clock bit and refreshes
 				// the TTL; a miss computes and fills.
-				if v, ok := h.GetEx(k, ttl); ok {
-					if v != compute(k) {
+				var ok bool
+				if dst, ok = h.GetEx(k, ttl, dst[:0]); ok {
+					if len(dst) != 8 || binary.LittleEndian.Uint64(dst) != compute(k) {
 						panic("corrupt value from cache")
 					}
 					hits[id]++
 					continue
 				}
 				misses[id]++
-				if _, _, err := h.SetEx(k, compute(k), ttl); err != nil {
+				binary.LittleEndian.PutUint64(vbuf[:], compute(k))
+				var err error
+				if dst, _, err = h.SetEx(k, vbuf[:], ttl, dst[:0]); err != nil {
 					// Only a dry eviction index lets this through; with
 					// workers continuously inserting it means a real bug.
 					panic(err)

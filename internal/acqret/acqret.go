@@ -174,6 +174,7 @@ type procState struct {
 	scanRIdx   int      // next rlist entry to classify (phase 2)
 	scanBound  int      // rlist prefix under scan
 	scanKeep   []uint64 // protected handles retained for the next scan
+	scanSpare  []uint64 // recycled backing for the post-scan rlist rebuild
 
 	_ [64]byte // avoid false sharing between adjacent processors
 }
@@ -286,6 +287,7 @@ func (d *Domain) Unregister(procID int) {
 	}
 	p.rlist = nil
 	p.flist = nil
+	p.scanSpare = nil
 	if len(pending) > 0 {
 		d.orphanMu.Lock()
 		d.orphans = append(d.orphans, pending...)
@@ -347,7 +349,7 @@ func (d *Domain) reapAbandoned() {
 			d.ejected.Add(^uint64(n - 1))
 			obsEject.Sub(id, uint64(n))
 		}
-		dead.rlist, dead.flist = nil, nil
+		dead.rlist, dead.flist, dead.scanSpare = nil, nil, nil
 		for s := 0; s < SlotsPerProc; s++ {
 			d.clearSlot(id, s)
 		}
@@ -588,8 +590,14 @@ func (d *Domain) scanSteps(procID int, p *procState, budget int) {
 			continue
 		}
 		// Scan complete: retained handles plus retires that arrived during
-		// the scan form the new rlist.
-		p.rlist = append(p.scanKeep[:len(p.scanKeep):len(p.scanKeep)], p.rlist[p.scanBound:]...)
+		// the scan form the new rlist. Rebuild into the spare backing and
+		// recycle the old rlist array as the next spare: rlist, scanKeep
+		// and scanSpare stay pairwise non-aliasing, and once capacities
+		// stabilize a completed scan allocates nothing.
+		merged := append(p.scanSpare[:0], p.scanKeep...)
+		merged = append(merged, p.rlist[p.scanBound:]...)
+		p.scanSpare = p.rlist[:0]
+		p.rlist = merged
 		p.scanKeep = p.scanKeep[:0]
 		p.scanActive = false
 		p.plist.Reset()
@@ -607,9 +615,9 @@ func (d *Domain) abandonScan(p *procState) {
 		return
 	}
 	rest := p.rlist[p.scanRIdx:]
-	merged := make([]uint64, 0, len(p.scanKeep)+len(rest))
-	merged = append(merged, p.scanKeep...)
+	merged := append(p.scanSpare[:0], p.scanKeep...)
 	merged = append(merged, rest...)
+	p.scanSpare = p.rlist[:0]
 	p.rlist = merged
 	p.scanKeep = p.scanKeep[:0]
 	p.scanActive = false

@@ -64,3 +64,10 @@ func (h Handle) Unmarked() Handle { return h &^ MarkMask }
 // IsNil reports whether h is the nil reference, ignoring marks. A marked
 // nil (used by some data structures to mark an empty link) is still nil.
 func (h Handle) IsNil() bool { return h.Unmarked() == Nil }
+
+// ValueRefTag marks a word as a value-slab reference (internal/vals)
+// rather than a slot handle. Slot indices occupy bits 3..42 (the 40-bit
+// index budget above the 3 mark bits), so no Handle ever sets bit 63;
+// tagged words share the handle word space — including retire/eject
+// pipelines — without ambiguity.
+const ValueRefTag uint64 = 1 << 63

@@ -43,10 +43,10 @@ var (
 )
 
 const (
-	// chunkShift sizes the slabs: each chunk holds 1<<chunkShift slots.
-	chunkShift = 14
-	chunkSize  = 1 << chunkShift
-	chunkMask  = chunkSize - 1
+	// defaultChunkShift sizes the slabs: each chunk holds 1<<chunkShift
+	// slots unless PoolOpts.ChunkShift overrides it (the value-slab size
+	// classes do, so a 4KiB-slot class does not commit 64MiB per chunk).
+	defaultChunkShift = 14
 
 	// blockSize is the transfer granularity of the allocator: free slots
 	// are grouped into blocks of up to blockSize indices (chained through
@@ -129,7 +129,7 @@ type slot[T any] struct {
 }
 
 type chunk[T any] struct {
-	slots [chunkSize]slot[T]
+	slots []slot[T] // len == 1<<pool.chunkShift
 }
 
 // magazine is a chain of free slot indices linked through the slots'
@@ -207,6 +207,11 @@ type Pool[T any] struct {
 
 	local []procCache
 
+	// chunkShift/chunkMask size this pool's chunks (defaultChunkShift
+	// unless overridden at construction); immutable after NewPool.
+	chunkShift uint
+	chunkMask  uint64
+
 	allocs atomic.Uint64
 	frees  atomic.Uint64
 	liveHW atomic.Int64 // exact monotone peak of allocs-frees (CAS max-loop)
@@ -217,23 +222,56 @@ type Pool[T any] struct {
 	DebugChecks bool
 }
 
+// PoolOpts parameterizes NewPoolWith. The zero value matches NewPool.
+type PoolOpts struct {
+	// MaxProcs bounds processor ids (0 = pid.DefaultMaxProcs).
+	MaxProcs int
+
+	// Name labels the pool's obs gauges ("" = auto "arena.pool.NNN").
+	Name string
+
+	// ChunkShift sets log2(slots per chunk); 0 means the default (14).
+	// Minimum 6 (one block). Pools of large slots use a smaller shift so
+	// a first allocation does not commit tens of megabytes.
+	ChunkShift uint
+}
+
 // NewPool creates a pool serving processors with ids in [0, maxProcs).
 // If maxProcs <= 0, pid.DefaultMaxProcs is used.
 func NewPool[T any](maxProcs int) *Pool[T] {
+	return NewPoolWith[T](PoolOpts{MaxProcs: maxProcs})
+}
+
+// NewPoolWith is NewPool with explicit naming and chunk sizing.
+func NewPoolWith[T any](opts PoolOpts) *Pool[T] {
+	maxProcs := opts.MaxProcs
 	if maxProcs <= 0 {
 		maxProcs = pid.DefaultMaxProcs
 	}
+	shift := opts.ChunkShift
+	if shift == 0 {
+		shift = defaultChunkShift
+	}
+	if shift < 6 { // no smaller than one transfer block
+		shift = 6
+	}
 	p := &Pool[T]{
-		nextFresh: 1, // index 0 reserved so Handle(0) is unambiguously nil
-		local:     make([]procCache, maxProcs),
+		nextFresh:  1, // index 0 reserved so Handle(0) is unambiguously nil
+		local:      make([]procCache, maxProcs),
+		chunkShift: shift,
+		chunkMask:  1<<shift - 1,
 	}
 	chunks := make([]*chunk[T], 0, 8)
 	p.chunks.Store(&chunks)
+	name := opts.Name
+	if name == "" {
+		name = fmt.Sprintf("arena.pool.%03d", poolSeq.Add(1))
+	}
 	// Expose occupancy gauges through a weak pointer: obs must never keep
 	// a dead pool's chunks alive, and the registration is pruned once the
 	// pool is collected.
 	wp := weak.Make(p)
-	obs.RegisterPoolGauges(fmt.Sprintf("arena.pool.%03d", poolSeq.Add(1)), func() (obs.PoolGauges, bool) {
+	obs.RegisterPoolGauges(name, func() (obs.PoolGauges, bool) {
 		q := wp.Value()
 		if q == nil {
 			return obs.PoolGauges{}, false
@@ -252,7 +290,7 @@ func NewPool[T any](maxProcs int) *Pool[T] {
 // within the carved-out range (any index obtained from Alloc is).
 func (p *Pool[T]) slotFor(idx uint64) *slot[T] {
 	chunks := *p.chunks.Load()
-	return &chunks[idx>>chunkShift].slots[idx&chunkMask]
+	return &chunks[idx>>p.chunkShift].slots[idx&p.chunkMask]
 }
 
 // Get returns a pointer to the value addressed by h, clearing marks. It
@@ -588,7 +626,7 @@ func (p *Pool[T]) FreeListLen(procID int) int {
 // addressable. Caller holds growMu. The directory is replaced wholesale so
 // concurrent readers can keep indexing the old copy without locks.
 func (p *Pool[T]) ensureCapacityLocked(idx uint64) {
-	need := int(idx>>chunkShift) + 1
+	need := int(idx>>p.chunkShift) + 1
 	cur := *p.chunks.Load()
 	if len(cur) >= need {
 		return
@@ -596,7 +634,7 @@ func (p *Pool[T]) ensureCapacityLocked(idx uint64) {
 	grown := make([]*chunk[T], need, max(need, 2*len(cur)))
 	copy(grown, cur)
 	for i := len(cur); i < need; i++ {
-		grown[i] = new(chunk[T])
+		grown[i] = &chunk[T]{slots: make([]slot[T], 1<<p.chunkShift)}
 	}
 	p.chunks.Store(&grown)
 }

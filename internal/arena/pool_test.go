@@ -114,7 +114,7 @@ func TestStatsAccounting(t *testing.T) {
 func TestHandlesAreDistinctWhileLive(t *testing.T) {
 	p := NewPool[payload](1)
 	seen := map[Handle]bool{}
-	for i := 0; i < 10*chunkSize/4; i++ {
+	for i := 0; i < 10*(1<<defaultChunkShift)/4; i++ {
 		h := p.Alloc(0)
 		if seen[h] {
 			t.Fatalf("duplicate live handle %#x", uint64(h))
@@ -125,7 +125,7 @@ func TestHandlesAreDistinctWhileLive(t *testing.T) {
 
 func TestCrossChunkGrowth(t *testing.T) {
 	p := NewPool[uint64](1)
-	n := chunkSize*2 + 17
+	n := (1<<defaultChunkShift)*2 + 17
 	hs := make([]Handle, n)
 	for i := range hs {
 		hs[i] = p.Alloc(0)
@@ -210,5 +210,32 @@ func TestConcurrentAllocFree(t *testing.T) {
 	wg.Wait()
 	if got := p.Live(); got != 0 {
 		t.Fatalf("Live = %d at quiescence", got)
+	}
+}
+
+// TestAllocFreeMagazineHitZeroAlloc pins the magazine fast path's
+// zero-allocation claim (ISSUE: AllocsPerRun instead of -benchmem):
+// once a processor's magazines are warm, an Alloc/Free pair touches only
+// the private magazine pair and the slot header — no Go-heap allocation.
+func TestAllocFreeMagazineHitZeroAlloc(t *testing.T) {
+	p := NewPool[payload](2)
+	// Warm: carve enough capacity that both magazines recycle, then park
+	// everything back on the local free lists.
+	warm := make([]Handle, 0, 3*blockSize)
+	for i := 0; i < cap(warm); i++ {
+		warm = append(warm, p.Alloc(0))
+	}
+	for _, h := range warm {
+		p.Free(0, h)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			h := p.Alloc(0)
+			p.Get(h).A = uint64(i)
+			p.Free(0, h)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("magazine-hit Alloc/Free allocated %.2f per run, want 0", allocs)
 	}
 }

@@ -98,6 +98,17 @@ type Config struct {
 	// backpressure (0 = 16).
 	EvictRetries int
 
+	// ByteValues switches the shard to variable-length byte values in
+	// value slabs (DESIGN.md §13): the byte methods (SetExB/GetExB/...)
+	// become legal and the uint64 value methods must not be used. The
+	// slab pool's per-class gauges are prefixed "<Name>.vals".
+	ByteValues bool
+
+	// ValueCapacity, with ByteValues, caps each value size class at that
+	// many slabs (0 = uncapped). Beyond it SetExB evicts and retries,
+	// exactly like entry-slot backpressure.
+	ValueCapacity uint64
+
 	// DebugChecks turns reads of freed slots into panics.
 	DebugChecks bool
 }
@@ -169,6 +180,16 @@ func New(cfg Config) *Cache {
 	}
 	if cfg.Capacity > 0 {
 		c.t.SetCapacity(cfg.Capacity)
+	}
+	if cfg.ByteValues {
+		vname := "" // auto-named when the shard is anonymous
+		if cfg.Name != "" {
+			vname = cfg.Name + ".vals"
+		}
+		vp := c.t.EnableByteValues(vname)
+		if cfg.ValueCapacity > 0 {
+			vp.SetCapacity(cfg.ValueCapacity)
+		}
 	}
 	if cfg.DebugChecks {
 		c.t.EnableDebugChecks()
@@ -356,6 +377,11 @@ func (c *Cache) Close() error {
 	if n := c.t.LiveNodes(); n != 0 {
 		return fmt.Errorf("cache: %d nodes leaked at close", n)
 	}
+	if vp := c.t.ByteValues(); vp != nil {
+		if n := vp.Live(); n != 0 {
+			return fmt.Errorf("cache: %d value slabs leaked at close", n)
+		}
+	}
 	return nil
 }
 
@@ -418,44 +444,82 @@ func (h *Handle) SetEx(key, val uint64, ttl time.Duration) (old uint64, existed 
 			if ex {
 				return o, true, nil
 			}
-			h.c.inserts.Add(1)
-			obsInsert.Inc(h.id)
-			h.park(ref)
-			h.place(now, ref)
+			h.recordInsert(now, ref)
 			return 0, false, nil
 		}
 		if attempt >= h.c.retries {
 			return 0, false, perr
 		}
-		// Backpressure: unlink victims, flush, retry. The victim count
-		// escalates per attempt because one unlink is not always one
-		// free slot — a victim can be held alive by a dying predecessor
-		// on another thread's retired list, and a whole clock rotation
-		// may be needed before referenced bits run out.
-		target := 1 << uint(attempt)
-		if target > 64 {
-			target = 64
-		}
-		budget := 4*h.c.idx.len() + h.c.evictBatch
-		unlinked := 0
-		for i := 0; i < budget && unlinked < target; i++ {
-			out := h.step(now)
-			if out == evictNone {
-				break
+		h.evictForSpace(now, attempt)
+	}
+}
+
+// SetExB is SetEx for a byte-valued shard: val's bytes are stored in
+// value slabs, a displaced live value's bytes are appended to dst. Slab
+// backpressure (any size class at capacity) evicts and retries exactly
+// like entry-slot backpressure — one eviction frees both planes.
+func (h *Handle) SetExB(key uint64, val []byte, ttl time.Duration, dst []byte) (old []byte, existed bool, err error) {
+	h.relieve()
+	now := nowNanos()
+	exp := deadline(now, ttl)
+	for attempt := 0; ; attempt++ {
+		o, ex, ref, reaped, perr := h.th.PutExB(key, val, exp, now, dst)
+		h.account(reaped)
+		if perr == nil {
+			if attempt > 0 {
+				h.c.starved.Store(false)
 			}
-			if out == ds.EvictEvicted || out == ds.EvictExpired {
-				unlinked++
+			if ex {
+				return o, true, nil
 			}
+			h.recordInsert(now, ref)
+			return dst, false, nil
 		}
-		// Publish own reclamation (flush + magazines to the shared stack)
-		// and, when even the ring ran dry, flag the shard starved: the
-		// missing slots are in limbo on peers, and only their own op
-		// boundaries (relieve) can hand them back. Yield so they run.
-		h.th.Drain()
-		if unlinked == 0 {
-			h.c.starved.Store(true)
-			runtime.Gosched()
+		if attempt >= h.c.retries {
+			return dst, false, perr
 		}
+		h.evictForSpace(now, attempt)
+	}
+}
+
+// recordInsert accounts a fresh link and routes its index record.
+func (h *Handle) recordInsert(now uint64, ref ds.CacheRef) {
+	h.c.inserts.Add(1)
+	obsInsert.Inc(h.id)
+	h.park(ref)
+	h.place(now, ref)
+}
+
+// evictForSpace relieves arena backpressure before a retry: unlink
+// victims, flush, and flag starvation when even the ring ran dry. The
+// victim count escalates per attempt because one unlink is not always
+// one free slot — a victim can be held alive by a dying predecessor on
+// another thread's retired list, and a whole clock rotation may be
+// needed before referenced bits run out.
+func (h *Handle) evictForSpace(now uint64, attempt int) {
+	target := 1 << uint(attempt)
+	if target > 64 {
+		target = 64
+	}
+	budget := 4*h.c.idx.len() + h.c.evictBatch
+	unlinked := 0
+	for i := 0; i < budget && unlinked < target; i++ {
+		out := h.step(now)
+		if out == evictNone {
+			break
+		}
+		if out == ds.EvictEvicted || out == ds.EvictExpired {
+			unlinked++
+		}
+	}
+	// Publish own reclamation (flush + magazines to the shared stack)
+	// and, when even the ring ran dry, flag the shard starved: the
+	// missing slots are in limbo on peers, and only their own op
+	// boundaries (relieve) can hand them back. Yield so they run.
+	h.th.Drain()
+	if unlinked == 0 {
+		h.c.starved.Store(true)
+		runtime.Gosched()
 	}
 }
 
@@ -488,6 +552,32 @@ func (h *Handle) GetEx(key uint64, ttl time.Duration) (uint64, bool) {
 
 // Get is GetEx without a TTL touch.
 func (h *Handle) Get(key uint64) (uint64, bool) { return h.GetEx(key, 0) }
+
+// GetExB is GetEx for a byte-valued shard; the hit's bytes are appended
+// to dst.
+func (h *Handle) GetExB(key uint64, ttl time.Duration, dst []byte) ([]byte, bool) {
+	h.relieve()
+	now := nowNanos()
+	dst, hit, reaped := h.th.GetExB(key, deadline(now, ttl), now, dst)
+	h.account(reaped)
+	if hit {
+		h.c.hits.Add(1)
+		obsHit.Inc(h.id)
+	} else {
+		h.c.misses.Add(1)
+		obsMiss.Inc(h.id)
+	}
+	return dst, hit
+}
+
+// GetB is GetExB without a TTL touch.
+func (h *Handle) GetB(key uint64, dst []byte) ([]byte, bool) { return h.GetExB(key, 0, dst) }
+
+// ScanB visits up to limit live entries of a byte-valued shard. val is
+// scratch, valid only until fn returns.
+func (h *Handle) ScanB(limit int, fn func(key uint64, val []byte) bool) int {
+	return h.th.ScanLiveB(nowNanos(), limit, fn)
+}
 
 // Expire replaces key's deadline (ttl <= 0 expires it immediately),
 // reporting whether the key was present and live.

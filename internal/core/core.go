@@ -60,7 +60,32 @@ var (
 	obsDecrApplied  = obs.NewCounter("core.decr.applied")
 	obsTakeover     = obs.NewCounter("core.snapshot.takeover")
 	obsReclaimLat   = obs.NewHistogram("core.retire-to-reclaim.ns")
+
+	// Value-slab words routed through the same retire/eject pipeline
+	// (DESIGN.md §13): every RetireValue counts once as retired and once
+	// as freed when its eject lands, so core.val.retired ==
+	// core.val.freed at quiescence. Eager frees (unpublished refs,
+	// finalizers) touch neither.
+	obsValRetired = obs.NewCounter("core.val.retired")
+	obsValFreed   = obs.NewCounter("core.val.freed")
 )
+
+// ValuePool is the value-slab plane a Domain may be wired to
+// (internal/vals.Pool): ejected words carrying arena.ValueRefTag are
+// freed here instead of being applied as count decrements, and abandoned
+// pids have their value-plane state adopted before reissue.
+type ValuePool interface {
+	// Free returns a ref's slab(s) to procID's magazines.
+	Free(procID int, ref uint64)
+
+	// Adopt reclaims an abandoned pid's in-flight slab and drains its
+	// per-class magazines (called from the acqret adopt hook).
+	Adopt(procID int)
+
+	// DrainLocal pushes procID's per-class magazines to the global
+	// stacks (Thread.DrainArena).
+	DrainLocal(procID int)
+}
 
 // RcPtr is a counted reference to a domain-managed object, the analogue of
 // the library's rc_ptr (itself modelled on shared_ptr). It is a plain
@@ -153,6 +178,12 @@ type Config[T any] struct {
 
 	// DebugChecks enables arena use-after-free checking on every Deref.
 	DebugChecks bool
+
+	// ValueSlabs, when non-nil, wires the domain to a value-slab pool:
+	// tagged ref words (arena.ValueRefTag) may then ride the retire
+	// pipeline (RetireValue) and announcement slots (AnnounceValue), and
+	// the adopt hook reclaims a dead pid's value plane before reissue.
+	ValueSlabs ValuePool
 }
 
 // Domain manages a universe of reference-counted objects of type T.
@@ -194,6 +225,9 @@ func NewDomain[T any](cfg Config[T]) *Domain[T] {
 		// adopt hook is allowed).
 		acqret.WithAdoptHook(func(procID int) {
 			d.pool.DrainLocal(procID)
+			if vp := d.cfg.ValueSlabs; vp != nil {
+				vp.Adopt(procID)
+			}
 			for _, h := range d.inboxes[procID].closeAndTake() {
 				d.mergeOwned(procID, h, nil)
 			}
@@ -233,6 +267,12 @@ func (d *Domain[T]) SetCapacity(slots uint64) { d.pool.SetCapacity(slots) }
 // EnableDebugChecks turns on arena use-after-free checking for every
 // dereference. Set before the domain is shared; intended for tests.
 func (d *Domain[T]) EnableDebugChecks() { d.pool.DebugChecks = true }
+
+// SetValueSlabs wires vp into the domain after construction (for owners
+// that decide on byte values once the domain exists). Must be called
+// before the domain is shared: the adopt hook and every thread read the
+// binding unsynchronized.
+func (d *Domain[T]) SetValueSlabs(vp ValuePool) { d.cfg.ValueSlabs = vp }
 
 // Thread is a processor-bound operation context. Obtain with Attach; call
 // Detach when the worker is done. Not safe for concurrent use.
@@ -347,11 +387,24 @@ func (t *Thread[T]) drainLocal() {
 			}
 			continue
 		}
-		obsDecrApplied.Add(t.pid, uint64(len(out)))
 		for _, w := range out {
-			t.decrement(arena.Handle(w))
+			t.applyEjected(w)
 		}
 	}
+}
+
+// applyEjected applies one word the acqret pipeline has declared safe:
+// a handle word is a deferred decrement; a value-slab ref word
+// (arena.ValueRefTag) frees its slab — no reader that announced it can
+// still be copying out (DESIGN.md §13).
+func (t *Thread[T]) applyEjected(w uint64) {
+	if w&arena.ValueRefTag != 0 {
+		obsValFreed.Inc(t.pid)
+		t.d.cfg.ValueSlabs.Free(t.pid, w)
+		return
+	}
+	obsDecrApplied.Inc(t.pid)
+	t.decrement(arena.Handle(w))
 }
 
 // Flush applies all currently-safe deferred decrements on this thread,
@@ -364,7 +417,12 @@ func (t *Thread[T]) Flush() { t.drainLocal() }
 // they allocate (a cache shard's expiry sweeper) call it periodically so
 // a capacity-capped pool's slots do not strand in magazines no allocation
 // ever reaches.
-func (t *Thread[T]) DrainArena() { t.d.pool.DrainLocal(t.pid) }
+func (t *Thread[T]) DrainArena() {
+	t.d.pool.DrainLocal(t.pid)
+	if vp := t.d.cfg.ValueSlabs; vp != nil {
+		vp.DrainLocal(t.pid)
+	}
+}
 
 // --- internal count plumbing -------------------------------------------
 
@@ -441,9 +499,56 @@ func (t *Thread[T]) retireAndEject(h arena.Handle) {
 	}
 	t.d.ar.Retire(t.pid, uint64(h.Unmarked()))
 	if e, ok := t.d.ar.Eject(t.pid); ok {
-		obsDecrApplied.Inc(t.pid)
-		t.decrement(arena.Handle(e))
+		t.applyEjected(e)
 	}
+}
+
+// --- value-slab words (DESIGN.md §13) -------------------------------------
+
+// AnnounceValue publishes announcement protection for a value ref word
+// this thread is about to copy out of a mutable Val cell. The caller
+// must re-validate that the cell still holds w after announcing (the
+// lock-free acquire loop) and call ReleaseValue when the copy is done.
+// Uses the acquire slot: no other cell operation may run in between.
+func (t *Thread[T]) AnnounceValue(w uint64) {
+	t.d.ar.Announce(t.pid, acquireSlot, w)
+}
+
+// ReleaseValue clears the announcement AnnounceValue published.
+func (t *Thread[T]) ReleaseValue() {
+	t.d.ar.Release(t.pid, acquireSlot)
+}
+
+// RetireValue defers the free of a value ref displaced from a published
+// cell. Like a cell overwrite's unit (the §12 overwrite discipline), a
+// displaced ref must go through the pipeline unconditionally: a reader
+// that announced the word and validated the cell may still be copying
+// slab bytes, and the eject scan honoring its announcement is the only
+// thing keeping the slab from recycling under it. Ref 0 is a no-op.
+func (t *Thread[T]) RetireValue(ref uint64) {
+	if ref == 0 {
+		return
+	}
+	if t.d.inboxes[t.pid].n.Load() != 0 {
+		t.drainMergeInbox()
+	}
+	obsValRetired.Inc(t.pid)
+	t.d.ar.Retire(t.pid, ref)
+	if e, ok := t.d.ar.Eject(t.pid); ok {
+		t.applyEjected(e)
+	}
+}
+
+// FreeValue immediately returns a value ref's slab to this thread's
+// magazines. Legal only when no announcement can protect the ref: an
+// unpublished ref still owned by its allocator, or a ref read out of a
+// record being finalized (count zero implies every reader's protecting
+// node snapshot is gone). Ref 0 is a no-op.
+func (t *Thread[T]) FreeValue(ref uint64) {
+	if ref == 0 {
+		return
+	}
+	t.d.cfg.ValueSlabs.Free(t.pid, ref)
 }
 
 // --- allocation ----------------------------------------------------------

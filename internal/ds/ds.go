@@ -55,6 +55,21 @@ type MapThread interface {
 	// scan is weakly consistent under concurrent updates.
 	Scan(limit int, fn func(key, val uint64) bool) int
 
+	// GetB appends key's current bytes to dst and returns the extended
+	// slice. Byte operations are legal only on a byte-valued table
+	// (rcds.HashTable.EnableByteValues); they panic otherwise, and on a
+	// byte table the uint64 value operations must not be used.
+	GetB(key uint64, dst []byte) ([]byte, bool)
+
+	// PutB binds key to val's bytes, appending any displaced bytes to
+	// dst. A non-nil error is arena backpressure (node or value slabs);
+	// nothing was stored.
+	PutB(key uint64, val, dst []byte) (old []byte, existed bool, err error)
+
+	// ScanB is Scan with byte values. val is thread-owned scratch, valid
+	// only until fn returns — copy to retain.
+	ScanB(limit int, fn func(key uint64, val []byte) bool) int
+
 	// Clear unlinks every entry and flushes this worker's deferred work.
 	Clear()
 
@@ -82,6 +97,12 @@ type VersionedMapThread interface {
 	// stopping early when fn returns false. Unlike Scan, the visited
 	// rows form one atomic point-in-time snapshot across all keys.
 	ScanAt(ts uint64, limit int, fn func(key, val uint64) bool) int
+
+	// GetAtB is GetAt with the bytes appended to dst (byte tables only).
+	GetAtB(ts, key uint64, dst []byte) ([]byte, bool)
+
+	// ScanAtB is ScanAt with byte rows (scratch val, as ScanB).
+	ScanAtB(ts uint64, limit int, fn func(key uint64, val []byte) bool) int
 }
 
 // CacheRef is an eviction-index record: a key plus a flattened weak
@@ -180,6 +201,16 @@ type CacheThread interface {
 	// ScanLive visits up to limit present-and-live entries (limit < 0
 	// for all), like Scan but TTL-aware.
 	ScanLive(now uint64, limit int, fn func(key, val uint64) bool) int
+
+	// PutExB is PutEx with byte values (byte tables only): val's bytes
+	// are stored, any displaced live value's bytes are appended to dst.
+	PutExB(key uint64, val []byte, exp, now uint64, dst []byte) (old []byte, existed bool, ref CacheRef, reaped int, err error)
+
+	// GetExB is GetEx with the bytes appended to dst.
+	GetExB(key, newExp, now uint64, dst []byte) (val []byte, hit bool, reaped int)
+
+	// ScanLiveB is ScanLive with byte values (scratch val, as ScanB).
+	ScanLiveB(now uint64, limit int, fn func(key uint64, val []byte) bool) int
 }
 
 // SetThread is a per-worker context. Not safe for concurrent use.

@@ -1,0 +1,563 @@
+package rcds
+
+import (
+	"sync/atomic"
+
+	"cdrc/internal/arena"
+	"cdrc/internal/core"
+	"cdrc/internal/ds"
+)
+
+// Byte-valued map operations (DESIGN.md §13). A byte table
+// (HashTable.EnableByteValues) stores each value's bytes inline in a
+// size-class slab and carries the packed vals ref in the node's Val word
+// where the uint64 paths carry the value itself. The protocols:
+//
+// Read (mutable Val, plain/cache tables): the node protection the caller
+// already holds (position snapshot or counted ref) keeps the node from
+// being finalized, but an in-place Put can displace and retire the ref
+// mid-copy — so the reader announces the ref word in the acquire slot
+// and re-validates the cell before copying (acquire-retire, the same
+// argument as a counted-pointer acquire). Version cells never rebind
+// Val, so versioned reads copy under the cell snapshot alone.
+//
+// Write (in-place replace): the displaced ref goes through RetireValue
+// unconditionally — the §12 overwrite discipline — because a reader that
+// validated it may still be copying; only the eject scan honoring that
+// reader's announcement may free the slab. The replacing ref is parked
+// in the pid's inflight cell from allocation until the publishing
+// atomic lands, so a simulated crash anywhere in between (the search,
+// the node allocation) leaves the slab adoptable rather than leaked.
+// There are no crash points between publish and ClearInflight.
+//
+// Returned byte slices are appended to the caller's dst (which may be
+// nil); scan callbacks receive a scratch slice valid only for the call.
+
+func (t *listThread) requireBytes() {
+	if t.b.vp == nil {
+		panic("rcds: byte operation on a uint64-valued table (EnableByteValues)")
+	}
+}
+
+// putRef copies val into the value plane with a flush-and-retry on
+// backpressure, and parks the ref in this pid's inflight cell. The
+// caller owns the ref until a publishing atomic moves it into a node;
+// every return path must end in clearInflight (after publish) or
+// dropRef (on failure).
+func (t *listThread) putRef(val []byte) (uint64, error) {
+	th := t.th
+	ref, err := t.b.vp.TryPut(th.ProcID(), val)
+	if err != nil {
+		th.Flush() // recycle deferred value frees, then retry once
+		if ref, err = t.b.vp.TryPut(th.ProcID(), val); err != nil {
+			obsAllocDrop.Inc(th.ProcID())
+			return 0, err
+		}
+	}
+	if ref != 0 {
+		t.b.vp.SetInflight(th.ProcID(), ref)
+	}
+	return ref, nil
+}
+
+func (t *listThread) clearInflight() {
+	t.b.vp.ClearInflight(t.th.ProcID())
+}
+
+// dropRef abandons a never-published ref: unpark, then free eagerly (no
+// announcement can cover a ref that was never in a cell).
+func (t *listThread) dropRef(ref uint64) {
+	t.clearInflight()
+	t.th.FreeValue(ref)
+}
+
+// readValB copies nd's current value into dst under announce-validate.
+// The caller must hold a protection on nd itself.
+func (t *listThread) readValB(nd *listNode, dst []byte) []byte {
+	th := t.th
+	for {
+		w := atomic.LoadUint64(&nd.Val)
+		if w&arena.ValueRefTag == 0 {
+			th.ReleaseValue() // drop any announcement a failed round left
+			return dst        // empty value
+		}
+		th.AnnounceValue(w)
+		if atomic.LoadUint64(&nd.Val) == w {
+			dst = t.b.vp.AppendTo(dst, w)
+			th.ReleaseValue()
+			return dst
+		}
+		// Displaced before the announcement could land; retry. The stale
+		// announcement is simply overwritten next round.
+	}
+}
+
+// getB returns key's current bytes appended to dst.
+func (t *listThread) getB(head *core.AtomicRcPtr, key uint64, dst []byte) ([]byte, bool) {
+	pos := t.search(head, key)
+	found := pos.found
+	if found {
+		dst = t.readValB(t.deref(pos.curSnap, pos.curRc), dst)
+	}
+	t.releasePos(&pos)
+	return dst, found
+}
+
+// putB binds key to val, returning the displaced bytes appended to dst.
+func (t *listThread) putB(head *core.AtomicRcPtr, key uint64, val, dst []byte) ([]byte, bool, error) {
+	ref, err := t.putRef(val)
+	if err != nil {
+		return dst, false, err
+	}
+	for {
+		pos := t.search(head, key)
+		if pos.found {
+			curN := t.deref(pos.curSnap, pos.curRc)
+			if curN.next.LoadRaw().HasMark(deletedMark) {
+				t.releasePos(&pos)
+				continue
+			}
+			old := atomic.SwapUint64(&curN.Val, ref)
+			t.clearInflight() // published
+			if old&arena.ValueRefTag != 0 {
+				// Copy the displaced bytes out while the retire below is
+				// still ours to issue — nothing can free the slab yet.
+				dst = t.b.vp.AppendTo(dst, old)
+				t.th.RetireValue(old)
+			}
+			t.releasePos(&pos)
+			return dst, true, nil
+		}
+		linked, lerr := t.tryLink(&pos, key, ref)
+		if linked {
+			t.clearInflight() // published inside the linked node
+		}
+		t.releasePos(&pos)
+		if linked {
+			return dst, false, nil
+		}
+		if lerr != nil {
+			t.dropRef(ref)
+			return dst, false, lerr
+		}
+		// CAS lost; tryLink stripped the unpublished node's Val, so ref is
+		// still ours (and still parked) for the retry.
+	}
+}
+
+// GetB implements ds.MapThread.
+func (t *hashThread) GetB(key uint64, dst []byte) ([]byte, bool) {
+	t.requireBytes()
+	if t.t.vsrc != nil {
+		return t.getVB(key, dst)
+	}
+	return t.getB(t.t.bucket(key), key, dst)
+}
+
+// PutB implements ds.MapThread.
+func (t *hashThread) PutB(key uint64, val, dst []byte) ([]byte, bool, error) {
+	t.requireBytes()
+	if t.t.vsrc != nil {
+		return t.putVB(key, val, dst)
+	}
+	return t.putB(t.t.bucket(key), key, val, dst)
+}
+
+// ScanB implements ds.MapThread. The val slice is scratch owned by the
+// thread, valid only until fn returns.
+func (t *hashThread) ScanB(limit int, fn func(key uint64, val []byte) bool) int {
+	t.requireBytes()
+	if t.t.vsrc != nil {
+		return t.scanVersionedB(limit, fn)
+	}
+	th := t.th
+	n := 0
+	for i := range t.t.buckets {
+		if limit >= 0 && n >= limit {
+			break
+		}
+		cur := th.GetSnapshot(&t.t.buckets[i])
+		for !cur.IsNil() {
+			nd := th.DerefSnapshot(cur)
+			if !nd.next.LoadRaw().HasMark(deletedMark) {
+				if limit >= 0 && n >= limit {
+					break
+				}
+				t.vbuf = t.readValB(nd, t.vbuf[:0])
+				if !fn(nd.Key, t.vbuf) {
+					th.ReleaseSnapshot(&cur)
+					return n
+				}
+				n++
+			}
+			next := th.GetSnapshot(&nd.next)
+			th.ReleaseSnapshot(&cur)
+			cur = next
+		}
+		th.ReleaseSnapshot(&cur)
+	}
+	return n
+}
+
+// --- cache tables ---------------------------------------------------------
+
+// PutExB implements ds.CacheThread.
+func (t *hashThread) PutExB(key uint64, val []byte, exp, now uint64, dst []byte) (old []byte, existed bool, ref ds.CacheRef, reaped int, err error) {
+	t.requireBytes()
+	vref, err := t.putRef(val)
+	if err != nil {
+		return dst, false, ds.CacheRef{}, 0, err
+	}
+	head := t.t.bucket(key)
+	for {
+		pos := t.search(head, key)
+		if pos.found {
+			curN := t.deref(pos.curSnap, pos.curRc)
+			nextW := curN.next.LoadRaw()
+			if nextW.HasMark(deletedMark) {
+				t.releasePos(&pos)
+				continue
+			}
+			oldExp := atomic.LoadUint64(&curN.Exp)
+			if !ExpLive(oldExp, now) {
+				if t.reapAt(&pos, nextW) {
+					reaped++
+				}
+				t.releasePos(&pos)
+				continue
+			}
+			atomic.StoreUint64(&curN.Exp, exp|ExpRefBit)
+			oldW := atomic.SwapUint64(&curN.Val, vref)
+			t.clearInflight()
+			if oldW&arena.ValueRefTag != 0 {
+				dst = t.b.vp.AppendTo(dst, oldW)
+				t.th.RetireValue(oldW)
+			}
+			t.releasePos(&pos)
+			return dst, true, ds.CacheRef{}, reaped, nil
+		}
+		linked, w, lerr := t.tryLinkCache(&pos, key, vref, exp)
+		if linked {
+			t.clearInflight()
+		}
+		t.releasePos(&pos)
+		if lerr != nil {
+			t.dropRef(vref)
+			return dst, false, ds.CacheRef{}, reaped, lerr
+		}
+		if linked {
+			return dst, false, ds.CacheRef{Key: key, Word: w.Word()}, reaped, nil
+		}
+	}
+}
+
+// GetExB implements ds.CacheThread.
+func (t *hashThread) GetExB(key, newExp, now uint64, dst []byte) ([]byte, bool, int) {
+	t.requireBytes()
+	head := t.t.bucket(key)
+	reaped := 0
+	for {
+		pos := t.search(head, key)
+		if !pos.found {
+			t.releasePos(&pos)
+			return dst, false, reaped
+		}
+		curN := t.deref(pos.curSnap, pos.curRc)
+		nextW := curN.next.LoadRaw()
+		if nextW.HasMark(deletedMark) {
+			t.releasePos(&pos)
+			continue
+		}
+		exp := atomic.LoadUint64(&curN.Exp)
+		if !ExpLive(exp, now) {
+			if t.reapAt(&pos, nextW) {
+				reaped++
+			}
+			t.releasePos(&pos)
+			return dst, false, reaped
+		}
+		if newExp != 0 {
+			atomic.StoreUint64(&curN.Exp, newExp|ExpRefBit)
+		} else {
+			atomic.OrUint64(&curN.Exp, ExpRefBit)
+		}
+		dst = t.readValB(curN, dst)
+		t.releasePos(&pos)
+		return dst, true, reaped
+	}
+}
+
+// ScanLiveB implements ds.CacheThread (scratch val, as ScanB).
+func (t *hashThread) ScanLiveB(now uint64, limit int, fn func(key uint64, val []byte) bool) int {
+	t.requireBytes()
+	th := t.th
+	n := 0
+	for i := range t.t.buckets {
+		if limit >= 0 && n >= limit {
+			break
+		}
+		cur := th.GetSnapshot(&t.t.buckets[i])
+		for !cur.IsNil() {
+			nd := th.DerefSnapshot(cur)
+			if !nd.next.LoadRaw().HasMark(deletedMark) &&
+				ExpLive(atomic.LoadUint64(&nd.Exp), now) {
+				if limit >= 0 && n >= limit {
+					break
+				}
+				t.vbuf = t.readValB(nd, t.vbuf[:0])
+				if !fn(nd.Key, t.vbuf) {
+					th.ReleaseSnapshot(&cur)
+					return n
+				}
+				n++
+			}
+			next := th.GetSnapshot(&nd.next)
+			th.ReleaseSnapshot(&cur)
+			cur = next
+		}
+		th.ReleaseSnapshot(&cur)
+	}
+	return n
+}
+
+// --- versioned tables -----------------------------------------------------
+
+// resolveHeadB is resolveHead with the copy performed under the head
+// cell's snapshot. Version cells never rebind Val, so the snapshot alone
+// (which blocks the cell's finalizer, hence the slab free) suffices — no
+// value announcement.
+func (t *hashThread) resolveHeadB(e *listNode, dst []byte) ([]byte, bool) {
+	th := t.th
+	hs := th.GetSnapshot(&e.Vers)
+	ok := false
+	if !hs.IsNil() && !hs.HasMark(versDeadMark) {
+		hc := th.DerefSnapshot(hs)
+		if atomic.LoadUint64(&hc.Key)&versTombFlag == 0 {
+			if r := atomic.LoadUint64(&hc.Val); r&arena.ValueRefTag != 0 {
+				dst = t.b.vp.AppendTo(dst, r)
+			}
+			ok = true
+		}
+	}
+	th.ReleaseSnapshot(&hs)
+	return dst, ok
+}
+
+// resolveAtB is resolveAt with the copy under the resolved cell's
+// snapshot (see resolveHeadB).
+func (t *hashThread) resolveAtB(e *listNode, ts uint64, dst []byte) ([]byte, bool) {
+	th := t.th
+	cur := th.GetSnapshot(&e.Vers)
+	if cur.HasMark(versDeadMark) {
+		th.ReleaseSnapshot(&cur)
+		return dst, false
+	}
+	for !cur.IsNil() {
+		cn := th.DerefSnapshot(cur)
+		w := t.stampWord(cn)
+		if w&versStampMask <= ts {
+			ok := false
+			if w&versTombFlag == 0 {
+				if r := atomic.LoadUint64(&cn.Val); r&arena.ValueRefTag != 0 {
+					dst = t.b.vp.AppendTo(dst, r)
+				}
+				ok = true
+			}
+			th.ReleaseSnapshot(&cur)
+			return dst, ok
+		}
+		nxt := th.GetSnapshot(&cn.next)
+		th.ReleaseSnapshot(&cur)
+		cur = nxt
+	}
+	th.ReleaseSnapshot(&cur)
+	return dst, false
+}
+
+// getVB is the versioned current-value byte read.
+func (t *hashThread) getVB(key uint64, dst []byte) ([]byte, bool) {
+	pos := t.search(t.t.bucket(key), key)
+	ok := false
+	if pos.found {
+		dst, ok = t.resolveHeadB(t.deref(pos.curSnap, pos.curRc), dst)
+	}
+	t.releasePos(&pos)
+	return dst, ok
+}
+
+// putVB prepends a version cell carrying val's ref. No RetireValue
+// anywhere: a versioned table's displaced values stay reachable as
+// history, and each cell's ref is freed by the finalizer cascade when
+// maintainVers trims the cell (or the entry dies).
+func (t *hashThread) putVB(key uint64, val, dst []byte) ([]byte, bool, error) {
+	th := t.th
+	ref, err := t.putRef(val)
+	if err != nil {
+		return dst, false, err
+	}
+	head := t.t.bucket(key)
+	for {
+		pos := t.search(head, key)
+		if !pos.found {
+			linked, lerr := t.tryLinkV(&pos, key, ref)
+			if linked {
+				t.clearInflight()
+			}
+			t.releasePos(&pos)
+			if linked {
+				return dst, false, nil
+			}
+			if lerr != nil {
+				t.dropRef(ref)
+				return dst, false, lerr
+			}
+			continue
+		}
+		e := t.deref(pos.curSnap, pos.curRc)
+		if e.next.LoadRaw().HasMark(deletedMark) {
+			t.releasePos(&pos)
+			continue
+		}
+		hs := th.GetSnapshot(&e.Vers)
+		if hs.HasMark(versDeadMark) {
+			th.ReleaseSnapshot(&hs)
+			t.helpFreeze(e)
+			t.releasePos(&pos)
+			continue
+		}
+		var headRef uint64
+		headTomb := true
+		var headOwned core.RcPtr
+		if !hs.IsNil() {
+			hc := th.DerefSnapshot(hs)
+			headTomb = atomic.LoadUint64(&hc.Key)&versTombFlag != 0
+			headRef = atomic.LoadUint64(&hc.Val)
+			headOwned = th.RcFromSnapshot(hs)
+		}
+		init := func(nd *listNode) {
+			nd.Key = versPending
+			atomic.StoreUint64(&nd.Val, ref)
+			atomic.StoreUint64(&nd.Exp, 0) // recycled slots carry arena poison
+			nd.next.Init(headOwned)
+			nd.Vers.Init(core.NilRcPtr)
+		}
+		cell, aerr := th.TryNewRc(init)
+		if aerr != nil {
+			th.Flush()
+			if cell, aerr = th.TryNewRc(init); aerr != nil {
+				obsAllocDrop.Inc(th.ProcID())
+				th.Release(headOwned)
+				th.ReleaseSnapshot(&hs)
+				t.releasePos(&pos)
+				t.dropRef(ref)
+				return dst, false, aerr
+			}
+		}
+		if !th.CompareAndSwapMove(&e.Vers, hs.Ptr(), cell) {
+			// Unpublished cell: strip its Val so the finalizer leaves our
+			// parked ref alone for the retry.
+			atomic.StoreUint64(&th.Deref(cell).Val, 0)
+			th.Release(cell) // finalizer releases headOwned
+			th.ReleaseSnapshot(&hs)
+			t.releasePos(&pos)
+			continue
+		}
+		t.clearInflight()
+		// Copy the superseded head's bytes while hs still pins its cell
+		// (a concurrent trim could otherwise finalize it mid-copy).
+		if !headTomb && headRef&arena.ValueRefTag != 0 {
+			dst = t.b.vp.AppendTo(dst, headRef)
+		}
+		th.ReleaseSnapshot(&hs)
+		t.stampCellIn(e, cell)
+		t.maintainVers(e)
+		t.releasePos(&pos)
+		return dst, !headTomb, nil
+	}
+}
+
+// scanVersionedB is the weakly-consistent byte scan (newest live version
+// per entry; scratch val as ScanB).
+func (t *hashThread) scanVersionedB(limit int, fn func(key uint64, val []byte) bool) int {
+	th := t.th
+	n := 0
+	for i := range t.t.buckets {
+		if limit >= 0 && n >= limit {
+			break
+		}
+		cur := th.GetSnapshot(&t.t.buckets[i])
+		for !cur.IsNil() {
+			nd := th.DerefSnapshot(cur)
+			if !nd.next.LoadRaw().HasMark(deletedMark) {
+				if limit >= 0 && n >= limit {
+					break
+				}
+				var ok bool
+				t.vbuf, ok = t.resolveHeadB(nd, t.vbuf[:0])
+				if ok {
+					if !fn(nd.Key, t.vbuf) {
+						th.ReleaseSnapshot(&cur)
+						return n
+					}
+					n++
+				}
+			}
+			next := th.GetSnapshot(&nd.next)
+			th.ReleaseSnapshot(&cur)
+			cur = next
+		}
+		th.ReleaseSnapshot(&cur)
+	}
+	return n
+}
+
+// GetAtB implements ds.VersionedMapThread.
+func (t *hashThread) GetAtB(ts, key uint64, dst []byte) ([]byte, bool) {
+	t.requireBytes()
+	if t.t.vsrc == nil {
+		panic("rcds: GetAtB on an unversioned table")
+	}
+	pos := t.search(t.t.bucket(key), key)
+	ok := false
+	if pos.found {
+		dst, ok = t.resolveAtB(t.deref(pos.curSnap, pos.curRc), ts, dst)
+	}
+	t.releasePos(&pos)
+	return dst, ok
+}
+
+// ScanAtB implements ds.VersionedMapThread: ScanAt's point-in-time
+// atomicity with byte rows (scratch val as ScanB).
+func (t *hashThread) ScanAtB(ts uint64, limit int, fn func(key uint64, val []byte) bool) int {
+	t.requireBytes()
+	th := t.th
+	n := 0
+	for i := range t.t.buckets {
+		if limit >= 0 && n >= limit {
+			break
+		}
+		cur := th.GetSnapshot(&t.t.buckets[i])
+		for !cur.IsNil() {
+			nd := th.DerefSnapshot(cur)
+			if !nd.next.LoadRaw().HasMark(deletedMark) {
+				if limit >= 0 && n >= limit {
+					break
+				}
+				var ok bool
+				t.vbuf, ok = t.resolveAtB(nd, ts, t.vbuf[:0])
+				if ok {
+					if !fn(nd.Key, t.vbuf) {
+						th.ReleaseSnapshot(&cur)
+						return n
+					}
+					n++
+				}
+			}
+			next := th.GetSnapshot(&nd.next)
+			th.ReleaseSnapshot(&cur)
+			cur = next
+		}
+		th.ReleaseSnapshot(&cur)
+	}
+	return n
+}

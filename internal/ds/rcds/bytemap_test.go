@@ -1,0 +1,366 @@
+package rcds
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cdrc/internal/chaos"
+	"cdrc/internal/ds"
+	"cdrc/internal/snaplease"
+	"cdrc/internal/vals"
+)
+
+// bval builds a deterministic value for (key, gen) whose length varies
+// with both, crossing size classes and the chain threshold.
+func bval(key, gen uint64, scale int) []byte {
+	n := int((key*7+gen*131)%uint64(scale)) + 8
+	b := make([]byte, n)
+	binary.LittleEndian.PutUint64(b, key^gen)
+	for i := 8; i < n; i++ {
+		b[i] = byte(key + gen + uint64(i))
+	}
+	return b
+}
+
+func newByteTable(t *testing.T, buckets, procs int, snapshots bool) *HashTable {
+	t.Helper()
+	h := NewHashTable(buckets, procs, snapshots)
+	h.EnableByteValues(t.Name())
+	h.EnableDebugChecks()
+	return h
+}
+
+// checkByteQuiescence drains and verifies both planes reach zero.
+func checkByteQuiescence(t *testing.T, h *HashTable) {
+	t.Helper()
+	m := h.AttachMap().(*hashThread)
+	m.Clear()
+	m.Drain()
+	m.Detach()
+	for i := 0; i < 4 && (h.LiveNodes() != 0 || h.ByteValues().Live() != 0); i++ {
+		d := h.AttachMap().(*hashThread)
+		d.Flush()
+		d.Drain()
+		d.Detach()
+	}
+	if n := h.LiveNodes(); n != 0 {
+		t.Fatalf("node leak: LiveNodes = %d after Clear", n)
+	}
+	if n := h.ByteValues().Live(); n != 0 {
+		t.Fatalf("slab leak: vals Live = %d after Clear", n)
+	}
+}
+
+func TestByteMapSequential(t *testing.T) {
+	for _, snapshots := range []bool{false, true} {
+		t.Run(fmt.Sprintf("snapshots=%v", snapshots), func(t *testing.T) {
+			h := newByteTable(t, 64, 2, snapshots)
+			m := h.AttachMap()
+
+			if _, found := m.GetB(1, nil); found {
+				t.Fatal("phantom key")
+			}
+			v1 := bval(1, 1, 9000)
+			if _, existed, err := m.PutB(1, v1, nil); existed || err != nil {
+				t.Fatalf("fresh PutB: existed=%v err=%v", existed, err)
+			}
+			got, found := m.GetB(1, nil)
+			if !found || !bytes.Equal(got, v1) {
+				t.Fatalf("GetB after put: found=%v len=%d want %d", found, len(got), len(v1))
+			}
+			// Replace returns the displaced bytes; sizes cross classes.
+			v2 := bval(1, 2, 100)
+			old, existed, err := m.PutB(1, v2, nil)
+			if err != nil || !existed || !bytes.Equal(old, v1) {
+				t.Fatalf("replace: existed=%v err=%v oldlen=%d", existed, err, len(old))
+			}
+			// Empty value is legal and distinct from absent.
+			if _, _, err := m.PutB(2, nil, nil); err != nil {
+				t.Fatal(err)
+			}
+			got, found = m.GetB(2, nil)
+			if !found || len(got) != 0 {
+				t.Fatalf("empty value: found=%v len=%d", found, len(got))
+			}
+			// dst append semantics.
+			pre := []byte("prefix:")
+			got, _ = m.GetB(1, pre)
+			if !bytes.HasPrefix(got, pre) || !bytes.Equal(got[len(pre):], v2) {
+				t.Fatal("GetB must append to dst")
+			}
+			if !m.Delete(1) || !m.Delete(2) {
+				t.Fatal("delete")
+			}
+			m.Detach()
+			checkByteQuiescence(t, h)
+		})
+	}
+}
+
+func TestByteMapScan(t *testing.T) {
+	h := newByteTable(t, 32, 1, true)
+	m := h.AttachMap()
+	want := map[uint64][]byte{}
+	for k := uint64(1); k <= 40; k++ {
+		v := bval(k, 3, 6000)
+		want[k] = v
+		if _, _, err := m.PutB(k, v, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[uint64][]byte{}
+	n := m.ScanB(-1, func(key uint64, val []byte) bool {
+		seen[key] = append([]byte(nil), val...) // scratch: must copy
+		return true
+	})
+	if n != len(want) || len(seen) != len(want) {
+		t.Fatalf("ScanB visited %d/%d", n, len(want))
+	}
+	for k, v := range want {
+		if !bytes.Equal(seen[k], v) {
+			t.Fatalf("key %d bytes mismatch", k)
+		}
+	}
+	m.Detach()
+	checkByteQuiescence(t, h)
+}
+
+// TestByteMapConcurrentChurn hammers in-place replaces, inserts, deletes
+// and reads across size classes (including chains) with debug checks on:
+// any slab recycled under a mid-copy reader panics.
+func TestByteMapConcurrentChurn(t *testing.T) {
+	const procs = 4
+	h := newByteTable(t, 64, procs, true)
+	const keys = 64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := h.AttachMap()
+			defer m.Detach()
+			var dst []byte
+			gen := uint64(w + 1)
+			for i := 0; !stop.Load(); i++ {
+				k := uint64(i%keys) + 1
+				switch i % 5 {
+				case 0, 1:
+					var err error
+					dst, _, err = m.PutB(k, bval(k, gen, 9000), dst[:0])
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					gen++
+				case 2, 3:
+					var found bool
+					dst, found = m.GetB(k, dst[:0])
+					if found && len(dst) >= 8 {
+						// First 8 bytes encode key^gen; verify the key half
+						// is consistent with a complete, untorn copy.
+						g := binary.LittleEndian.Uint64(dst) ^ k
+						if chk := bval(k, g, 9000); !bytes.Equal(dst, chk) {
+							t.Errorf("torn value for key %d", k)
+							return
+						}
+					}
+				default:
+					m.Delete(k)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 40; i++ {
+		m := h.AttachMap()
+		m.ScanB(-1, func(key uint64, val []byte) bool { return len(val) >= 0 })
+		m.Detach()
+	}
+	stop.Store(true)
+	wg.Wait()
+	checkByteQuiescence(t, h)
+}
+
+// TestByteMapCrashInflight crashes a writer exactly at the parked-slab
+// point (vals.put.inflight) and verifies adoption reclaims the slab:
+// no leak, no double free, and the pid is reusable.
+func TestByteMapCrashInflight(t *testing.T) {
+	chaos.Enable(chaos.Config{
+		Seed:        7,
+		CrashBudget: 3,
+		Faults: map[string]chaos.Fault{
+			"vals.put.inflight": {Every: 4, Crash: true},
+		},
+	})
+	defer chaos.Disable()
+
+	h := newByteTable(t, 32, 2, true)
+	crashes := 0
+	for i := 0; i < 32; i++ {
+		func() {
+			m := h.AttachMap().(*hashThread)
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(chaos.CrashSignal); !ok {
+						panic(r)
+					}
+					crashes++
+					m.Abandon() // survivors adopt: parked slab freed, magazines drained
+				}
+			}()
+			k := uint64(i%8 + 1)
+			if _, _, err := m.PutB(k, bval(k, uint64(i), 9000), nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, found := m.GetB(k, nil); !found {
+				t.Fatalf("published value lost (iter %d)", i)
+			}
+			m.Detach()
+		}()
+	}
+	if crashes == 0 {
+		t.Fatal("crash point never fired")
+	}
+	chaos.Disable()
+	checkByteQuiescence(t, h)
+}
+
+func TestByteVersioned(t *testing.T) {
+	lp := snaplease.NewPool(2)
+	h := NewVersionedHashTable(32, 2, lp)
+	h.EnableByteValues(t.Name())
+	h.EnableDebugChecks()
+	m := h.AttachMap().(*hashThread)
+
+	v1, v2 := bval(5, 1, 5000), bval(5, 2, 200)
+	if _, existed, err := m.PutB(5, v1, nil); existed || err != nil {
+		t.Fatalf("fresh: %v %v", existed, err)
+	}
+	ls, ok := lp.Acquire(0)
+	if !ok {
+		t.Fatal("lease")
+	}
+	ts1 := ls.TS()
+	old, existed, err := m.PutB(5, v2, nil)
+	if err != nil || !existed || !bytes.Equal(old, v1) {
+		t.Fatalf("replace: %v %v oldlen=%d", existed, err, len(old))
+	}
+	// Current read sees v2; the lease timestamp still resolves v1.
+	if got, ok := m.GetB(5, nil); !ok || !bytes.Equal(got, v2) {
+		t.Fatal("current read")
+	}
+	if got, ok := m.GetAtB(ts1, 5, nil); !ok || !bytes.Equal(got, v1) {
+		t.Fatalf("GetAtB(ts1) resolved %d bytes, want v1", len(got))
+	}
+	rows := 0
+	m.ScanAtB(ts1, -1, func(key uint64, val []byte) bool {
+		rows++
+		if key == 5 && !bytes.Equal(val, v1) {
+			t.Error("ScanAtB row mismatch")
+		}
+		return true
+	})
+	if rows != 1 {
+		t.Fatalf("ScanAtB rows = %d", rows)
+	}
+	if ok, err := m.DeleteV(5); !ok || err != nil {
+		t.Fatalf("DeleteV: %v %v", ok, err)
+	}
+	// The lease still sees v1 past the tombstone.
+	if got, ok := m.GetAtB(ts1, 5, nil); !ok || !bytes.Equal(got, v1) {
+		t.Fatal("history lost after delete")
+	}
+	ls.Release(0)
+	// Trim: a write after the lease releases cuts superseded history and
+	// the finalizer cascade frees the trimmed cells' slabs.
+	if _, _, err := m.PutB(9, bval(9, 1, 100), nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Detach()
+	checkByteQuiescence(t, h)
+}
+
+func TestByteCache(t *testing.T) {
+	h := newByteTable(t, 32, 2, true)
+	c := h.AttachCache()
+	now := uint64(1000)
+	v1, v2 := bval(3, 1, 3000), bval(3, 2, 60)
+
+	_, existed, ref, _, err := c.PutExB(3, v1, now+100, now, nil)
+	if err != nil || existed {
+		t.Fatalf("fresh PutExB: %v %v", existed, err)
+	}
+	if ref.Word == 0 {
+		t.Fatal("fresh link must yield an index ref")
+	}
+	got, hit, _ := c.GetExB(3, 0, now, nil)
+	if !hit || !bytes.Equal(got, v1) {
+		t.Fatal("GetExB")
+	}
+	old, existed, _, _, err := c.PutExB(3, v2, now+200, now, nil)
+	if err != nil || !existed || !bytes.Equal(old, v1) {
+		t.Fatalf("live replace: %v %v oldlen=%d", existed, err, len(old))
+	}
+	n := c.ScanLiveB(now, -1, func(key uint64, val []byte) bool {
+		return key == 3 && bytes.Equal(val, v2)
+	})
+	if n != 1 {
+		t.Fatalf("ScanLiveB = %d", n)
+	}
+	// Expire it; the lazy-expiry read reaps and the slab comes back.
+	if _, hit, _ := c.GetExB(3, 0, now+300, nil); hit {
+		t.Fatal("expired entry still hit")
+	}
+	if c.EvictStep(ref, now+300) != ds.EvictGone {
+		t.Fatal("index ref should observe the reaped entry as gone")
+	}
+	c.Reap(3)
+	c.Detach()
+	checkByteQuiescence(t, h)
+}
+
+// TestByteObsIdentity checks the retire pipeline bookkeeping: every
+// displaced ref retired through RetireValue is freed exactly once by an
+// eject, so vals alloc − free == Live at quiescence (zero here).
+func TestByteObsIdentity(t *testing.T) {
+	h := newByteTable(t, 16, 1, true)
+	m := h.AttachMap()
+	for gen := uint64(0); gen < 50; gen++ {
+		if _, _, err := m.PutB(7, bval(7, gen, 9000), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Detach()
+	checkByteQuiescence(t, h)
+}
+
+// TestByteMapAllocsSteadyState pins the data-plane zero-allocation
+// claim end to end: warm GetB/PutB cycles on a byte table perform no Go
+// heap allocation (node slab, value slab, and scan scratch all recycle).
+func TestByteMapAllocsSteadyState(t *testing.T) {
+	h := NewHashTable(16, 1, true)
+	h.EnableByteValues(t.Name())
+	m := h.AttachMap()
+	defer m.Detach()
+	val := bval(11, 1, 700)
+	var dst []byte
+	if _, _, err := m.PutB(11, val, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		var err error
+		dst, _, err = m.PutB(11, val, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, _ = m.GetB(11, dst[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state PutB/GetB allocates %.1f/op, want 0", allocs)
+	}
+	_ = vals.NumClasses // anchor: the claim covers every inline class
+}

@@ -83,6 +83,9 @@ func (t *listThread) tryLinkCache(pos *position, key, val, exp uint64) (bool, co
 		return true, w, nil
 	}
 	th.ReleaseWeak(w)
+	// Unpublished: strip Val so a byte-mode caller keeps its parked vals
+	// ref for the retry (see tryLink).
+	atomic.StoreUint64(&th.Deref(n).Val, 0)
 	th.Release(n) // finalizer releases curOwned
 	return false, core.NilWeakPtr, nil
 }

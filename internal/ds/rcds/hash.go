@@ -3,6 +3,7 @@ package rcds
 import (
 	"cdrc/internal/core"
 	"cdrc/internal/ds"
+	"cdrc/internal/vals"
 )
 
 // HashTable is Michael's hash table over deferred reference counting:
@@ -34,6 +35,27 @@ func NewHashTable(buckets int, maxProcs int, snapshots bool) *HashTable {
 
 // Name implements ds.Set.
 func (h *HashTable) Name() string { return h.base.name }
+
+// EnableByteValues switches the table's map plane to variable-length
+// byte values stored inline in value slabs (DESIGN.md §13): Val words
+// carry vals refs, the byte operations (GetB/PutB/...) become legal, and
+// the uint64 value operations must no longer be used for values. Must be
+// called before any Attach — the slab pool shares the table's
+// processor-id space and is wired into the domain's adopt hook. name
+// labels the pool's per-class obs gauges. Idempotent; returns the pool
+// for capacity and stats wiring.
+func (h *HashTable) EnableByteValues(name string) *vals.Pool {
+	if h.base.vp == nil {
+		vp := vals.New(vals.Config{Name: name, MaxProcs: h.base.procs})
+		h.base.vp = vp
+		h.base.dom.SetValueSlabs(vp)
+	}
+	return h.base.vp
+}
+
+// ByteValues reports whether the table runs the byte-value plane, and
+// returns its slab pool (nil when not).
+func (h *HashTable) ByteValues() *vals.Pool { return h.base.vp }
 
 // Versioned reports whether the table runs the multi-versioned paths.
 func (h *HashTable) Versioned() bool { return h.vsrc != nil }

@@ -15,10 +15,12 @@ package rcds
 import (
 	"sync/atomic"
 
+	"cdrc/internal/arena"
 	"cdrc/internal/core"
 	"cdrc/internal/ds"
 	"cdrc/internal/obs"
 	"cdrc/internal/pid"
+	"cdrc/internal/vals"
 )
 
 // obsAllocDrop counts operations dropped on allocation failure (arena cap
@@ -52,15 +54,22 @@ type listNode struct {
 
 // listBase is shared by List and HashTable.
 type listBase struct {
-	dom  *core.Domain[listNode]
-	name string
+	dom   *core.Domain[listNode]
+	name  string
+	procs int
+
+	// vp, when non-nil, switches the table's map plane to byte values
+	// (DESIGN.md §13): Val words carry vals refs instead of raw uint64s,
+	// and the byte operations in bytemap.go become legal. Set once via
+	// HashTable.EnableByteValues before any Attach.
+	vp *vals.Pool
 }
 
 func newListBase(structure string, maxProcs int, snapshots bool) *listBase {
 	if maxProcs <= 0 {
 		maxProcs = pid.DefaultMaxProcs
 	}
-	b := &listBase{}
+	b := &listBase{procs: maxProcs}
 	suffix := "/DRC (+ snapshots)"
 	if !snapshots {
 		suffix = "/DRC"
@@ -70,6 +79,16 @@ func newListBase(structure string, maxProcs int, snapshots bool) *listBase {
 		MaxProcs:      maxProcs,
 		EagerDestruct: !snapshots,
 		Finalizer: func(t *core.Thread[listNode], n *listNode) {
+			// Byte tables: the node's value slab dies with it. Eager free
+			// is legal here — count zero means every reader's protecting
+			// node announcement is gone, and a ref still in Val was never
+			// displaced, so no value announcement can cover it either.
+			if b.vp != nil {
+				if w := atomic.LoadUint64(&n.Val); w&arena.ValueRefTag != 0 {
+					t.FreeValue(w)
+					atomic.StoreUint64(&n.Val, 0)
+				}
+			}
 			t.Release(n.next.LoadRaw().Unmarked())
 			n.next.Init(core.NilRcPtr)
 			// Versioned tables: an entry's version chain dies with it (the
@@ -115,6 +134,11 @@ type listThread struct {
 	th        *core.Thread[listNode]
 	head      *core.AtomicRcPtr
 	snapshots bool
+
+	// vbuf is the byte-scan scratch (bytemap.go): one value copy per
+	// row, reused across rows and calls, so steady-state scans do not
+	// allocate.
+	vbuf []byte
 }
 
 // position is a search result. When snapshots are enabled prev/cur are
@@ -257,6 +281,11 @@ func (t *listThread) tryLink(pos *position, key, val uint64) (bool, error) {
 	if th.CompareAndSwapMove(pos.prevLink, pos.cur(), n) {
 		return true, nil
 	}
+	// Lost the CAS: n was never published, so we own it exclusively. Strip
+	// Val before releasing — in byte mode it carries a vals ref the caller
+	// still owns (parked in the pid's inflight cell) and will relink on
+	// retry; the finalizer must not free it.
+	atomic.StoreUint64(&th.Deref(n).Val, 0)
 	th.Release(n) // finalizer releases curOwned
 	return false, nil
 }

@@ -67,8 +67,14 @@ func (h *HashTable) AttachMap() ds.MapThread {
 // reports backpressure instead of allocating.
 func (h *HashTable) SetCapacity(slots uint64) { h.base.dom.SetCapacity(slots) }
 
-// EnableDebugChecks turns reads of freed slots into panics (tests/soaks).
-func (h *HashTable) EnableDebugChecks() { h.base.dom.EnableDebugChecks() }
+// EnableDebugChecks turns reads of freed slots into panics (tests/soaks),
+// in the node arena and the value-slab pool alike.
+func (h *HashTable) EnableDebugChecks() {
+	h.base.dom.EnableDebugChecks()
+	if h.base.vp != nil {
+		h.base.vp.EnableDebugChecks()
+	}
+}
 
 // Get implements ds.MapThread.
 func (t *hashThread) Get(key uint64) (uint64, bool) {

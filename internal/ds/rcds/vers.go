@@ -304,11 +304,15 @@ func (t *hashThread) tryLinkV(pos *position, key, val uint64) (bool, error) {
 		if en, err = th.TryNewRc(einit); err != nil {
 			obsAllocDrop.Inc(th.ProcID())
 			th.Release(curOwned)
+			// Unpublished: strip the cell's Val so a byte-mode caller keeps
+			// its parked vals ref (see tryLink).
+			atomic.StoreUint64(&th.Deref(cell).Val, 0)
 			th.Release(cell)
 			return false, err
 		}
 	}
 	if !th.CompareAndSwapMove(pos.prevLink, pos.cur(), en) {
+		atomic.StoreUint64(&th.Deref(cell).Val, 0)
 		th.Release(en) // finalizer releases curOwned and cell
 		return false, nil
 	}

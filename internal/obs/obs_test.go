@@ -209,3 +209,24 @@ func TestQuantile(t *testing.T) {
 		t.Fatalf("unknown histogram quantile = %v, want 0", got)
 	}
 }
+
+// TestCounterIncZeroAlloc pins the hot-path claim that armed counters
+// and histograms cost no Go-heap allocation per event (the whole point
+// of the padded per-proc shards): any allocation here would show up on
+// every server request and every arena op.
+func TestCounterIncZeroAlloc(t *testing.T) {
+	c := NewCounter("zeroalloc.test.counter")
+	h := NewHistogram("zeroalloc.test.hist")
+	Enable()
+	defer Disable()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 128; i++ {
+			c.Inc(i & 7)
+			c.Add(i&7, 3)
+			h.Observe(uint64(i))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("counter/histogram hot path allocated %.2f per run, want 0", allocs)
+	}
+}

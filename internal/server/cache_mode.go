@@ -56,14 +56,18 @@ func (s *Server) execCache(h *collections.CacheHandle, sl *slot) {
 	ttl := time.Duration(sl.ts) * time.Millisecond
 	switch sl.op {
 	case opGet:
-		if v, ok := h.Get(sl.key); ok {
-			sl.buf = appendVal(sl.buf[:0], "+VAL", v)
+		v, ok := h.Get(sl.key, sl.vtmp[:0])
+		sl.vtmp = v
+		if ok {
+			sl.buf = appendValBytes(sl.buf[:0], "+VAL", v)
 		} else {
 			sl.static = lineNil
 		}
 	case opGetEx:
-		if v, ok := h.GetEx(sl.key, ttl); ok {
-			sl.buf = appendVal(sl.buf[:0], "+VAL", v)
+		v, ok := h.GetEx(sl.key, ttl, sl.vtmp[:0])
+		sl.vtmp = v
+		if ok {
+			sl.buf = appendValBytes(sl.buf[:0], "+VAL", v)
 		} else {
 			sl.static = lineNil
 		}
@@ -71,12 +75,13 @@ func (s *Server) execCache(h *collections.CacheHandle, sl *slot) {
 		if sl.op == opPut {
 			ttl = 0
 		}
-		old, existed, err := h.SetEx(sl.key, sl.val, ttl)
+		old, existed, err := h.SetEx(sl.key, sl.val, ttl, sl.vtmp[:0])
+		sl.vtmp = old
 		switch {
 		case err != nil:
 			sl.buf = appendErr(sl.buf[:0], "cache exhausted: %v", err)
 		case existed:
-			sl.buf = appendVal(sl.buf[:0], "+OLD", old)
+			sl.buf = appendValBytes(sl.buf[:0], "+OLD", old)
 		default:
 			sl.static = lineNew
 		}
@@ -94,11 +99,8 @@ func (s *Server) execCache(h *collections.CacheHandle, sl *slot) {
 		}
 	case opScan:
 		seg := sl.scan.segs[sl.shard][:0]
-		n := h.Scan(sl.limit, func(k, v uint64) bool {
-			seg = strconv.AppendUint(seg, k, 10)
-			seg = append(seg, ' ')
-			seg = strconv.AppendUint(seg, v, 10)
-			seg = append(seg, '\n')
+		n := h.Scan(sl.limit, func(k uint64, v []byte) bool {
+			seg = appendRow(seg, k, v)
 			return true
 		})
 		sl.scan.segs[sl.shard] = seg

@@ -28,14 +28,14 @@ func TestServerCacheVerbs(t *testing.T) {
 	defer s.Close()
 	defer cl.Close()
 
-	if _, existed, err := cl.SetEx(1, 100, 0); err != nil || existed {
+	if _, existed, err := cl.SetEx(1, tb(100), 0); err != nil || existed {
 		t.Fatalf("SETEX fresh: existed=%v err=%v", existed, err)
 	}
-	if v, ok, err := cl.GetEx(1, 0); err != nil || !ok || v != 100 {
-		t.Fatalf("GETEX: %d %v %v", v, ok, err)
+	if v, ok, err := cl.GetEx(1, 0); err != nil || !ok || bu(v) != 100 {
+		t.Fatalf("GETEX: %d %v %v", bu(v), ok, err)
 	}
-	if old, existed, err := cl.SetEx(1, 200, time.Minute); err != nil || !existed || old != 100 {
-		t.Fatalf("SETEX replace: %d %v %v", old, existed, err)
+	if old, existed, err := cl.SetEx(1, tb(200), time.Minute); err != nil || !existed || bu(old) != 100 {
+		t.Fatalf("SETEX replace: %d %v %v", bu(old), existed, err)
 	}
 	if ok, err := cl.Expire(1, 0); err != nil || !ok {
 		t.Fatalf("EXPIRE live key: %v %v", ok, err)
@@ -47,14 +47,14 @@ func TestServerCacheVerbs(t *testing.T) {
 		t.Fatalf("EXPIRE absent key: %v %v", ok, err)
 	}
 	// Plain PUT/DEL still work and mean SETEX-forever / cache delete.
-	if _, _, err := cl.Put(3, 30); err != nil {
+	if _, _, err := cl.Put(3, tb(30)); err != nil {
 		t.Fatalf("PUT in cache mode: %v", err)
 	}
 	if hit, err := cl.Del(3); err != nil || !hit {
 		t.Fatalf("DEL in cache mode: %v %v", hit, err)
 	}
 	// TTL enforcement end to end.
-	if _, _, err := cl.SetEx(4, 40, 20*time.Millisecond); err != nil {
+	if _, _, err := cl.SetEx(4, tb(40), 20*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(50 * time.Millisecond)
@@ -91,7 +91,7 @@ func TestServerCacheVerbsRequireCacheMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if _, _, err := cl.SetEx(1, 1, 0); err == nil || errors.Is(err, ErrBusy) {
+	if _, _, err := cl.SetEx(1, tb(1), 0); err == nil || errors.Is(err, ErrBusy) {
 		t.Fatalf("SETEX outside cache mode: %v, want -ERR", err)
 	}
 	if _, err := cl.CacheStats(); err == nil {
@@ -123,7 +123,7 @@ func TestServerCachePutNeverBusyUnderCap(t *testing.T) {
 	for base := uint64(0); base < keys; base += 64 {
 		b.Reset()
 		for k := base; k < base+64; k++ {
-			b.SetEx(k, k, 0)
+			b.SetEx(k, tb(k), 0)
 		}
 		results = results[:0]
 		var err error

@@ -66,6 +66,59 @@ func (cl *Client) roundTrip(req string) (string, error) {
 	return cl.readLine()
 }
 
+// roundTripBody sends a request line followed by a length-prefixed value
+// body (the caller's line already carries the length field) and reads one
+// reply line.
+func (cl *Client) roundTripBody(req string, body []byte) (string, error) {
+	if _, err := cl.bw.WriteString(req); err != nil {
+		return "", err
+	}
+	if err := cl.bw.WriteByte('\n'); err != nil {
+		return "", err
+	}
+	if _, err := cl.bw.Write(body); err != nil {
+		return "", err
+	}
+	if err := cl.bw.WriteByte('\n'); err != nil {
+		return "", err
+	}
+	if err := cl.bw.Flush(); err != nil {
+		return "", err
+	}
+	return cl.readLine()
+}
+
+// readBody reads an n-byte value body plus its terminating LF, reusing
+// dst's capacity.
+func (cl *Client) readBody(n int, dst []byte) ([]byte, error) {
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	} else {
+		dst = dst[:n]
+	}
+	if _, err := io.ReadFull(cl.br, dst); err != nil {
+		return dst, err
+	}
+	c, err := cl.br.ReadByte()
+	if err != nil {
+		return dst, err
+	}
+	if c != '\n' {
+		return dst, fmt.Errorf("client: value body not LF-terminated")
+	}
+	return dst, nil
+}
+
+// readValue parses a "<tag> <len>" reply line and reads the body that
+// follows it.
+func (cl *Client) readValue(line, tag string) ([]byte, error) {
+	n, err := parseTagged(line, tag)
+	if err != nil {
+		return nil, err
+	}
+	return cl.readBody(int(n), nil)
+}
+
 func (cl *Client) readLine() (string, error) {
 	line, err := cl.br.ReadString('\n')
 	if err != nil {
@@ -103,31 +156,32 @@ func (cl *Client) Ping() error {
 	return nil
 }
 
-// Get fetches key's value; ok reports presence.
-func (cl *Client) Get(key uint64) (v uint64, ok bool, err error) {
+// Get fetches key's value bytes; ok reports presence.
+func (cl *Client) Get(key uint64) (v []byte, ok bool, err error) {
 	line, err := cl.roundTrip("GET " + strconv.FormatUint(key, 10))
 	if err != nil {
-		return 0, false, err
+		return nil, false, err
 	}
 	if line == "+NIL" {
-		return 0, false, nil
+		return nil, false, nil
 	}
-	v, err = parseTagged(line, "+VAL")
+	v, err = cl.readValue(line, "+VAL")
 	return v, err == nil, err
 }
 
-// Put maps key to val; when the key was present the replaced value is
-// returned with existed == true. ErrBusy means the store rejected the
-// write (nothing was stored).
-func (cl *Client) Put(key, val uint64) (old uint64, existed bool, err error) {
-	line, err := cl.roundTrip("PUT " + strconv.FormatUint(key, 10) + " " + strconv.FormatUint(val, 10))
+// Put maps key to val (arbitrary bytes, binary-safe); when the key was
+// present the replaced value is returned with existed == true. ErrBusy
+// means the store rejected the write (nothing was stored).
+func (cl *Client) Put(key uint64, val []byte) (old []byte, existed bool, err error) {
+	line, err := cl.roundTripBody("PUT "+strconv.FormatUint(key, 10)+" "+
+		strconv.Itoa(len(val)), val)
 	if err != nil {
-		return 0, false, err
+		return nil, false, err
 	}
 	if line == "+NEW" {
-		return 0, false, nil
+		return nil, false, nil
 	}
-	old, err = parseTagged(line, "+OLD")
+	old, err = cl.readValue(line, "+OLD")
 	return old, err == nil, err
 }
 
@@ -141,9 +195,16 @@ func (cl *Client) Del(key uint64) (bool, error) {
 	return n == 1, err
 }
 
-// readScanReply parses a `*<n>` header line plus n `<key> <val>` rows
-// (the reply shape SCAN and SNAPSCAN share).
-func (cl *Client) readScanReply(line, verb string) ([][2]uint64, error) {
+// Entry is one key/value row of a SCAN or SNAPSCAN reply. Val is an
+// owned copy.
+type Entry struct {
+	Key uint64
+	Val []byte
+}
+
+// readScanReply parses a `*<n>` header line plus n `<key> <len>\n<bytes>`
+// rows (the reply shape SCAN and SNAPSCAN share).
+func (cl *Client) readScanReply(line, verb string) ([]Entry, error) {
 	rest, ok := strings.CutPrefix(line, "*")
 	if !ok {
 		return nil, fmt.Errorf("server: unexpected reply %q to %s", line, verb)
@@ -152,24 +213,33 @@ func (cl *Client) readScanReply(line, verb string) ([][2]uint64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: bad %s count %q", verb, rest)
 	}
-	ents := make([][2]uint64, 0, n)
+	ents := make([]Entry, 0, n)
 	for i := 0; i < n; i++ {
 		row, err := cl.readLine()
 		if err != nil {
 			return nil, err
 		}
-		var k, v uint64
-		if _, err := fmt.Sscanf(row, "%d %d", &k, &v); err != nil {
+		ks, ls, cut := strings.Cut(row, " ")
+		if !cut {
 			return nil, fmt.Errorf("server: bad %s row %q", verb, row)
 		}
-		ents = append(ents, [2]uint64{k, v})
+		k, err1 := strconv.ParseUint(ks, 10, 64)
+		l, err2 := strconv.Atoi(ls)
+		if err1 != nil || err2 != nil || l < 0 {
+			return nil, fmt.Errorf("server: bad %s row %q", verb, row)
+		}
+		v, err := cl.readBody(l, nil)
+		if err != nil {
+			return nil, err
+		}
+		ents = append(ents, Entry{Key: k, Val: v})
 	}
 	return ents, nil
 }
 
-// Scan returns up to limit entries as {key, val} pairs (weakly
-// consistent; see MapHandle.Scan).
-func (cl *Client) Scan(limit int) ([][2]uint64, error) {
+// Scan returns up to limit entries (weakly consistent; see
+// MapHandle.Scan).
+func (cl *Client) Scan(limit int) ([]Entry, error) {
 	line, err := cl.roundTrip("SCAN " + strconv.Itoa(limit))
 	if err != nil {
 		return nil, err
@@ -181,7 +251,7 @@ func (cl *Client) Scan(limit int) ([][2]uint64, error) {
 // snapshot of the whole keyspace: every row reflects the same instant,
 // unlike Scan's weakly consistent walk. ErrBusy means the server's
 // snapshot-lease pool was exhausted; retry.
-func (cl *Client) SnapScan(limit int) ([][2]uint64, error) {
+func (cl *Client) SnapScan(limit int) ([]Entry, error) {
 	line, err := cl.roundTrip("SNAPSCAN " + strconv.Itoa(limit))
 	if err != nil {
 		return nil, err
@@ -191,7 +261,7 @@ func (cl *Client) SnapScan(limit int) ([][2]uint64, error) {
 
 // MGet reads up to 8 keys atomically from one point-in-time snapshot
 // and returns one Result per key in request order (Found reports
-// presence, Val the value). ErrBusy means the server shed the request
+// presence, Bytes the value). ErrBusy means the server shed the request
 // (lease pool or queues exhausted); it had no effect.
 func (cl *Client) MGet(keys ...uint64) ([]Result, error) {
 	if len(keys) == 0 || len(keys) > maxMGetKeys {
@@ -219,7 +289,7 @@ func (cl *Client) MGet(keys ...uint64) ([]Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ks, vs, ok := strings.Cut(row, " ")
+		ks, ls, ok := strings.Cut(row, " ")
 		if !ok {
 			return nil, fmt.Errorf("server: bad MGET row %q", row)
 		}
@@ -227,14 +297,18 @@ func (cl *Client) MGet(keys ...uint64) ([]Result, error) {
 		if err != nil || k != keys[i] {
 			return nil, fmt.Errorf("server: MGET row %q out of order (want key %d)", row, keys[i])
 		}
-		if vs == "-" {
-			continue
+		if ls == "-" {
+			continue // miss: no body follows
 		}
-		v, err := strconv.ParseUint(vs, 10, 64)
-		if err != nil {
+		l, err := strconv.Atoi(ls)
+		if err != nil || l < 0 {
 			return nil, fmt.Errorf("server: bad MGET row %q", row)
 		}
-		res[i] = Result{Val: v, Found: true}
+		v, err := cl.readBody(l, nil)
+		if err != nil {
+			return nil, err
+		}
+		res[i] = Result{Bytes: v, Found: true}
 	}
 	return res, nil
 }
@@ -251,30 +325,30 @@ func ttlMillis(ttl time.Duration) string {
 // SetEx maps key to val with an expiry TTL (0 = no expiry). Cache mode
 // only. The reply shape matches Put; the server evicts under arena
 // pressure instead of replying -BUSY.
-func (cl *Client) SetEx(key, val uint64, ttl time.Duration) (old uint64, existed bool, err error) {
-	line, err := cl.roundTrip("SETEX " + strconv.FormatUint(key, 10) + " " +
-		ttlMillis(ttl) + " " + strconv.FormatUint(val, 10))
+func (cl *Client) SetEx(key uint64, val []byte, ttl time.Duration) (old []byte, existed bool, err error) {
+	line, err := cl.roundTripBody("SETEX "+strconv.FormatUint(key, 10)+" "+
+		ttlMillis(ttl)+" "+strconv.Itoa(len(val)), val)
 	if err != nil {
-		return 0, false, err
+		return nil, false, err
 	}
 	if line == "+NEW" {
-		return 0, false, nil
+		return nil, false, nil
 	}
-	old, err = parseTagged(line, "+OLD")
+	old, err = cl.readValue(line, "+OLD")
 	return old, err == nil, err
 }
 
 // GetEx fetches key's value, marking it recently used; a non-zero ttl
 // also replaces its expiry deadline. Cache mode only.
-func (cl *Client) GetEx(key uint64, ttl time.Duration) (v uint64, ok bool, err error) {
+func (cl *Client) GetEx(key uint64, ttl time.Duration) (v []byte, ok bool, err error) {
 	line, err := cl.roundTrip("GETEX " + strconv.FormatUint(key, 10) + " " + ttlMillis(ttl))
 	if err != nil {
-		return 0, false, err
+		return nil, false, err
 	}
 	if line == "+NIL" {
-		return 0, false, nil
+		return nil, false, nil
 	}
-	v, err = parseTagged(line, "+VAL")
+	v, err = cl.readValue(line, "+VAL")
 	return v, err == nil, err
 }
 
@@ -400,7 +474,7 @@ func RetryBusy(bo Backoff, op func() error) error {
 }
 
 // DoGetRetry is Get with -BUSY retries under the policy.
-func (cl *Client) DoGetRetry(key uint64, bo Backoff) (v uint64, ok bool, err error) {
+func (cl *Client) DoGetRetry(key uint64, bo Backoff) (v []byte, ok bool, err error) {
 	err = RetryBusy(bo, func() error {
 		var e error
 		v, ok, e = cl.Get(key)
@@ -410,7 +484,7 @@ func (cl *Client) DoGetRetry(key uint64, bo Backoff) (v uint64, ok bool, err err
 }
 
 // DoPutRetry is Put with -BUSY retries under the policy.
-func (cl *Client) DoPutRetry(key, val uint64, bo Backoff) (old uint64, existed bool, err error) {
+func (cl *Client) DoPutRetry(key uint64, val []byte, bo Backoff) (old []byte, existed bool, err error) {
 	err = RetryBusy(bo, func() error {
 		var e error
 		old, existed, e = cl.Put(key, val)
@@ -458,12 +532,16 @@ func (b *Batch) Get(key uint64) {
 	b.ops = append(b.ops, 'G')
 }
 
-// Put queues a PUT.
-func (b *Batch) Put(key, val uint64) {
+// Put queues a PUT: the request header and the value body are rendered
+// into the batch buffer together, so the batch owns its copy and the
+// caller may reuse val immediately.
+func (b *Batch) Put(key uint64, val []byte) {
 	b.buf = append(b.buf, "PUT "...)
 	b.buf = strconv.AppendUint(b.buf, key, 10)
 	b.buf = append(b.buf, ' ')
-	b.buf = strconv.AppendUint(b.buf, val, 10)
+	b.buf = strconv.AppendInt(b.buf, int64(len(val)), 10)
+	b.buf = append(b.buf, '\n')
+	b.buf = append(b.buf, val...)
 	b.buf = append(b.buf, '\n')
 	b.ops = append(b.ops, 'P')
 }
@@ -477,15 +555,17 @@ func (b *Batch) Del(key uint64) {
 }
 
 // SetEx queues a SETEX (cache mode). The reply shape matches Put, so
-// its Result reads the same: Found reports the key existed, Val the
+// its Result reads the same: Found reports the key existed, Bytes the
 // replaced value.
-func (b *Batch) SetEx(key, val uint64, ttl time.Duration) {
+func (b *Batch) SetEx(key uint64, val []byte, ttl time.Duration) {
 	b.buf = append(b.buf, "SETEX "...)
 	b.buf = strconv.AppendUint(b.buf, key, 10)
 	b.buf = append(b.buf, ' ')
 	b.buf = appendTTLMillis(b.buf, ttl)
 	b.buf = append(b.buf, ' ')
-	b.buf = strconv.AppendUint(b.buf, val, 10)
+	b.buf = strconv.AppendInt(b.buf, int64(len(val)), 10)
+	b.buf = append(b.buf, '\n')
+	b.buf = append(b.buf, val...)
 	b.buf = append(b.buf, '\n')
 	b.ops = append(b.ops, 'P')
 }
@@ -520,12 +600,13 @@ func appendTTLMillis(buf []byte, ttl time.Duration) []byte {
 }
 
 // Result classifies one pipelined reply. For a GET, Found reports a hit
-// and Val the value; for a PUT, Found reports that the key existed and
-// Val the replaced value; for a DEL, Found reports that the key was
+// and Bytes the value; for a PUT, Found reports that the key existed and
+// Bytes the replaced value; for a DEL, Found reports that the key was
 // present. Busy means the server shed the request (-BUSY): it had no
-// effect and Val/Found are meaningless.
+// effect and Bytes/Found are meaningless. Bytes is owned by the results
+// slice — recycling the slice through DoBatch reuses its capacity.
 type Result struct {
-	Val   uint64
+	Bytes []byte
 	Found bool
 	Busy  bool
 }
@@ -533,10 +614,10 @@ type Result struct {
 // DoBatch writes every queued request in one flush and reads exactly one
 // reply per request, in order, appending to results (pass results[:0] to
 // reuse a slice). The round trip allocates nothing once results has
-// capacity. A -ERR reply or a malformed reply aborts with an error: it
-// signals a protocol bug, not a retryable condition, and the connection
-// should be abandoned. The batch itself is untouched - callers Reset and
-// refill it.
+// capacity and each recycled entry's Bytes has capacity for its value. A
+// -ERR reply or a malformed reply aborts with an error: it signals a
+// protocol bug, not a retryable condition, and the connection should be
+// abandoned. The batch itself is untouched - callers Reset and refill it.
 func (cl *Client) DoBatch(b *Batch, results []Result) ([]Result, error) {
 	if len(b.ops) == 0 {
 		return results, nil
@@ -556,7 +637,13 @@ func (cl *Client) DoBatch(b *Batch, results []Result) ([]Result, error) {
 		if len(line) > 0 && line[len(line)-1] == '\r' {
 			line = line[:len(line)-1]
 		}
-		res, err := parseBatchReply(kind, line)
+		// Reuse the recycled slice's Bytes capacity at the index this
+		// result will land in (the append below then stores over it).
+		var scratch []byte
+		if idx := len(results); idx < cap(results) {
+			scratch = results[:idx+1][idx].Bytes[:0]
+		}
+		res, err := cl.parseBatchReply(kind, line, scratch)
 		if err != nil {
 			return results, err
 		}
@@ -566,11 +653,12 @@ func (cl *Client) DoBatch(b *Batch, results []Result) ([]Result, error) {
 }
 
 // parseBatchReply decodes one reply line for a request of the given
-// kind, allocation-free.
-func parseBatchReply(kind byte, line []byte) (Result, error) {
+// kind, reading the value body that follows +VAL/+OLD replies into
+// scratch (capacity reuse; allocation-free once warm).
+func (cl *Client) parseBatchReply(kind byte, line, scratch []byte) (Result, error) {
 	if len(line) > 0 && line[0] == '-' {
 		if string(line) == "-BUSY" {
-			return Result{Busy: true}, nil
+			return Result{Bytes: scratch, Busy: true}, nil
 		}
 		return Result{}, fmt.Errorf("server: %s", line)
 	}
@@ -582,25 +670,34 @@ func parseBatchReply(kind byte, line []byte) (Result, error) {
 		}
 		return 0, fmt.Errorf("server: unexpected reply %q (want %s)", line, tag)
 	}
+	valued := func(tag string) (Result, error) {
+		n, err := tagged(tag)
+		if err != nil {
+			return Result{}, err
+		}
+		v, err := cl.readBody(int(n), scratch)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Bytes: v, Found: true}, nil
+	}
 	switch kind {
 	case 'G':
 		if string(line) == "+NIL" {
-			return Result{}, nil
+			return Result{Bytes: scratch}, nil
 		}
-		v, err := tagged("+VAL")
-		return Result{Val: v, Found: true}, err
+		return valued("+VAL")
 	case 'P':
 		if string(line) == "+NEW" {
-			return Result{}, nil
+			return Result{Bytes: scratch}, nil
 		}
-		v, err := tagged("+OLD")
-		return Result{Val: v, Found: true}, err
+		return valued("+OLD")
 	case 'D':
 		v, err := tagged("+DEL")
-		return Result{Found: v == 1}, err
+		return Result{Bytes: scratch, Found: v == 1}, err
 	case 'E':
 		v, err := tagged("+EXP")
-		return Result{Found: v == 1}, err
+		return Result{Bytes: scratch, Found: v == 1}, err
 	}
 	return Result{}, fmt.Errorf("client: unknown batch op %q", kind)
 }

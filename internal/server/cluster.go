@@ -181,7 +181,7 @@ func (cc *ClusterClient) do(key uint64, op func(cl *Client) error) error {
 }
 
 // Get fetches key's value from its shard's owner.
-func (cc *ClusterClient) Get(key uint64) (v uint64, ok bool, err error) {
+func (cc *ClusterClient) Get(key uint64) (v []byte, ok bool, err error) {
 	err = cc.do(key, func(cl *Client) error {
 		var e error
 		v, ok, e = cl.Get(key)
@@ -193,7 +193,7 @@ func (cc *ClusterClient) Get(key uint64) (v uint64, ok bool, err error) {
 // Put writes key on its shard's owner. A nil error is a durable ack:
 // the write is in the owner's replication log (or applied on a
 // replicaless promoted shard).
-func (cc *ClusterClient) Put(key, val uint64) (old uint64, existed bool, err error) {
+func (cc *ClusterClient) Put(key uint64, val []byte) (old []byte, existed bool, err error) {
 	err = cc.do(key, func(cl *Client) error {
 		var e error
 		old, existed, e = cl.Put(key, val)
@@ -222,8 +222,8 @@ func (cc *ClusterClient) Del(key uint64) (hit bool, err error) {
 // SCAN's weakly consistent contract. Note the snapshot verbs are
 // per-node point-in-time: rows from different nodes come from different
 // snapshots.
-func (cc *ClusterClient) scanNodes(limit int, scan func(cl *Client, limit int) ([][2]uint64, error)) ([][2]uint64, error) {
-	var out [][2]uint64
+func (cc *ClusterClient) scanNodes(limit int, scan func(cl *Client, limit int) ([]Entry, error)) ([]Entry, error) {
+	var out []Entry
 	seen := make(map[uint64]struct{})
 	for node := range cc.peers {
 		if limit >= 0 && len(out) >= limit {
@@ -240,7 +240,7 @@ func (cc *ClusterClient) scanNodes(limit int, scan func(cl *Client, limit int) (
 		if limit >= 0 {
 			remaining = limit - len(out)
 		}
-		var rows [][2]uint64
+		var rows []Entry
 		err = RetryBusy(cc.bo, func() error {
 			var e error
 			rows, e = scan(cl, remaining)
@@ -254,10 +254,10 @@ func (cc *ClusterClient) scanNodes(limit int, scan func(cl *Client, limit int) (
 			continue
 		}
 		for _, r := range rows {
-			if _, dup := seen[r[0]]; dup {
+			if _, dup := seen[r.Key]; dup {
 				continue
 			}
-			seen[r[0]] = struct{}{}
+			seen[r.Key] = struct{}{}
 			out = append(out, r)
 			if limit >= 0 && len(out) >= limit {
 				break
@@ -269,8 +269,8 @@ func (cc *ClusterClient) scanNodes(limit int, scan func(cl *Client, limit int) (
 
 // Scan sweeps every live node and returns at most limit entries in
 // total (limit < 0 means unbounded), deduplicated by key.
-func (cc *ClusterClient) Scan(limit int) ([][2]uint64, error) {
-	return cc.scanNodes(limit, func(cl *Client, lim int) ([][2]uint64, error) {
+func (cc *ClusterClient) Scan(limit int) ([]Entry, error) {
+	return cc.scanNodes(limit, func(cl *Client, lim int) ([]Entry, error) {
 		return cl.Scan(lim)
 	})
 }
@@ -278,8 +278,8 @@ func (cc *ClusterClient) Scan(limit int) ([][2]uint64, error) {
 // SnapScan is Scan over each node's point-in-time snapshot: rows from
 // one node are mutually consistent, rows from different nodes are not
 // (each node snapshots independently).
-func (cc *ClusterClient) SnapScan(limit int) ([][2]uint64, error) {
-	return cc.scanNodes(limit, func(cl *Client, lim int) ([][2]uint64, error) {
+func (cc *ClusterClient) SnapScan(limit int) ([]Entry, error) {
+	return cc.scanNodes(limit, func(cl *Client, lim int) ([]Entry, error) {
 		return cl.SnapScan(lim)
 	})
 }

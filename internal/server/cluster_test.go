@@ -61,7 +61,7 @@ func TestClusterRoutingAndMoved(t *testing.T) {
 	}
 	wrong := dialTest(t, srvs[1])
 	defer wrong.Close()
-	_, _, err := wrong.Put(key, 1)
+	_, _, err := wrong.Put(key, tb(1))
 	var moved *MovedError
 	if !errors.As(err, &moved) {
 		t.Fatalf("Put at non-primary: err = %v, want MovedError", err)
@@ -73,14 +73,14 @@ func TestClusterRoutingAndMoved(t *testing.T) {
 	cc := NewClusterClient(peers, shards, Backoff{Seed: 1})
 	defer cc.Close()
 	for k := uint64(0); k < 256; k++ {
-		if _, _, err := cc.Put(k, k*3); err != nil {
+		if _, _, err := cc.Put(k, tb(k*3)); err != nil {
 			t.Fatalf("cluster Put(%d): %v", k, err)
 		}
 	}
 	for k := uint64(0); k < 256; k++ {
 		v, ok, err := cc.Get(k)
-		if err != nil || !ok || v != k*3 {
-			t.Fatalf("cluster Get(%d) = %d,%v,%v want %d", k, v, ok, err, k*3)
+		if err != nil || !ok || bu(v) != k*3 {
+			t.Fatalf("cluster Get(%d) = %d,%v,%v want %d", k, bu(v), ok, err, k*3)
 		}
 	}
 	for i, s := range srvs {
@@ -105,7 +105,7 @@ func TestPromoteDrainsLog(t *testing.T) {
 	cc := NewClusterClient(peers, shards, Backoff{Attempts: 32, Seed: 2})
 	const nKeys = 500
 	for k := uint64(0); k < nKeys; k++ {
-		if _, _, err := cc.Put(k, k+7); err != nil {
+		if _, _, err := cc.Put(k, tb(k+7)); err != nil {
 			t.Fatalf("Put(%d): %v", k, err)
 		}
 	}
@@ -127,8 +127,8 @@ func TestPromoteDrainsLog(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Get(%d) after failover: %v", k, err)
 		}
-		if !ok || v != k+7 {
-			t.Fatalf("acked write lost: Get(%d) = %d,%v want %d", k, v, ok, k+7)
+		if !ok || bu(v) != k+7 {
+			t.Fatalf("acked write lost: Get(%d) = %d,%v want %d", k, bu(v), ok, k+7)
 		}
 	}
 	if err := srvs[1].Close(); err != nil {
@@ -204,7 +204,7 @@ func TestClusterFailoverConservation(t *testing.T) {
 				}
 				val := r | 1
 				for {
-					_, _, err := cc.Put(key, val)
+					_, _, err := cc.Put(key, tb(val))
 					if err == nil {
 						acked[key] = ackedState{val: val, present: true}
 						return
@@ -248,9 +248,9 @@ func TestClusterFailoverConservation(t *testing.T) {
 			if err != nil {
 				t.Fatalf("verify Get(%d): %v", key, err)
 			}
-			if ok != want.present || (ok && v != want.val) {
+			if ok != want.present || (ok && bu(v) != want.val) {
 				t.Errorf("writer %d key %d: got (%d,%v), last acked (%d,%v)",
-					w, key, v, ok, want.val, want.present)
+					w, key, bu(v), ok, want.val, want.present)
 			}
 		}
 	}
@@ -308,7 +308,7 @@ func TestReplicaDeathGoesReplicaless(t *testing.T) {
 	// Prime every shard so both directions of replication are live, then
 	// fail-stop node 1 (replica for node 0's primary shards).
 	for k := uint64(0); k < 64; k++ {
-		if _, _, err := cc.Put(k, k); err != nil {
+		if _, _, err := cc.Put(k, tb(k)); err != nil {
 			t.Fatalf("prime Put(%d): %v", k, err)
 		}
 	}
@@ -321,7 +321,7 @@ func TestReplicaDeathGoesReplicaless(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for k := uint64(0); k < nKeys; k++ {
 		for {
-			_, _, err := cc.Put(k, k+1)
+			_, _, err := cc.Put(k, tb(k+1))
 			if err == nil {
 				break
 			}
@@ -335,8 +335,8 @@ func TestReplicaDeathGoesReplicaless(t *testing.T) {
 	}
 	for k := uint64(0); k < nKeys; k++ {
 		v, ok, err := cc.Get(k)
-		if err != nil || !ok || v != k+1 {
-			t.Fatalf("Get(%d) = %d,%v,%v want %d", k, v, ok, err, k+1)
+		if err != nil || !ok || bu(v) != k+1 {
+			t.Fatalf("Get(%d) = %d,%v,%v want %d", k, bu(v), ok, err, k+1)
 		}
 	}
 	if err := srvs[0].Close(); err != nil {
@@ -402,7 +402,7 @@ func TestGracefulCloseDrainsPipeline(t *testing.T) {
 
 	var b Batch
 	for k := uint64(0); k < window; k++ {
-		b.Put(k, k)
+		b.Put(k, tb(k))
 	}
 	if _, err := c.Write(b.buf); err != nil {
 		t.Fatalf("write window: %v", err)

@@ -65,7 +65,7 @@ func TestPipelinedOrdering(t *testing.T) {
 			// the GET phase has a known expected value per key.
 			bo := Backoff{Attempts: 64, Seed: uint64(conn)}
 			for k := base; k < base+nKeys; k++ {
-				if _, _, err := cl.DoPutRetry(k, valFor(k), bo); err != nil {
+				if _, _, err := cl.DoPutRetry(k, tb(valFor(k)), bo); err != nil {
 					t.Errorf("conn %d: seed Put(%d): %v", conn, k, err)
 					hardFails.Add(1)
 					return
@@ -100,9 +100,9 @@ func TestPipelinedOrdering(t *testing.T) {
 						if res.Busy {
 							continue // crash or shed; no effect
 						}
-						if !res.Found || res.Val != valFor(keys[i]) {
+						if !res.Found || bu(res.Bytes) != valFor(keys[i]) {
 							t.Errorf("conn %d: reply %d for GET %d = (%d,%v), want %d: replies misordered",
-								conn, i, keys[i], res.Val, res.Found, valFor(keys[i]))
+								conn, i, keys[i], bu(res.Bytes), res.Found, valFor(keys[i]))
 							hardFails.Add(1)
 							return
 						}
@@ -147,7 +147,7 @@ func TestServerGetZeroAlloc(t *testing.T) {
 
 	const nKeys = 64
 	for k := uint64(0); k < nKeys; k++ {
-		if _, _, err := cl.Put(k, valFor(k)); err != nil {
+		if _, _, err := cl.Put(k, tb(valFor(k))); err != nil {
 			t.Fatalf("seed Put(%d): %v", k, err)
 		}
 	}
@@ -166,7 +166,7 @@ func TestServerGetZeroAlloc(t *testing.T) {
 			t.Fatalf("DoBatch: %v", err)
 		}
 		for i, res := range results {
-			if res.Busy || !res.Found || res.Val != valFor(uint64(i%nKeys)) {
+			if res.Busy || !res.Found || bu(res.Bytes) != valFor(uint64(i%nKeys)) {
 				t.Fatalf("reply %d = %+v, want hit %d", i, res, valFor(uint64(i%nKeys)))
 			}
 		}
@@ -207,11 +207,11 @@ func TestOversizedLine(t *testing.T) {
 	if _, err := c.Write(huge); err != nil {
 		t.Fatalf("write oversized line: %v", err)
 	}
-	if _, err := c.Write([]byte("PUT 5 50\nGET 5\n")); err != nil {
+	if _, err := c.Write([]byte("PUT 5 2\nhi\nGET 5\n")); err != nil {
 		t.Fatalf("write follow-up: %v", err)
 	}
 	br := bufio.NewReader(c)
-	want := []string{"-ERR line too long", "+NEW", "+VAL 50"}
+	want := []string{"-ERR line too long", "+NEW", "+VAL 2", "hi"}
 	for i, w := range want {
 		line, err := br.ReadString('\n')
 		if err != nil {
@@ -263,7 +263,7 @@ func TestScanTruncation(t *testing.T) {
 	cl := dialTest(t, s)
 	defer cl.Close()
 	for k := uint64(0); k < 100; k++ {
-		if _, _, err := cl.Put(k, valFor(k)); err != nil {
+		if _, _, err := cl.Put(k, tb(valFor(k))); err != nil {
 			t.Fatalf("Put(%d): %v", k, err)
 		}
 	}
@@ -275,8 +275,8 @@ func TestScanTruncation(t *testing.T) {
 		t.Fatalf("Scan(7) returned %d entries", len(ents))
 	}
 	for _, e := range ents {
-		if e[1] != valFor(e[0]) {
-			t.Fatalf("Scan row %d -> %d torn (want %d)", e[0], e[1], valFor(e[0]))
+		if bu(e.Val) != valFor(e.Key) {
+			t.Fatalf("Scan row %d -> %d torn (want %d)", e.Key, bu(e.Val), valFor(e.Key))
 		}
 	}
 	// A limit above the population returns everything exactly once.
@@ -289,10 +289,10 @@ func TestScanTruncation(t *testing.T) {
 	}
 	seen := make(map[uint64]bool)
 	for _, e := range all {
-		if seen[e[0]] {
-			t.Fatalf("Scan returned key %d twice", e[0])
+		if seen[e.Key] {
+			t.Fatalf("Scan returned key %d twice", e.Key)
 		}
-		seen[e[0]] = true
+		seen[e.Key] = true
 	}
 }
 
@@ -310,7 +310,7 @@ func TestPipelineDepthBeatsLockstep(t *testing.T) {
 	cl := dialTest(t, s)
 	defer cl.Close()
 	for k := uint64(0); k < 1024; k++ {
-		if _, _, err := cl.Put(k, k); err != nil {
+		if _, _, err := cl.Put(k, tb(k)); err != nil {
 			t.Fatalf("seed: %v", err)
 		}
 	}

@@ -9,16 +9,19 @@ import (
 )
 
 // Wire protocol: a RESP-like text framing over TCP, one request per line
-// (LF or CRLF), decimal uint64 keys and values. The protocol is
-// pipelined: a client may send any number of request lines without
-// waiting, and the server replies strictly in request order per
-// connection.
+// (LF or CRLF) with decimal uint64 keys. Values are length-prefixed raw
+// byte strings: a verb that carries a value names its byte length as the
+// line's last field, and the value's bytes follow the line immediately,
+// terminated by one LF (the bytes themselves are arbitrary binary — the
+// length, not the newline, frames them). The protocol is pipelined: a
+// client may send any number of requests without waiting, and the server
+// replies strictly in request order per connection.
 //
 // Requests:
 //
 //	PING
 //	GET <key>
-//	PUT <key> <val>
+//	PUT <key> <len>\n<bytes>\n
 //	DEL <key>
 //	SCAN <limit>
 //	MGET <k1> [k2 … k8]     snapshot-consistent multi-key read
@@ -32,7 +35,7 @@ import (
 //
 // Cluster requests (replicated mode, DESIGN.md §9):
 //
-//	RPUT <shard> <seq> <key> <val>   replicate a PUT (primary → replica)
+//	RPUT <shard> <seq> <key> <len>\n<bytes>\n   replicate a PUT
 //	RDEL <shard> <seq> <key>         replicate a DEL (primary → replica)
 //	PROMOTE <shard>                  make this node primary for shard,
 //	                                 after draining its replication log
@@ -40,7 +43,8 @@ import (
 // Cache requests (cache mode, DESIGN.md §11; TTLs are decimal
 // milliseconds):
 //
-//	SETEX <key> <ttl> <val>   PUT with an expiry deadline (ttl 0 = none)
+//	SETEX <key> <ttl> <len>\n<bytes>\n
+//	                          PUT with an expiry deadline (ttl 0 = none)
 //	GETEX <key> <ttl>         GET that marks the key recently used and,
 //	                          with ttl > 0, replaces its deadline
 //	EXPIRE <key> <ttl>        replace the deadline (ttl 0 expires now)
@@ -58,12 +62,14 @@ import (
 // Replies (first byte classifies):
 //
 //	+PONG
-//	+VAL <v>   GET hit            +NIL       GET miss
-//	+OLD <v>   PUT replaced       +NEW       PUT inserted
+//	+VAL <len>\n<bytes>\n   GET hit        +NIL   GET miss
+//	+OLD <len>\n<bytes>\n   PUT replaced   +NEW   PUT inserted
 //	+DEL 1     DEL hit            +DEL 0     DEL miss
-//	*<n>       SCAN/SNAPSCAN header, followed by n lines "<key> <val>"
-//	*<n>       MGET header: one line per requested key, in request
-//	           order — "<key> <val>" for a hit, "<key> -" for a miss
+//	*<n>       SCAN/SNAPSCAN header, followed by n rows, each
+//	           "<key> <len>\n<bytes>\n"
+//	*<n>       MGET header: one row per requested key, in request
+//	           order — "<key> <len>\n<bytes>\n" for a hit, "<key> -"
+//	           (no body) for a miss
 //	$<len>     STATS header, followed by len raw bytes (obs JSON) and LF
 //	+RACK <shard> <seq>  RPUT/RDEL applied (or duplicate of an applied
 //	           seq; the apply is idempotent per (shard, seq))
@@ -80,10 +86,14 @@ import (
 //
 // Every request line receives exactly one reply (BUSY included), which is
 // what lets cmd/cdrc-load check conservation: sends == replies, and
-// separately sends == executed requests + BUSY sheds. A line longer than
-// the server's read buffer is consumed and answered with
-// "-ERR line too long"; the connection then resynchronizes at the next
-// newline instead of dropping.
+// separately sends == executed requests + BUSY sheds. A value body is
+// consumed whenever its length field parsed, even if the rest of the
+// request is rejected (-ERR, -MOVED, or a shed), so the stream stays in
+// sync; a body longer than the server's value cap is discarded and
+// answered with -ERR. A request line longer than the server's read
+// buffer is consumed and answered with "-ERR line too long"; the
+// connection then resynchronizes at the next newline instead of
+// dropping.
 
 // opcodes for worker-executed requests.
 const (
@@ -124,8 +134,16 @@ const (
 type slot struct {
 	op    int
 	key   uint64
-	val   uint64
 	limit int
+
+	// val holds the request's value bytes (PUT/SETEX/RPUT), copied off
+	// the connection's parse buffer by the reader — the parse buffer is
+	// recycled per line, while the op may sit in a shard queue. vtmp is
+	// worker-side scratch for reading displaced or fetched values before
+	// rendering. Both are per-slot and reused, so the steady-state data
+	// path allocates nothing once warm.
+	val  []byte
+	vtmp []byte
 
 	// shard and seq carry RPUT/RDEL replication coordinates (the shard is
 	// named on the wire, not derived from the key, so a replica applies
@@ -154,7 +172,7 @@ type slot struct {
 	// cache mode, where leases are never drawn, ts instead carries the
 	// SETEX/GETEX/EXPIRE TTL in milliseconds.
 	keys  []uint64
-	mvals []uint64
+	mvals [][]byte
 	mhits []bool
 	ts    uint64
 	lease snaplease.Lease
@@ -198,17 +216,20 @@ func (sl *slot) ensureScan(shards int) {
 }
 
 // ensureMGet sizes the multi-key result arrays and clears the hit flags
-// (workers only write the indexes their shard owns).
+// (workers only write the indexes their shard owns). Each mvals element
+// keeps its byte capacity across requests — per-index scratch.
 func (sl *slot) ensureMGet(n int) {
 	if cap(sl.mvals) < n {
-		sl.mvals = make([]uint64, n)
+		old := sl.mvals
+		sl.mvals = make([][]byte, n)
+		copy(sl.mvals, old)
 		sl.mhits = make([]bool, n)
 	}
 	sl.mvals = sl.mvals[:n]
 	sl.mhits = sl.mhits[:n]
 	for i := range sl.mhits {
 		sl.mhits[i] = false
-		sl.mvals[i] = 0
+		sl.mvals[i] = sl.mvals[i][:0]
 	}
 }
 
@@ -279,13 +300,41 @@ func (sl *slot) payload() []byte {
 	return sl.buf
 }
 
+// rowSpan returns the byte length of the row starting at off in seg: a
+// "<key> <len>\n" header followed by len body bytes and one LF. Value
+// bytes are binary, so rows cannot be delimited by counting newlines —
+// the header's length field is the frame. Workers render the segments
+// themselves, but the walk still bounds every step so a malformed
+// segment truncates instead of panicking.
+func rowSpan(seg []byte, off int) int {
+	i := off
+	for i < len(seg) && seg[i] != '\n' {
+		i++
+	}
+	if i >= len(seg) {
+		return len(seg) - off
+	}
+	sp := off
+	for j := off; j < i; j++ {
+		if seg[j] == ' ' {
+			sp = j + 1
+		}
+	}
+	n, ok := parseUintBytes(seg[sp:i])
+	span := (i - off) + 1 + int(n) + 1
+	if !ok || off+span > len(seg) {
+		return len(seg) - off
+	}
+	return span
+}
+
 // assemble renders the SCAN reply: "*<n>\n" followed by n rows taken
 // from the shard segments in shard order, capped at limit at merge time
 // (each shard scanned up to limit rows on its own, so the union can
-// carry up to shards×limit). Rows are always copied by explicit newline
-// count — never "the whole segment" on the ns[i] <= need fast path — so
-// a segment that somehow disagrees with its row count can shift rows but
-// never overrun the advertised header.
+// carry up to shards×limit). Rows are copied by walking row frames with
+// rowSpan — never "the whole segment" on a fast path — so a segment
+// that somehow disagrees with its row count can shift rows but never
+// overrun the advertised header.
 func (s *scanState) assemble(buf []byte, limit int) []byte {
 	total := 0
 	for _, n := range s.ns {
@@ -308,10 +357,8 @@ func (s *scanState) assemble(buf []byte, limit int) []byte {
 		}
 		rows, end := 0, 0
 		for end < len(seg) && rows < take {
-			if seg[end] == '\n' {
-				rows++
-			}
-			end++
+			end += rowSpan(seg, end)
+			rows++
 		}
 		buf = append(buf, seg[:end]...)
 		need -= rows
@@ -320,20 +367,19 @@ func (s *scanState) assemble(buf []byte, limit int) []byte {
 }
 
 // assembleMGet renders the MGET reply: "*<n>\n" then one row per
-// requested key in request order — "<key> <val>" or "<key> -".
+// requested key in request order — "<key> <len>\n<bytes>\n" for a hit,
+// "<key> -\n" for a miss.
 func (sl *slot) assembleMGet(buf []byte) []byte {
 	buf = append(buf, '*')
 	buf = strconv.AppendInt(buf, int64(len(sl.keys)), 10)
 	buf = append(buf, '\n')
 	for i, k := range sl.keys {
-		buf = strconv.AppendUint(buf, k, 10)
-		buf = append(buf, ' ')
 		if sl.mhits[i] {
-			buf = strconv.AppendUint(buf, sl.mvals[i], 10)
+			buf = appendRow(buf, k, sl.mvals[i])
 		} else {
-			buf = append(buf, '-')
+			buf = strconv.AppendUint(buf, k, 10)
+			buf = append(buf, " -\n"...)
 		}
-		buf = append(buf, '\n')
 	}
 	return buf
 }
@@ -359,12 +405,25 @@ func appendErr(buf []byte, format string, args ...any) []byte {
 	return append(buf, '\n')
 }
 
-// appendVal renders "<prefix> <v>\n" into buf without allocating.
-func appendVal(buf []byte, prefix string, v uint64) []byte {
+// appendValBytes renders a value-carrying reply, "<prefix> <len>\n" then
+// the raw bytes and one LF, without allocating once buf is warm.
+func appendValBytes(buf []byte, prefix string, v []byte) []byte {
 	buf = append(buf, prefix...)
 	buf = append(buf, ' ')
-	buf = strconv.AppendUint(buf, v, 10)
+	buf = strconv.AppendInt(buf, int64(len(v)), 10)
+	buf = append(buf, '\n')
+	buf = append(buf, v...)
 	return append(buf, '\n')
+}
+
+// appendRow renders one scan/MGET row frame: "<key> <len>\n<bytes>\n".
+func appendRow(seg []byte, k uint64, v []byte) []byte {
+	seg = strconv.AppendUint(seg, k, 10)
+	seg = append(seg, ' ')
+	seg = strconv.AppendInt(seg, int64(len(v)), 10)
+	seg = append(seg, '\n')
+	seg = append(seg, v...)
+	return append(seg, '\n')
 }
 
 // appendShardSeq renders "<prefix> <shard> <seq>\n" into buf without

@@ -96,13 +96,18 @@ const (
 	roleReplica
 )
 
-// replEntry is one logged write. A DEL logs val == 0; misses are logged
-// too, so primary and replica apply identical op streams.
+// replEntry is one logged write. A DEL logs a nil val; misses are logged
+// too, so primary and replica apply identical op streams. The entry owns
+// its value copy — the slot's scratch is recycled long before the
+// shipper renders the entry, and the log outlives any request. The
+// per-append allocation is deliberate: the zero-allocation claim covers
+// the single-node hot path, and the log is a stand-in for the disk
+// write a real replicated store would pay here anyway.
 type replEntry struct {
 	seq uint64
 	op  byte // 'P' or 'D'
 	key uint64
-	val uint64
+	val []byte
 }
 
 // replLog is a primary shard's replication log: the unacked suffix of
@@ -134,11 +139,16 @@ func newReplLog(shard int, target string) *replLog {
 // mu. A full log must shed the write before applying it.
 func (rl *replLog) full(capacity int) bool { return len(rl.entries) >= capacity }
 
-// appendLocked assigns the next seq and appends; callers hold mu and
-// have already applied the write to the shard map.
-func (rl *replLog) appendLocked(op byte, key, val uint64, procID int) {
+// appendLocked assigns the next seq and appends, copying val into
+// entry-owned storage; callers hold mu and have already applied the
+// write to the shard map.
+func (rl *replLog) appendLocked(op byte, key uint64, val []byte, procID int) {
 	rl.lastSeq++
-	rl.entries = append(rl.entries, replEntry{seq: rl.lastSeq, op: op, key: key, val: val})
+	e := replEntry{seq: rl.lastSeq, op: op, key: key}
+	if op == 'P' {
+		e.val = append(e.val, val...)
+	}
+	rl.entries = append(rl.entries, e)
 	obsReplEnq.Inc(procID)
 	rl.cond.Signal()
 }
@@ -326,7 +336,8 @@ func (s *Server) runShipper(rl *replLog) {
 	}
 }
 
-// appendReplLine renders one RPUT/RDEL request line.
+// appendReplLine renders one RPUT/RDEL request frame. RPUT carries a
+// length-prefixed body like PUT: "RPUT <shard> <seq> <key> <len>\n<bytes>\n".
 func appendReplLine(buf []byte, shard int, e replEntry) []byte {
 	if e.op == 'P' {
 		buf = append(buf, "RPUT "...)
@@ -340,7 +351,9 @@ func appendReplLine(buf []byte, shard int, e replEntry) []byte {
 	buf = strconv.AppendUint(buf, e.key, 10)
 	if e.op == 'P' {
 		buf = append(buf, ' ')
-		buf = strconv.AppendUint(buf, e.val, 10)
+		buf = strconv.AppendInt(buf, int64(len(e.val)), 10)
+		buf = append(buf, '\n')
+		buf = append(buf, e.val...)
 	}
 	return append(buf, '\n')
 }
@@ -376,7 +389,8 @@ func (s *Server) execLoggedWrite(h *collections.MapHandle, rl *replLog, sl *slot
 		return
 	}
 	if sl.op == opPut {
-		old, existed, err := h.Put(sl.key, sl.val)
+		old, existed, err := h.Put(sl.key, sl.val, sl.vtmp[:0])
+		sl.vtmp = old
 		if err != nil {
 			sl.fail(causeArena)
 			return
@@ -385,7 +399,7 @@ func (s *Server) execLoggedWrite(h *collections.MapHandle, rl *replLog, sl *slot
 			rl.appendLocked('P', sl.key, sl.val, procID)
 		}
 		if existed {
-			sl.buf = appendVal(sl.buf[:0], "+OLD", old)
+			sl.buf = appendValBytes(sl.buf[:0], "+OLD", old)
 		} else {
 			sl.static = lineNew
 		}
@@ -399,7 +413,7 @@ func (s *Server) execLoggedWrite(h *collections.MapHandle, rl *replLog, sl *slot
 		return
 	}
 	if logIt {
-		rl.appendLocked('D', sl.key, 0, procID)
+		rl.appendLocked('D', sl.key, nil, procID)
 	}
 	if hit {
 		sl.static = lineDel1
@@ -454,7 +468,8 @@ func (s *Server) execReplApply(h *collections.MapHandle, sl *slot, procID int) {
 		obsReplDup.Inc(procID)
 	case sl.seq == ri.applied+1:
 		if sl.op == opRPut {
-			if _, _, err := h.Put(sl.key, sl.val); err != nil {
+			var err error
+			if sl.vtmp, _, err = h.Put(sl.key, sl.val, sl.vtmp[:0]); err != nil {
 				sl.fail(causeArena)
 				return
 			}

@@ -40,6 +40,7 @@ import (
 	"cdrc/internal/chaos"
 	"cdrc/internal/obs"
 	"cdrc/internal/snaplease"
+	"cdrc/internal/vals"
 )
 
 // Observability. server.req counts worker-executed requests; server.reply
@@ -105,6 +106,11 @@ type Config struct {
 	// ArenaCapacity, if non-zero, caps each shard's arena at that many
 	// slots; beyond it PUT replies -BUSY (ErrExhausted backpressure).
 	ArenaCapacity uint64
+
+	// MaxValLen caps one value's byte length on the wire (default 1 MiB,
+	// hard-capped at vals.MaxLen). An oversized PUT/SETEX body is
+	// consumed and answered with -ERR.
+	MaxValLen int
 
 	// QueueDepth bounds each shard's request queue (default 4 * the
 	// shard's worker count, with a floor of one MaxPipeline window so a
@@ -221,6 +227,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if cfg.ExpectedKeys <= 0 {
 		cfg.ExpectedKeys = 1 << 16
+	}
+	if cfg.MaxValLen <= 0 {
+		cfg.MaxValLen = 1 << 20
+	}
+	if cfg.MaxValLen > vals.MaxLen {
+		cfg.MaxValLen = vals.MaxLen
 	}
 	if cfg.MaxPipeline <= 0 {
 		cfg.MaxPipeline = 64
@@ -627,10 +639,54 @@ func (s *Server) serveConn(c net.Conn) {
 		}
 		sl := <-free
 		sl.reset()
-		s.dispatch(c, sl, fields[:min(nf, maxFields)], nf, issued)
+		if !s.dispatch(c, br, sl, fields[:min(nf, maxFields)], nf, issued) {
+			break // body read failed: the stream is dead or desynced
+		}
 	}
 	close(issued)
 	<-writerDone
+}
+
+// readBody reads a length-prefixed value body — n raw bytes plus the
+// terminating LF — into dst (per-slot scratch, grown as needed). The
+// bytes are copied off the connection buffer here, on the reader, because
+// the op may sit in a shard queue long after the parse buffer is
+// recycled; the worker then hands this one copy straight to the value
+// arena (PutB's slab write).
+func readBody(br *bufio.Reader, dst []byte, n int) ([]byte, error) {
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	} else {
+		dst = dst[:n]
+	}
+	if _, err := io.ReadFull(br, dst); err != nil {
+		return dst, err
+	}
+	c, err := br.ReadByte()
+	if err != nil {
+		return dst, err
+	}
+	if c != '\n' {
+		return dst, fmt.Errorf("server: value body not LF-terminated")
+	}
+	return dst, nil
+}
+
+// discardBody consumes and drops an oversized body (n bytes + LF),
+// keeping the stream in sync so one bad request costs one -ERR, not the
+// connection.
+func discardBody(br *bufio.Reader, n int) error {
+	if _, err := br.Discard(n); err != nil {
+		return err
+	}
+	c, err := br.ReadByte()
+	if err != nil {
+		return err
+	}
+	if c != '\n' {
+		return fmt.Errorf("server: value body not LF-terminated")
+	}
+	return nil
 }
 
 // localReply finishes a reader-completed slot (no worker involved).
@@ -667,8 +723,12 @@ func enqueue(q chan *slot, sl *slot) {
 // sent to issued (the ordered completion ring) before any queue send, so
 // the writer sees slots in exact request order. The conn is threaded
 // through for the replication verbs, which record it as the shard's
-// stream source (promotion waits for it to close).
-func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued chan<- *slot) {
+// stream source (promotion waits for it to close). Value-carrying verbs
+// consume their body here, on the reader, whenever the length field
+// parsed — even if the rest of the request is rejected — so the stream
+// stays framed. Returns false when the connection must be dropped (body
+// read failed mid-frame: the stream is dead or unrecoverably desynced).
+func (s *Server) dispatch(c net.Conn, br *bufio.Reader, sl *slot, fields [][]byte, nf int, issued chan<- *slot) bool {
 	verb := verbOf(fields[0])
 	badArity := func(want int) bool {
 		if nf != want+1 {
@@ -677,6 +737,44 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 			return true
 		}
 		return false
+	}
+	// takeBody parses the length field lf and consumes the body into
+	// sl.val. ok=false means dispatch must stop handling this request
+	// (a reply was already sent); alive=false additionally drops the
+	// connection.
+	//
+	// Callers must parse (or copy) every header field they need BEFORE
+	// calling takeBody: fields alias br's internal buffer, and when the
+	// body is not already buffered the refill slides unread bytes to the
+	// front of that buffer, rewriting the memory fields points at. Any
+	// rejection based on those fields must still be sent only after the
+	// body is consumed, or the stream desyncs — so parse first, consume
+	// the body, then reply.
+	takeBody := func(lf []byte) (ok, alive bool) {
+		vlen, vok := parseUintBytes(lf)
+		if !vok {
+			sl.buf = appendErr(sl.buf[:0], "bad length %q", lf)
+			localReply(sl, issued)
+			return false, true
+		}
+		if vlen > uint64(s.cfg.MaxValLen) {
+			if err := discardBody(br, int(vlen)); err != nil {
+				sl.buf = appendErr(sl.buf[:0], "bad value body")
+				localReply(sl, issued)
+				return false, false
+			}
+			sl.buf = appendErr(sl.buf[:0], "value too large (%d > %d)", vlen, s.cfg.MaxValLen)
+			localReply(sl, issued)
+			return false, true
+		}
+		var err error
+		sl.val, err = readBody(br, sl.val, int(vlen))
+		if err != nil {
+			sl.buf = appendErr(sl.buf[:0], "bad value body")
+			localReply(sl, issued)
+			return false, false
+		}
+		return true, true
 	}
 	switch verb {
 	case vPing:
@@ -691,13 +789,22 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 			want = 2
 		}
 		if badArity(want) {
-			return
+			return true
 		}
-		key, ok := parseUintBytes(fields[1])
-		if !ok {
+		key, keyOK := parseUintBytes(fields[1])
+		if !keyOK {
+			// Format the reply now, while fields[1] is intact; takeBody
+			// may slide the read buffer out from under it.
 			sl.buf = appendErr(sl.buf[:0], "bad number %q", fields[1])
+		}
+		if verb == vPut {
+			if ok, alive := takeBody(fields[2]); !ok {
+				return alive
+			}
+		}
+		if !keyOK {
 			localReply(sl, issued)
-			return
+			return true
 		}
 		shard := s.shardOf(key)
 		if s.cluster && s.role[shard].Load() != rolePrimary {
@@ -706,7 +813,7 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 			// replica holds rolePrimary and serves normally.
 			sl.buf = appendMoved(sl.buf[:0], s.cfg.Peers[PrimaryNode(shard, len(s.cfg.Peers))])
 			localReply(sl, issued)
-			return
+			return true
 		}
 		sl.key, sl.shard = key, shard
 		switch verb {
@@ -715,13 +822,7 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 		case vDel:
 			sl.op = opDel
 		case vPut:
-			val, ok := parseUintBytes(fields[2])
-			if !ok {
-				sl.buf = appendErr(sl.buf[:0], "bad number %q", fields[2])
-				localReply(sl, issued)
-				return
-			}
-			sl.op, sl.val = opPut, val
+			sl.op = opPut
 		}
 		sl.pending.Store(1)
 		issued <- sl
@@ -732,26 +833,23 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 			want = 4
 		}
 		if badArity(want) {
-			return
+			return true
 		}
-		shard64, ok1 := parseUintBytes(fields[1])
+		shard64, ok1 := parseUintBytes(fields[1]) // parse before takeBody slides the buffer
 		seq, ok2 := parseUintBytes(fields[2])
 		key, ok3 := parseUintBytes(fields[3])
+		if verb == vRPut {
+			if ok, alive := takeBody(fields[4]); !ok {
+				return alive
+			}
+			sl.op = opRPut
+		} else {
+			sl.op = opRDel
+		}
 		if !ok1 || !ok2 || !ok3 || shard64 >= uint64(len(s.shards)) {
 			sl.buf = appendErr(sl.buf[:0], "bad replication frame")
 			localReply(sl, issued)
-			return
-		}
-		if verb == vRPut {
-			val, ok := parseUintBytes(fields[4])
-			if !ok {
-				sl.buf = appendErr(sl.buf[:0], "bad number %q", fields[4])
-				localReply(sl, issued)
-				return
-			}
-			sl.op, sl.val = opRPut, val
-		} else {
-			sl.op = opRDel
+			return true
 		}
 		shard := int(shard64)
 		ri := s.replIns[shard]
@@ -761,7 +859,7 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 			// guard after promotion).
 			sl.buf = appendErr(sl.buf[:0], "shard %d is not a replica here", shard)
 			localReply(sl, issued)
-			return
+			return true
 		}
 		sl.key, sl.shard, sl.seq = key, shard, seq
 		ri.noteReceived(seq, c)
@@ -770,13 +868,13 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 		enqueue(s.queues[shard], sl)
 	case vPromote:
 		if badArity(1) {
-			return
+			return true
 		}
 		shard64, ok := parseUintBytes(fields[1])
 		if !ok || shard64 >= uint64(len(s.shards)) {
 			sl.buf = appendErr(sl.buf[:0], "bad shard %q", fields[1])
 			localReply(sl, issued)
-			return
+			return true
 		}
 		shard := int(shard64)
 		switch {
@@ -804,34 +902,40 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 		}
 		localReply(sl, issued)
 	case vSetEx, vGetEx, vExpire:
-		if !s.cfg.CacheMode {
+		if !s.cfg.CacheMode && verb != vSetEx {
 			sl.buf = appendErr(sl.buf[:0], "%s requires cache mode", fields[0])
 			localReply(sl, issued)
-			return
+			return true
 		}
 		want := 2
 		if verb == vSetEx {
 			want = 3
 		}
 		if badArity(want) {
-			return
+			return true
 		}
-		key, ok1 := parseUintBytes(fields[1])
+		key, ok1 := parseUintBytes(fields[1]) // parse before takeBody slides the buffer
 		ttl, ok2 := parseUintBytes(fields[2])
+		if verb == vSetEx {
+			// The body must be consumed before any rejection — including
+			// "requires cache mode" — or the stream desyncs.
+			if ok, alive := takeBody(fields[3]); !ok {
+				return alive
+			}
+			if !s.cfg.CacheMode {
+				sl.buf = appendErr(sl.buf[:0], "SETEX requires cache mode")
+				localReply(sl, issued)
+				return true
+			}
+		}
 		if !ok1 || !ok2 {
 			sl.buf = appendErr(sl.buf[:0], "bad number")
 			localReply(sl, issued)
-			return
+			return true
 		}
 		switch verb {
 		case vSetEx:
-			val, ok := parseUintBytes(fields[3])
-			if !ok {
-				sl.buf = appendErr(sl.buf[:0], "bad number %q", fields[3])
-				localReply(sl, issued)
-				return
-			}
-			sl.op, sl.val = opSetEx, val
+			sl.op = opSetEx
 		case vGetEx:
 			sl.op = opGetEx
 		case vExpire:
@@ -852,13 +956,13 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 		localReply(sl, issued)
 	case vScan:
 		if badArity(1) {
-			return
+			return true
 		}
 		lim64, ok := parseIntBytes(fields[1])
 		if !ok {
 			sl.buf = appendErr(sl.buf[:0], "bad number %q", fields[1])
 			localReply(sl, issued)
-			return
+			return true
 		}
 		sl.op = opScan
 		sl.limit = int(lim64)
@@ -878,16 +982,16 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 		if s.cfg.CacheMode {
 			sl.buf = appendErr(sl.buf[:0], "SNAPSCAN is not available in cache mode")
 			localReply(sl, issued)
-			return
+			return true
 		}
 		if badArity(1) {
-			return
+			return true
 		}
 		lim64, ok := parseIntBytes(fields[1])
 		if !ok {
 			sl.buf = appendErr(sl.buf[:0], "bad number %q", fields[1])
 			localReply(sl, issued)
-			return
+			return true
 		}
 		sl.op = opSnapScan
 		sl.limit = int(lim64)
@@ -901,7 +1005,7 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 			issued <- sl
 			sl.fail(causeLease)
 			sl.complete(0)
-			return
+			return true
 		}
 		sl.ts, sl.lease = lease.TS(), lease
 		sl.pending.Store(int32(len(s.shards)))
@@ -913,12 +1017,12 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 		if s.cfg.CacheMode {
 			sl.buf = appendErr(sl.buf[:0], "MGET is not available in cache mode")
 			localReply(sl, issued)
-			return
+			return true
 		}
 		if nf < 2 || nf-1 > maxMGetKeys {
 			sl.buf = appendErr(sl.buf[:0], "MGET takes 1..%d keys", maxMGetKeys)
 			localReply(sl, issued)
-			return
+			return true
 		}
 		sl.keys = sl.keys[:0]
 		for _, f := range fields[1:nf] {
@@ -926,7 +1030,7 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 			if !ok {
 				sl.buf = appendErr(sl.buf[:0], "bad number %q", f)
 				localReply(sl, issued)
-				return
+				return true
 			}
 			if sh := s.shardOf(key); s.cluster && s.role[sh].Load() != rolePrimary {
 				// Per-node MGET atomicity only: every requested key must be
@@ -934,7 +1038,7 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 				// cross-node clock; see DESIGN.md §10).
 				sl.buf = appendMoved(sl.buf[:0], s.cfg.Peers[PrimaryNode(sh, len(s.cfg.Peers))])
 				localReply(sl, issued)
-				return
+				return true
 			}
 			sl.keys = append(sl.keys, key)
 		}
@@ -946,7 +1050,7 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 			issued <- sl
 			sl.fail(causeLease)
 			sl.complete(0)
-			return
+			return true
 		}
 		sl.ts, sl.lease = lease.TS(), lease
 		// Fan to every shard: each worker resolves only the keys its
@@ -960,6 +1064,7 @@ func (s *Server) dispatch(c net.Conn, sl *slot, fields [][]byte, nf int, issued 
 		sl.buf = appendErr(sl.buf[:0], "unknown command %q", fields[0])
 		localReply(sl, issued)
 	}
+	return true
 }
 
 // connWriter is the connection's write half: it consumes issued slots in
@@ -1085,8 +1190,10 @@ func (s *Server) workerSession(id, shard int) (respawn bool) {
 func (s *Server) exec(h *collections.MapHandle, procID, shard int, sl *slot) {
 	switch sl.op {
 	case opGet:
-		if v, ok := h.Get(sl.key); ok {
-			sl.buf = appendVal(sl.buf[:0], "+VAL", v)
+		v, ok := h.Get(sl.key, sl.vtmp[:0])
+		sl.vtmp = v // keep the grown capacity for the next request
+		if ok {
+			sl.buf = appendValBytes(sl.buf[:0], "+VAL", v)
 		} else {
 			sl.static = lineNil
 		}
@@ -1095,12 +1202,13 @@ func (s *Server) exec(h *collections.MapHandle, procID, shard int, sl *slot) {
 			s.execLoggedWrite(h, rl, sl, procID)
 			return
 		}
-		old, existed, err := h.Put(sl.key, sl.val)
+		old, existed, err := h.Put(sl.key, sl.val, sl.vtmp[:0])
+		sl.vtmp = old
 		switch {
 		case err != nil:
 			sl.fail(causeArena)
 		case existed:
-			sl.buf = appendVal(sl.buf[:0], "+OLD", old)
+			sl.buf = appendValBytes(sl.buf[:0], "+OLD", old)
 		default:
 			sl.static = lineNew
 		}
@@ -1130,11 +1238,8 @@ func (s *Server) exec(h *collections.MapHandle, procID, shard int, sl *slot) {
 			return
 		}
 		seg := sl.scan.segs[shard][:0]
-		n := h.Scan(sl.limit, func(k, v uint64) bool {
-			seg = strconv.AppendUint(seg, k, 10)
-			seg = append(seg, ' ')
-			seg = strconv.AppendUint(seg, v, 10)
-			seg = append(seg, '\n')
+		n := h.Scan(sl.limit, func(k uint64, v []byte) bool {
+			seg = appendRow(seg, k, v)
 			return true
 		})
 		sl.scan.segs[shard] = seg
@@ -1146,26 +1251,23 @@ func (s *Server) exec(h *collections.MapHandle, procID, shard int, sl *slot) {
 			return
 		}
 		seg := sl.scan.segs[shard][:0]
-		n := h.ScanAt(sl.ts, sl.limit, func(k, v uint64) bool {
-			seg = strconv.AppendUint(seg, k, 10)
-			seg = append(seg, ' ')
-			seg = strconv.AppendUint(seg, v, 10)
-			seg = append(seg, '\n')
+		n := h.ScanAt(sl.ts, sl.limit, func(k uint64, v []byte) bool {
+			seg = appendRow(seg, k, v)
 			return true
 		})
 		sl.scan.segs[shard] = seg
 		sl.scan.ns[shard] = n
 	case opMGet:
 		// Resolve only this shard's keys, at the slot's lease timestamp;
-		// the workers write disjoint mvals/mhits indexes.
+		// the workers write disjoint mvals/mhits indexes (each index's
+		// scratch keeps its capacity across requests).
 		for i, k := range sl.keys {
 			if s.shardOf(k) != shard {
 				continue
 			}
-			if v, ok := h.GetAt(sl.ts, k); ok {
-				sl.mvals[i] = v
-				sl.mhits[i] = true
-			}
+			v, ok := h.GetAt(sl.ts, k, sl.mvals[i][:0])
+			sl.mvals[i] = v
+			sl.mhits[i] = ok
 		}
 	}
 }

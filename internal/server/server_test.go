@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -9,6 +10,20 @@ import (
 
 	"cdrc/internal/chaos"
 )
+
+// tb/bu bridge the tests' uint64 payloads onto the byte-value wire.
+func tb(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func bu(v []byte) uint64 {
+	if len(v) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
 
 func newTestServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
@@ -41,17 +56,17 @@ func TestProtocolBasics(t *testing.T) {
 	if _, ok, err := cl.Get(7); err != nil || ok {
 		t.Fatalf("Get(miss) = ok=%v err=%v, want miss", ok, err)
 	}
-	if _, existed, err := cl.Put(7, 70); err != nil || existed {
+	if _, existed, err := cl.Put(7, tb(70)); err != nil || existed {
 		t.Fatalf("Put(new) = existed=%v err=%v", existed, err)
 	}
-	if v, ok, err := cl.Get(7); err != nil || !ok || v != 70 {
-		t.Fatalf("Get(hit) = %d,%v,%v, want 70", v, ok, err)
+	if v, ok, err := cl.Get(7); err != nil || !ok || bu(v) != 70 {
+		t.Fatalf("Get(hit) = %d,%v,%v, want 70", bu(v), ok, err)
 	}
-	if old, existed, err := cl.Put(7, 71); err != nil || !existed || old != 70 {
-		t.Fatalf("Put(replace) = %d,%v,%v, want old=70", old, existed, err)
+	if old, existed, err := cl.Put(7, tb(71)); err != nil || !existed || bu(old) != 70 {
+		t.Fatalf("Put(replace) = %d,%v,%v, want old=70", bu(old), existed, err)
 	}
 	for k := uint64(0); k < 20; k++ {
-		if _, _, err := cl.Put(100+k, k); err != nil {
+		if _, _, err := cl.Put(100+k, tb(k)); err != nil {
 			t.Fatalf("Put(%d): %v", 100+k, err)
 		}
 	}
@@ -64,7 +79,7 @@ func TestProtocolBasics(t *testing.T) {
 	}
 	found := false
 	for _, e := range ents {
-		if e[0] == 7 && e[1] == 71 {
+		if e.Key == 7 && bu(e.Val) == 71 {
 			found = true
 		}
 	}
@@ -117,7 +132,7 @@ func TestTeardownWithInflightConnections(t *testing.T) {
 			}
 			defer cl.Close()
 			for k := seed; ; k += 3 {
-				if _, _, err := cl.Put(k%4096, k); err != nil && err != ErrBusy {
+				if _, _, err := cl.Put(k%4096, tb(k)); err != nil && err != ErrBusy {
 					return // connection severed by Close
 				}
 				if _, _, err := cl.Get((k + 1) % 4096); err != nil && err != ErrBusy {
@@ -150,7 +165,7 @@ func TestBusyOnArenaExhausted(t *testing.T) {
 
 	busy, stored := 0, 0
 	for k := uint64(0); k < 100; k++ {
-		_, _, err := cl.Put(k, k)
+		_, _, err := cl.Put(k, tb(k))
 		switch err {
 		case nil:
 			stored++
@@ -176,13 +191,13 @@ func TestBusyOnArenaExhausted(t *testing.T) {
 		t.Fatalf("Scan: %v", err)
 	}
 	for _, e := range ents {
-		if _, err := cl.Del(e[0]); err != nil {
-			t.Fatalf("Del(%d): %v", e[0], err)
+		if _, err := cl.Del(e.Key); err != nil {
+			t.Fatalf("Del(%d): %v", e.Key, err)
 		}
 	}
 	recovered := false
 	for k := uint64(1000); k < 1032 && !recovered; k++ {
-		if _, _, err := cl.Put(k, 1); err == nil {
+		if _, _, err := cl.Put(k, tb(1)); err == nil {
 			recovered = true
 		}
 	}
@@ -222,7 +237,7 @@ func TestWorkerCrashAdoption(t *testing.T) {
 			}
 			defer cl.Close()
 			for k := uint64(0); k < 200; k++ {
-				_, _, err := cl.Put(seed+k, k)
+				_, _, err := cl.Put(seed+k, tb(k))
 				switch err {
 				case nil:
 				case ErrBusy:
@@ -284,7 +299,7 @@ func TestQueueBusy(t *testing.T) {
 			}
 			defer cl.Close()
 			for k := uint64(0); k < 30; k++ {
-				if _, _, err := cl.Put(base+k, k); err == ErrBusy {
+				if _, _, err := cl.Put(base+k, tb(k)); err == ErrBusy {
 					busys.Add(1)
 				}
 			}

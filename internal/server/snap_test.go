@@ -22,7 +22,7 @@ func TestScanRowCap(t *testing.T) {
 
 	const keys = 120
 	for k := uint64(0); k < keys; k++ {
-		if _, _, err := cl.Put(k, k); err != nil {
+		if _, _, err := cl.Put(k, tb(k)); err != nil {
 			t.Fatalf("Put(%d): %v", k, err)
 		}
 	}
@@ -53,7 +53,7 @@ func TestSnapScanRowCap(t *testing.T) {
 
 	const keys = 120
 	for k := uint64(0); k < keys; k++ {
-		if _, _, err := cl.Put(k, k); err != nil {
+		if _, _, err := cl.Put(k, tb(k)); err != nil {
 			t.Fatalf("Put(%d): %v", k, err)
 		}
 	}
@@ -91,13 +91,13 @@ func TestScanAfterScanSlotReuse(t *testing.T) {
 
 	const keys = 50
 	for k := uint64(0); k < keys; k++ {
-		if _, _, err := cl.Put(k, k+1); err != nil {
+		if _, _, err := cl.Put(k, tb(k+1)); err != nil {
 			t.Fatalf("Put(%d): %v", k, err)
 		}
 	}
 	for _, scan := range []struct {
 		name string
-		fn   func(int) ([][2]uint64, error)
+		fn   func(int) ([]Entry, error)
 	}{{"Scan", cl.Scan}, {"SnapScan", cl.SnapScan}} {
 		ents, err := scan.fn(1000)
 		if err != nil {
@@ -116,7 +116,7 @@ func TestScanAfterScanSlotReuse(t *testing.T) {
 	// empty keyspace must produce empty replies.
 	for _, scan := range []struct {
 		name string
-		fn   func(int) ([][2]uint64, error)
+		fn   func(int) ([]Entry, error)
 	}{{"Scan", cl.Scan}, {"SnapScan", cl.SnapScan}} {
 		ents, err := scan.fn(1000)
 		if err != nil {
@@ -143,7 +143,7 @@ func TestMGetBasic(t *testing.T) {
 	defer cl.Close()
 
 	for k := uint64(0); k < 10; k++ {
-		if _, _, err := cl.Put(k, 100+k); err != nil {
+		if _, _, err := cl.Put(k, tb(100+k)); err != nil {
 			t.Fatalf("Put(%d): %v", k, err)
 		}
 	}
@@ -151,16 +151,19 @@ func TestMGetBasic(t *testing.T) {
 	if err != nil {
 		t.Fatalf("MGet: %v", err)
 	}
-	want := []Result{
-		{Val: 103, Found: true},
-		{},
-		{Val: 100, Found: true},
-		{Val: 109, Found: true},
-		{Val: 103, Found: true},
+	want := []struct {
+		val   uint64
+		found bool
+	}{
+		{103, true},
+		{0, false},
+		{100, true},
+		{109, true},
+		{103, true},
 	}
 	for i, w := range want {
-		if res[i] != w {
-			t.Fatalf("MGet result[%d] = %+v, want %+v", i, res[i], w)
+		if res[i].Found != w.found || (w.found && bu(res[i].Bytes) != w.val) {
+			t.Fatalf("MGet result[%d] = %+v, want (%d,%v)", i, res[i], w.val, w.found)
 		}
 	}
 	if _, err := cl.roundTrip("MGET"); err == nil {
@@ -207,10 +210,10 @@ func TestMGetSnapScanConsistentUnderWrites(t *testing.T) {
 	}
 	w := dialTest(t, s)
 	defer w.Close()
-	if _, _, err := w.Put(ka, 0); err != nil {
+	if _, _, err := w.Put(ka, tb(0)); err != nil {
 		t.Fatalf("Put(ka): %v", err)
 	}
-	if _, _, err := w.Put(kb, 0); err != nil {
+	if _, _, err := w.Put(kb, tb(0)); err != nil {
 		t.Fatalf("Put(kb): %v", err)
 	}
 
@@ -227,11 +230,11 @@ func TestMGetSnapScanConsistentUnderWrites(t *testing.T) {
 				return
 			default:
 			}
-			if _, _, err := w.DoPutRetry(ka, v, bo); err != nil {
+			if _, _, err := w.DoPutRetry(ka, tb(v), bo); err != nil {
 				writerErr.Store(err)
 				return
 			}
-			if _, _, err := w.DoPutRetry(kb, v, bo); err != nil {
+			if _, _, err := w.DoPutRetry(kb, tb(v), bo); err != nil {
 				writerErr.Store(err)
 				return
 			}
@@ -265,9 +268,9 @@ func TestMGetSnapScanConsistentUnderWrites(t *testing.T) {
 					t.Errorf("MGet lost a pre-seeded key: %+v", res)
 					return
 				}
-				check("MGET", res[0].Val, res[1].Val)
+				check("MGET", bu(res[0].Bytes), bu(res[1].Bytes))
 
-				var ents [][2]uint64
+				var ents []Entry
 				if err := RetryBusy(bo, func() error {
 					var e error
 					ents, e = cl.SnapScan(1000)
@@ -279,11 +282,11 @@ func TestMGetSnapScanConsistentUnderWrites(t *testing.T) {
 				va, vb := uint64(0), uint64(0)
 				var fa, fb bool
 				for _, e := range ents {
-					switch e[0] {
+					switch e.Key {
 					case ka:
-						va, fa = e[1], true
+						va, fa = bu(e.Val), true
 					case kb:
-						vb, fb = e[1], true
+						vb, fb = bu(e.Val), true
 					}
 				}
 				if !fa || !fb {
@@ -323,7 +326,7 @@ func TestSnapLeaseExhaustion(t *testing.T) {
 
 	seed := dialTest(t, s)
 	for k := uint64(0); k < 16; k++ {
-		if _, _, err := seed.Put(k, k); err != nil && err != ErrBusy {
+		if _, _, err := seed.Put(k, tb(k)); err != nil && err != ErrBusy {
 			t.Fatalf("Put(%d): %v", k, err)
 		}
 	}
@@ -405,7 +408,7 @@ func TestCrashDuringSnapScanReleasesLease(t *testing.T) {
 	cl := dialTest(t, s)
 	defer cl.Close()
 	for k := uint64(0); k < 32; k++ {
-		if _, _, err := cl.Put(k, k+1); err != nil {
+		if _, _, err := cl.Put(k, tb(k+1)); err != nil {
 			t.Fatalf("Put(%d): %v", k, err)
 		}
 	}
@@ -463,13 +466,13 @@ func TestClusterScanCap(t *testing.T) {
 
 	const keys = 200
 	for k := uint64(0); k < keys; k++ {
-		if _, _, err := cc.Put(k, k*7); err != nil {
+		if _, _, err := cc.Put(k, tb(k*7)); err != nil {
 			t.Fatalf("cluster Put(%d): %v", k, err)
 		}
 	}
 	for _, scan := range []struct {
 		name string
-		fn   func(int) ([][2]uint64, error)
+		fn   func(int) ([]Entry, error)
 	}{{"Scan", cc.Scan}, {"SnapScan", cc.SnapScan}} {
 		ents, err := scan.fn(10)
 		if err != nil {
@@ -484,10 +487,10 @@ func TestClusterScanCap(t *testing.T) {
 		}
 		seen := make(map[uint64]uint64, len(full))
 		for _, e := range full {
-			if old, dup := seen[e[0]]; dup {
-				t.Fatalf("cluster %s reported key %d twice (%d, %d)", scan.name, e[0], old, e[1])
+			if old, dup := seen[e.Key]; dup {
+				t.Fatalf("cluster %s reported key %d twice (%d, %d)", scan.name, e.Key, old, bu(e.Val))
 			}
-			seen[e[0]] = e[1]
+			seen[e.Key] = bu(e.Val)
 		}
 		if len(full) != keys {
 			t.Fatalf("cluster %s(1000) = %d rows, want %d", scan.name, len(full), keys)

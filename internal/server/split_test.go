@@ -1,0 +1,121 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// splitConn drives the wire protocol with deliberately fragmented
+// writes, so a request's header line and value body arrive in separate
+// TCP segments. dispatch holds its parsed header fields as slices into
+// the connection reader's internal buffer; reading the body then forces
+// a refill that slides that buffer, so any field parsed after the body
+// read sees rewritten bytes. Loopback tests that write a whole request
+// in one call can never catch this — the body is always already
+// buffered — hence the explicit pause between the two halves.
+type splitConn struct {
+	t    *testing.T
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func dialSplit(t *testing.T, s *Server) *splitConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &splitConn{t: t, conn: conn, br: bufio.NewReader(conn)}
+}
+
+// send writes head, waits long enough for the server to have read it and
+// blocked on the body, then writes tail.
+func (sc *splitConn) send(head, tail string) {
+	sc.t.Helper()
+	if _, err := sc.conn.Write([]byte(head)); err != nil {
+		sc.t.Fatalf("write %q: %v", head, err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if _, err := sc.conn.Write([]byte(tail)); err != nil {
+		sc.t.Fatalf("write %q: %v", tail, err)
+	}
+}
+
+func (sc *splitConn) expect(want string) {
+	sc.t.Helper()
+	sc.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := sc.br.ReadString('\n')
+	if err != nil {
+		sc.t.Fatalf("read reply (want %q): %v", want, err)
+	}
+	if got := strings.TrimRight(line, "\r\n"); got != want {
+		sc.t.Fatalf("reply = %q, want %q", got, want)
+	}
+}
+
+// TestSplitSegmentBodyParsing pins the fix for a parse bug that only
+// showed up over a real wire: when a PUT's body straddled TCP segments,
+// the key field was parsed from memory the body refill had already
+// clobbered, yielding "-ERR bad number" for well-formed requests.
+func TestSplitSegmentBodyParsing(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, Workers: 2, ExpectedKeys: 1 << 10})
+	defer s.Close()
+	sc := dialSplit(t, s)
+
+	// PUT with the body in its own segment: the key must survive.
+	sc.send("PUT 78 4\n", "abcd\n")
+	sc.expect("+NEW")
+	sc.send("GET 78\n", "")
+	sc.expect("+VAL 4")
+	sc.expect("abcd")
+
+	// Body split mid-value as well as after the header.
+	sc.send("PUT 9001 8\nfour", "four\n")
+	sc.expect("+NEW")
+
+	// RPUT parses shard/seq/key before the body; a non-replica shard is
+	// the expected rejection. A slid buffer would corrupt those fields
+	// and misreport "bad replication frame" instead.
+	sc.send("RPUT 0 1 5 3\n", "xyz\n")
+	sc.expect("-ERR shard 0 is not a replica here")
+
+	// A malformed key must still consume the body before replying, or
+	// the stream desyncs and the PING below reads the stale body.
+	sc.send("PUT nope 4\n", "junk\n")
+	sc.expect(`-ERR bad number "nope"`)
+
+	sc.send("PING\n", "")
+	sc.expect("+PONG")
+}
+
+// TestSplitSegmentSetEx is the cache-mode twin: SETEX carries a body
+// after key and TTL fields, both of which must be parsed before the
+// body read slides the buffer.
+func TestSplitSegmentSetEx(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, Workers: 2, ExpectedKeys: 1 << 10, CacheMode: true})
+	defer s.Close()
+	sc := dialSplit(t, s)
+
+	sc.send("SETEX 42 60000 4\n", "warm\n")
+	sc.expect("+NEW")
+	sc.send("GETEX 42 0\n", "")
+	sc.expect("+VAL 4")
+	sc.expect("warm")
+
+	// Pipelined requests with the final body arriving in its own late
+	// segment: every reply must stay framed.
+	sc.send("SETEX 1 60000 2\naa\nSETEX 2 60000 2\nbb\nSETEX 3 60000 2\n", "cc\n")
+	for i := 0; i < 3; i++ {
+		sc.expect("+NEW")
+	}
+	for k := 1; k <= 3; k++ {
+		sc.send(fmt.Sprintf("GETEX %d 0\n", k), "")
+		sc.expect("+VAL 2")
+		sc.expect(strings.Repeat(string(rune('a'+k-1)), 2))
+	}
+}

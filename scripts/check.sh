@@ -25,6 +25,18 @@ if grep -rn 'Hdr(.*)\.RefCount' --include='*.go' . \
     exit 1
 fi
 
+# Value-slab encapsulation lint (DESIGN.md §13): slab bytes are reachable
+# only through a byte-array arena pool, and only internal/vals may own
+# one — everyone else goes through vals.Pool (TryPut/AppendTo/Free) so
+# the Ref word's class/length/handle packing and the slab lifetime rules
+# stay in one package.
+echo "==> value-slab lint (byte-array arena pools outside internal/vals)"
+if grep -rn 'NewPool\[\[[0-9]*\][bB]yte\]' --include='*.go' . \
+    | grep -v -e '^\./internal/vals/'; then
+    echo "    FAIL: byte-array arena pool outside internal/vals (use vals.Pool)"
+    exit 1
+fi
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -36,6 +48,19 @@ go test -race ./...
 echo "==> arena block-transfer race pass (count 3) + fuzz seed corpus"
 go test -race -count 3 -run 'BlockStack|Magazine|DrainLocal|CappedPool|LiveHighWater' ./internal/arena
 go test -race -run FuzzPoolOps ./internal/arena
+
+# Zero-GC value plane gate (DESIGN.md §13, results/BENCH_values.json):
+# the large-value PUT/GET sweep must allocate nothing on the Go heap at
+# steady state at every size class including the chunk-chain overflow,
+# value churn must put <10% of a Go-heap control's pressure on the
+# collector, and the AllocsPerRun pins on the magazine-hit arena paths,
+# disabled obs counters, byte-map steady state, and warmed pipelined
+# server GETs must all hold. No race detector: the gate measures
+# allocations, and the detector allocates.
+echo "==> zero-GC value plane gate (alloc pins + GC pressure vs Go-heap control)"
+go test -count 1 -run 'LargeValueSweepZeroAlloc|ValueGCPressureVsControl' ./collections
+go test -count 1 -run 'AllocFreeMagazineHitZeroAlloc|CounterIncZeroAlloc|AllocsPerRunSteadyState|ByteMapAllocsSteadyState|ServerGetZeroAlloc' \
+    ./internal/arena ./internal/obs ./internal/vals ./internal/ds/rcds ./internal/server
 
 echo "==> chaos soak (10s, seed 1, 2 simulated crashes per configuration)"
 go run ./cmd/cdrc-stress -duration 10s -chaos -chaos-seed 1 -crash-workers 2

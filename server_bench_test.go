@@ -4,6 +4,7 @@ package cdrc_test
 // internal/server (via collections) depends on the root cdrc package.
 
 import (
+	"encoding/binary"
 	"fmt"
 	"testing"
 
@@ -31,8 +32,10 @@ func BenchmarkServerPipelined(b *testing.B) {
 			}
 			defer cl.Close()
 			const nKeys = 1024
+			var vbuf [8]byte
 			for k := uint64(0); k < nKeys; k++ {
-				if _, _, err := cl.Put(k, k*3); err != nil {
+				binary.LittleEndian.PutUint64(vbuf[:], k*3)
+				if _, _, err := cl.Put(k, vbuf[:]); err != nil {
 					b.Fatalf("seed Put: %v", err)
 				}
 			}
